@@ -1,0 +1,446 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (see DESIGN.md §3), plus
+// the DESIGN.md §5 ablations and micro-benchmarks of the hot data
+// structures. Benchmarks report the headline simulated metric of each
+// experiment via b.ReportMetric so a -bench run doubles as a shape
+// check against the paper.
+package repro
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/cid"
+	"repro/internal/experiments"
+	"repro/internal/gateway"
+	"repro/internal/gwload"
+	"repro/internal/kbucket"
+	"repro/internal/merkledag"
+	"repro/internal/multicodec"
+	"repro/internal/peer"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// benchPerf runs a small §4.3 experiment; reused by the Table 1/4 and
+// Fig 9/10 benchmarks with distinct reporting.
+func benchPerf(b *testing.B, report func(*testing.B, *experiments.PerfResults)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunPerformance(experiments.PerfConfig{
+			NetworkSize: 250, IterationsPer: 1, Scale: 0.001, Seed: 42,
+		})
+		report(b, res)
+	}
+}
+
+func combinedSample(res *experiments.PerfResults, pick func(*experiments.RegionPerf) *stats.Sample) *stats.Sample {
+	all := stats.NewSample()
+	for _, rp := range res.Regions {
+		for _, v := range pick(rp).Values() {
+			all.Add(v)
+		}
+	}
+	return all
+}
+
+// BenchmarkTable1PublishRetrieve regenerates Table 1 (operation counts).
+func BenchmarkTable1PublishRetrieve(b *testing.B) {
+	benchPerf(b, func(b *testing.B, res *experiments.PerfResults) {
+		b.ReportMetric(float64(res.Successes), "ops")
+		if res.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	})
+}
+
+// BenchmarkTable4LatencyPercentiles regenerates Table 4.
+func BenchmarkTable4LatencyPercentiles(b *testing.B) {
+	benchPerf(b, func(b *testing.B, res *experiments.PerfResults) {
+		pub := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.PubOverall })
+		retr := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.RetrOverall })
+		b.ReportMetric(pub.Percentile(50), "pub-p50-s")
+		b.ReportMetric(retr.Percentile(50), "retr-p50-s")
+	})
+}
+
+// BenchmarkFig9Publication regenerates Fig 9a–c (publication CDFs).
+func BenchmarkFig9Publication(b *testing.B) {
+	benchPerf(b, func(b *testing.B, res *experiments.PerfResults) {
+		walk := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.PubWalk })
+		batch := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.PubBatch })
+		b.ReportMetric(walk.Percentile(50), "walk-p50-s")
+		b.ReportMetric(batch.Percentile(50), "batch-p50-s")
+	})
+}
+
+// BenchmarkFig9Retrieval regenerates Fig 9d–f (retrieval CDFs).
+func BenchmarkFig9Retrieval(b *testing.B) {
+	benchPerf(b, func(b *testing.B, res *experiments.PerfResults) {
+		walks := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.RetrWalks })
+		fetch := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.RetrFetch })
+		b.ReportMetric(walks.Percentile(50), "walks-p50-s")
+		b.ReportMetric(fetch.Percentile(50), "fetch-p50-s")
+	})
+}
+
+// BenchmarkFig10Stretch regenerates Fig 10 (stretch CDFs).
+func BenchmarkFig10Stretch(b *testing.B) {
+	benchPerf(b, func(b *testing.B, res *experiments.PerfResults) {
+		st := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.Stretch })
+		stNB := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.StretchNoBitswap })
+		b.ReportMetric(st.Percentile(50), "stretch-p50")
+		b.ReportMetric(stNB.Percentile(50), "stretch-nobitswap-p50")
+	})
+}
+
+// benchDeploy runs a small §5 analysis.
+func benchDeploy(b *testing.B, report func(*testing.B, *experiments.DeployResults)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunDeployment(experiments.DeployConfig{
+			PopulationSize: 6000, CrawlNetworkSize: 200, CrawlEpochs: 3,
+			Scale: 0.0005, Seed: 7,
+		})
+		report(b, res)
+	}
+}
+
+// BenchmarkTable2ASConcentration regenerates Table 2.
+func BenchmarkTable2ASConcentration(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		b.ReportMetric(100*res.Pop.AS.TopShare(10), "top10-AS-%")
+		if res.Table2() == "" {
+			b.Fatal("empty table")
+		}
+	})
+}
+
+// BenchmarkTable3CloudShare regenerates Table 3.
+func BenchmarkTable3CloudShare(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		b.ReportMetric(100*res.Pop.CloudShare(), "cloud-%")
+	})
+}
+
+// BenchmarkFig4aCrawlTimeSeries regenerates Fig 4a.
+func BenchmarkFig4aCrawlTimeSeries(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		last := res.Epochs[len(res.Epochs)-1]
+		b.ReportMetric(float64(last.Dialable), "dialable")
+		b.ReportMetric(float64(last.Undialable), "undialable")
+	})
+}
+
+// BenchmarkFig5PeerGeo regenerates Fig 5.
+func BenchmarkFig5PeerGeo(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		counts := res.Pop.CountryCounts()
+		b.ReportMetric(100*float64(counts["US"])/float64(len(res.Pop.Peers)), "US-%")
+	})
+}
+
+// BenchmarkFig7aReliable regenerates Fig 7a.
+func BenchmarkFig7aReliable(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		reliable := 0
+		for _, p := range res.Pop.Peers {
+			if p.Reliable {
+				reliable++
+			}
+		}
+		b.ReportMetric(100*float64(reliable)/float64(len(res.Pop.Peers)), "reliable-%")
+	})
+}
+
+// BenchmarkFig7bUnreachable regenerates Fig 7b.
+func BenchmarkFig7bUnreachable(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		unreachable := 0
+		for _, p := range res.Pop.Peers {
+			if !p.Dialable {
+				unreachable++
+			}
+		}
+		b.ReportMetric(100*float64(unreachable)/float64(len(res.Pop.Peers)), "unreachable-%")
+	})
+}
+
+// BenchmarkFig7cPeerIDClustering regenerates Fig 7c.
+func BenchmarkFig7cPeerIDClustering(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		perIP := res.Pop.PeersPerIP()
+		singles := 0
+		for _, n := range perIP {
+			if n == 1 {
+				singles++
+			}
+		}
+		b.ReportMetric(100*float64(singles)/float64(len(perIP)), "single-peer-IPs-%")
+	})
+}
+
+// BenchmarkFig7dASDistribution regenerates Fig 7d.
+func BenchmarkFig7dASDistribution(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		byRank := res.Pop.IPsPerASRank()
+		b.ReportMetric(float64(byRank[1]), "rank1-IPs")
+	})
+}
+
+// BenchmarkFig8ChurnCDF regenerates Fig 8.
+func BenchmarkFig8ChurnCDF(b *testing.B) {
+	benchDeploy(b, func(b *testing.B, res *experiments.DeployResults) {
+		obs := res.Timeline.SessionObservations()
+		s := stats.NewSample()
+		for _, o := range obs {
+			s.Add(o.Uptime.Hours())
+		}
+		b.ReportMetric(100*s.FractionBelow(8), "under-8h-%")
+	})
+}
+
+// benchGateway runs a small §6.3 experiment.
+func benchGateway(b *testing.B, report func(*testing.B, *experiments.GatewayResults)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunGateway(experiments.GatewayConfig{
+			NetworkSize: 40, Objects: 120, Requests: 1200, TraceOnly: 30000,
+			Scale: 0.0008, Seed: 17,
+		})
+		report(b, res)
+	}
+}
+
+// BenchmarkTable5GatewayTiers regenerates Table 5.
+func BenchmarkTable5GatewayTiers(b *testing.B) {
+	benchGateway(b, func(b *testing.B, res *experiments.GatewayResults) {
+		var total, nginx, node int
+		for tier, s := range res.Tiers {
+			total += s.Requests
+			switch tier {
+			case gateway.TierNginx:
+				nginx = s.Requests
+			case gateway.TierNodeStore:
+				node = s.Requests
+			}
+		}
+		b.ReportMetric(100*float64(nginx)/float64(total), "nginx-hit-%")
+		b.ReportMetric(100*float64(nginx+node)/float64(total), "combined-hit-%")
+	})
+}
+
+// BenchmarkFig4bDiurnal regenerates Fig 4b.
+func BenchmarkFig4bDiurnal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cat := gwload.NewCatalog(gwload.CatalogConfig{NumObjects: 200, Seed: 17})
+		reqs := gwload.GenerateTrace(cat, gwload.TraceConfig{NumRequests: 50000, Seed: 18})
+		var byHour [24]int
+		for _, r := range reqs {
+			byHour[r.Time.UTC().Hour()]++
+		}
+		min, max := byHour[0], byHour[0]
+		for _, c := range byHour {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		b.ReportMetric(float64(max)/float64(min), "peak-to-trough")
+	}
+}
+
+// BenchmarkFig6UserGeo regenerates Fig 6.
+func BenchmarkFig6UserGeo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cat := gwload.NewCatalog(gwload.CatalogConfig{NumObjects: 200, Seed: 17})
+		reqs := gwload.GenerateTrace(cat, gwload.TraceConfig{NumRequests: 50000, Seed: 19})
+		us := 0
+		for _, r := range reqs {
+			if r.Country == "US" {
+				us++
+			}
+		}
+		b.ReportMetric(100*float64(us)/float64(len(reqs)), "US-%")
+	}
+}
+
+// BenchmarkFig11GatewayDistributions regenerates Fig 11a.
+func BenchmarkFig11GatewayDistributions(b *testing.B) {
+	benchGateway(b, func(b *testing.B, res *experiments.GatewayResults) {
+		lat := stats.NewSample()
+		for _, e := range res.Log {
+			if !e.Err() {
+				lat.Add(e.Latency.Seconds())
+			}
+		}
+		b.ReportMetric(100*lat.FractionBelow(0.25), "under-250ms-%")
+	})
+}
+
+// BenchmarkFig11CacheTimeline regenerates Fig 11b.
+func BenchmarkFig11CacheTimeline(b *testing.B) {
+	benchGateway(b, func(b *testing.B, res *experiments.GatewayResults) {
+		if res.Fig11b() == "" {
+			b.Fatal("empty series")
+		}
+	})
+}
+
+// --- DESIGN.md §5 ablations ---
+
+// BenchmarkAblationReplication sweeps the replication factor k.
+func BenchmarkAblationReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.RunReplicationSweep(
+			experiments.AblationConfig{NetworkSize: 180, Iterations: 3, Scale: 0.001, Seed: 23},
+			[]int{5, 20}, 0.5)
+		b.ReportMetric(pts[len(pts)-1].SurvivalRate*100, "k20-survival-%")
+	}
+}
+
+// BenchmarkAblationAlpha sweeps lookup concurrency.
+func BenchmarkAblationAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.RunAlphaSweep(
+			experiments.AblationConfig{NetworkSize: 200, Iterations: 3, Scale: 0.001, Seed: 23},
+			[]int{1, 3})
+		b.ReportMetric(pts[0].RetrMedian.Seconds(), "alpha1-retr-s")
+		b.ReportMetric(pts[1].RetrMedian.Seconds(), "alpha3-retr-s")
+	}
+}
+
+// BenchmarkAblationParallelDiscovery compares serial and parallel
+// Bitswap/DHT discovery (§6.2).
+func BenchmarkAblationParallelDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.RunParallelDiscovery(
+			experiments.AblationConfig{NetworkSize: 200, Iterations: 2, Scale: 0.001, Seed: 23})
+		b.ReportMetric(pts[0].RetrMedian.Seconds(), "serial-retr-s")
+		b.ReportMetric(pts[1].RetrMedian.Seconds(), "parallel-retr-s")
+	}
+}
+
+// BenchmarkAblationClientServerSplit compares the post-v0.5 DHT
+// client/server split against polluted routing tables (§6.4).
+func BenchmarkAblationClientServerSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.RunClientServerSplit(
+			experiments.AblationConfig{NetworkSize: 180, Iterations: 3, Scale: 0.001, Seed: 23})
+		for _, p := range pts {
+			if p.SplitEnabled {
+				b.ReportMetric(p.PubMedian.Seconds(), "split-pub-s")
+			} else {
+				b.ReportMetric(p.PubMedian.Seconds(), "nosplit-pub-s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationGatewayCacheSize sweeps the nginx cache size.
+func BenchmarkAblationGatewayCacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.RunGatewayCacheSweep(
+			experiments.AblationConfig{Scale: 0.0008, Seed: 23},
+			[]int64{4 << 20, 32 << 20})
+		b.ReportMetric(100*pts[len(pts)-1].NginxHit, "bigcache-hit-%")
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkCidSum measures CID computation over 256 KiB chunks.
+func BenchmarkCidSum(b *testing.B) {
+	data := bytes.Repeat([]byte{1}, 256*1024)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cid.Sum(multicodec.Raw, data)
+	}
+}
+
+// BenchmarkDagBuild measures importing a 4 MiB file.
+func BenchmarkDagBuild(b *testing.B) {
+	data := bytes.Repeat([]byte{2}, 4<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := block.NewMemStore()
+		if _, err := merkledag.NewBuilder(store, 0, 0).Add(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDagAssemble measures reassembling a 4 MiB DAG.
+func BenchmarkDagAssemble(b *testing.B) {
+	data := bytes.Repeat([]byte{3}, 4<<20)
+	store := block.NewMemStore()
+	root, err := merkledag.NewBuilder(store, 0, 0).Add(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merkledag.Assemble(store, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKBucketNearest measures closest-peer selection over a full
+// routing table.
+func BenchmarkKBucketNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	self := peer.MustNewIdentity(rng)
+	table := kbucket.NewTable(self.ID, 20)
+	for i := 0; i < 500; i++ {
+		table.Add(peer.MustNewIdentity(rng).ID)
+	}
+	key := kbucket.KeyForBytes([]byte("target"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = table.NearestPeers(key, 20)
+	}
+}
+
+// BenchmarkWireMarshal measures message encode+decode round trips.
+func BenchmarkWireMarshal(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var peers []wire.PeerInfo
+	for i := 0; i < 20; i++ {
+		peers = append(peers, wire.PeerInfo{ID: peer.MustNewIdentity(rng).ID})
+	}
+	msg := wire.Message{Type: wire.TNodes, Key: bytes.Repeat([]byte{9}, 34), Peers: peers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw := msg.Marshal()
+		if _, err := wire.Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetrieveEndToEnd measures one simulated retrieval.
+func BenchmarkRetrieveEndToEnd(b *testing.B) {
+	res := experiments.RunPerformance(experiments.PerfConfig{
+		NetworkSize: 200, IterationsPer: 1, Scale: 0.0005, Seed: 5,
+	})
+	retr := combinedSample(res, func(rp *experiments.RegionPerf) *stats.Sample { return rp.RetrOverall })
+	b.ReportMetric(retr.Median(), "retr-p50-s")
+	// The end-to-end loop itself:
+	ctxEnsureUsed()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.RunPerformance(experiments.PerfConfig{
+			NetworkSize: 120, IterationsPer: 1, Scale: 0.0005, Seed: int64(5 + i),
+		})
+	}
+}
+
+func ctxEnsureUsed() context.Context { return context.Background() }

@@ -1,0 +1,52 @@
+// Command ipfs-bench runs the §4.3 / §6 performance experiments (the
+// six-region publish/retrieve protocol) and prints Tables 1 and 4 plus
+// the Figure 9/10 series.
+//
+// Usage:
+//
+//	ipfs-bench -iters 20 -network 1000 -size 524288
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		network = flag.Int("network", 600, "simulated network size")
+		iters   = flag.Int("iters", 8, "publications per region")
+		size    = flag.Int("size", 512*1024, "object size in bytes (paper: 0.5 MB)")
+		scale   = flag.Float64("scale", 0.002, "time compression")
+		seed    = flag.Int64("seed", 42, "random seed")
+		points  = flag.Int("points", 20, "CDF points")
+		figs    = flag.Bool("figs", false, "print Figure 9/10 CDF series")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "network=%d iterations=%d object=%dB scale=%g\n", *network, *iters, *size, *scale)
+	start := time.Now()
+	res := experiments.RunPerformance(experiments.PerfConfig{
+		NetworkSize:     *network,
+		IterationsPer:   *iters,
+		ObjectSizeBytes: *size,
+		Scale:           *scale,
+		Seed:            *seed,
+	})
+	fmt.Fprintf(os.Stderr, "completed in %v wall time\n\n", time.Since(start))
+
+	fmt.Println(res.Table1())
+	fmt.Println()
+	fmt.Println(res.Table4())
+	fmt.Println()
+	fmt.Println("== headline comparison with the paper ==")
+	fmt.Println(res.Summary())
+	if *figs {
+		fmt.Println(res.Fig9(*points))
+		fmt.Println(res.Fig10(*points))
+	}
+}

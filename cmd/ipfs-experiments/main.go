@@ -1,0 +1,150 @@
+// Command ipfs-experiments regenerates every table and figure of the
+// paper's evaluation (§5–§6) against the simulated network.
+//
+// Usage:
+//
+//	ipfs-experiments -run all
+//	ipfs-experiments -run table4 -iters 20 -network 1000
+//	ipfs-experiments -run fig8
+//	ipfs-experiments -run ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment id: all, table1, table2, table3, table4, table5, fig4a, fig4b, fig5, fig6, fig7a, fig7b, fig7c, fig7d, fig8, fig9, fig10, fig11, ablations")
+		network = flag.Int("network", 600, "simulated network size for performance runs")
+		iters   = flag.Int("iters", 8, "publications per region")
+		pop     = flag.Int("population", 20000, "population size for deployment analyses")
+		scale   = flag.Float64("scale", 0.002, "time compression (real seconds per simulated second)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		points  = flag.Int("points", 20, "CDF points per series")
+	)
+	flag.Parse()
+
+	ids := strings.Split(*run, ",")
+	want := func(prefix ...string) bool {
+		for _, id := range ids {
+			id = strings.TrimSpace(id)
+			if id == "all" {
+				return true
+			}
+			for _, p := range prefix {
+				if id == p {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	needPerf := want("table1", "table4", "fig9", "fig10")
+	needDeploy := want("table2", "table3", "fig4a", "fig5", "fig7a", "fig7b", "fig7c", "fig7d", "fig8")
+	needGateway := want("table5", "fig4b", "fig6", "fig11")
+	needAblations := want("ablations")
+
+	if !needPerf && !needDeploy && !needGateway && !needAblations {
+		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if needPerf {
+		fmt.Fprintln(os.Stderr, "running §4.3 performance experiment...")
+		res := experiments.RunPerformance(experiments.PerfConfig{
+			NetworkSize: *network, IterationsPer: *iters, Scale: *scale, Seed: *seed,
+		})
+		if want("table1") {
+			fmt.Println(res.Table1())
+			fmt.Println()
+		}
+		if want("table4") {
+			fmt.Println(res.Table4())
+			fmt.Println()
+		}
+		if want("fig9") {
+			fmt.Println(res.Fig9(*points))
+		}
+		if want("fig10") {
+			fmt.Println(res.Fig10(*points))
+		}
+		fmt.Println("== headline comparison ==")
+		fmt.Println(res.Summary())
+	}
+
+	if needDeploy {
+		fmt.Fprintln(os.Stderr, "running §5 deployment analyses...")
+		res := experiments.RunDeployment(experiments.DeployConfig{
+			PopulationSize: *pop, Seed: *seed,
+		})
+		if want("fig4a") {
+			fmt.Println(res.Fig4a())
+		}
+		if want("fig5") {
+			fmt.Println(res.Fig5())
+			fmt.Println()
+		}
+		if want("table2") {
+			fmt.Println(res.Table2())
+			fmt.Println()
+		}
+		if want("table3") {
+			fmt.Println(res.Table3())
+			fmt.Println()
+		}
+		if want("fig7a") {
+			fmt.Println(res.Fig7a())
+		}
+		if want("fig7b") {
+			fmt.Println(res.Fig7b())
+		}
+		if want("fig7c") {
+			fmt.Println(res.Fig7c())
+		}
+		if want("fig7d") {
+			fmt.Println(res.Fig7d())
+		}
+		if want("fig8") {
+			fmt.Println(res.Fig8(*points))
+		}
+	}
+
+	if needGateway {
+		fmt.Fprintln(os.Stderr, "running §6.3 gateway experiment...")
+		res := experiments.RunGateway(experiments.GatewayConfig{Seed: *seed})
+		if want("table5") {
+			fmt.Println(res.Table5())
+			fmt.Println()
+		}
+		if want("fig4b") {
+			fmt.Println(res.Fig4b())
+		}
+		if want("fig6") {
+			fmt.Println(res.Fig6())
+			fmt.Println()
+		}
+		if want("fig11") {
+			fmt.Println(res.Fig11a(*points))
+			fmt.Println(res.Fig11b())
+		}
+	}
+
+	if needAblations {
+		fmt.Fprintln(os.Stderr, "running design-choice ablations...")
+		acfg := experiments.AblationConfig{Seed: *seed, Scale: *scale}
+		reps := experiments.RunReplicationSweep(acfg, nil, 0)
+		alphas := experiments.RunAlphaSweep(acfg, nil)
+		disc := experiments.RunParallelDiscovery(acfg)
+		cs := experiments.RunClientServerSplit(acfg)
+		caches := experiments.RunGatewayCacheSweep(acfg, nil)
+		fmt.Println(experiments.RenderAblations(reps, alphas, disc, cs, caches))
+	}
+}

@@ -1,0 +1,85 @@
+// Command ipfs-gateway runs an HTTP gateway (§3.4) in front of a TCP
+// node: GET /ipfs/{CID} serves content from the nginx-style cache, the
+// local pinned store, or the P2P network.
+//
+// Usage:
+//
+//	ipfs-gateway -http 127.0.0.1:8080 \
+//	    -bootstrap /ip4/127.0.0.1/tcp/4001/p2p/<peerID> \
+//	    -pin ./website.html
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+import "repro/ipfs"
+
+func main() {
+	var (
+		httpAddr  = flag.String("http", "127.0.0.1:8080", "HTTP listen address")
+		listen    = flag.String("listen", "127.0.0.1:0", "P2P TCP listen address")
+		seed      = flag.Int64("seed", 0, "identity seed (0 = random)")
+		bootstrap = flag.String("bootstrap", "", "comma-separated bootstrap multiaddrs")
+		cacheMB   = flag.Int64("cache-mb", 256, "nginx-style LRU cache size in MiB")
+		pins      = flag.String("pin", "", "comma-separated files to pin into the node store")
+	)
+	flag.Parse()
+
+	node, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Listen: *listen, Seed: *seed, Region: "US"})
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if *bootstrap != "" {
+		var infos []ipfs.PeerInfo
+		for _, s := range strings.Split(*bootstrap, ",") {
+			info, err := ipfs.ParsePeerInfo(strings.TrimSpace(s))
+			if err != nil {
+				fatal(err)
+			}
+			infos = append(infos, info)
+		}
+		if err := node.Bootstrap(ctx, infos); err != nil {
+			fmt.Fprintf(os.Stderr, "bootstrap: %v (continuing)\n", err)
+		}
+	}
+
+	gw := ipfs.NewTCPGateway(node, *cacheMB<<20)
+	if *pins != "" {
+		for _, f := range strings.Split(*pins, ",") {
+			data, err := os.ReadFile(strings.TrimSpace(f))
+			if err != nil {
+				fatal(err)
+			}
+			c, err := gw.Pin(data)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("pinned %s -> /ipfs/%s\n", f, c)
+		}
+	}
+
+	fmt.Println("gateway PeerID:", node.ID())
+	for _, a := range node.Addrs() {
+		fmt.Println("P2P listening:", a)
+	}
+	fmt.Printf("HTTP gateway on http://%s/ipfs/{CID}\n", *httpAddr)
+	if err := http.ListenAndServe(*httpAddr, gw); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

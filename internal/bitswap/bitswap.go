@@ -1,0 +1,249 @@
+// Package bitswap implements the chunk-exchange protocol of §3.2:
+// requests travel as WANT-HAVE messages, holders answer HAVE (IHAVE),
+// the requestor follows with WANT-BLOCK and the block terminates the
+// exchange. Bitswap is also used opportunistically before any DHT
+// lookup: the requestor asks all already-connected peers for the CID
+// and falls back to the DHT after a 1 s timeout.
+package bitswap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/cid"
+	"repro/internal/peer"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/wire"
+)
+
+// DefaultOpportunisticTimeout is the §3.2 Bitswap broadcast timeout
+// before falling back to the DHT.
+const DefaultOpportunisticTimeout = time.Second
+
+// Config tunes the protocol.
+type Config struct {
+	// OpportunisticTimeout bounds the ask-connected-peers phase.
+	OpportunisticTimeout time.Duration
+	// Base compresses simulated time.
+	Base simtime.Base
+}
+
+func (c Config) withDefaults() Config {
+	if c.OpportunisticTimeout <= 0 {
+		c.OpportunisticTimeout = DefaultOpportunisticTimeout
+	}
+	if c.Base == (simtime.Base{}) {
+		c.Base = simtime.Realtime
+	}
+	return c
+}
+
+// Bitswap serves and fetches blocks for one peer.
+type Bitswap struct {
+	cfg   Config
+	sw    *swarm.Swarm
+	store block.Store
+
+	mu       sync.Mutex
+	wantlist map[string]struct{} // CID keys currently wanted
+
+	statsMu     sync.Mutex
+	blocksSent  int
+	blocksRecv  int
+	bytesSent   int64
+	bytesRecv   int64
+	havesServed int
+}
+
+// Errors returned by this package.
+var (
+	ErrNotFound = errors.New("bitswap: peer does not have the block")
+	ErrTimeout  = errors.New("bitswap: opportunistic discovery timed out")
+)
+
+// New creates a Bitswap engine over the swarm and blockstore.
+func New(sw *swarm.Swarm, store block.Store, cfg Config) *Bitswap {
+	return &Bitswap{
+		cfg:      cfg.withDefaults(),
+		sw:       sw,
+		store:    store,
+		wantlist: make(map[string]struct{}),
+	}
+}
+
+// Wantlist returns the CID keys currently wanted, for diagnostics.
+func (b *Bitswap) Wantlist() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.wantlist))
+	for k := range b.wantlist {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (b *Bitswap) addWant(c cid.Cid) {
+	b.mu.Lock()
+	b.wantlist[c.Key()] = struct{}{}
+	b.mu.Unlock()
+}
+
+func (b *Bitswap) dropWant(c cid.Cid) {
+	b.mu.Lock()
+	delete(b.wantlist, c.Key())
+	b.mu.Unlock()
+}
+
+// Stats reports cumulative exchange counters.
+func (b *Bitswap) Stats() (blocksSent, blocksRecv int, bytesSent, bytesRecv int64) {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.blocksSent, b.blocksRecv, b.bytesSent, b.bytesRecv
+}
+
+// HandleMessage serves inbound Bitswap requests (the provider side of
+// Figure 3 step 6).
+func (b *Bitswap) HandleMessage(_ context.Context, _ peer.ID, req wire.Message) wire.Message {
+	c, err := cid.FromBytes(req.Key)
+	if err != nil {
+		return wire.ErrorMessage("bitswap: bad cid: %v", err)
+	}
+	switch req.Type {
+	case wire.TWantHave:
+		if b.store.Has(c) {
+			b.statsMu.Lock()
+			b.havesServed++
+			b.statsMu.Unlock()
+			return wire.Message{Type: wire.THave, Key: req.Key}
+		}
+		return wire.Message{Type: wire.TDontHave, Key: req.Key}
+	case wire.TWantBlock:
+		blk, err := b.store.Get(c)
+		if err != nil {
+			return wire.Message{Type: wire.TDontHave, Key: req.Key}
+		}
+		b.statsMu.Lock()
+		b.blocksSent++
+		b.bytesSent += int64(blk.Size())
+		b.statsMu.Unlock()
+		return wire.Message{Type: wire.TBlock, Key: req.Key, BlockData: blk.Data()}
+	}
+	return wire.ErrorMessage("bitswap: unhandled %s", req.Type)
+}
+
+// AskConnected broadcasts WANT-HAVE for c to all connected peers and
+// returns the first peer that answers HAVE within the opportunistic
+// timeout — step 4 of Figure 3. The returned duration is the simulated
+// time spent (the full timeout on failure, the §6.2 "extra 1 s").
+func (b *Bitswap) AskConnected(ctx context.Context, c cid.Cid) (peer.ID, time.Duration, error) {
+	start := time.Now()
+	peers := b.sw.ConnectedPeers()
+	if len(peers) == 0 {
+		// Nobody to ask: still honour the timeout semantics by waiting
+		// nothing — the DHT fallback proceeds immediately.
+		return "", 0, ErrTimeout
+	}
+	actx, cancel := b.cfg.Base.WithTimeout(ctx, b.cfg.OpportunisticTimeout)
+	defer cancel()
+
+	found := make(chan peer.ID, len(peers))
+	for _, id := range peers {
+		id := id
+		go func() {
+			resp, err := b.sw.Request(actx, id, nil, wire.Message{Type: wire.TWantHave, Key: c.Bytes()})
+			if err == nil && resp.Type == wire.THave {
+				found <- id
+			}
+		}()
+	}
+	select {
+	case id := <-found:
+		return id, b.cfg.Base.SimSince(start), nil
+	case <-actx.Done():
+		return "", b.cfg.Base.SimSince(start), ErrTimeout
+	}
+}
+
+// FetchBlock retrieves one block from a specific peer using the full
+// WANT-HAVE / IHAVE / WANT-BLOCK / BLOCK exchange, verifies it against
+// its CID and stores it locally.
+func (b *Bitswap) FetchBlock(ctx context.Context, from wire.PeerInfo, c cid.Cid) (block.Block, error) {
+	b.addWant(c)
+	defer b.dropWant(c)
+
+	resp, err := b.sw.Request(ctx, from.ID, from.Addrs, wire.Message{Type: wire.TWantHave, Key: c.Bytes()})
+	if err != nil {
+		return block.Block{}, err
+	}
+	if resp.Type != wire.THave {
+		return block.Block{}, ErrNotFound
+	}
+	return b.fetchDirect(ctx, from, c)
+}
+
+// fetchDirect sends WANT-BLOCK without the preceding WANT-HAVE, used
+// for the remaining blocks of a DAG once the session is established.
+func (b *Bitswap) fetchDirect(ctx context.Context, from wire.PeerInfo, c cid.Cid) (block.Block, error) {
+	resp, err := b.sw.Request(ctx, from.ID, from.Addrs, wire.Message{Type: wire.TWantBlock, Key: c.Bytes()})
+	if err != nil {
+		return block.Block{}, err
+	}
+	if resp.Type != wire.TBlock {
+		return block.Block{}, ErrNotFound
+	}
+	blk, err := block.NewWithCid(c, resp.BlockData)
+	if err != nil {
+		// Self-certification (§2.1): data not matching the CID is
+		// discarded, whoever served it.
+		return block.Block{}, fmt.Errorf("bitswap: peer %s served corrupt block: %w", from.ID.Short(), err)
+	}
+	if err := b.store.Put(blk); err != nil {
+		return block.Block{}, err
+	}
+	b.statsMu.Lock()
+	b.blocksRecv++
+	b.bytesRecv += int64(blk.Size())
+	b.statsMu.Unlock()
+	return blk, nil
+}
+
+// Session binds Bitswap to one providing peer and implements
+// merkledag.Fetcher, so a whole DAG can be assembled from that peer
+// while populating the local store (making this node a future provider,
+// §3.1).
+type Session struct {
+	bs   *Bitswap
+	from wire.PeerInfo
+	ctx  context.Context
+
+	mu      sync.Mutex
+	started bool
+}
+
+// NewSession creates a fetch session bound to the providing peer.
+func (b *Bitswap) NewSession(ctx context.Context, from wire.PeerInfo) *Session {
+	return &Session{bs: b, from: from, ctx: ctx}
+}
+
+// Get implements merkledag.Fetcher: local store first, then the remote
+// peer. The first remote fetch performs the full WANT-HAVE handshake;
+// Get is safe for the concurrent sibling fetches of
+// merkledag.AssembleConcurrent.
+func (s *Session) Get(c cid.Cid) (block.Block, error) {
+	if blk, err := s.bs.store.Get(c); err == nil {
+		return blk, nil
+	}
+	s.mu.Lock()
+	first := !s.started
+	s.started = true
+	s.mu.Unlock()
+	if first {
+		return s.bs.FetchBlock(s.ctx, s.from, c)
+	}
+	return s.bs.fetchDirect(s.ctx, s.from, c)
+}

@@ -1,0 +1,222 @@
+package bitswap
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/cid"
+	"repro/internal/geo"
+	"repro/internal/merkledag"
+	"repro/internal/multicodec"
+	"repro/internal/peer"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/wire"
+)
+
+type testPeer struct {
+	ident peer.Identity
+	sw    *swarm.Swarm
+	store *block.MemStore
+	bs    *Bitswap
+	info  wire.PeerInfo
+}
+
+func buildPeers(t *testing.T, n int) (*simnet.Network, []*testPeer) {
+	t.Helper()
+	base := simtime.New(0.001)
+	net := simnet.New(simnet.Config{Base: base, Seed: 3})
+	rng := rand.New(rand.NewSource(8))
+	peers := make([]*testPeer, n)
+	for i := range peers {
+		ident := peer.MustNewIdentity(rng)
+		ep := net.AddNode(ident.ID, simnet.NodeOpts{Region: "US", Dialable: true})
+		sw := swarm.New(ident, ep, base)
+		store := block.NewMemStore()
+		bs := New(sw, store, Config{Base: base})
+		ep.SetHandler(bs.HandleMessage)
+		peers[i] = &testPeer{ident: ident, sw: sw, store: store, bs: bs, info: wire.PeerInfo{ID: ident.ID, Addrs: ep.Addrs()}}
+	}
+	return net, peers
+}
+
+func TestHandleWantHave(t *testing.T) {
+	_, ps := buildPeers(t, 2)
+	holder := ps[0]
+	blk := block.New(multicodec.Raw, []byte("held"))
+	holder.store.Put(blk)
+	ctx := context.Background()
+
+	resp := holder.bs.HandleMessage(ctx, ps[1].ident.ID, wire.Message{Type: wire.TWantHave, Key: blk.Cid().Bytes()})
+	if resp.Type != wire.THave {
+		t.Errorf("resp = %s, want HAVE", resp.Type)
+	}
+	missing := cid.Sum(multicodec.Raw, []byte("missing"))
+	resp = holder.bs.HandleMessage(ctx, ps[1].ident.ID, wire.Message{Type: wire.TWantHave, Key: missing.Bytes()})
+	if resp.Type != wire.TDontHave {
+		t.Errorf("resp = %s, want DONT_HAVE", resp.Type)
+	}
+	if resp := holder.bs.HandleMessage(ctx, ps[1].ident.ID, wire.Message{Type: wire.TWantHave, Key: []byte("junk")}); resp.Type != wire.TError {
+		t.Errorf("bad cid resp = %s", resp.Type)
+	}
+}
+
+func TestFetchBlockFullExchange(t *testing.T) {
+	_, ps := buildPeers(t, 2)
+	holder, requester := ps[0], ps[1]
+	blk := block.New(multicodec.Raw, []byte("wanted block"))
+	holder.store.Put(blk)
+
+	got, err := requester.bs.FetchBlock(context.Background(), holder.info, blk.Cid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data(), blk.Data()) {
+		t.Error("data mismatch")
+	}
+	// The block is now stored locally: requester becomes a holder.
+	if !requester.store.Has(blk.Cid()) {
+		t.Error("fetched block not stored")
+	}
+	sent, recv, bytesSent, bytesRecv := holder.bs.Stats()
+	if sent != 1 || bytesSent != int64(blk.Size()) {
+		t.Errorf("holder stats: sent=%d bytes=%d", sent, bytesSent)
+	}
+	_, recv, _, bytesRecv = requester.bs.Stats()
+	if recv != 1 || bytesRecv != int64(blk.Size()) {
+		t.Errorf("requester stats: recv=%d bytes=%d", recv, bytesRecv)
+	}
+}
+
+func TestFetchBlockNotHeld(t *testing.T) {
+	_, ps := buildPeers(t, 2)
+	missing := cid.Sum(multicodec.Raw, []byte("nope"))
+	if _, err := ps[1].bs.FetchBlock(context.Background(), ps[0].info, missing); err != ErrNotFound {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestAskConnectedFindsHolder(t *testing.T) {
+	_, ps := buildPeers(t, 4)
+	requester := ps[0]
+	holder := ps[2]
+	blk := block.New(multicodec.Raw, []byte("neighbourhood content"))
+	holder.store.Put(blk)
+	ctx := context.Background()
+	for _, p := range ps[1:] {
+		if _, _, err := requester.sw.Connect(ctx, p.ident.ID, p.info.Addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, dur, err := requester.bs.AskConnected(ctx, blk.Cid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != holder.ident.ID {
+		t.Errorf("holder = %s", id.Short())
+	}
+	if dur <= 0 || dur > 500*time.Millisecond {
+		t.Errorf("opportunistic hit took %v", dur)
+	}
+}
+
+func TestAskConnectedTimesOut(t *testing.T) {
+	_, ps := buildPeers(t, 3)
+	requester := ps[0]
+	ctx := context.Background()
+	for _, p := range ps[1:] {
+		if _, _, err := requester.sw.Connect(ctx, p.ident.ID, p.info.Addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missing := cid.Sum(multicodec.Raw, []byte("nobody has this"))
+	_, dur, err := requester.bs.AskConnected(ctx, missing)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The full 1 s opportunistic timeout must elapse (§3.2).
+	if dur < 900*time.Millisecond || dur > 2*time.Second {
+		t.Errorf("timeout took %v simulated, want ~1s", dur)
+	}
+}
+
+func TestAskConnectedNoPeers(t *testing.T) {
+	_, ps := buildPeers(t, 1)
+	missing := cid.Sum(multicodec.Raw, []byte("x"))
+	if _, _, err := ps[0].bs.AskConnected(context.Background(), missing); err != ErrTimeout {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestSessionAssemblesDAG(t *testing.T) {
+	_, ps := buildPeers(t, 2)
+	holder, requester := ps[0], ps[1]
+	data := bytes.Repeat([]byte("dag content "), 3000)
+	root, err := merkledag.NewBuilder(holder.store, 4096, 8).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := requester.bs.NewSession(context.Background(), holder.info)
+	got, err := merkledag.Assemble(session, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("assembled content mismatch")
+	}
+	// All blocks should now be local; a second assemble needs no network.
+	if _, err := merkledag.Assemble(requester.store, root); err != nil {
+		t.Errorf("blocks not stored locally: %v", err)
+	}
+}
+
+func TestCorruptBlockRejected(t *testing.T) {
+	// A peer serving bytes that do not match the CID must be caught by
+	// self-certification (§2.1).
+	base := simtime.New(0.001)
+	net := simnet.New(simnet.Config{Base: base, Seed: 9})
+	rng := rand.New(rand.NewSource(10))
+	evil := peer.MustNewIdentity(rng)
+	victim := peer.MustNewIdentity(rng)
+
+	evilEp := net.AddNode(evil.ID, simnet.NodeOpts{Region: geo.Region("US"), Dialable: true})
+	evilEp.SetHandler(func(_ context.Context, _ peer.ID, req wire.Message) wire.Message {
+		switch req.Type {
+		case wire.TWantHave:
+			return wire.Message{Type: wire.THave, Key: req.Key}
+		case wire.TWantBlock:
+			return wire.Message{Type: wire.TBlock, Key: req.Key, BlockData: []byte("corrupted data")}
+		}
+		return wire.ErrorMessage("?")
+	})
+
+	vEp := net.AddNode(victim.ID, simnet.NodeOpts{Region: geo.Region("US"), Dialable: true})
+	vSw := swarm.New(victim, vEp, base)
+	vBs := New(vSw, block.NewMemStore(), Config{Base: base})
+
+	want := cid.Sum(multicodec.Raw, []byte("the real content"))
+	_, err := vBs.FetchBlock(context.Background(), wire.PeerInfo{ID: evil.ID, Addrs: evilEp.Addrs()}, want)
+	if err == nil {
+		t.Fatal("corrupt block accepted")
+	}
+}
+
+func TestWantlistTracking(t *testing.T) {
+	_, ps := buildPeers(t, 2)
+	if len(ps[0].bs.Wantlist()) != 0 {
+		t.Error("wantlist should start empty")
+	}
+	blk := block.New(multicodec.Raw, []byte("tracked"))
+	ps[1].store.Put(blk)
+	if _, err := ps[0].bs.FetchBlock(context.Background(), ps[1].info, blk.Cid()); err != nil {
+		t.Fatal(err)
+	}
+	if len(ps[0].bs.Wantlist()) != 0 {
+		t.Error("wantlist should be empty after a completed fetch")
+	}
+}

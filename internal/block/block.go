@@ -1,0 +1,278 @@
+// Package block provides content-addressed blocks and blockstores. A
+// block is an immutable (CID, bytes) pair; stores verify on insertion so
+// everything read back is self-certified (§2.1).
+package block
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cid"
+	"repro/internal/multicodec"
+)
+
+// Block is an immutable content-addressed chunk of data.
+type Block struct {
+	cid  cid.Cid
+	data []byte
+}
+
+// Errors returned by blockstores.
+var (
+	ErrNotFound     = errors.New("block: not found")
+	ErrHashMismatch = errors.New("block: data does not match CID")
+)
+
+// New creates a block from data under the given codec, computing its CID.
+func New(codec multicodec.Code, data []byte) Block {
+	d := append([]byte(nil), data...)
+	return Block{cid: cid.Sum(codec, d), data: d}
+}
+
+// NewWithCid wraps data with a caller-supplied CID, verifying the pair.
+func NewWithCid(c cid.Cid, data []byte) (Block, error) {
+	if !c.Verify(data) {
+		return Block{}, ErrHashMismatch
+	}
+	return Block{cid: c, data: append([]byte(nil), data...)}, nil
+}
+
+// Cid returns the block's content identifier.
+func (b Block) Cid() cid.Cid { return b.cid }
+
+// Data returns the block payload. Callers must not modify it.
+func (b Block) Data() []byte { return b.data }
+
+// Size returns the payload length in bytes.
+func (b Block) Size() int { return len(b.data) }
+
+// Store is the interface all blockstores implement.
+type Store interface {
+	// Put stores a block. Implementations verify CID/data consistency.
+	Put(Block) error
+	// Get returns the block for c or ErrNotFound.
+	Get(c cid.Cid) (Block, error)
+	// Has reports whether c is stored.
+	Has(c cid.Cid) bool
+	// Delete removes c if present.
+	Delete(c cid.Cid)
+	// Len returns the number of stored blocks.
+	Len() int
+}
+
+// MemStore is a thread-safe in-memory blockstore with optional pinning.
+// Pinned blocks survive GC and represent the "IPFS node store" content
+// manually uploaded to gateways (§3.4).
+type MemStore struct {
+	mu     sync.RWMutex
+	blocks map[string]Block
+	pins   map[string]bool
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{blocks: make(map[string]Block), pins: make(map[string]bool)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(b Block) error {
+	if !b.cid.Defined() {
+		return fmt.Errorf("block: undefined CID")
+	}
+	if !b.cid.Verify(b.data) {
+		return ErrHashMismatch
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blocks[b.cid.Key()] = b
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(c cid.Cid) (Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blocks[c.Key()]
+	if !ok {
+		return Block{}, ErrNotFound
+	}
+	return b, nil
+}
+
+// Has implements Store.
+func (s *MemStore) Has(c cid.Cid) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blocks[c.Key()]
+	return ok
+}
+
+// Delete implements Store. Pinned blocks are not deleted.
+func (s *MemStore) Delete(c cid.Cid) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pins[c.Key()] {
+		return
+	}
+	delete(s.blocks, c.Key())
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// Clear removes all unpinned blocks, used by experiment harnesses to
+// reset a node between iterations.
+func (s *MemStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.blocks {
+		if !s.pins[key] {
+			delete(s.blocks, key)
+		}
+	}
+}
+
+// Pin marks a block as pinned ("persistently available", §3.4).
+func (s *MemStore) Pin(c cid.Cid) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pins[c.Key()] = true
+}
+
+// Unpin removes a pin.
+func (s *MemStore) Unpin(c cid.Cid) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pins, c.Key())
+}
+
+// Pinned reports whether c is pinned.
+func (s *MemStore) Pinned(c cid.Cid) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pins[c.Key()]
+}
+
+// TotalBytes returns the sum of stored block sizes.
+func (s *MemStore) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, b := range s.blocks {
+		n += int64(len(b.data))
+	}
+	return n
+}
+
+// LRUStore is a bounded blockstore with least-recently-used eviction —
+// the replacement strategy of the gateway's nginx web cache (§3.4).
+type LRUStore struct {
+	mu       sync.Mutex
+	capacity int64 // bytes
+	used     int64
+	order    *list.List // front = most recently used; values are string keys
+	entries  map[string]*lruEntry
+}
+
+type lruEntry struct {
+	block Block
+	elem  *list.Element
+}
+
+// NewLRUStore returns an LRU store bounded to capacityBytes.
+func NewLRUStore(capacityBytes int64) *LRUStore {
+	return &LRUStore{
+		capacity: capacityBytes,
+		order:    list.New(),
+		entries:  make(map[string]*lruEntry),
+	}
+}
+
+// Put implements Store, evicting least-recently-used blocks as needed.
+// Blocks larger than the capacity are not cached.
+func (s *LRUStore) Put(b Block) error {
+	if !b.cid.Verify(b.data) {
+		return ErrHashMismatch
+	}
+	if int64(b.Size()) > s.capacity {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := b.cid.Key()
+	if e, ok := s.entries[key]; ok {
+		s.order.MoveToFront(e.elem)
+		return nil
+	}
+	for s.used+int64(b.Size()) > s.capacity {
+		s.evictOldest()
+	}
+	elem := s.order.PushFront(key)
+	s.entries[key] = &lruEntry{block: b, elem: elem}
+	s.used += int64(b.Size())
+	return nil
+}
+
+func (s *LRUStore) evictOldest() {
+	back := s.order.Back()
+	if back == nil {
+		return
+	}
+	key := back.Value.(string)
+	s.order.Remove(back)
+	if e, ok := s.entries[key]; ok {
+		s.used -= int64(e.block.Size())
+		delete(s.entries, key)
+	}
+}
+
+// Get implements Store and refreshes recency.
+func (s *LRUStore) Get(c cid.Cid) (Block, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[c.Key()]
+	if !ok {
+		return Block{}, ErrNotFound
+	}
+	s.order.MoveToFront(e.elem)
+	return e.block, nil
+}
+
+// Has implements Store without refreshing recency.
+func (s *LRUStore) Has(c cid.Cid) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[c.Key()]
+	return ok
+}
+
+// Delete implements Store.
+func (s *LRUStore) Delete(c cid.Cid) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[c.Key()]; ok {
+		s.order.Remove(e.elem)
+		s.used -= int64(e.block.Size())
+		delete(s.entries, c.Key())
+	}
+}
+
+// Len implements Store.
+func (s *LRUStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// UsedBytes returns the current cache occupancy.
+func (s *LRUStore) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}

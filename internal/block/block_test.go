@@ -1,0 +1,192 @@
+package block
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cid"
+	"repro/internal/multicodec"
+)
+
+func TestNewAndVerify(t *testing.T) {
+	b := New(multicodec.Raw, []byte("block data"))
+	if !b.Cid().Verify(b.Data()) {
+		t.Error("block CID must verify its data")
+	}
+	if b.Size() != 10 {
+		t.Errorf("Size = %d", b.Size())
+	}
+}
+
+func TestNewWithCidRejectsMismatch(t *testing.T) {
+	c := cid.Sum(multicodec.Raw, []byte("real"))
+	if _, err := NewWithCid(c, []byte("fake")); err != ErrHashMismatch {
+		t.Errorf("err = %v, want ErrHashMismatch", err)
+	}
+	if _, err := NewWithCid(c, []byte("real")); err != nil {
+		t.Errorf("matching data: %v", err)
+	}
+}
+
+func TestMemStoreCRUD(t *testing.T) {
+	s := NewMemStore()
+	b := New(multicodec.Raw, []byte("x"))
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(b.Cid()) || s.Len() != 1 {
+		t.Error("Put did not store")
+	}
+	got, err := s.Get(b.Cid())
+	if err != nil || !got.Cid().Equal(b.Cid()) {
+		t.Errorf("Get = %v, %v", got.Cid(), err)
+	}
+	s.Delete(b.Cid())
+	if s.Has(b.Cid()) {
+		t.Error("Delete did not remove")
+	}
+	if _, err := s.Get(b.Cid()); err != ErrNotFound {
+		t.Errorf("Get after delete: %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemStoreRejectsCorruptBlock(t *testing.T) {
+	s := NewMemStore()
+	bad := Block{cid: cid.Sum(multicodec.Raw, []byte("a")), data: []byte("b")}
+	if err := s.Put(bad); err != ErrHashMismatch {
+		t.Errorf("Put corrupt block: %v, want ErrHashMismatch", err)
+	}
+	if err := s.Put(Block{}); err == nil {
+		t.Error("Put zero block should fail")
+	}
+}
+
+func TestMemStorePinning(t *testing.T) {
+	s := NewMemStore()
+	b := New(multicodec.Raw, []byte("pinned"))
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(b.Cid())
+	if !s.Pinned(b.Cid()) {
+		t.Error("Pinned should be true")
+	}
+	s.Delete(b.Cid())
+	if !s.Has(b.Cid()) {
+		t.Error("pinned blocks must survive Delete")
+	}
+	s.Unpin(b.Cid())
+	s.Delete(b.Cid())
+	if s.Has(b.Cid()) {
+		t.Error("unpinned block should be deletable")
+	}
+}
+
+func TestMemStoreTotalBytes(t *testing.T) {
+	s := NewMemStore()
+	s.Put(New(multicodec.Raw, make([]byte, 100)))
+	s.Put(New(multicodec.Raw, make([]byte, 28)))
+	if s.TotalBytes() != 128 {
+		t.Errorf("TotalBytes = %d, want 128", s.TotalBytes())
+	}
+}
+
+func TestLRUStoreEviction(t *testing.T) {
+	s := NewLRUStore(250)
+	var blocks []Block
+	for i := 0; i < 3; i++ {
+		b := New(multicodec.Raw, []byte(fmt.Sprintf("block-%d-%s", i, string(make([]byte, 90)))))
+		blocks = append(blocks, b)
+		if err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 250 with ~98-byte blocks: the first block must be evicted.
+	if s.Has(blocks[0].Cid()) {
+		t.Error("oldest block should have been evicted")
+	}
+	if !s.Has(blocks[1].Cid()) || !s.Has(blocks[2].Cid()) {
+		t.Error("recent blocks should remain")
+	}
+	if s.UsedBytes() > 250 {
+		t.Errorf("UsedBytes = %d exceeds capacity", s.UsedBytes())
+	}
+}
+
+func TestLRUStoreRecency(t *testing.T) {
+	s := NewLRUStore(250)
+	a := New(multicodec.Raw, make([]byte, 98))
+	b := New(multicodec.Raw, append(make([]byte, 97), 1))
+	c := New(multicodec.Raw, append(make([]byte, 97), 2))
+	s.Put(a)
+	s.Put(b)
+	// Touch a so b becomes the eviction candidate.
+	if _, err := s.Get(a.Cid()); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(c)
+	if !s.Has(a.Cid()) {
+		t.Error("recently-used block was evicted")
+	}
+	if s.Has(b.Cid()) {
+		t.Error("least-recently-used block should have been evicted")
+	}
+}
+
+func TestLRUStoreOversized(t *testing.T) {
+	s := NewLRUStore(10)
+	big := New(multicodec.Raw, make([]byte, 100))
+	if err := s.Put(big); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(big.Cid()) {
+		t.Error("oversized blocks should not be cached")
+	}
+}
+
+func TestLRUStoreDelete(t *testing.T) {
+	s := NewLRUStore(1000)
+	b := New(multicodec.Raw, []byte("bye"))
+	s.Put(b)
+	s.Delete(b.Cid())
+	if s.Has(b.Cid()) || s.UsedBytes() != 0 || s.Len() != 0 {
+		t.Error("Delete did not fully remove the entry")
+	}
+}
+
+func TestLRUStoreDuplicatePut(t *testing.T) {
+	s := NewLRUStore(1000)
+	b := New(multicodec.Raw, []byte("dup"))
+	s.Put(b)
+	s.Put(b)
+	if s.Len() != 1 || s.UsedBytes() != int64(b.Size()) {
+		t.Errorf("duplicate Put: len=%d used=%d", s.Len(), s.UsedBytes())
+	}
+}
+
+func TestQuickStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	f := func(data []byte) bool {
+		b := New(multicodec.Raw, data)
+		if err := s.Put(b); err != nil {
+			return false
+		}
+		got, err := s.Get(b.Cid())
+		return err == nil && string(got.Data()) == string(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLRUNeverExceedsCapacity(t *testing.T) {
+	s := NewLRUStore(500)
+	f := func(data []byte) bool {
+		s.Put(New(multicodec.Raw, data))
+		return s.UsedBytes() <= 500
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package block
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/cid"
+	"repro/internal/multibase"
+)
+
+// FSStore is a filesystem-backed blockstore in the flatfs layout kubo
+// uses: blocks live in two-character shard directories keyed by the
+// tail of the base32 CID, one file per block. It verifies on Put and
+// on Get, so on-disk corruption is detected by self-certification.
+type FSStore struct {
+	mu   sync.RWMutex
+	root string
+}
+
+// NewFSStore opens (creating if needed) a store rooted at dir.
+func NewFSStore(dir string) (*FSStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("block: fsstore: %w", err)
+	}
+	return &FSStore{root: dir}, nil
+}
+
+// shardPath maps a CID to its shard directory and file path.
+func (s *FSStore) shardPath(c cid.Cid) (dir, file string) {
+	name := strings.ToUpper(multibase.MustEncode(multibase.Base32, c.Bytes())[1:])
+	shard := name[len(name)-3 : len(name)-1] // next-to-last two chars, flatfs-style
+	return filepath.Join(s.root, shard), filepath.Join(s.root, shard, name+".data")
+}
+
+// Put implements Store.
+func (s *FSStore) Put(b Block) error {
+	if !b.Cid().Defined() {
+		return fmt.Errorf("block: undefined CID")
+	}
+	if !b.Cid().Verify(b.Data()) {
+		return ErrHashMismatch
+	}
+	dir, file := s.shardPath(b.Cid())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("block: fsstore: %w", err)
+	}
+	// Write-then-rename for atomicity against concurrent readers.
+	tmp := file + ".tmp"
+	if err := os.WriteFile(tmp, b.Data(), 0o644); err != nil {
+		return fmt.Errorf("block: fsstore: %w", err)
+	}
+	return os.Rename(tmp, file)
+}
+
+// Get implements Store, verifying the block against its CID so on-disk
+// corruption surfaces as an error rather than bad data.
+func (s *FSStore) Get(c cid.Cid) (Block, error) {
+	_, file := s.shardPath(c)
+	s.mu.RLock()
+	data, err := os.ReadFile(file)
+	s.mu.RUnlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Block{}, ErrNotFound
+		}
+		return Block{}, fmt.Errorf("block: fsstore: %w", err)
+	}
+	blk, err := NewWithCid(c, data)
+	if err != nil {
+		return Block{}, fmt.Errorf("block: fsstore: %s corrupt on disk: %w", c, err)
+	}
+	return blk, nil
+}
+
+// Has implements Store.
+func (s *FSStore) Has(c cid.Cid) bool {
+	_, file := s.shardPath(c)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, err := os.Stat(file)
+	return err == nil
+}
+
+// Delete implements Store.
+func (s *FSStore) Delete(c cid.Cid) {
+	_, file := s.shardPath(c)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(file)
+}
+
+// Len implements Store by walking the shard directories.
+func (s *FSStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".data") {
+			n++
+		}
+		return nil
+	})
+	return n
+}

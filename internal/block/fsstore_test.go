@@ -1,0 +1,128 @@
+package block
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/multicodec"
+)
+
+func newFSStore(t *testing.T) *FSStore {
+	t.Helper()
+	s, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFSStoreCRUD(t *testing.T) {
+	s := newFSStore(t)
+	b := New(multicodec.Raw, []byte("persistent block"))
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(b.Cid()) || s.Len() != 1 {
+		t.Error("Put did not persist")
+	}
+	got, err := s.Get(b.Cid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data(), b.Data()) {
+		t.Error("data mismatch")
+	}
+	s.Delete(b.Cid())
+	if s.Has(b.Cid()) {
+		t.Error("Delete failed")
+	}
+	if _, err := s.Get(b.Cid()); err != ErrNotFound {
+		t.Errorf("Get after delete = %v", err)
+	}
+}
+
+func TestFSStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(multicodec.Raw, []byte("durable"))
+	if err := s1.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(b.Cid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data(), b.Data()) {
+		t.Error("block lost across reopen")
+	}
+}
+
+func TestFSStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(multicodec.Raw, []byte("to be corrupted"))
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes in the on-disk file.
+	var file string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".data") {
+			file = path
+		}
+		return nil
+	})
+	if file == "" {
+		t.Fatal("block file not found")
+	}
+	if err := os.WriteFile(file, []byte("corrupted!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(b.Cid()); err == nil {
+		t.Error("corrupted block served without error")
+	}
+}
+
+func TestFSStoreRejectsBadBlock(t *testing.T) {
+	s := newFSStore(t)
+	if err := s.Put(Block{}); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestFSStoreSharding(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put(New(multicodec.Raw, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// More than one shard directory should exist.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Errorf("expected multiple shard directories, got %d", len(entries))
+	}
+	if s.Len() != 20 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

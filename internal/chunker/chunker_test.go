@@ -1,0 +1,127 @@
+package chunker
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitExactMultiple(t *testing.T) {
+	data := bytes.Repeat([]byte{1}, 1024)
+	chunks := Split(data, 256)
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %d, want 4", len(chunks))
+	}
+	for i, c := range chunks {
+		if len(c) != 256 {
+			t.Errorf("chunk %d length = %d", i, len(c))
+		}
+	}
+}
+
+func TestSplitRemainder(t *testing.T) {
+	data := bytes.Repeat([]byte{2}, 1000)
+	chunks := Split(data, 256)
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %d, want 4", len(chunks))
+	}
+	if len(chunks[3]) != 1000-3*256 {
+		t.Errorf("last chunk = %d bytes", len(chunks[3]))
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	chunks := Split(nil, 256)
+	if len(chunks) != 1 || len(chunks[0]) != 0 {
+		t.Errorf("empty input should produce one empty chunk, got %d chunks", len(chunks))
+	}
+}
+
+func TestSplitDefaultSize(t *testing.T) {
+	data := make([]byte, DefaultChunkSize+1)
+	chunks := Split(data, 0)
+	if len(chunks) != 2 {
+		t.Errorf("default-size split = %d chunks, want 2", len(chunks))
+	}
+	if len(chunks[0]) != DefaultChunkSize {
+		t.Errorf("first chunk = %d, want %d", len(chunks[0]), DefaultChunkSize)
+	}
+}
+
+func TestStreamingMatchesSplit(t *testing.T) {
+	data := bytes.Repeat([]byte{3, 1, 4, 1, 5}, 777)
+	want := Split(data, 512)
+	c := New(bytes.NewReader(data), 512)
+	var got [][]byte
+	for {
+		chunk, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, chunk)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streaming chunks = %d, split chunks = %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("chunk %d differs", i)
+		}
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ n, size, want int }{
+		{0, 256, 1},
+		{1, 256, 1},
+		{256, 256, 1},
+		{257, 256, 2},
+		{1024, 256, 4},
+		{DefaultChunkSize * 3, 0, 3},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n, c.size); got != c.want {
+			t.Errorf("NumChunks(%d, %d) = %d, want %d", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+func TestQuickSplitReassembles(t *testing.T) {
+	f := func(data []byte, sz uint16) bool {
+		size := int(sz%2048) + 1
+		var buf bytes.Buffer
+		for _, c := range Split(data, size) {
+			buf.Write(c)
+		}
+		return bytes.Equal(buf.Bytes(), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChunkSizesBounded(t *testing.T) {
+	f := func(data []byte, sz uint16) bool {
+		size := int(sz%2048) + 1
+		chunks := Split(data, size)
+		if len(chunks) != NumChunks(len(data), size) {
+			return false
+		}
+		for i, c := range chunks {
+			if len(c) > size {
+				return false
+			}
+			if i < len(chunks)-1 && len(c) != size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package churn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+var start = time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSampleSessionBounds(t *testing.T) {
+	m := NewModel(1)
+	for i := 0; i < 1000; i++ {
+		d := m.SampleSession("US")
+		if d < 30*time.Second || d > 7*24*time.Hour {
+			t.Fatalf("session %v out of bounds", d)
+		}
+	}
+}
+
+func TestSessionDistributionMatchesPaper(t *testing.T) {
+	// §5.3: "87.6 % of sessions under 8 hours and only 2.5 % of
+	// sessions exceeding 24 hours".
+	m := NewModel(2)
+	s := stats.NewSample()
+	regions := []geo.Region{"US", "CN", "DE", "HK", "BR", "TW"}
+	for i := 0; i < 20000; i++ {
+		s.AddDuration(m.SampleSession(regions[i%len(regions)]))
+	}
+	under8h := s.FractionBelow((8 * time.Hour).Seconds())
+	over24h := 1 - s.FractionBelow((24 * time.Hour).Seconds())
+	if under8h < 0.82 || under8h > 0.93 {
+		t.Errorf("under 8h = %.3f, want ~0.876", under8h)
+	}
+	if over24h < 0.01 || over24h > 0.06 {
+		t.Errorf("over 24h = %.3f, want ~0.025", over24h)
+	}
+}
+
+func TestRegionalMedianOrdering(t *testing.T) {
+	// HK sessions are about half as long as DE sessions (§5.3).
+	m := NewModel(3)
+	hk, de := stats.NewSample(), stats.NewSample()
+	for i := 0; i < 20000; i++ {
+		hk.AddDuration(m.SampleSession("HK"))
+		de.AddDuration(m.SampleSession("DE"))
+	}
+	if hk.Median() >= de.Median() {
+		t.Errorf("median HK (%.0fs) should be < DE (%.0fs)", hk.Median(), de.Median())
+	}
+	ratio := de.Median() / hk.Median()
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("DE/HK median ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestMedianFor(t *testing.T) {
+	if MedianFor("HK") != time.Duration(24.2*float64(time.Minute)) {
+		t.Error("HK median should match the paper")
+	}
+	if MedianFor("ZZ") != DefaultMedian {
+		t.Error("unknown region should use the default")
+	}
+}
+
+func TestGenerateTimelineClasses(t *testing.T) {
+	pop := geo.GeneratePopulation(geo.DefaultPopulationConfig(2000))
+	tl := GenerateTimeline(pop, TimelineConfig{Start: start, Duration: 24 * time.Hour, Seed: 4})
+	if len(tl.Peers) != 2000 {
+		t.Fatalf("timelines = %d", len(tl.Peers))
+	}
+	for i, p := range pop.Peers {
+		up := tl.UptimeFraction(i)
+		switch {
+		case !p.Dialable && up != 0:
+			t.Fatalf("unreachable peer %d has uptime %.2f", i, up)
+		case p.Reliable && up < 0.9:
+			t.Fatalf("reliable peer %d has uptime %.2f, want > 0.9", i, up)
+		case up < 0 || up > 1.0001:
+			t.Fatalf("uptime fraction %v out of range", up)
+		}
+	}
+}
+
+func TestTimelineOnlineAtConsistency(t *testing.T) {
+	pop := geo.GeneratePopulation(geo.DefaultPopulationConfig(200))
+	tl := GenerateTimeline(pop, TimelineConfig{Start: start, Duration: 12 * time.Hour, Seed: 5})
+	for i := range tl.Peers {
+		for _, s := range tl.Peers[i].Sessions {
+			mid := s.Start.Add(s.Duration() / 2)
+			if s.Duration() > 0 && !tl.Peers[i].OnlineAt(mid) {
+				t.Fatalf("peer %d should be online mid-session", i)
+			}
+			if tl.Peers[i].OnlineAt(s.End.Add(time.Nanosecond)) && len(tl.Peers[i].Sessions) == 1 {
+				t.Fatalf("peer %d online after its only session", i)
+			}
+		}
+	}
+}
+
+func TestOnlineCountVaries(t *testing.T) {
+	pop := geo.GeneratePopulation(geo.DefaultPopulationConfig(1500))
+	tl := GenerateTimeline(pop, TimelineConfig{Start: start, Duration: 24 * time.Hour, Seed: 6})
+	minC, maxC := 1<<30, 0
+	for h := 0; h < 24; h++ {
+		c := tl.OnlineCount(start.Add(time.Duration(h) * time.Hour))
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC == 0 {
+		t.Error("network should never be empty")
+	}
+	if maxC == minC {
+		t.Error("online count should vary over the day (Fig 4a periodicity)")
+	}
+}
+
+func TestSessionObservationsFirstHalfOnly(t *testing.T) {
+	pop := geo.GeneratePopulation(geo.DefaultPopulationConfig(300))
+	tl := GenerateTimeline(pop, TimelineConfig{Start: start, Duration: 24 * time.Hour, Seed: 7})
+	obs := tl.SessionObservations()
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	for _, o := range obs {
+		if o.Uptime <= 0 {
+			t.Fatal("non-positive uptime observation")
+		}
+	}
+}
+
+func TestNextProbeInterval(t *testing.T) {
+	cases := []struct {
+		uptime time.Duration
+		want   time.Duration
+	}{
+		{0, MinProbeInterval},
+		{30 * time.Second, MinProbeInterval},
+		{2 * time.Minute, time.Minute},
+		{10 * time.Minute, 5 * time.Minute},
+		{2 * time.Hour, MaxProbeInterval},
+	}
+	for _, c := range cases {
+		if got := NextProbeInterval(c.uptime); got != c.want {
+			t.Errorf("NextProbeInterval(%v) = %v, want %v", c.uptime, got, c.want)
+		}
+	}
+}
+
+func TestMeasureSessionsApproximatesTruth(t *testing.T) {
+	pop := geo.GeneratePopulation(geo.DefaultPopulationConfig(50))
+	tl := GenerateTimeline(pop, TimelineConfig{Start: start, Duration: 12 * time.Hour, Seed: 8})
+	prober := TimelineProber{TL: tl}
+	for i := range tl.Peers {
+		truth := tl.Peers[i].Sessions
+		measured := MeasureSessions(prober, i, tl.Start, tl.End)
+		// Sessions longer than 2x the min probe interval must be seen.
+		long := 0
+		for _, s := range truth {
+			if s.Duration() > 2*MinProbeInterval {
+				long++
+			}
+		}
+		if long > 0 && len(measured) == 0 {
+			t.Fatalf("peer %d: %d long sessions, none measured", i, long)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package core implements the paper's primary contribution: the IPFS
+// node that publishes (§3.1) and retrieves (§3.2) content-addressed
+// objects over the DHT and Bitswap, with per-phase instrumentation
+// matching the measurements of §6.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bitswap"
+	"repro/internal/block"
+	"repro/internal/cid"
+	"repro/internal/dht"
+	"repro/internal/geo"
+	"repro/internal/ipns"
+	"repro/internal/merkledag"
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/transport"
+	"repro/internal/unixfs"
+	"repro/internal/wire"
+)
+
+// Config tunes a node; zero values select the paper's defaults.
+type Config struct {
+	// Mode selects DHT server or client participation.
+	Mode dht.Mode
+	// Region locates the node for the latency model (informational on
+	// real transports).
+	Region geo.Region
+	// ChunkSize for content import (256 KiB).
+	ChunkSize int
+	// Fanout for the Merkle DAG builder (174).
+	Fanout int
+	// K, Alpha, QueryTimeout configure the DHT (20 / 3 / 10 s).
+	K            int
+	Alpha        int
+	QueryTimeout time.Duration
+	// BitswapTimeout is the opportunistic discovery timeout (1 s).
+	BitswapTimeout time.Duration
+	// ParallelDiscovery runs the DHT walk concurrently with the Bitswap
+	// broadcast instead of serially after its timeout — the §6.2
+	// proposal ("running DHT lookups in parallel to Bitswap could be
+	// superior"). Off by default, as deployed.
+	ParallelDiscovery bool
+	// OmitProviderAddrs forces retrievals through the second DHT walk
+	// (see dht.Config).
+	OmitProviderAddrs bool
+	// ProvideAfterRetrieve republishes a provider record for content we
+	// just fetched, making us a temporary provider (§3.1).
+	ProvideAfterRetrieve bool
+	// Base compresses simulated time.
+	Base simtime.Base
+	// Now supplies the clock for record expiry.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.BitswapTimeout <= 0 {
+		c.BitswapTimeout = bitswap.DefaultOpportunisticTimeout
+	}
+	if c.Base == (simtime.Base{}) {
+		c.Base = simtime.Realtime
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Node is one IPFS peer.
+type Node struct {
+	cfg     Config
+	ident   peer.Identity
+	sw      *swarm.Swarm
+	dht     *dht.DHT
+	bswap   *bitswap.Bitswap
+	store   *block.MemStore
+	builder *merkledag.Builder
+	repub   republisher
+
+	ipnsSeq uint64
+}
+
+// New assembles a node over the given transport endpoint and installs
+// its message dispatcher.
+func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	sw := swarm.New(ident, ep, cfg.Base)
+	store := block.NewMemStore()
+	d := dht.New(ident, sw, cfg.Mode, dht.Config{
+		K:                 cfg.K,
+		Alpha:             cfg.Alpha,
+		QueryTimeout:      cfg.QueryTimeout,
+		Base:              cfg.Base,
+		Now:               cfg.Now,
+		OmitProviderAddrs: cfg.OmitProviderAddrs,
+	})
+	d.SetIPNSValidator(ipns.ValidatorFor(cfg.Now))
+	bs := bitswap.New(sw, store, bitswap.Config{
+		OpportunisticTimeout: cfg.BitswapTimeout,
+		Base:                 cfg.Base,
+	})
+	n := &Node{
+		cfg:     cfg,
+		ident:   ident,
+		sw:      sw,
+		dht:     d,
+		bswap:   bs,
+		store:   store,
+		builder: merkledag.NewBuilder(store, cfg.ChunkSize, cfg.Fanout),
+	}
+	ep.SetHandler(n.handle)
+	return n
+}
+
+// handle dispatches inbound requests to the owning subsystem.
+func (n *Node) handle(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
+	switch req.Type {
+	case wire.TWantHave, wire.TWantBlock:
+		return n.bswap.HandleMessage(ctx, from, req)
+	case wire.TDialBack:
+		return n.sw.HandleDialBack(ctx, req)
+	case wire.TRelayReserve:
+		return n.sw.HandleRelayReserve(from, req)
+	case wire.TRelay:
+		return n.sw.HandleRelay(ctx, from, req)
+	case wire.TIdentify:
+		return wire.Message{Type: wire.TNodes, Peers: []wire.PeerInfo{{ID: n.ident.ID, Addrs: n.sw.Addrs()}}}
+	default:
+		return n.dht.HandleMessage(ctx, from, req)
+	}
+}
+
+// ID returns the node's PeerID.
+func (n *Node) ID() peer.ID { return n.ident.ID }
+
+// Identity returns the node's key pair.
+func (n *Node) Identity() peer.Identity { return n.ident }
+
+// Addrs returns the node's listen multiaddresses.
+func (n *Node) Addrs() []multiaddr.Multiaddr { return n.sw.Addrs() }
+
+// Info returns the node's PeerInfo for bootstrapping others.
+func (n *Node) Info() wire.PeerInfo {
+	return wire.PeerInfo{ID: n.ident.ID, Addrs: n.sw.Addrs()}
+}
+
+// Region returns the configured region.
+func (n *Node) Region() geo.Region { return n.cfg.Region }
+
+// DHT exposes the node's DHT.
+func (n *Node) DHT() *dht.DHT { return n.dht }
+
+// Swarm exposes connection management.
+func (n *Node) Swarm() *swarm.Swarm { return n.sw }
+
+// Bitswap exposes the exchange engine.
+func (n *Node) Bitswap() *bitswap.Bitswap { return n.bswap }
+
+// Store exposes the local blockstore.
+func (n *Node) Store() *block.MemStore { return n.store }
+
+// Close shuts the node down.
+func (n *Node) Close() error { return n.sw.Close() }
+
+// Add imports content into the local node: chunk, build the Merkle DAG,
+// allocate the root CID (Figure 3 step 1). Nothing leaves the machine.
+func (n *Node) Add(data []byte) (cid.Cid, error) {
+	return n.builder.Add(data)
+}
+
+// AddTree imports a path→content map as a UnixFS directory tree and
+// returns the root directory CID, addressable as /ipfs/{CID}/{path}.
+func (n *Node) AddTree(files map[string][]byte) (cid.Cid, error) {
+	return unixfs.AddTree(n.store, n.builder, files)
+}
+
+// Cat reassembles locally stored content.
+func (n *Node) Cat(root cid.Cid) ([]byte, error) {
+	return merkledag.Assemble(n.store, root)
+}
+
+// CatPath resolves a UnixFS path beneath a locally stored root and
+// returns the file content.
+func (n *Node) CatPath(root cid.Cid, path string) ([]byte, error) {
+	return unixfs.ReadFile(n.store, root, path)
+}
+
+// List returns the entries of a locally stored UnixFS directory.
+func (n *Node) List(dir cid.Cid) ([]unixfs.Entry, error) {
+	return unixfs.List(n.store, dir)
+}
+
+// Has reports whether the full DAG under root is locally available.
+func (n *Node) Has(root cid.Cid) bool {
+	_, err := merkledag.AllCids(n.store, root)
+	return err == nil
+}
+
+// PublishResult instruments one content publication (Figures 9a–c).
+type PublishResult struct {
+	Cid cid.Cid
+	dht.ProvideResult
+}
+
+// Publish pushes provider records for root to the k closest peers
+// (Figure 3 steps 2–3). The content must have been Added locally first.
+func (n *Node) Publish(ctx context.Context, root cid.Cid) (PublishResult, error) {
+	if !n.store.Has(root) {
+		return PublishResult{}, fmt.Errorf("core: publish: %s not in local store", root)
+	}
+	res, err := n.dht.Provide(ctx, root)
+	if err == nil {
+		n.repub.track(root)
+	}
+	return PublishResult{Cid: root, ProvideResult: res}, err
+}
+
+// AddAndPublish imports data and publishes its provider record.
+func (n *Node) AddAndPublish(ctx context.Context, data []byte) (PublishResult, error) {
+	root, err := n.Add(data)
+	if err != nil {
+		return PublishResult{}, err
+	}
+	return n.Publish(ctx, root)
+}
+
+// PublishPeerRecord stores our signed address mapping on the DHT; done
+// at startup and on the 12 h republish cycle (§3.1).
+func (n *Node) PublishPeerRecord(ctx context.Context) error {
+	_, err := n.dht.PublishPeerRecord(ctx)
+	return err
+}
+
+// Bootstrap joins the network via the canonical bootstrap peers (§2.2).
+func (n *Node) Bootstrap(ctx context.Context, peers []wire.PeerInfo) error {
+	return n.dht.Bootstrap(ctx, peers)
+}
+
+// CheckNATAndSetMode runs AutoNAT (§2.3) and adjusts the DHT mode: more
+// than three successful dial-backs upgrade the node to server.
+func (n *Node) CheckNATAndSetMode(ctx context.Context) dht.Mode {
+	switch n.sw.CheckNAT(ctx, 0) {
+	case swarm.NATPublic:
+		n.dht.SetMode(dht.ModeServer)
+	case swarm.NATPrivate:
+		n.dht.SetMode(dht.ModeClient)
+	}
+	return n.dht.Mode()
+}
+
+// PublishIPNS points our IPNS name at root (§3.3).
+func (n *Node) PublishIPNS(ctx context.Context, root cid.Cid) error {
+	n.ipnsSeq++
+	rec := ipns.NewRecord(n.ident, root, n.ipnsSeq, n.cfg.Now(), 0)
+	_, err := n.dht.PutIPNS(ctx, ipns.Name(n.ident.ID), rec.Marshal())
+	return err
+}
+
+// ResolveIPNS resolves a publisher's IPNS name to its current CID.
+func (n *Node) ResolveIPNS(ctx context.Context, publisher peer.ID) (cid.Cid, error) {
+	data, err := n.dht.GetIPNS(ctx, ipns.Name(publisher))
+	if err != nil {
+		return cid.Cid{}, err
+	}
+	rec, err := ipns.Unmarshal(data)
+	if err != nil {
+		return cid.Cid{}, err
+	}
+	if err := rec.Validate(ipns.Name(publisher), n.cfg.Now()); err != nil {
+		return cid.Cid{}, err
+	}
+	return rec.Value, nil
+}

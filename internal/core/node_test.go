@@ -1,0 +1,313 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/geo"
+	"repro/internal/multicodec"
+	"repro/internal/peer"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/testnet"
+
+	"repro/internal/cid"
+)
+
+func buildSmallNet(t *testing.T, n int) *testnet.Testnet {
+	t.Helper()
+	return testnet.Build(testnet.Config{
+		N:     n,
+		Seed:  11,
+		Scale: 0.0004,
+		// Keep the small test network clean so retrievals are fast.
+		FracDead: 0.0001, FracSlow: 0.0001, FracWSBroken: 0.0001,
+	})
+}
+
+func TestAddCatLocal(t *testing.T) {
+	tn := buildSmallNet(t, 20)
+	node := tn.Nodes[0]
+	data := bytes.Repeat([]byte("local content "), 1000)
+	root, err := node.Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := node.Cat(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("Cat mismatch")
+	}
+	if !node.Has(root) {
+		t.Error("Has should be true after Add")
+	}
+}
+
+func TestPublishRequiresLocalContent(t *testing.T) {
+	tn := buildSmallNet(t, 10)
+	c := cid.Sum(multicodec.Raw, []byte("elsewhere"))
+	if _, err := tn.Nodes[0].Publish(context.Background(), c); err == nil {
+		t.Error("publishing unknown content should fail")
+	}
+}
+
+func TestPublishAndRetrieve(t *testing.T) {
+	tn := buildSmallNet(t, 40)
+	publisher := tn.Nodes[0]
+	requester := tn.Nodes[25]
+	data := bytes.Repeat([]byte{0xAB}, 64*1024)
+
+	pub, err := publisher.AddAndPublish(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.StoreOK == 0 {
+		t.Fatal("no provider records stored")
+	}
+	if err := publisher.PublishPeerRecord(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res, err := requester.Retrieve(context.Background(), pub.Cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("retrieved content mismatch")
+	}
+	if res.Provider != publisher.ID() {
+		t.Errorf("provider = %s, want publisher", res.Provider.Short())
+	}
+	if res.Bytes != len(data) {
+		t.Errorf("bytes = %d", res.Bytes)
+	}
+	if res.Total <= 0 || res.Fetch <= 0 {
+		t.Errorf("durations: %+v", res)
+	}
+	// No connected peers had it: the Bitswap phase must have run and
+	// missed, then the provider walk found it.
+	if res.BitswapHit {
+		t.Error("BitswapHit should be false for a DHT retrieval")
+	}
+	if res.ProviderWalk <= 0 {
+		t.Error("provider walk duration missing")
+	}
+	// The requester now has the content locally.
+	if !requester.Has(pub.Cid) {
+		t.Error("retrieved DAG should be in the local store")
+	}
+}
+
+func TestRetrieveLocalIsInstant(t *testing.T) {
+	tn := buildSmallNet(t, 10)
+	node := tn.Nodes[0]
+	data := []byte("mine already")
+	root, err := node.Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := node.Retrieve(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || res.Discover() != 0 {
+		t.Errorf("local retrieve: %+v", res)
+	}
+}
+
+func TestRetrieveNotFound(t *testing.T) {
+	tn := buildSmallNet(t, 15)
+	c := cid.Sum(multicodec.Raw, []byte("never published anywhere"))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, _, err := tn.Nodes[0].Retrieve(ctx, c)
+	if err == nil {
+		t.Error("retrieving unpublished content should fail")
+	}
+}
+
+func TestRetrieveViaBitswapNeighbour(t *testing.T) {
+	// When the requester is already connected to a peer holding the
+	// content, the opportunistic Bitswap phase resolves it without any
+	// DHT walk (§3.2 step 4).
+	tn := buildSmallNet(t, 20)
+	holder, requester := tn.Nodes[0], tn.Nodes[1]
+	data := bytes.Repeat([]byte{7}, 2048)
+	root, err := holder.Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connect without publishing anything.
+	if _, _, err := requester.Swarm().Connect(context.Background(), holder.ID(), holder.Addrs()); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := requester.Retrieve(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("content mismatch")
+	}
+	if !res.BitswapHit {
+		t.Error("expected a Bitswap hit")
+	}
+	if res.ProviderWalk != 0 {
+		t.Error("no DHT walk should have run")
+	}
+}
+
+func TestBitswapMissCostsTimeout(t *testing.T) {
+	// With connected peers that do NOT have the content, the serial
+	// discovery pays the full 1 s Bitswap timeout before the DHT
+	// (§6.2: "retrievals include an extra 1 s").
+	tn := buildSmallNet(t, 30)
+	publisher, bystander, requester := tn.Nodes[0], tn.Nodes[1], tn.Nodes[2]
+	data := []byte("content far away")
+	pub, err := publisher.AddAndPublish(context.Background(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publisher.PublishPeerRecord(context.Background())
+	if _, _, err := requester.Swarm().Connect(context.Background(), bystander.ID(), bystander.Addrs()); err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := requester.Retrieve(context.Background(), pub.Cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitswapHit {
+		t.Fatal("bystander should not have the content")
+	}
+	if res.BitswapPhase < 900*time.Millisecond {
+		t.Errorf("Bitswap phase = %v, want ~1s timeout", res.BitswapPhase)
+	}
+	if res.Stretch() <= res.StretchWithoutBitswap() {
+		t.Error("removing the Bitswap timeout must reduce the stretch")
+	}
+}
+
+func TestParallelDiscoverySkipsBitswapPenalty(t *testing.T) {
+	tn := testnet.Build(testnet.Config{
+		N: 30, Seed: 12, Scale: 0.0004,
+		FracDead: 0.0001, FracSlow: 0.0001, FracWSBroken: 0.0001,
+		ParallelDiscovery: true,
+	})
+	publisher, bystander, requester := tn.Nodes[0], tn.Nodes[1], tn.Nodes[2]
+	pub, err := publisher.AddAndPublish(context.Background(), []byte("race me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := requester.Swarm().Connect(context.Background(), bystander.ID(), bystander.Addrs()); err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := requester.Retrieve(context.Background(), pub.Cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DHT walk should win well before the 1 s Bitswap timeout.
+	if res.Discover() >= time.Second {
+		t.Errorf("parallel discovery took %v, want < 1s", res.Discover())
+	}
+}
+
+func TestIPNSPublishResolve(t *testing.T) {
+	tn := buildSmallNet(t, 30)
+	publisher, resolver := tn.Nodes[3], tn.Nodes[20]
+	ctx := context.Background()
+	v1, err := publisher.Add([]byte("site version 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := publisher.PublishIPNS(ctx, v1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := resolver.ResolveIPNS(ctx, publisher.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v1) {
+		t.Errorf("ResolveIPNS = %s, want %s", got, v1)
+	}
+	// Mutate: same name, new value.
+	v2, err := publisher.Add([]byte("site version 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := publisher.PublishIPNS(ctx, v2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := resolver.ResolveIPNS(ctx, publisher.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Equal(v1) {
+		// Records propagate to the k closest; the resolver may see
+		// either version depending on which server answers first, but
+		// a fresh walk reaching the closest peers should see v2.
+		t.Logf("resolver saw stale version; acceptable but worth noting")
+	}
+}
+
+func TestCheckNATAndSetMode(t *testing.T) {
+	base := simtime.New(0.001)
+	net := simnet.New(simnet.Config{Base: base, Seed: 5})
+	mk := func(seed int64, dialable bool) *core.Node {
+		ident := peer.MustNewIdentity(rand.New(rand.NewSource(seed)))
+		ep := net.AddNode(ident.ID, simnet.NodeOpts{Region: "US", Dialable: dialable})
+		return core.New(ident, ep, core.Config{Mode: dht.ModeClient, Base: base, Region: "US"})
+	}
+	natted := mk(1, false)
+	ctx := context.Background()
+	var others []*core.Node
+	for i := int64(0); i < 5; i++ {
+		o := mk(10+i, true)
+		others = append(others, o)
+		if _, _, err := natted.Swarm().Connect(ctx, o.ID(), o.Addrs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mode := natted.CheckNATAndSetMode(ctx); mode != dht.ModeClient {
+		t.Errorf("NAT'd node mode = %v, want client", mode)
+	}
+	public := mk(2, true)
+	for _, o := range others {
+		if _, _, err := public.Swarm().Connect(ctx, o.ID(), o.Addrs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mode := public.CheckNATAndSetMode(ctx); mode != dht.ModeServer {
+		t.Errorf("public node mode = %v, want server", mode)
+	}
+}
+
+func TestVantageNodeRetrievesAcrossRegions(t *testing.T) {
+	tn := buildSmallNet(t, 40)
+	pubV := tn.AddVantage(geo.EuCentral1, 100)
+	getV := tn.AddVantage(geo.ApSoutheast2, 101)
+	ctx := context.Background()
+	pub, err := pubV.AddAndPublish(ctx, bytes.Repeat([]byte{1}, 16*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pubV.PublishPeerRecord(ctx); err != nil {
+		t.Fatal(err)
+	}
+	testnet.FlushVantage(getV)
+	data, res, err := getV.Retrieve(ctx, pub.Cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 16*1024 {
+		t.Errorf("len = %d", len(data))
+	}
+	if res.Total <= 0 {
+		t.Error("no total duration")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/record"
+)
+
+// republisher tracks the CIDs this node provides so their records can
+// be refreshed on the §3.1 cycle: "the republish interval, by default
+// set to 12 h, to make sure that even if the original 20 peers ... go
+// offline, the provider will assign new ones within 12 h".
+type republisher struct {
+	mu   sync.Mutex
+	cids map[string]cid.Cid
+}
+
+func (r *republisher) track(c cid.Cid) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cids == nil {
+		r.cids = make(map[string]cid.Cid)
+	}
+	r.cids[c.Key()] = c
+}
+
+func (r *republisher) list() []cid.Cid {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]cid.Cid, 0, len(r.cids))
+	for _, c := range r.cids {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Provided returns the CIDs this node currently republishes.
+func (n *Node) Provided() []cid.Cid { return n.repub.list() }
+
+// Republish refreshes the provider records of every tracked CID plus
+// the node's peer record. It returns how many provide operations
+// succeeded.
+func (n *Node) Republish(ctx context.Context) int {
+	ok := 0
+	for _, c := range n.repub.list() {
+		if _, err := n.dht.Provide(ctx, c); err == nil {
+			ok++
+		}
+	}
+	if _, err := n.dht.PublishPeerRecord(ctx); err == nil {
+		ok++
+	}
+	return ok
+}
+
+// StartRepublisher runs Republish on the given simulated interval
+// (<= 0 selects the 12 h default) until ctx is cancelled.
+func (n *Node) StartRepublisher(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = record.DefaultRepublishInterval
+	}
+	go func() {
+		t := time.NewTicker(n.cfg.Base.Real(interval))
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				n.Republish(ctx)
+			}
+		}
+	}()
+}

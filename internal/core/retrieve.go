@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bitswap"
+	"repro/internal/cid"
+	"repro/internal/dht"
+	"repro/internal/merkledag"
+	"repro/internal/peer"
+	"repro/internal/wire"
+)
+
+// RetrieveResult instruments one content retrieval with the phase
+// breakdown of §3.2 / Figure 9d–f: opportunistic Bitswap, the DHT
+// walk(s) for provider and peer records, connecting to the provider,
+// and the content exchange. All durations are simulated time.
+type RetrieveResult struct {
+	Cid   cid.Cid
+	Bytes int
+
+	Total        time.Duration
+	BitswapPhase time.Duration // opportunistic ask of connected peers
+	BitswapHit   bool          // content resolved without the DHT
+	ProviderWalk time.Duration // first DHT walk (content discovery)
+	PeerWalk     time.Duration // second DHT walk (peer discovery)
+	UsedBook     bool          // address book supplied the addresses
+	Dial         time.Duration // peer routing: connect to the provider
+	Fetch        time.Duration // content exchange (Bitswap transfer)
+
+	Provider peer.ID
+}
+
+// Discover is the total lookup time: everything HTTP would not do.
+func (r RetrieveResult) Discover() time.Duration {
+	return r.BitswapPhase + r.ProviderWalk + r.PeerWalk
+}
+
+// Stretch is Eq (2): (Discover + Dial + Negotiate + Fetch) / (Dial +
+// Negotiate + Fetch); Dial here includes transport and secure-channel
+// negotiation.
+func (r RetrieveResult) Stretch() float64 {
+	den := (r.Dial + r.Fetch).Seconds()
+	if den <= 0 {
+		return 1
+	}
+	return (r.Discover().Seconds() + den) / den
+}
+
+// StretchWithoutBitswap removes the initial Bitswap timeout from the
+// numerator, the Figure 10b variant.
+func (r RetrieveResult) StretchWithoutBitswap() float64 {
+	den := (r.Dial + r.Fetch).Seconds()
+	if den <= 0 {
+		return 1
+	}
+	return ((r.Discover() - r.BitswapPhase).Seconds() + den) / den
+}
+
+// ErrNotFound is returned when no provider could be located.
+var ErrNotFound = errors.New("core: content not found")
+
+// Retrieve fetches the content behind root from the network, following
+// §3.2: (i) opportunistic Bitswap with a 1 s timeout, (ii) content
+// discovery via a DHT walk for provider records, (iii) peer discovery
+// via the address book or a second walk, (iv) peer routing (connect),
+// and (v) content exchange over Bitswap.
+func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResult, error) {
+	res := RetrieveResult{Cid: root}
+	start := time.Now()
+
+	// Already local? Serve without network interaction.
+	if data, err := merkledag.Assemble(n.store, root); err == nil {
+		res.Total = n.cfg.Base.SimSince(start)
+		res.Bytes = len(data)
+		return data, res, nil
+	}
+
+	provider, err := n.discover(ctx, root, &res)
+	if err != nil {
+		res.Total = n.cfg.Base.SimSince(start)
+		return nil, res, err
+	}
+	res.Provider = provider.ID
+
+	// Peer discovery: map the PeerID to addresses via the address book
+	// (§3.2's shortcut) or a second DHT walk.
+	if len(provider.Addrs) == 0 && !n.sw.Connected(provider.ID) {
+		if addrs, ok := n.sw.Book().Get(provider.ID); ok {
+			provider.Addrs = addrs
+			res.UsedBook = true
+		} else {
+			info, walk, err := n.dht.FindPeer(ctx, provider.ID)
+			res.PeerWalk = walk.Duration
+			if err != nil {
+				res.Total = n.cfg.Base.SimSince(start)
+				return nil, res, fmt.Errorf("%w: provider %s unresolvable: %v", ErrNotFound, provider.ID.Short(), err)
+			}
+			provider.Addrs = info.Addrs
+		}
+	}
+
+	// Peer routing: connect to the provider.
+	_, dialDur, err := n.sw.Connect(ctx, provider.ID, provider.Addrs)
+	if err != nil {
+		res.Total = n.cfg.Base.SimSince(start)
+		return nil, res, fmt.Errorf("%w: cannot connect to provider: %v", ErrNotFound, err)
+	}
+	res.Dial = dialDur
+
+	// Content exchange: fetch and verify the DAG via Bitswap, with
+	// sibling blocks requested concurrently as real sessions do.
+	fetchStart := time.Now()
+	session := n.bswap.NewSession(ctx, provider)
+	data, err := merkledag.AssembleConcurrent(session, root, 8)
+	res.Fetch = n.cfg.Base.SimSince(fetchStart)
+	res.Total = n.cfg.Base.SimSince(start)
+	if err != nil {
+		return nil, res, fmt.Errorf("%w: fetch failed: %v", ErrNotFound, err)
+	}
+	res.Bytes = len(data)
+
+	if n.cfg.ProvideAfterRetrieve {
+		// Having verified the content, we can serve it: publish a
+		// provider record pointing at ourselves (§3.1).
+		if _, err := n.dht.Provide(ctx, root); err == nil {
+			// best effort
+			_ = err
+		}
+	}
+	return data, res, nil
+}
+
+// discover locates a provider for root: the opportunistic Bitswap
+// phase, then (or in parallel, when configured) the DHT walk.
+func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, error) {
+	if n.cfg.ParallelDiscovery {
+		return n.discoverParallel(ctx, root, res)
+	}
+
+	// Serial (deployed) behaviour: Bitswap first, DHT after its timeout.
+	if id, dur, err := n.bswap.AskConnected(ctx, root); err == nil {
+		res.BitswapPhase = dur
+		res.BitswapHit = true
+		return wire.PeerInfo{ID: id}, nil
+	} else {
+		res.BitswapPhase = dur
+	}
+
+	providers, walk, err := n.dht.FindProviders(ctx, root)
+	res.ProviderWalk = walk.Duration
+	if err != nil {
+		if errors.Is(err, dht.ErrNoProviders) {
+			return wire.PeerInfo{}, fmt.Errorf("%w: no provider records for %s", ErrNotFound, root)
+		}
+		return wire.PeerInfo{}, err
+	}
+	return providers[0], nil
+}
+
+// discoverParallel races Bitswap against the DHT walk — the §6.2
+// optimization trading extra requests for latency.
+func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, error) {
+	type outcome struct {
+		info    wire.PeerInfo
+		bitswap bool
+		dur     time.Duration
+		err     error
+	}
+	ch := make(chan outcome, 2)
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	go func() {
+		id, dur, err := n.bswap.AskConnected(pctx, root)
+		ch <- outcome{info: wire.PeerInfo{ID: id}, bitswap: true, dur: dur, err: err}
+	}()
+	go func() {
+		providers, walk, err := n.dht.FindProviders(pctx, root)
+		o := outcome{dur: walk.Duration, err: err}
+		if err == nil {
+			o.info = providers[0]
+		}
+		ch <- o
+	}()
+
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		o := <-ch
+		if o.err == nil {
+			if o.bitswap {
+				res.BitswapPhase = o.dur
+				res.BitswapHit = true
+			} else {
+				res.ProviderWalk = o.dur
+			}
+			return o.info, nil
+		}
+		if firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	if errors.Is(firstErr, bitswap.ErrTimeout) || errors.Is(firstErr, dht.ErrNoProviders) {
+		return wire.PeerInfo{}, fmt.Errorf("%w: %v", ErrNotFound, firstErr)
+	}
+	return wire.PeerInfo{}, firstErr
+}

@@ -1,0 +1,174 @@
+// Package crawler implements the Peer-dataset methodology of §4.1: a
+// crawler recursively asks peers for all entries in their k-buckets,
+// starting from the bootstrap peers, until it finds no new entries. It
+// records, per peer, whether a connection could be established
+// (dialable vs undialable, Fig 4a) together with connection and crawl
+// durations.
+package crawler
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/wire"
+)
+
+// Observation is what one crawl learned about one peer.
+type Observation struct {
+	ID         peer.ID
+	Addrs      []multiaddr.Multiaddr
+	Dialable   bool
+	ConnectDur time.Duration // simulated dial+negotiate time
+	CrawlDur   time.Duration // simulated k-bucket enumeration time
+	BucketSize int           // peers returned from its k-buckets
+}
+
+// Report is the outcome of one crawl.
+type Report struct {
+	Observations map[peer.ID]*Observation
+	Duration     time.Duration // simulated end-to-end crawl time
+}
+
+// Dialable counts peers we connected to.
+func (r *Report) Dialable() int {
+	n := 0
+	for _, o := range r.Observations {
+		if o.Dialable {
+			n++
+		}
+	}
+	return n
+}
+
+// Undialable counts peers we discovered but could not connect to.
+func (r *Report) Undialable() int { return len(r.Observations) - r.Dialable() }
+
+// Config tunes the crawler.
+type Config struct {
+	// Workers bounds concurrent dials (the real crawler is massively
+	// parallel; default 64).
+	Workers int
+	// ConnectTimeout bounds one dial attempt (default 8 s: above the
+	// TCP dial timeout, below the websocket handshake timeout — the
+	// crawler gives up on those, as the nebula crawler does).
+	ConnectTimeout time.Duration
+	// Base compresses simulated time.
+	Base simtime.Base
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 8 * time.Second
+	}
+	if c.Base == (simtime.Base{}) {
+		c.Base = simtime.Realtime
+	}
+	return c
+}
+
+// Crawler walks the DHT enumerating k-buckets.
+type Crawler struct {
+	cfg Config
+	sw  *swarm.Swarm
+}
+
+// New creates a crawler over the given swarm (the crawler is itself a
+// peer with an endpoint on the network).
+func New(sw *swarm.Swarm, cfg Config) *Crawler {
+	return &Crawler{cfg: cfg.withDefaults(), sw: sw}
+}
+
+// Crawl runs one full network crawl from the bootstrap peers: a
+// breadth-first enumeration with bounded concurrency that terminates
+// when no undiscovered peers remain.
+func (c *Crawler) Crawl(ctx context.Context, bootstrap []wire.PeerInfo) *Report {
+	start := time.Now()
+	report := &Report{Observations: make(map[peer.ID]*Observation)}
+
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, c.cfg.Workers)
+	)
+	var enqueue func(info wire.PeerInfo)
+	enqueue = func(info wire.PeerInfo) {
+		mu.Lock()
+		if info.ID == c.sw.Local() {
+			mu.Unlock()
+			return
+		}
+		if _, seen := report.Observations[info.ID]; seen {
+			mu.Unlock()
+			return
+		}
+		report.Observations[info.ID] = &Observation{ID: info.ID, Addrs: info.Addrs}
+		mu.Unlock()
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			c.visit(ctx, info, report, &mu, enqueue)
+		}()
+	}
+
+	for _, b := range bootstrap {
+		enqueue(b)
+	}
+	wg.Wait()
+	report.Duration = c.cfg.Base.SimSince(start)
+	return report
+}
+
+// visit dials one peer, enumerates its k-buckets, and feeds newly
+// discovered peers back into the crawl.
+func (c *Crawler) visit(ctx context.Context, info wire.PeerInfo, report *Report, mu *sync.Mutex, enqueue func(wire.PeerInfo)) {
+	dctx, cancel := c.cfg.Base.WithTimeout(ctx, c.cfg.ConnectTimeout)
+	defer cancel()
+
+	connStart := time.Now()
+	conn, _, err := c.sw.Connect(dctx, info.ID, info.Addrs)
+	connDur := c.cfg.Base.SimSince(connStart)
+
+	mu.Lock()
+	obs := report.Observations[info.ID]
+	obs.ConnectDur = connDur
+	mu.Unlock()
+	if err != nil {
+		return
+	}
+
+	crawlStart := time.Now()
+	resp, err := conn.Request(dctx, wire.Message{Type: wire.TCrawl})
+	crawlDur := c.cfg.Base.SimSince(crawlStart)
+	// Free the connection immediately: a crawl touches every peer in
+	// the network and must not hold thousands of connections open.
+	c.sw.Disconnect(info.ID)
+
+	mu.Lock()
+	obs.Dialable = true
+	obs.CrawlDur = crawlDur
+	if err == nil && resp.Type == wire.TNodes {
+		obs.BucketSize = len(resp.Peers)
+	}
+	mu.Unlock()
+	if err != nil || resp.Type != wire.TNodes {
+		return
+	}
+	for _, pi := range resp.Peers {
+		enqueue(pi)
+	}
+}

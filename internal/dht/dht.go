@@ -1,0 +1,285 @@
+// Package dht implements the Kademlia-based distributed hash table of
+// §2.3 and its publication/retrieval walks (§3.1–3.2): 256-bit SHA256
+// keys, k = 20 replication, α = 3 iterative parallel lookups, provider
+// and peer records with 12 h republish / 24 h expiry, the DHT
+// client/server distinction, and the measurement hooks the evaluation
+// uses (per-phase durations, crawl RPC).
+package dht
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/kbucket"
+	"repro/internal/peer"
+	"repro/internal/record"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/wire"
+)
+
+// Mode distinguishes DHT servers (publicly reachable, store and serve
+// records) from DHT clients (request-only, never in routing tables).
+type Mode int
+
+// Participation modes (§2.3).
+const (
+	ModeServer Mode = iota
+	ModeClient
+)
+
+// Config tunes protocol parameters; zero values select the paper's
+// defaults.
+type Config struct {
+	K            int           // replication factor / bucket size (20)
+	Alpha        int           // lookup concurrency (3)
+	QueryTimeout time.Duration // per-RPC budget during walks (10 s)
+	RecordTTL    time.Duration // provider/peer record expiry (24 h)
+	Base         simtime.Base  // time compression
+	Now          func() time.Time
+	// OmitProviderAddrs publishes provider records without our
+	// multiaddresses, forcing requestors through the second (peer
+	// discovery) walk. The §4.3 experiments enable it to model the
+	// address-book eviction a 20k-peer network causes, so Figure 9e's
+	// two-walk structure is exercised.
+	OmitProviderAddrs bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = kbucket.DefaultK
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 3
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.RecordTTL <= 0 {
+		c.RecordTTL = record.DefaultExpireInterval
+	}
+	if c.Base == (simtime.Base{}) {
+		c.Base = simtime.Realtime
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// IPNSValidator validates an opaque IPNS record payload for a key; the
+// ipns package supplies the implementation.
+type IPNSValidator func(key []byte, data []byte) error
+
+// DHT is one peer's view of the distributed hash table.
+type DHT struct {
+	cfg   Config
+	ident peer.Identity
+	sw    *swarm.Swarm
+	table *kbucket.Table
+	mode  Mode
+
+	providers *record.ProviderStore
+	peerRecs  *record.PeerStore
+
+	ipnsMu    sync.RWMutex
+	ipns      map[string][]byte
+	validator IPNSValidator
+
+	seqMu sync.Mutex
+	seq   uint64
+}
+
+// New creates a DHT participant in the given mode.
+func New(ident peer.Identity, sw *swarm.Swarm, mode Mode, cfg Config) *DHT {
+	cfg = cfg.withDefaults()
+	return &DHT{
+		cfg:       cfg,
+		ident:     ident,
+		sw:        sw,
+		table:     kbucket.NewTable(ident.ID, cfg.K),
+		mode:      mode,
+		providers: record.NewProviderStore(cfg.RecordTTL, cfg.Now),
+		peerRecs:  record.NewPeerStore(cfg.RecordTTL, cfg.Now),
+		ipns:      make(map[string][]byte),
+	}
+}
+
+// Mode returns the participation mode.
+func (d *DHT) Mode() Mode { return d.mode }
+
+// SetMode changes the participation mode (after an AutoNAT check).
+func (d *DHT) SetMode(m Mode) { d.mode = m }
+
+// Table exposes the routing table (the crawler and testnet builder use
+// it).
+func (d *DHT) Table() *kbucket.Table { return d.table }
+
+// Swarm returns the underlying swarm.
+func (d *DHT) Swarm() *swarm.Swarm { return d.sw }
+
+// SetIPNSValidator installs the validator for PUT_IPNS payloads.
+func (d *DHT) SetIPNSValidator(v IPNSValidator) { d.validator = v }
+
+// Providers exposes the local provider-record store.
+func (d *DHT) Providers() *record.ProviderStore { return d.providers }
+
+// Seed inserts a peer into the routing table and address book without
+// dialing; the testnet builder uses it to model a long-running network.
+func (d *DHT) Seed(info wire.PeerInfo) {
+	d.table.Add(info.ID)
+	d.sw.Book().Add(info.ID, info.Addrs)
+}
+
+// selfInfo is attached to outbound requests when we are a server so
+// responders can learn about us.
+func (d *DHT) selfInfo() []wire.PeerInfo {
+	if d.mode != ModeServer {
+		return nil
+	}
+	return []wire.PeerInfo{{ID: d.ident.ID, Addrs: d.sw.Addrs()}}
+}
+
+// nextSeq increments the local peer-record sequence number.
+func (d *DHT) nextSeq() uint64 {
+	d.seqMu.Lock()
+	defer d.seqMu.Unlock()
+	d.seq++
+	return d.seq
+}
+
+// HandleMessage serves one inbound DHT RPC. The node's dispatcher calls
+// it for DHT message types. Clients refuse to serve (§2.3: "DHT clients
+// only request records or content but do not store or provide any").
+func (d *DHT) HandleMessage(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
+	if d.mode != ModeServer {
+		return wire.ErrorMessage("peer is a DHT client")
+	}
+	// Learn about the requester if it identified itself as a server.
+	if len(req.Peers) > 0 && req.Peers[0].ID == from {
+		d.table.Add(from)
+		d.sw.Book().Add(from, req.Peers[0].Addrs)
+	}
+
+	switch req.Type {
+	case wire.TPing:
+		return wire.Message{Type: wire.TAck}
+
+	case wire.TFindNode:
+		return wire.Message{Type: wire.TNodes, Peers: d.closestInfos(req.Key)}
+
+	case wire.TAddProvider:
+		if len(req.Providers) == 0 {
+			return wire.ErrorMessage("no provider supplied")
+		}
+		c, err := cid.FromBytes(req.Key)
+		if err != nil {
+			return wire.ErrorMessage("bad cid: %v", err)
+		}
+		prov := req.Providers[0]
+		d.providers.Add(record.ProviderRecord{Cid: c, Provider: prov.ID, Published: d.cfg.Now()})
+		if len(prov.Addrs) > 0 {
+			d.sw.Book().Add(prov.ID, prov.Addrs)
+		}
+		return wire.Message{Type: wire.TAck}
+
+	case wire.TGetProviders:
+		c, err := cid.FromBytes(req.Key)
+		if err != nil {
+			return wire.ErrorMessage("bad cid: %v", err)
+		}
+		resp := wire.Message{Type: wire.TProviders, Peers: d.closestInfos(req.Key)}
+		for _, pr := range d.providers.Get(c) {
+			// "together with the peer's Multiaddress (if they have
+			// it)" — §3.2.
+			info := wire.PeerInfo{ID: pr.Provider}
+			if addrs, ok := d.sw.Book().Get(pr.Provider); ok {
+				info.Addrs = addrs
+			}
+			resp.Providers = append(resp.Providers, info)
+		}
+		return resp
+
+	case wire.TPutPeerRecord:
+		if req.PeerRec == nil {
+			return wire.ErrorMessage("no record supplied")
+		}
+		if err := d.peerRecs.Put(*req.PeerRec); err != nil {
+			return wire.ErrorMessage("rejected: %v", err)
+		}
+		return wire.Message{Type: wire.TAck}
+
+	case wire.TGetPeerRecord:
+		rec, err := d.peerRecs.Get(peer.ID(req.Key))
+		resp := wire.Message{Type: wire.TPeerRecordResp, Peers: d.closestInfos(req.Key)}
+		if err == nil {
+			resp.PeerRec = &rec
+		}
+		return resp
+
+	case wire.TPutIPNS:
+		if d.validator != nil {
+			if err := d.validator(req.Key, req.IPNSData); err != nil {
+				return wire.ErrorMessage("invalid ipns record: %v", err)
+			}
+		}
+		d.ipnsMu.Lock()
+		d.ipns[string(req.Key)] = append([]byte(nil), req.IPNSData...)
+		d.ipnsMu.Unlock()
+		return wire.Message{Type: wire.TAck}
+
+	case wire.TGetIPNS:
+		d.ipnsMu.RLock()
+		data := d.ipns[string(req.Key)]
+		d.ipnsMu.RUnlock()
+		resp := wire.Message{Type: wire.TIPNSResp, Peers: d.closestInfos(req.Key)}
+		if len(data) > 0 {
+			resp.IPNSData = data
+		}
+		return resp
+
+	case wire.TCrawl:
+		// Measurement RPC: enumerate our k-buckets (§4.1).
+		var infos []wire.PeerInfo
+		for _, id := range d.table.AllPeers() {
+			info := wire.PeerInfo{ID: id}
+			if addrs, ok := d.sw.Book().Get(id); ok {
+				info.Addrs = addrs
+			}
+			infos = append(infos, info)
+		}
+		return wire.Message{Type: wire.TNodes, Peers: infos}
+	}
+	return wire.ErrorMessage("unhandled dht message %s", req.Type)
+}
+
+// closestInfos returns the k closest known peers to key, with
+// addresses when the address book has them.
+func (d *DHT) closestInfos(key []byte) []wire.PeerInfo {
+	ids := d.table.NearestPeers(kbucket.KeyForBytes(key), d.cfg.K)
+	infos := make([]wire.PeerInfo, 0, len(ids))
+	for _, id := range ids {
+		info := wire.PeerInfo{ID: id}
+		if addrs, ok := d.sw.Book().Get(id); ok {
+			info.Addrs = addrs
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+// Bootstrap connects to the given peers and performs a self-lookup to
+// populate the routing table, the join procedure of §2.2.
+func (d *DHT) Bootstrap(ctx context.Context, bootstrap []wire.PeerInfo) error {
+	for _, info := range bootstrap {
+		if _, _, err := d.sw.Connect(ctx, info.ID, info.Addrs); err != nil {
+			continue
+		}
+		d.table.Add(info.ID)
+		d.sw.Book().Add(info.ID, info.Addrs)
+	}
+	_, _, err := d.WalkClosest(ctx, kbucket.KeyForPeer(d.ident.ID), []byte(d.ident.ID))
+	return err
+}

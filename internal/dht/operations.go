@@ -1,0 +1,258 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/kbucket"
+	"repro/internal/peer"
+	"repro/internal/record"
+	"repro/internal/wire"
+)
+
+// Errors returned by DHT operations.
+var (
+	ErrNoProviders = errors.New("dht: no providers found")
+	ErrNoPeerRec   = errors.New("dht: peer record not found")
+	ErrNoIPNSRec   = errors.New("dht: ipns record not found")
+)
+
+// storeRPCTimeout bounds one provider-record store RPC. It exceeds the
+// 45 s websocket handshake timeout so the Figure 9c spike structure is
+// produced by the transports, not clipped by us.
+const storeRPCTimeout = 60 * time.Second
+
+// ProvideResult instruments one content publication (Figure 3 steps
+// 2–3, measured in Figures 9a–c). Durations are in simulated time.
+type ProvideResult struct {
+	WalkDuration  time.Duration // DHT walk to find the k closest peers (Fig 9b)
+	BatchDuration time.Duration // concurrent ADD_PROVIDER RPC batch (Fig 9c)
+	TotalDuration time.Duration // overall publication (Fig 9a)
+	Walk          WalkInfo
+	StoreAttempts int
+	StoreOK       int
+}
+
+// Provide publishes a provider record for c: walk to the k closest
+// peers, then push the record to each with concurrent fire-and-forget
+// RPCs (§3.1).
+func (d *DHT) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
+	var res ProvideResult
+	start := time.Now()
+	key := c.Bytes()
+	target := kbucket.KeyForBytes(key)
+
+	closest, winfo, err := d.WalkClosest(ctx, target, key)
+	res.Walk = winfo
+	res.WalkDuration = winfo.Duration
+	if err != nil {
+		return res, err
+	}
+	if len(closest) == 0 {
+		return res, fmt.Errorf("dht: provide %s: no peers to store on", c)
+	}
+
+	provInfo := wire.PeerInfo{ID: d.ident.ID}
+	if !d.cfg.OmitProviderAddrs {
+		provInfo.Addrs = d.sw.Addrs()
+	}
+	req := wire.Message{
+		Type:      wire.TAddProvider,
+		Key:       key,
+		Providers: []wire.PeerInfo{provInfo},
+	}
+
+	batchStart := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, info := range closest {
+		info := info
+		wg.Add(1)
+		res.StoreAttempts++
+		go func() {
+			defer wg.Done()
+			rctx, cancel := d.cfg.Base.WithTimeout(ctx, storeRPCTimeout)
+			defer cancel()
+			r := req
+			r.Peers = d.selfInfo()
+			resp, err := d.sw.Request(rctx, info.ID, info.Addrs, r)
+			if err == nil && resp.Type == wire.TAck {
+				mu.Lock()
+				res.StoreOK++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.BatchDuration = d.cfg.Base.SimSince(batchStart)
+	res.TotalDuration = d.cfg.Base.SimSince(start)
+	if res.StoreOK == 0 {
+		return res, fmt.Errorf("dht: provide %s: all %d store RPCs failed", c, res.StoreAttempts)
+	}
+	return res, nil
+}
+
+// FindProviders walks the DHT for provider records of c, terminating at
+// the first record-holding response (§3.2: the retrieval walk ends
+// "after the discovery of a single record-hosting node").
+func (d *DHT) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, WalkInfo, error) {
+	key := c.Bytes()
+	target := kbucket.KeyForBytes(key)
+	_, final, info := d.walk(ctx, target,
+		func() wire.Message { return wire.Message{Type: wire.TGetProviders, Key: key} },
+		func(resp wire.Message) bool { return len(resp.Providers) > 0 })
+	if final == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, info, err
+		}
+		return nil, info, ErrNoProviders
+	}
+	providers := make([]wire.PeerInfo, 0, len(final.Providers))
+	for _, p := range final.Providers {
+		if addrs, ok := d.sw.Book().Get(p.ID); ok && len(p.Addrs) == 0 {
+			p.Addrs = addrs
+		}
+		providers = append(providers, p)
+	}
+	return providers, info, nil
+}
+
+// FindPeer resolves a PeerID to its signed peer record via a second DHT
+// walk — the Peer Discovery phase of §3.2.
+func (d *DHT) FindPeer(ctx context.Context, id peer.ID) (wire.PeerInfo, WalkInfo, error) {
+	key := []byte(id)
+	target := kbucket.KeyForBytes(key)
+	_, final, info := d.walk(ctx, target,
+		func() wire.Message { return wire.Message{Type: wire.TGetPeerRecord, Key: key} },
+		func(resp wire.Message) bool { return resp.PeerRec != nil })
+	if final == nil || final.PeerRec == nil {
+		if err := ctx.Err(); err != nil {
+			return wire.PeerInfo{}, info, err
+		}
+		return wire.PeerInfo{}, info, ErrNoPeerRec
+	}
+	rec := final.PeerRec
+	if err := rec.Verify(); err != nil {
+		return wire.PeerInfo{}, info, fmt.Errorf("dht: find peer %s: %w", id.Short(), err)
+	}
+	if rec.ID != id {
+		return wire.PeerInfo{}, info, fmt.Errorf("dht: find peer: record for wrong peer %s", rec.ID.Short())
+	}
+	d.sw.Book().Add(id, rec.Addrs)
+	return wire.PeerInfo{ID: id, Addrs: rec.Addrs}, info, nil
+}
+
+// PublishPeerRecord signs and stores the local peer record on the k
+// closest peers to our PeerID — "publication of the peer record follows
+// the same CID-to-PeerID procedure" (§3.1).
+func (d *DHT) PublishPeerRecord(ctx context.Context) (ProvideResult, error) {
+	var res ProvideResult
+	start := time.Now()
+	key := []byte(d.ident.ID)
+	target := kbucket.KeyForBytes(key)
+	closest, winfo, err := d.WalkClosest(ctx, target, key)
+	res.Walk = winfo
+	res.WalkDuration = winfo.Duration
+	if err != nil {
+		return res, err
+	}
+	rec := record.NewPeerRecord(d.ident, d.sw.Addrs(), d.nextSeq(), d.cfg.Now())
+
+	batchStart := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, info := range closest {
+		info := info
+		wg.Add(1)
+		res.StoreAttempts++
+		go func() {
+			defer wg.Done()
+			rctx, cancel := d.cfg.Base.WithTimeout(ctx, storeRPCTimeout)
+			defer cancel()
+			resp, err := d.sw.Request(rctx, info.ID, info.Addrs, wire.Message{
+				Type:    wire.TPutPeerRecord,
+				Key:     key,
+				PeerRec: &rec,
+				Peers:   d.selfInfo(),
+			})
+			if err == nil && resp.Type == wire.TAck {
+				mu.Lock()
+				res.StoreOK++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.BatchDuration = d.cfg.Base.SimSince(batchStart)
+	res.TotalDuration = d.cfg.Base.SimSince(start)
+	if res.StoreOK == 0 && res.StoreAttempts > 0 {
+		return res, fmt.Errorf("dht: peer record: all %d store RPCs failed", res.StoreAttempts)
+	}
+	return res, nil
+}
+
+// PutIPNS stores an IPNS record (an opaque signed payload, §3.3) on the
+// k closest peers to key.
+func (d *DHT) PutIPNS(ctx context.Context, key []byte, data []byte) (int, error) {
+	target := kbucket.KeyForBytes(key)
+	closest, _, err := d.WalkClosest(ctx, target, key)
+	if err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ok := 0
+	for _, info := range closest {
+		info := info
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx, cancel := d.cfg.Base.WithTimeout(ctx, storeRPCTimeout)
+			defer cancel()
+			resp, err := d.sw.Request(rctx, info.ID, info.Addrs, wire.Message{
+				Type:     wire.TPutIPNS,
+				Key:      key,
+				IPNSData: data,
+				Peers:    d.selfInfo(),
+			})
+			if err == nil && resp.Type == wire.TAck {
+				mu.Lock()
+				ok++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if ok == 0 {
+		return 0, fmt.Errorf("dht: put ipns: all stores failed")
+	}
+	return ok, nil
+}
+
+// GetIPNS retrieves an IPNS record for key, returning the first
+// validator-accepted payload encountered during the walk.
+func (d *DHT) GetIPNS(ctx context.Context, key []byte) ([]byte, error) {
+	target := kbucket.KeyForBytes(key)
+	_, final, _ := d.walk(ctx, target,
+		func() wire.Message { return wire.Message{Type: wire.TGetIPNS, Key: key} },
+		func(resp wire.Message) bool {
+			if len(resp.IPNSData) == 0 {
+				return false
+			}
+			if d.validator != nil && d.validator(key, resp.IPNSData) != nil {
+				return false
+			}
+			return true
+		})
+	if final == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, ErrNoIPNSRec
+	}
+	return final.IPNSData, nil
+}

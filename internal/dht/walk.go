@@ -1,0 +1,223 @@
+package dht
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/kbucket"
+	"repro/internal/peer"
+	"repro/internal/wire"
+)
+
+// WalkInfo summarizes one DHT walk (§3.2: "multi-round iterative
+// lookups"), in simulated time.
+type WalkInfo struct {
+	Duration time.Duration // total walk time
+	Queried  int           // peers successfully queried
+	Failed   int           // peers that timed out or refused
+	Depth    int           // longest discovery chain from the seeds
+}
+
+type candState int
+
+const (
+	stateCandidate candState = iota
+	stateInflight
+	stateDone
+	stateFailed
+)
+
+type candidate struct {
+	info  wire.PeerInfo
+	state candState
+	depth int
+}
+
+type queryResult struct {
+	id   peer.ID
+	resp wire.Message
+	err  error
+}
+
+// maxWalkQueries caps runaway walks.
+const maxWalkQueries = 128
+
+// walk runs the iterative α-parallel lookup toward target. mkReq builds
+// the RPC to send; stop inspects each successful response and returns
+// true to terminate early (e.g. a provider record was found, §3.2). It
+// returns the k closest candidates seen — including unresponsive ones,
+// which is what makes the publication RPC batch hit dial timeouts
+// (Fig 9c) — the stopping response if any, and walk statistics.
+func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Message, stop func(wire.Message) bool) ([]wire.PeerInfo, *wire.Message, WalkInfo) {
+	start := time.Now()
+	cands := make(map[peer.ID]*candidate)
+
+	addCandidate := func(info wire.PeerInfo, depth int) {
+		if info.ID == d.ident.ID {
+			return
+		}
+		if c, ok := cands[info.ID]; ok {
+			if len(info.Addrs) > 0 && len(c.info.Addrs) == 0 {
+				c.info.Addrs = info.Addrs
+			}
+			return
+		}
+		cands[info.ID] = &candidate{info: info, depth: depth}
+	}
+
+	// Seed with the k closest peers from our own routing table.
+	for _, id := range d.table.NearestPeers(target, d.cfg.K) {
+		info := wire.PeerInfo{ID: id}
+		if addrs, ok := d.sw.Book().Get(id); ok {
+			info.Addrs = addrs
+		}
+		addCandidate(info, 0)
+	}
+
+	// closestUnqueried returns the unqueried candidate nearest target.
+	closestUnqueried := func() *candidate {
+		var best *candidate
+		var bestDist kbucket.Key
+		for _, c := range cands {
+			if c.state != stateCandidate {
+				continue
+			}
+			dist := kbucket.XOR(kbucket.KeyForPeer(c.info.ID), target)
+			if best == nil || kbucket.Less(dist, bestDist) {
+				best, bestDist = c, dist
+			}
+		}
+		return best
+	}
+
+	// converged reports whether the k closest non-failed candidates
+	// have all been queried.
+	converged := func() bool {
+		type distCand struct {
+			c    *candidate
+			dist kbucket.Key
+		}
+		var live []distCand
+		for _, c := range cands {
+			if c.state == stateFailed {
+				continue
+			}
+			live = append(live, distCand{c, kbucket.XOR(kbucket.KeyForPeer(c.info.ID), target)})
+		}
+		sort.Slice(live, func(i, j int) bool { return kbucket.Less(live[i].dist, live[j].dist) })
+		if len(live) > d.cfg.K {
+			live = live[:d.cfg.K]
+		}
+		for _, dc := range live {
+			if dc.c.state != stateDone {
+				return false
+			}
+		}
+		return len(live) > 0
+	}
+
+	results := make(chan queryResult)
+	walkCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var info WalkInfo
+	inflight := 0
+	launched := 0
+
+	launch := func() {
+		for inflight < d.cfg.Alpha && launched < maxWalkQueries {
+			c := closestUnqueried()
+			if c == nil {
+				return
+			}
+			c.state = stateInflight
+			inflight++
+			launched++
+			go func(cand *candidate) {
+				qctx, qcancel := d.cfg.Base.WithTimeout(walkCtx, d.cfg.QueryTimeout)
+				defer qcancel()
+				req := mkReq()
+				req.Peers = d.selfInfo()
+				resp, err := d.sw.Request(qctx, cand.info.ID, cand.info.Addrs, req)
+				select {
+				case results <- queryResult{id: cand.info.ID, resp: resp, err: err}:
+				case <-walkCtx.Done():
+				}
+			}(c)
+		}
+	}
+
+	var final *wire.Message
+	launch()
+	for inflight > 0 {
+		var res queryResult
+		select {
+		case res = <-results:
+		case <-ctx.Done():
+			info.Duration = d.cfg.Base.SimSince(start)
+			return d.closestSeen(cands, target), final, info
+		}
+		inflight--
+		c := cands[res.id]
+		if res.err != nil || res.resp.Type == wire.TError {
+			c.state = stateFailed
+			info.Failed++
+			d.table.Remove(res.id)
+		} else {
+			c.state = stateDone
+			info.Queried++
+			d.table.Add(res.id)
+			if c.depth+1 > info.Depth {
+				info.Depth = c.depth + 1
+			}
+			for _, pi := range res.resp.Peers {
+				if len(pi.Addrs) > 0 {
+					d.sw.Book().Add(pi.ID, pi.Addrs)
+				}
+				addCandidate(pi, c.depth+1)
+			}
+			if stop != nil && stop(res.resp) {
+				final = &res.resp
+				break
+			}
+			if converged() {
+				break
+			}
+		}
+		launch()
+	}
+	cancel()
+	info.Duration = d.cfg.Base.SimSince(start)
+	return d.closestSeen(cands, target), final, info
+}
+
+// closestSeen returns the k closest candidates observed during the
+// walk, regardless of whether they answered.
+func (d *DHT) closestSeen(cands map[peer.ID]*candidate, target kbucket.Key) []wire.PeerInfo {
+	infos := make([]wire.PeerInfo, 0, len(cands))
+	ids := make([]peer.ID, 0, len(cands))
+	for id := range cands {
+		ids = append(ids, id)
+	}
+	kbucket.SortByDistance(ids, target)
+	if len(ids) > d.cfg.K {
+		ids = ids[:d.cfg.K]
+	}
+	for _, id := range ids {
+		infos = append(infos, cands[id].info)
+	}
+	return infos
+}
+
+// WalkClosest finds the k closest peers to a key with FIND_NODE
+// queries — step 2 of Figure 3.
+func (d *DHT) WalkClosest(ctx context.Context, target kbucket.Key, keyBytes []byte) ([]wire.PeerInfo, WalkInfo, error) {
+	closest, _, info := d.walk(ctx, target,
+		func() wire.Message { return wire.Message{Type: wire.TFindNode, Key: keyBytes} },
+		nil)
+	if err := ctx.Err(); err != nil {
+		return closest, info, err
+	}
+	return closest, info, nil
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestTuneGateway prints Table 5 for the current defaults; used during
+// calibration and kept as a convenient inspection hook.
+func TestTuneGateway(t *testing.T) {
+	if os.Getenv("TUNE") == "" {
+		t.Skip("set TUNE=1 to run the calibration hook")
+	}
+	res := RunGateway(GatewayConfig{})
+	fmt.Println(res.Table5())
+}

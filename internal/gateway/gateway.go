@@ -1,0 +1,331 @@
+// Package gateway implements the HTTP entry point of §3.4: a bridge
+// between plain HTTP clients and the P2P network. Each gateway runs two
+// forms of content storage — an nginx-style LRU web cache consulted
+// first, and the IPFS node store holding pinned content (the Web3/NFT
+// Storage uploads) — falling through to a full P2P retrieval otherwise.
+// Requests are access-logged with the fields the §4.2 dataset carries.
+package gateway
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/merkledag"
+	"repro/internal/simtime"
+)
+
+// Tier identifies which storage layer served a request (Table 5).
+type Tier int
+
+// Serving tiers.
+const (
+	TierNginx     Tier = iota // default nginx web cache (latency ~0)
+	TierNodeStore             // gateway's local IPFS node store (pinned content)
+	TierNetwork               // full P2P retrieval
+)
+
+// String names the tier as Table 5 does.
+func (t Tier) String() string {
+	switch t {
+	case TierNginx:
+		return "nginx cache"
+	case TierNodeStore:
+		return "IPFS node store"
+	case TierNetwork:
+		return "Non Cached"
+	}
+	return "unknown"
+}
+
+// NodeStoreLatency models serving from the gateway's local IPFS node:
+// Table 5 reports a consistent 8 ms median, below 24 ms.
+const NodeStoreLatency = 8 * time.Millisecond
+
+// Request is one client GET.
+type Request struct {
+	Cid      cid.Cid
+	Path     string     // optional UnixFS path beneath the root CID
+	Time     time.Time  // request timestamp (drives Fig 11b binning)
+	Country  geo.Region // Maxmind-style geolocated client country
+	Referrer string     // HTTP referrer, "" for direct access
+	UserID   string     // IP+user-agent aggregation key (§4.2)
+}
+
+// Response is the serving outcome.
+type Response struct {
+	Tier    Tier
+	Latency time.Duration // simulated retrieval delay
+	Bytes   int
+	Err     error
+}
+
+// LogEntry is one access-log line (the §4.2 dataset schema).
+type LogEntry struct {
+	Time     time.Time
+	UserID   string
+	Country  geo.Region
+	Cid      cid.Cid
+	Referrer string
+	Bytes    int
+	Latency  time.Duration
+	Tier     Tier
+}
+
+// Gateway bridges HTTP to a core node.
+type Gateway struct {
+	node  *core.Node
+	base  simtime.Base
+	cache *objectCache
+
+	mu  sync.Mutex
+	log []LogEntry
+}
+
+// New creates a gateway in front of node with an nginx cache bounded to
+// cacheBytes.
+func New(node *core.Node, cacheBytes int64, base simtime.Base) *Gateway {
+	if base == (simtime.Base{}) {
+		base = simtime.Realtime
+	}
+	return &Gateway{node: node, base: base, cache: newObjectCache(cacheBytes)}
+}
+
+// Node returns the backing node (the "DHT server" half of the bridge).
+func (g *Gateway) Node() *core.Node { return g.node }
+
+// Pin imports content into the gateway's node store and pins it, as the
+// Web3/NFT Storage initiatives do (§3.4). Returns the root CID.
+func (g *Gateway) Pin(data []byte) (cid.Cid, error) {
+	root, err := g.node.Add(data)
+	if err != nil {
+		return cid.Cid{}, err
+	}
+	g.node.Store().Pin(root)
+	return root, nil
+}
+
+// cacheKey identifies a (root, path) response in the nginx cache.
+func cacheKey(req Request) string { return req.Cid.Key() + "\x00" + req.Path }
+
+// Fetch serves one request through the tier cascade.
+func (g *Gateway) Fetch(ctx context.Context, req Request) Response {
+	var resp Response
+
+	// Tier 1: nginx web cache. Hits have a retrieval delay of 0 (§6.3).
+	if data, ok := g.cache.get(cacheKey(req)); ok {
+		resp = Response{Tier: TierNginx, Latency: 0, Bytes: len(data)}
+		g.append(req, resp)
+		return resp
+	}
+
+	// Tier 2: the gateway's own IPFS node store (pinned content),
+	// "resulting consistently in a delay below 24 ms".
+	if data, err := g.assembleLocal(req); err == nil {
+		resp = Response{Tier: TierNodeStore, Latency: NodeStoreLatency, Bytes: len(data)}
+		g.cache.put(cacheKey(req), data)
+		g.append(req, resp)
+		return resp
+	}
+
+	// Tier 3: full P2P retrieval through the co-located node. The root
+	// DAG is fetched, then the path (if any) resolved locally.
+	_, rres, err := g.node.Retrieve(ctx, req.Cid)
+	if err != nil {
+		resp = Response{Tier: TierNetwork, Latency: rres.Total, Err: err}
+		g.append(req, resp)
+		return resp
+	}
+	data, err := g.assembleLocal(req)
+	if err != nil {
+		resp = Response{Tier: TierNetwork, Latency: rres.Total, Err: err}
+		g.append(req, resp)
+		return resp
+	}
+	resp = Response{Tier: TierNetwork, Latency: rres.Total, Bytes: len(data)}
+	g.cache.put(cacheKey(req), data)
+	g.append(req, resp)
+	return resp
+}
+
+// assembleLocal serves a request from the node store alone: the raw
+// DAG for path-less requests, or the file beneath the UnixFS path.
+func (g *Gateway) assembleLocal(req Request) ([]byte, error) {
+	if req.Path == "" {
+		return merkledag.Assemble(g.node.Store(), req.Cid)
+	}
+	return g.node.CatPath(req.Cid, req.Path)
+}
+
+func (g *Gateway) append(req Request, resp Response) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.log = append(g.log, LogEntry{
+		Time:     req.Time,
+		UserID:   req.UserID,
+		Country:  req.Country,
+		Cid:      req.Cid,
+		Referrer: req.Referrer,
+		Bytes:    resp.Bytes,
+		Latency:  resp.Latency,
+		Tier:     resp.Tier,
+	})
+}
+
+// Log returns a copy of the access log.
+func (g *Gateway) Log() []LogEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]LogEntry(nil), g.log...)
+}
+
+// ServeHTTP implements the public HTTP face:
+// GET /ipfs/{CID} (§3.4).
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	full := strings.TrimPrefix(r.URL.Path, "/ipfs/")
+	if full == r.URL.Path || full == "" {
+		http.Error(w, "usage: GET /ipfs/{CID}[/path]", http.StatusBadRequest)
+		return
+	}
+	cidPart, subPath := full, ""
+	if i := strings.IndexByte(full, '/'); i >= 0 {
+		cidPart, subPath = full[:i], strings.Trim(full[i+1:], "/")
+	}
+	c, err := cid.Parse(cidPart)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid CID: %v", err), http.StatusBadRequest)
+		return
+	}
+	req := Request{
+		Cid:      c,
+		Path:     subPath,
+		Time:     time.Now(),
+		Referrer: r.Referer(),
+		UserID:   r.RemoteAddr + "|" + r.UserAgent(),
+	}
+	resp := g.Fetch(r.Context(), req)
+	if resp.Err != nil {
+		http.Error(w, fmt.Sprintf("not found: %v", resp.Err), http.StatusNotFound)
+		return
+	}
+	data, ok := g.cache.get(cacheKey(req))
+	if !ok {
+		// Large objects may already have been evicted; refetch locally.
+		if data, err = g.assembleLocal(req); err != nil {
+			http.Error(w, "cache race", http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ipfs-Gateway-Tier", resp.Tier.String())
+	w.Write(data)
+}
+
+// objectCache is a byte-bounded LRU over assembled objects, keyed by
+// CID — the "default nginx web cache, with a Least Recently Used
+// replacement strategy" (§3.4).
+type objectCache struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	order   *list.List
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	data []byte
+	elem *list.Element
+}
+
+func newObjectCache(capBytes int64) *objectCache {
+	return &objectCache{cap: capBytes, order: list.New(), entries: make(map[string]*cacheEntry)}
+}
+
+func (c *objectCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(e.elem)
+	return e.data, true
+}
+
+func (c *objectCache) put(key string, data []byte) {
+	if int64(len(data)) > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	for c.used+int64(len(data)) > c.cap {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		k := oldest.Value.(string)
+		c.used -= int64(len(c.entries[k].data))
+		delete(c.entries, k)
+		c.order.Remove(oldest)
+	}
+	c.entries[key] = &cacheEntry{data: data, elem: c.order.PushFront(key)}
+	c.used += int64(len(data))
+}
+
+// TierStats aggregates the access log into the Table 5 summary.
+type TierStats struct {
+	Requests      int
+	Bytes         int64
+	MedianLatency time.Duration
+}
+
+// Summarize computes per-tier request share, traffic share and median
+// latency from a log.
+func Summarize(log []LogEntry) map[Tier]TierStats {
+	latencies := map[Tier][]time.Duration{}
+	out := map[Tier]TierStats{}
+	for _, e := range log {
+		if e.Err() {
+			continue
+		}
+		s := out[e.Tier]
+		s.Requests++
+		s.Bytes += int64(e.Bytes)
+		out[e.Tier] = s
+		latencies[e.Tier] = append(latencies[e.Tier], e.Latency)
+	}
+	for tier, ls := range latencies {
+		s := out[tier]
+		s.MedianLatency = medianDuration(ls)
+		out[tier] = s
+	}
+	return out
+}
+
+// Err reports whether the entry recorded a failed fetch.
+func (e LogEntry) Err() bool { return e.Bytes == 0 && e.Tier == TierNetwork }
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}

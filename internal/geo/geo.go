@@ -1,0 +1,146 @@
+// Package geo models the geography of the IPFS deployment: region
+// coordinates and a speed-of-light latency model for the simulator, and
+// a statistical population model fitted to the paper's published
+// marginals (Fig 5 country shares, Table 2 AS concentration, Table 3
+// cloud share, Fig 7c PeerID-per-IP clustering). The population model
+// stands in for the GeoLite2 + CAIDA AS Rank + Udger datasets.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Region names a geographic location: either an AWS measurement region
+// or a country where peers are hosted.
+type Region string
+
+// AWS regions used by the §4.3 performance experiments.
+const (
+	AfSouth1     Region = "af_south_1"     // Cape Town
+	ApSoutheast2 Region = "ap_southeast_2" // Sydney
+	EuCentral1   Region = "eu_central_1"   // Frankfurt
+	MeSouth1     Region = "me_south_1"     // Bahrain
+	SaEast1      Region = "sa_east_1"      // São Paulo
+	UsWest1      Region = "us_west_1"      // N. California
+)
+
+// AWSRegions lists the six measurement vantage points in the order the
+// paper's Table 1 uses.
+var AWSRegions = []Region{AfSouth1, ApSoutheast2, EuCentral1, MeSouth1, SaEast1, UsWest1}
+
+// coord is a latitude/longitude pair in degrees.
+type coord struct{ lat, lon float64 }
+
+var coords = map[Region]coord{
+	AfSouth1:     {-33.9, 18.4},
+	ApSoutheast2: {-33.9, 151.2},
+	EuCentral1:   {50.1, 8.7},
+	MeSouth1:     {26.2, 50.6},
+	SaEast1:      {-23.6, -46.6},
+	UsWest1:      {37.4, -122.0},
+
+	// Peer-hosting countries (ISO 3166-1 alpha-2), placed at a
+	// population-weighted central point.
+	"US": {39.8, -98.6},
+	"CN": {34.7, 104.2},
+	"FR": {46.6, 2.5},
+	"TW": {23.7, 121.0},
+	"KR": {36.5, 127.9},
+	"DE": {51.2, 10.4},
+	"HK": {22.3, 114.2},
+	"BR": {-14.2, -51.9},
+	"UA": {48.4, 31.2},
+	"RU": {55.8, 37.6},
+	"GB": {52.4, -1.5},
+	"NL": {52.1, 5.3},
+	"CA": {56.1, -106.3},
+	"SG": {1.35, 103.8},
+	"JP": {36.2, 138.3},
+	"PL": {51.9, 19.1},
+	"IN": {20.6, 79.0},
+	"AU": {-25.3, 133.8},
+	"ZA": {-30.6, 22.9},
+	"IT": {41.9, 12.6},
+}
+
+// Known reports whether the region has coordinates.
+func Known(r Region) bool {
+	_, ok := coords[r]
+	return ok
+}
+
+// Distance returns the great-circle distance between two regions in km.
+func Distance(a, b Region) float64 {
+	ca, ok := coords[a]
+	if !ok {
+		ca = coords["US"]
+	}
+	cb, ok := coords[b]
+	if !ok {
+		cb = coords["US"]
+	}
+	const earthRadiusKm = 6371
+	la1, lo1 := ca.lat*math.Pi/180, ca.lon*math.Pi/180
+	la2, lo2 := cb.lat*math.Pi/180, cb.lon*math.Pi/180
+	dla, dlo := la2-la1, lo2-lo1
+	h := math.Sin(dla/2)*math.Sin(dla/2) + math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// RTT estimates the round-trip time between regions: a base overhead
+// plus propagation at ~2/3 c with a path-stretch factor of 1.6 for
+// terrestrial routing, the standard internet delay-space approximation.
+func RTT(a, b Region) time.Duration {
+	const (
+		base       = 4 * time.Millisecond
+		kmPerMsRTT = 100.0 // ~ (2/3 c / 1.6 stretch) / 2 directions
+	)
+	d := Distance(a, b)
+	return base + time.Duration(d/kmPerMsRTT*float64(time.Millisecond))
+}
+
+// CountryShare is one country's fraction of the peer population
+// (Fig 5 / §5.1).
+type CountryShare struct {
+	Country Region
+	Share   float64
+}
+
+// CountryShares reproduces the published geographic distribution:
+// "The US (28.5%) and China (24.2%) dominate the share of peers,
+// followed by France (8.3%), Taiwan (7.2%) and South Korea (6.7%)."
+// The remainder is spread over further countries observed in the
+// dataset, normalized to 1.
+var CountryShares = []CountryShare{
+	{"US", 0.285}, {"CN", 0.242}, {"FR", 0.083}, {"TW", 0.072}, {"KR", 0.067},
+	{"DE", 0.045}, {"HK", 0.038}, {"BR", 0.026}, {"GB", 0.020}, {"NL", 0.018},
+	{"CA", 0.016}, {"SG", 0.014}, {"JP", 0.014}, {"RU", 0.012}, {"UA", 0.010},
+	{"PL", 0.009}, {"IN", 0.008}, {"AU", 0.007}, {"ZA", 0.007}, {"IT", 0.007},
+}
+
+// GatewayUserShares reproduces Fig 6: requests to the US gateway come
+// from "the US (50.4%), followed by China (31.9%), Hong Kong (6.6%),
+// Canada (4.6%) and Japan (1.7%)", remainder spread thin.
+var GatewayUserShares = []CountryShare{
+	{"US", 0.504}, {"CN", 0.319}, {"HK", 0.066}, {"CA", 0.046}, {"JP", 0.017},
+	{"GB", 0.012}, {"DE", 0.010}, {"FR", 0.008}, {"KR", 0.007}, {"SG", 0.005},
+	{"BR", 0.004}, {"NL", 0.002},
+}
+
+// validateShares panics at init if a share table is not normalized.
+func validateShares(name string, shares []CountryShare) {
+	var sum float64
+	for _, s := range shares {
+		sum += s.Share
+	}
+	if math.Abs(sum-1) > 0.01 {
+		panic(fmt.Sprintf("geo: %s shares sum to %.4f", name, sum))
+	}
+}
+
+func init() {
+	validateShares("country", CountryShares)
+	validateShares("gateway user", GatewayUserShares)
+}

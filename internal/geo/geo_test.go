@@ -1,0 +1,201 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDistanceProperties(t *testing.T) {
+	if d := Distance(EuCentral1, EuCentral1); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if Distance(EuCentral1, UsWest1) != Distance(UsWest1, EuCentral1) {
+		t.Error("distance must be symmetric")
+	}
+	// Frankfurt to N. California is roughly 9000 km.
+	d := Distance(EuCentral1, UsWest1)
+	if d < 8000 || d > 10000 {
+		t.Errorf("Frankfurt-California distance = %.0f km", d)
+	}
+}
+
+func TestRTTOrdering(t *testing.T) {
+	// Frankfurt (eu_central_1) should be much closer to France than to
+	// Sydney — this drives the regional latency differences of Table 4.
+	near := RTT(EuCentral1, "FR")
+	far := RTT(EuCentral1, ApSoutheast2)
+	if near >= far {
+		t.Errorf("RTT(eu,FR)=%v should be < RTT(eu,sydney)=%v", near, far)
+	}
+	if base := RTT(EuCentral1, EuCentral1); base <= 0 || base > 20*time.Millisecond {
+		t.Errorf("self RTT = %v", base)
+	}
+}
+
+func TestUnknownRegionFallsBack(t *testing.T) {
+	if Known("XX") {
+		t.Error("XX should be unknown")
+	}
+	// Unknown regions fall back to US coordinates rather than panicking.
+	if d := Distance("XX", "US"); d != 0 {
+		t.Errorf("fallback distance = %v", d)
+	}
+}
+
+func TestCountrySharesSum(t *testing.T) {
+	var sum float64
+	for _, s := range CountryShares {
+		sum += s.Share
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("country shares sum to %v", sum)
+	}
+}
+
+func TestSampleCountryDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make(map[Region]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[SampleCountry(rng)]++
+	}
+	// US should be ~28.5 %, CN ~24.2 % (Fig 5).
+	us := float64(counts["US"]) / n
+	cn := float64(counts["CN"]) / n
+	if math.Abs(us-0.285) > 0.02 {
+		t.Errorf("US share = %.3f, want ~0.285", us)
+	}
+	if math.Abs(cn-0.242) > 0.02 {
+		t.Errorf("CN share = %.3f, want ~0.242", cn)
+	}
+	if us < cn {
+		t.Error("US should dominate over CN")
+	}
+}
+
+func TestASModelConcentration(t *testing.T) {
+	m := NewASModel()
+	if got := m.TopShare(10); math.Abs(got-0.649) > 0.02 {
+		t.Errorf("top-10 AS share = %.3f, want ~0.649 (§5.2)", got)
+	}
+	top100 := m.TopShare(100)
+	if top100 < 0.85 || top100 > 0.95 {
+		t.Errorf("top-100 AS share = %.3f, want ~0.906", top100)
+	}
+	if got := m.TopShare(NumASes); math.Abs(got-1) > 1e-6 {
+		t.Errorf("total share = %v", got)
+	}
+	if len(m.Infos()) != NumASes {
+		t.Errorf("AS count = %d, want %d", len(m.Infos()), NumASes)
+	}
+	// Table 2's #1: CHINANET with 18.9 %.
+	if m.Infos()[0].Share != 0.189 || m.Infos()[0].ASN != 4134 {
+		t.Errorf("rank-1 AS = %+v", m.Infos()[0])
+	}
+}
+
+func TestASModelSampleMatchesShares(t *testing.T) {
+	m := NewASModel()
+	rng := rand.New(rand.NewSource(2))
+	counts := make(map[int]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(rng).Rank]++
+	}
+	if got := float64(counts[1]) / n; math.Abs(got-0.189) > 0.01 {
+		t.Errorf("rank-1 sampled share = %.3f, want ~0.189", got)
+	}
+}
+
+func TestGeneratePopulationMarginals(t *testing.T) {
+	pop := GeneratePopulation(DefaultPopulationConfig(20000))
+	if len(pop.Peers) != 20000 {
+		t.Fatalf("population size = %d", len(pop.Peers))
+	}
+	// Cloud share should be ~2.3 % (Table 3 headline).
+	if cs := pop.CloudShare(); cs > 0.04 || cs < 0.01 {
+		t.Errorf("cloud share = %.4f, want ~0.023", cs)
+	}
+	// Unreachable fraction ~33 %.
+	unreachable := 0
+	for _, p := range pop.Peers {
+		if !p.Dialable {
+			unreachable++
+		}
+	}
+	fu := float64(unreachable) / float64(len(pop.Peers))
+	if math.Abs(fu-0.331) > 0.03 {
+		t.Errorf("unreachable fraction = %.3f, want ~0.331", fu)
+	}
+	// Reliable fraction ~1.4 %.
+	reliable := 0
+	for _, p := range pop.Peers {
+		if p.Reliable {
+			reliable++
+		}
+	}
+	fr := float64(reliable) / float64(len(pop.Peers))
+	if fr < 0.005 || fr > 0.03 {
+		t.Errorf("reliable fraction = %.4f, want ~0.014", fr)
+	}
+}
+
+func TestPopulationPeerIDClustering(t *testing.T) {
+	pop := GeneratePopulation(DefaultPopulationConfig(20000))
+	perIP := pop.PeersPerIP()
+	singles, maxPeers := 0, 0
+	for _, n := range perIP {
+		if n == 1 {
+			singles++
+		}
+		if n > maxPeers {
+			maxPeers = n
+		}
+	}
+	frac := float64(singles) / float64(len(perIP))
+	// "The majority (92.3 %) of IP addresses host a single PeerID."
+	if frac < 0.85 || frac > 0.97 {
+		t.Errorf("singleton-IP fraction = %.3f, want ~0.923", frac)
+	}
+	// And a heavy tail exists (Fig 7c).
+	if maxPeers < 20 {
+		t.Errorf("max peers per IP = %d, expected a super-host tail", maxPeers)
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a := GeneratePopulation(DefaultPopulationConfig(500))
+	b := GeneratePopulation(DefaultPopulationConfig(500))
+	for i := range a.Peers {
+		if a.Peers[i] != b.Peers[i] {
+			t.Fatal("population generation must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestIPsPerASRank(t *testing.T) {
+	pop := GeneratePopulation(DefaultPopulationConfig(10000))
+	byRank := pop.IPsPerASRank()
+	if len(byRank) == 0 {
+		t.Fatal("no AS ranks")
+	}
+	// Rank 1 should hold more IPs than a mid-tail rank.
+	if byRank[1] <= byRank[500] {
+		t.Errorf("rank 1 IPs = %d, rank 500 IPs = %d; want concentration", byRank[1], byRank[500])
+	}
+}
+
+func TestGatewayUserSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[Region]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[SampleGatewayUserCountry(rng)]++
+	}
+	us := float64(counts["US"]) / n
+	if math.Abs(us-0.504) > 0.02 {
+		t.Errorf("gateway US share = %.3f, want ~0.504 (Fig 6)", us)
+	}
+}

@@ -1,0 +1,166 @@
+package gwload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestCatalogSizeDistribution(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 20000, Seed: 1, MaxSize: 1 << 30})
+	s := stats.NewSample()
+	for _, o := range cat.Objects {
+		s.Add(float64(o.Size))
+	}
+	// Median ~664.59 KB (Fig 11a).
+	med := s.Median()
+	if med < 450_000 || med > 950_000 {
+		t.Errorf("median size = %.0f, want ~664590", med)
+	}
+	// 79.1 % above 100 KB.
+	above := 1 - s.FractionBelow(100_000)
+	if math.Abs(above-0.791) > 0.05 {
+		t.Errorf("fraction above 100KB = %.3f, want ~0.791", above)
+	}
+}
+
+func TestCatalogSizeCaps(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 5000, Seed: 2, MaxSize: 1 << 20})
+	for _, o := range cat.Objects {
+		if o.Size > 1<<20 || o.Size < 64 {
+			t.Fatalf("size %d out of caps", o.Size)
+		}
+	}
+}
+
+func TestZipfPopularity(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 1000, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[cat.SampleObject(rng)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[500] {
+		t.Errorf("popularity not decreasing: c0=%d c10=%d c500=%d", counts[0], counts[10], counts[500])
+	}
+	// The head should dominate: top-10 objects get a sizeable share.
+	top10 := 0
+	for _, c := range counts[:10] {
+		top10 += c
+	}
+	if frac := float64(top10) / n; frac < 0.2 {
+		t.Errorf("top-10 share = %.3f, want skewed head", frac)
+	}
+}
+
+func TestPinningBiasedTowardPopular(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 10000, Seed: 5})
+	headPinned, tailPinned := 0, 0
+	for _, o := range cat.Objects[:1000] {
+		if o.Pinned {
+			headPinned++
+		}
+	}
+	for _, o := range cat.Objects[9000:] {
+		if o.Pinned {
+			tailPinned++
+		}
+	}
+	if headPinned <= tailPinned {
+		t.Errorf("pinning should favour popular objects: head=%d tail=%d", headPinned, tailPinned)
+	}
+}
+
+func TestGenerateTraceOrderedAndWithinDay(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 100, Seed: 6})
+	day := time.Date(2022, 1, 2, 0, 0, 0, 0, time.UTC)
+	reqs := GenerateTrace(cat, TraceConfig{NumRequests: 5000, Day: day, Seed: 7})
+	if len(reqs) != 5000 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	for i, r := range reqs {
+		if i > 0 && r.Time.Before(reqs[i-1].Time) {
+			t.Fatal("trace not time-ordered")
+		}
+		if r.Time.Before(day) || !r.Time.Before(day.Add(24*time.Hour)) {
+			t.Fatalf("timestamp %v outside the day", r.Time)
+		}
+	}
+}
+
+func TestTraceUserGeoMix(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 100, Seed: 8})
+	reqs := GenerateTrace(cat, TraceConfig{NumRequests: 30000, Seed: 9})
+	counts := map[string]int{}
+	for _, r := range reqs {
+		counts[string(r.Country)]++
+	}
+	us := float64(counts["US"]) / float64(len(reqs))
+	cn := float64(counts["CN"]) / float64(len(reqs))
+	// Fig 6: US 50.4 %, CN 31.9 % — user-level assignment adds variance.
+	if us < 0.40 || us > 0.62 {
+		t.Errorf("US share = %.3f, want ~0.504", us)
+	}
+	if cn < 0.22 || cn > 0.42 {
+		t.Errorf("CN share = %.3f, want ~0.319", cn)
+	}
+}
+
+func TestTraceDiurnalVariation(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 100, Seed: 10})
+	reqs := GenerateTrace(cat, TraceConfig{NumRequests: 50000, Seed: 11})
+	var byHour [24]int
+	for _, r := range reqs {
+		byHour[r.Time.UTC().Hour()]++
+	}
+	min, max := byHour[0], byHour[0]
+	for _, c := range byHour {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 1.5*float64(min) {
+		t.Errorf("diurnal variation too flat: min=%d max=%d (Fig 4b)", min, max)
+	}
+}
+
+func TestTraceReferrerMix(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 100, Seed: 12})
+	reqs := GenerateTrace(cat, TraceConfig{NumRequests: 40000, Seed: 13})
+	referred, semiPopular := 0, 0
+	for _, r := range reqs {
+		if r.Referrer != "" {
+			referred++
+			if len(r.Referrer) > 8 && r.Referrer[:12] == "https://site" {
+				semiPopular++
+			}
+		}
+	}
+	refFrac := float64(referred) / float64(len(reqs))
+	if math.Abs(refFrac-0.518) > 0.03 {
+		t.Errorf("referred fraction = %.3f, want ~0.518", refFrac)
+	}
+	semiFrac := float64(semiPopular) / float64(referred)
+	if math.Abs(semiFrac-0.706) > 0.03 {
+		t.Errorf("semi-popular referred fraction = %.3f, want ~0.706", semiFrac)
+	}
+}
+
+func TestTraceUsersConsistentCountry(t *testing.T) {
+	cat := NewCatalog(CatalogConfig{NumObjects: 50, Seed: 14})
+	reqs := GenerateTrace(cat, TraceConfig{NumRequests: 10000, NumUsers: 50, Seed: 15})
+	seen := map[string]string{}
+	for _, r := range reqs {
+		if prev, ok := seen[r.UserID]; ok && prev != string(r.Country) {
+			t.Fatalf("user %s changed country %s -> %s", r.UserID, prev, r.Country)
+		}
+		seen[r.UserID] = string(r.Country)
+	}
+}

@@ -1,0 +1,171 @@
+// Package ipns implements the InterPlanetary Name System of §3.3:
+// mutable pointers published under the hash of the publisher's public
+// key. An IPNS record maps that immutable name to a (mutable) content
+// CID, signed by the corresponding private key and sequenced so newer
+// versions supersede older ones.
+package ipns
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/peer"
+	"repro/internal/varint"
+)
+
+// DefaultValidity is how long a record remains valid after signing.
+const DefaultValidity = 24 * time.Hour
+
+// Record is a signed, sequenced name→CID mapping.
+type Record struct {
+	Value      cid.Cid // the CID the name currently points to
+	Seq        uint64
+	ValidUntil time.Time
+	PublicKey  ed25519.PublicKey
+	Signature  []byte
+}
+
+// Errors returned by this package.
+var (
+	ErrMalformed    = errors.New("ipns: malformed record")
+	ErrBadSignature = errors.New("ipns: bad signature")
+	ErrWrongName    = errors.New("ipns: record does not belong to name")
+	ErrExpired      = errors.New("ipns: record expired")
+)
+
+// Name returns the DHT key for a publisher's IPNS records: derived from
+// the PeerID (the hash of the public key, §3.3).
+func Name(id peer.ID) []byte {
+	return append([]byte("/ipns/"), []byte(id)...)
+}
+
+// signable returns the byte string covered by the signature.
+func signable(value cid.Cid, seq uint64, validUntil time.Time) []byte {
+	out := []byte("ipns-record:")
+	out = appendBytes(out, value.Bytes())
+	out = varint.Append(out, seq)
+	out = varint.Append(out, uint64(validUntil.UnixNano()))
+	return out
+}
+
+// NewRecord creates and signs a record pointing the identity's name at
+// value. validity <= 0 selects the 24 h default.
+func NewRecord(ident peer.Identity, value cid.Cid, seq uint64, now time.Time, validity time.Duration) Record {
+	if validity <= 0 {
+		validity = DefaultValidity
+	}
+	// Varints carry at most 63 bits; sequence numbers are counters and
+	// never approach that in practice.
+	seq &= 1<<63 - 1
+	until := now.Add(validity)
+	return Record{
+		Value:      value,
+		Seq:        seq,
+		ValidUntil: until,
+		PublicKey:  ident.Public,
+		Signature:  ident.Sign(signable(value, seq, until)),
+	}
+}
+
+// Validate checks that the record is well-signed, belongs to name, and
+// has not expired at time now.
+func (r Record) Validate(name []byte, now time.Time) error {
+	if len(r.PublicKey) != ed25519.PublicKeySize {
+		return ErrMalformed
+	}
+	owner := peer.IDFromPublicKey(r.PublicKey)
+	if string(Name(owner)) != string(name) {
+		return ErrWrongName
+	}
+	if err := peer.Verify(owner, r.PublicKey, signable(r.Value, r.Seq, r.ValidUntil), r.Signature); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	if now.After(r.ValidUntil) {
+		return ErrExpired
+	}
+	return nil
+}
+
+// Marshal encodes the record for DHT storage.
+func (r Record) Marshal() []byte {
+	out := appendBytes(nil, r.Value.Bytes())
+	out = varint.Append(out, r.Seq)
+	out = varint.Append(out, uint64(r.ValidUntil.UnixNano()))
+	out = appendBytes(out, r.PublicKey)
+	out = appendBytes(out, r.Signature)
+	return out
+}
+
+// Unmarshal decodes a record.
+func Unmarshal(data []byte) (Record, error) {
+	var r Record
+	cb, rest, err := readBytes(data)
+	if err != nil {
+		return r, fmt.Errorf("%w: value: %v", ErrMalformed, err)
+	}
+	if r.Value, err = cid.FromBytes(cb); err != nil {
+		return r, fmt.Errorf("%w: cid: %v", ErrMalformed, err)
+	}
+	seq, n, err := varint.Decode(rest)
+	if err != nil {
+		return r, fmt.Errorf("%w: seq: %v", ErrMalformed, err)
+	}
+	r.Seq = seq
+	rest = rest[n:]
+	ts, n, err := varint.Decode(rest)
+	if err != nil {
+		return r, fmt.Errorf("%w: validity: %v", ErrMalformed, err)
+	}
+	r.ValidUntil = time.Unix(0, int64(ts))
+	rest = rest[n:]
+	pk, rest, err := readBytes(rest)
+	if err != nil {
+		return r, fmt.Errorf("%w: key: %v", ErrMalformed, err)
+	}
+	r.PublicKey = ed25519.PublicKey(append([]byte(nil), pk...))
+	sig, rest, err := readBytes(rest)
+	if err != nil {
+		return r, fmt.Errorf("%w: sig: %v", ErrMalformed, err)
+	}
+	r.Signature = append([]byte(nil), sig...)
+	if len(rest) != 0 {
+		return r, fmt.Errorf("%w: trailing bytes", ErrMalformed)
+	}
+	return r, nil
+}
+
+// ValidatorFor returns a DHT validator callback that accepts only
+// well-formed, correctly-signed, unexpired records for the name they
+// are stored under.
+func ValidatorFor(now func() time.Time) func(key, data []byte) error {
+	if now == nil {
+		now = time.Now
+	}
+	return func(key, data []byte) error {
+		r, err := Unmarshal(data)
+		if err != nil {
+			return err
+		}
+		return r.Validate(key, now())
+	}
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = varint.Append(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func readBytes(data []byte) ([]byte, []byte, error) {
+	n, used, err := varint.Decode(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	data = data[used:]
+	if uint64(len(data)) < n {
+		return nil, nil, errors.New("truncated")
+	}
+	return data[:n], data[n:], nil
+}

@@ -1,0 +1,194 @@
+package kbucket
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/peer"
+)
+
+func newPeers(n int, seed int64) []peer.ID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]peer.ID, n)
+	for i := range out {
+		out[i] = peer.MustNewIdentity(rng).ID
+	}
+	return out
+}
+
+func TestXORProperties(t *testing.T) {
+	f := func(a, b [32]byte) bool {
+		ka, kb := Key(a), Key(b)
+		// Symmetry and identity.
+		if XOR(ka, kb) != XOR(kb, ka) {
+			return false
+		}
+		return XOR(ka, ka) == Key{}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := Key{}
+	b := Key{}
+	if CommonPrefixLen(a, b) != 256 {
+		t.Error("identical keys should share 256 bits")
+	}
+	b[0] = 0x80
+	if got := CommonPrefixLen(a, b); got != 0 {
+		t.Errorf("first-bit difference: cpl = %d", got)
+	}
+	b[0] = 0x01
+	if got := CommonPrefixLen(a, b); got != 7 {
+		t.Errorf("eighth-bit difference: cpl = %d", got)
+	}
+	b[0] = 0
+	b[5] = 0x10
+	if got := CommonPrefixLen(a, b); got != 5*8+3 {
+		t.Errorf("cpl = %d, want 43", got)
+	}
+}
+
+func TestAddAndContains(t *testing.T) {
+	peers := newPeers(10, 1)
+	table := NewTable(peers[0], 20)
+	for _, p := range peers[1:] {
+		if !table.Add(p) {
+			t.Errorf("Add(%s) rejected", p.Short())
+		}
+	}
+	if table.Len() != 9 {
+		t.Errorf("Len = %d, want 9", table.Len())
+	}
+	for _, p := range peers[1:] {
+		if !table.Contains(p) {
+			t.Errorf("Contains(%s) = false", p.Short())
+		}
+	}
+	if table.Add(peers[0]) {
+		t.Error("table must not add the local peer")
+	}
+	if table.Contains(peers[0]) {
+		t.Error("local peer must not appear")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	peers := newPeers(3, 2)
+	table := NewTable(peers[0], 20)
+	table.Add(peers[1])
+	table.Add(peers[1])
+	if table.Len() != 1 {
+		t.Errorf("duplicate Add should not grow the table: %d", table.Len())
+	}
+}
+
+func TestBucketCapacity(t *testing.T) {
+	// With k=2, each bucket holds at most 2 peers.
+	peers := newPeers(200, 3)
+	table := NewTable(peers[0], 2)
+	for _, p := range peers[1:] {
+		table.Add(p)
+	}
+	for cpl, size := range table.BucketSizes() {
+		if size > 2 {
+			t.Errorf("bucket %d has %d entries, cap 2", cpl, size)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	peers := newPeers(5, 4)
+	table := NewTable(peers[0], 20)
+	for _, p := range peers[1:] {
+		table.Add(p)
+	}
+	table.Remove(peers[2])
+	if table.Contains(peers[2]) {
+		t.Error("Remove failed")
+	}
+	if table.Len() != 3 {
+		t.Errorf("Len = %d, want 3", table.Len())
+	}
+	table.Remove(peers[2]) // removing twice is a no-op
+}
+
+func TestNearestPeersOrdering(t *testing.T) {
+	peers := newPeers(60, 5)
+	table := NewTable(peers[0], 20)
+	for _, p := range peers[1:] {
+		table.Add(p)
+	}
+	target := KeyForBytes([]byte("some cid"))
+	nearest := table.NearestPeers(target, 10)
+	if len(nearest) != 10 {
+		t.Fatalf("NearestPeers returned %d", len(nearest))
+	}
+	for i := 1; i < len(nearest); i++ {
+		if Closer(nearest[i], nearest[i-1], target) {
+			t.Errorf("NearestPeers not sorted at %d", i)
+		}
+	}
+	// Verify against a brute-force answer over the table's contents.
+	all := table.AllPeers()
+	SortByDistance(all, target)
+	for i := 0; i < 10; i++ {
+		if all[i] != nearest[i] {
+			t.Errorf("NearestPeers[%d] = %s, brute force = %s", i, nearest[i].Short(), all[i].Short())
+		}
+	}
+}
+
+func TestNearestPeersFewerThanCount(t *testing.T) {
+	peers := newPeers(4, 6)
+	table := NewTable(peers[0], 20)
+	for _, p := range peers[1:] {
+		table.Add(p)
+	}
+	if got := table.NearestPeers(KeyForPeer(peers[1]), 50); len(got) != 3 {
+		t.Errorf("NearestPeers = %d peers, want 3", len(got))
+	}
+}
+
+func TestKeySpaceSharedBetweenCidsAndPeers(t *testing.T) {
+	// §2.3: CIDs and PeerIDs are indexed by the SHA256 of their binary
+	// representation, so both map into the same 256-bit key space.
+	id := newPeers(1, 7)[0]
+	if KeyForPeer(id) != KeyForBytes([]byte(id)) {
+		t.Error("peer keys must be the SHA256 of the binary PeerID")
+	}
+}
+
+func TestQuickNearestIsGlobalMinimum(t *testing.T) {
+	peers := newPeers(40, 8)
+	table := NewTable(peers[0], 20)
+	for _, p := range peers[1:] {
+		table.Add(p)
+	}
+	f := func(seed [8]byte) bool {
+		target := KeyForBytes(seed[:])
+		nearest := table.NearestPeers(target, 1)
+		if len(nearest) != 1 {
+			return false
+		}
+		for _, p := range table.AllPeers() {
+			if Closer(p, nearest[0], target) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultK(t *testing.T) {
+	table := NewTable(newPeers(1, 9)[0], 0)
+	if table.K() != DefaultK {
+		t.Errorf("K = %d, want %d", table.K(), DefaultK)
+	}
+}

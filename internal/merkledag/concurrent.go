@@ -1,0 +1,62 @@
+package merkledag
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cid"
+)
+
+// AssembleConcurrent reassembles the DAG rooted at root like Assemble,
+// but fetches sibling subtrees with up to workers concurrent fetches —
+// how Bitswap sessions overlap block requests in practice. Output
+// ordering is preserved; every block is verified against its CID.
+func AssembleConcurrent(f Fetcher, root cid.Cid, workers int) ([]byte, error) {
+	if workers <= 1 {
+		return Assemble(f, root)
+	}
+	// The semaphore bounds concurrent Get calls only; it is never held
+	// across the recursive descent, so ancestors waiting on descendants
+	// cannot starve them of slots.
+	sem := make(chan struct{}, workers)
+	var fetch func(c cid.Cid) ([]byte, error)
+	fetch = func(c cid.Cid) ([]byte, error) {
+		sem <- struct{}{}
+		blk, err := f.Get(c)
+		<-sem
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrMissing, c, err)
+		}
+		if !c.Verify(blk.Data()) {
+			return nil, fmt.Errorf("merkledag: block %s failed verification", c)
+		}
+		n, err := DecodeNode(blk.Data())
+		if err != nil {
+			return nil, err
+		}
+		if len(n.Links) == 0 {
+			return n.Data, nil
+		}
+		parts := make([][]byte, len(n.Links))
+		errs := make([]error, len(n.Links))
+		var wg sync.WaitGroup
+		for i, l := range n.Links {
+			i, l := i, l
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				parts[i], errs[i] = fetch(l.Cid)
+			}()
+		}
+		wg.Wait()
+		var out []byte
+		for i := range parts {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			out = append(out, parts[i]...)
+		}
+		return out, nil
+	}
+	return fetch(root)
+}

@@ -1,0 +1,120 @@
+package merkledag
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+	"repro/internal/cid"
+)
+
+func TestAssembleConcurrentMatchesSequential(t *testing.T) {
+	store := block.NewMemStore()
+	data := bytes.Repeat([]byte("concurrent assembly test "), 4000)
+	root, err := NewBuilder(store, 512, 4).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8, 64} {
+		got, err := AssembleConcurrent(store, root, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("workers=%d: output differs from input", workers)
+		}
+	}
+}
+
+// countingFetcher counts concurrent Get calls to verify the semaphore.
+type countingFetcher struct {
+	inner   Fetcher
+	cur     int64
+	maxSeen int64
+}
+
+func (c *countingFetcher) Get(id cid.Cid) (block.Block, error) {
+	n := atomic.AddInt64(&c.cur, 1)
+	for {
+		m := atomic.LoadInt64(&c.maxSeen)
+		if n <= m || atomic.CompareAndSwapInt64(&c.maxSeen, m, n) {
+			break
+		}
+	}
+	defer atomic.AddInt64(&c.cur, -1)
+	return c.inner.Get(id)
+}
+
+func TestAssembleConcurrentRespectsWorkerBound(t *testing.T) {
+	store := block.NewMemStore()
+	data := bytes.Repeat([]byte{9}, 64*1024)
+	root, err := NewBuilder(store, 256, 8).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := &countingFetcher{inner: store}
+	if _, err := AssembleConcurrent(cf, root, 4); err != nil {
+		t.Fatal(err)
+	}
+	if cf.maxSeen > 4 {
+		t.Errorf("max concurrent fetches = %d, bound was 4", cf.maxSeen)
+	}
+}
+
+type failingFetcher struct {
+	inner Fetcher
+	fail  cid.Cid
+}
+
+func (f *failingFetcher) Get(c cid.Cid) (block.Block, error) {
+	if c.Equal(f.fail) {
+		return block.Block{}, errors.New("injected failure")
+	}
+	return f.inner.Get(c)
+}
+
+func TestAssembleConcurrentPropagatesErrors(t *testing.T) {
+	store := block.NewMemStore()
+	root, err := NewBuilder(store, 64, 4).Add(bytes.Repeat([]byte{1}, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cids, err := AllCids(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := &failingFetcher{inner: store, fail: cids[len(cids)-1]}
+	if _, err := AssembleConcurrent(ff, root, 8); err == nil {
+		t.Error("injected failure should propagate")
+	}
+}
+
+func TestNamedLinksRoundTrip(t *testing.T) {
+	c1 := cid.Sum(0x55, []byte("child"))
+	n := &Node{Links: []Link{{Cid: c1, Size: 5, Name: "réadme.md"}}}
+	back, err := DecodeNode(n.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Links[0].Name != "réadme.md" {
+		t.Errorf("name = %q", back.Links[0].Name)
+	}
+}
+
+func TestQuickConcurrentAssembleRoundTrip(t *testing.T) {
+	f := func(data []byte, chunkSz uint8) bool {
+		store := block.NewMemStore()
+		root, err := NewBuilder(store, int(chunkSz%64)+1, 3).Add(data)
+		if err != nil {
+			return false
+		}
+		got, err := AssembleConcurrent(store, root, 6)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package merkledag implements the Merkle DAG of §2.1: after chunking,
+// IPFS builds a DAG whose root node combines the CIDs of its
+// descendants to form the final content CID. Merkle DAGs permit
+// multiple parents per node, enabling chunk de-duplication, and are
+// location-agnostic: replicating or deleting a file somewhere in the
+// network never changes the DAG.
+//
+// Nodes are encoded with a compact deterministic binary format standing
+// in for dag-pb: it is self-describing via the CID codec and framed
+// with unsigned varints.
+package merkledag
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/chunker"
+	"repro/internal/cid"
+	"repro/internal/multicodec"
+	"repro/internal/varint"
+)
+
+// DefaultFanout is the maximum number of links per interior node,
+// matching the go-ipfs balanced layout default.
+const DefaultFanout = 174
+
+// Link points from a DAG node to a child. Name is empty for the
+// anonymous links of file DAGs and carries the entry name in
+// directories (see internal/unixfs).
+type Link struct {
+	Cid  cid.Cid
+	Size uint64 // cumulative size of the subtree under the child
+	Name string
+}
+
+// Node is a Merkle DAG node: leaf nodes carry data, interior nodes carry
+// links.
+type Node struct {
+	Links []Link
+	Data  []byte
+}
+
+// Errors returned by this package.
+var (
+	ErrMalformed = errors.New("merkledag: malformed node")
+	ErrMissing   = errors.New("merkledag: block missing from store")
+)
+
+const (
+	nodeMagic   = 0xDA
+	leafMarker  = 0x00
+	innerMarker = 0x01
+)
+
+// Encode serializes a node deterministically.
+func (n *Node) Encode() []byte {
+	out := []byte{nodeMagic}
+	if len(n.Links) == 0 {
+		out = append(out, leafMarker)
+		out = varint.Append(out, uint64(len(n.Data)))
+		return append(out, n.Data...)
+	}
+	out = append(out, innerMarker)
+	out = varint.Append(out, uint64(len(n.Links)))
+	for _, l := range n.Links {
+		raw := l.Cid.Bytes()
+		out = varint.Append(out, uint64(len(raw)))
+		out = append(out, raw...)
+		out = varint.Append(out, l.Size)
+		out = varint.Append(out, uint64(len(l.Name)))
+		out = append(out, l.Name...)
+	}
+	out = varint.Append(out, uint64(len(n.Data)))
+	return append(out, n.Data...)
+}
+
+// DecodeNode parses a serialized node.
+func DecodeNode(raw []byte) (*Node, error) {
+	if len(raw) < 2 || raw[0] != nodeMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	marker := raw[1]
+	raw = raw[2:]
+	n := &Node{}
+	switch marker {
+	case leafMarker:
+		dlen, used, err := varint.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		raw = raw[used:]
+		if uint64(len(raw)) != dlen {
+			return nil, fmt.Errorf("%w: data length mismatch", ErrMalformed)
+		}
+		n.Data = raw
+		return n, nil
+	case innerMarker:
+		nlinks, used, err := varint.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		raw = raw[used:]
+		for i := uint64(0); i < nlinks; i++ {
+			clen, used, err := varint.Decode(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%w: link %d cid len: %v", ErrMalformed, i, err)
+			}
+			raw = raw[used:]
+			if uint64(len(raw)) < clen {
+				return nil, fmt.Errorf("%w: link %d truncated cid", ErrMalformed, i)
+			}
+			c, err := cid.FromBytes(raw[:clen])
+			if err != nil {
+				return nil, fmt.Errorf("%w: link %d: %v", ErrMalformed, i, err)
+			}
+			raw = raw[clen:]
+			size, used, err := varint.Decode(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%w: link %d size: %v", ErrMalformed, i, err)
+			}
+			raw = raw[used:]
+			nlen, used, err := varint.Decode(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%w: link %d name: %v", ErrMalformed, i, err)
+			}
+			raw = raw[used:]
+			if uint64(len(raw)) < nlen {
+				return nil, fmt.Errorf("%w: link %d truncated name", ErrMalformed, i)
+			}
+			name := string(raw[:nlen])
+			raw = raw[nlen:]
+			n.Links = append(n.Links, Link{Cid: c, Size: size, Name: name})
+		}
+		dlen, used, err := varint.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		raw = raw[used:]
+		if uint64(len(raw)) != dlen {
+			return nil, fmt.Errorf("%w: data length mismatch", ErrMalformed)
+		}
+		n.Data = raw
+		return n, nil
+	}
+	return nil, fmt.Errorf("%w: unknown marker 0x%x", ErrMalformed, marker)
+}
+
+// TotalSize returns the cumulative payload size the node covers: its own
+// data plus all linked subtrees.
+func (n *Node) TotalSize() uint64 {
+	s := uint64(len(n.Data))
+	for _, l := range n.Links {
+		s += l.Size
+	}
+	return s
+}
+
+// Builder assembles balanced Merkle DAGs into a blockstore.
+type Builder struct {
+	store     block.Store
+	chunkSize int
+	fanout    int
+}
+
+// NewBuilder returns a DAG builder writing into store. chunkSize and
+// fanout fall back to the network defaults (256 KiB, 174) when <= 0.
+func NewBuilder(store block.Store, chunkSize, fanout int) *Builder {
+	if chunkSize <= 0 {
+		chunkSize = chunker.DefaultChunkSize
+	}
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	return &Builder{store: store, chunkSize: chunkSize, fanout: fanout}
+}
+
+// Add imports data: it chunks, builds the balanced DAG bottom-up, stores
+// every block (step 1 of Figure 3) and returns the root CID.
+func (b *Builder) Add(data []byte) (cid.Cid, error) {
+	chunks := chunker.Split(data, b.chunkSize)
+
+	// Layer 0: leaves.
+	level := make([]Link, 0, len(chunks))
+	for _, c := range chunks {
+		leaf := &Node{Data: c}
+		blk := block.New(multicodec.DagPB, leaf.Encode())
+		if err := b.store.Put(blk); err != nil {
+			return cid.Cid{}, fmt.Errorf("merkledag: storing leaf: %w", err)
+		}
+		level = append(level, Link{Cid: blk.Cid(), Size: uint64(len(c))})
+	}
+
+	// Single chunk: the leaf is the root.
+	for len(level) > 1 {
+		next := make([]Link, 0, (len(level)+b.fanout-1)/b.fanout)
+		for off := 0; off < len(level); off += b.fanout {
+			end := off + b.fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			inner := &Node{Links: append([]Link(nil), level[off:end]...)}
+			blk := block.New(multicodec.DagPB, inner.Encode())
+			if err := b.store.Put(blk); err != nil {
+				return cid.Cid{}, fmt.Errorf("merkledag: storing inner node: %w", err)
+			}
+			next = append(next, Link{Cid: blk.Cid(), Size: inner.TotalSize()})
+		}
+		level = next
+	}
+	return level[0].Cid, nil
+}
+
+// Fetcher retrieves blocks by CID; both local stores and the Bitswap
+// session type satisfy it.
+type Fetcher interface {
+	Get(c cid.Cid) (block.Block, error)
+}
+
+// Assemble walks the DAG rooted at root depth-first, verifying every
+// block against its CID, and returns the reassembled content.
+func Assemble(f Fetcher, root cid.Cid) ([]byte, error) {
+	var out []byte
+	err := Walk(f, root, func(c cid.Cid, n *Node) error {
+		if len(n.Links) == 0 {
+			out = append(out, n.Data...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Walk visits every node of the DAG rooted at root in depth-first
+// pre-order, invoking fn for each. Blocks are verified against their
+// CIDs as they are fetched.
+func Walk(f Fetcher, root cid.Cid, fn func(cid.Cid, *Node) error) error {
+	blk, err := f.Get(root)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrMissing, root, err)
+	}
+	if !root.Verify(blk.Data()) {
+		return fmt.Errorf("merkledag: block %s failed verification", root)
+	}
+	n, err := DecodeNode(blk.Data())
+	if err != nil {
+		return err
+	}
+	if err := fn(root, n); err != nil {
+		return err
+	}
+	for _, l := range n.Links {
+		if err := Walk(f, l.Cid, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllCids returns every CID in the DAG rooted at root, root first.
+func AllCids(f Fetcher, root cid.Cid) ([]cid.Cid, error) {
+	var out []cid.Cid
+	err := Walk(f, root, func(c cid.Cid, _ *Node) error {
+		out = append(out, c)
+		return nil
+	})
+	return out, err
+}
+
+// Stat summarizes a DAG.
+type Stat struct {
+	Blocks      int    // total DAG nodes
+	Leaves      int    // leaf nodes
+	ContentSize uint64 // reassembled payload bytes
+	Depth       int    // tree height (1 for a single leaf)
+}
+
+// Statistics walks the DAG and reports its shape.
+func Statistics(f Fetcher, root cid.Cid) (Stat, error) {
+	var st Stat
+	var depth func(c cid.Cid) (int, error)
+	depth = func(c cid.Cid) (int, error) {
+		blk, err := f.Get(c)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %s: %v", ErrMissing, c, err)
+		}
+		n, err := DecodeNode(blk.Data())
+		if err != nil {
+			return 0, err
+		}
+		st.Blocks++
+		if len(n.Links) == 0 {
+			st.Leaves++
+			st.ContentSize += uint64(len(n.Data))
+			return 1, nil
+		}
+		max := 0
+		for _, l := range n.Links {
+			d, err := depth(l.Cid)
+			if err != nil {
+				return 0, err
+			}
+			if d > max {
+				max = d
+			}
+		}
+		return max + 1, nil
+	}
+	d, err := depth(root)
+	if err != nil {
+		return Stat{}, err
+	}
+	st.Depth = d
+	return st, nil
+}

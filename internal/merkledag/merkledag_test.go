@@ -1,0 +1,242 @@
+package merkledag
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+	"repro/internal/cid"
+	"repro/internal/multicodec"
+)
+
+func TestNodeEncodeDecodeLeaf(t *testing.T) {
+	n := &Node{Data: []byte("leaf payload")}
+	back, err := DecodeNode(n.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Data, n.Data) || len(back.Links) != 0 {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestNodeEncodeDecodeInner(t *testing.T) {
+	c1 := cid.Sum(multicodec.DagPB, []byte("a"))
+	c2 := cid.Sum(multicodec.DagPB, []byte("b"))
+	n := &Node{Links: []Link{{Cid: c1, Size: 10}, {Cid: c2, Size: 20}}}
+	back, err := DecodeNode(n.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Links) != 2 || !back.Links[0].Cid.Equal(c1) || back.Links[1].Size != 20 {
+		t.Errorf("round trip = %+v", back)
+	}
+	if back.TotalSize() != 30 {
+		t.Errorf("TotalSize = %d", back.TotalSize())
+	}
+}
+
+func TestDecodeNodeErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{0x00},
+		{0xDA, 0x99, 0x00},
+		{0xDA, 0x00, 0x05, 0x01},       // claims 5 data bytes, has 1
+		{0xDA, 0x01, 0x01, 0x02, 0x01}, // truncated link cid
+	}
+	for i, raw := range bad {
+		if _, err := DecodeNode(raw); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestAddSingleChunk(t *testing.T) {
+	store := block.NewMemStore()
+	b := NewBuilder(store, 1024, 4)
+	data := []byte("fits in one chunk")
+	root, err := b.Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Errorf("store has %d blocks, want 1", store.Len())
+	}
+	got, err := Assemble(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("Assemble mismatch")
+	}
+}
+
+func TestAddMultiLevel(t *testing.T) {
+	store := block.NewMemStore()
+	b := NewBuilder(store, 16, 2)                        // tiny params force a deep tree
+	data := bytes.Repeat([]byte("0123456789abcdef"), 16) // 16 chunks
+	root, err := b.Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Assemble(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("Assemble mismatch on multi-level DAG")
+	}
+	st, err := Statistics(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leaves != 16 {
+		t.Errorf("Leaves = %d, want 16", st.Leaves)
+	}
+	if st.ContentSize != uint64(len(data)) {
+		t.Errorf("ContentSize = %d, want %d", st.ContentSize, len(data))
+	}
+	// 16 leaves with fanout 2: depth = 1 + ceil(log2(16)) = 5.
+	if st.Depth != 5 {
+		t.Errorf("Depth = %d, want 5", st.Depth)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	// The same chunk appearing many times is stored once: the dedup
+	// property §2.1 attributes to Merkle DAGs.
+	store := block.NewMemStore()
+	b := NewBuilder(store, 16, 4)
+	repeated := bytes.Repeat([]byte("samechunk16bytes"), 8) // 8 identical chunks
+	root, err := b.Add(repeated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Statistics(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leaves != 8 {
+		t.Errorf("logical leaves = %d, want 8", st.Leaves)
+	}
+	// Physically: 1 unique leaf + interior nodes. 8 links/fanout 4 = 2
+	// inner (identical → dedup to... they have identical links so also 1)
+	// + root. Just assert far fewer blocks than logical nodes.
+	if store.Len() >= st.Blocks {
+		t.Errorf("store holds %d blocks for %d logical nodes; expected de-duplication", store.Len(), st.Blocks)
+	}
+	got, err := Assemble(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, repeated) {
+		t.Error("Assemble mismatch after dedup")
+	}
+}
+
+func TestSameContentSameRoot(t *testing.T) {
+	s1, s2 := block.NewMemStore(), block.NewMemStore()
+	data := []byte("location independence")
+	r1, _ := NewBuilder(s1, 8, 2).Add(data)
+	r2, _ := NewBuilder(s2, 8, 2).Add(data)
+	if !r1.Equal(r2) {
+		t.Error("same content and parameters must produce the same root CID")
+	}
+	r3, _ := NewBuilder(block.NewMemStore(), 4, 2).Add(data)
+	if r1.Equal(r3) {
+		t.Error("different chunk size should change the root CID")
+	}
+}
+
+func TestAssembleMissingBlock(t *testing.T) {
+	store := block.NewMemStore()
+	b := NewBuilder(store, 8, 2)
+	data := bytes.Repeat([]byte{7}, 64)
+	root, err := b.Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove one leaf.
+	cids, err := AllCids(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Delete(cids[len(cids)-1])
+	if _, err := Assemble(store, root); err == nil {
+		t.Error("Assemble with missing block should fail")
+	}
+}
+
+func TestEmptyContent(t *testing.T) {
+	store := block.NewMemStore()
+	root, err := NewBuilder(store, 0, 0).Add(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Assemble(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty content reassembled to %d bytes", len(got))
+	}
+}
+
+func TestAllCidsRootFirst(t *testing.T) {
+	store := block.NewMemStore()
+	root, err := NewBuilder(store, 8, 2).Add(bytes.Repeat([]byte{1}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cids, err := AllCids(store, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cids) == 0 || !cids[0].Equal(root) {
+		t.Error("AllCids should list the root first")
+	}
+}
+
+func TestQuickAddAssembleRoundTrip(t *testing.T) {
+	f := func(data []byte, chunkSz, fanout uint8) bool {
+		store := block.NewMemStore()
+		b := NewBuilder(store, int(chunkSz%64)+1, int(fanout%8)+2)
+		root, err := b.Add(data)
+		if err != nil {
+			return false
+		}
+		got, err := Assemble(store, root)
+		return err == nil && bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNodeRoundTrip(t *testing.T) {
+	f := func(data []byte, nlinks uint8) bool {
+		n := &Node{Data: data}
+		for i := 0; i < int(nlinks%5); i++ {
+			n.Links = append(n.Links, Link{Cid: cid.Sum(multicodec.Raw, []byte{byte(i)}), Size: uint64(i) * 7})
+		}
+		back, err := DecodeNode(n.Encode())
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(back.Data, n.Data) || len(back.Links) != len(n.Links) {
+			return false
+		}
+		for i := range n.Links {
+			if !back.Links[i].Cid.Equal(n.Links[i].Cid) || back.Links[i].Size != n.Links[i].Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package multiaddr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFigure2(t *testing.T) {
+	// The paper's Figure 2 example.
+	m, err := Parse("/ip4/1.2.3.4/tcp/3333/p2p/QmZyWQ14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.String(); got != "/ip4/1.2.3.4/tcp/3333/p2p/QmZyWQ14" {
+		t.Errorf("String() = %q", got)
+	}
+	if v, _ := m.Value("ip4"); v != "1.2.3.4" {
+		t.Errorf("ip4 = %q", v)
+	}
+	if v, _ := m.Value("tcp"); v != "3333" {
+		t.Errorf("tcp = %q", v)
+	}
+	if id, ok := m.PeerID(); !ok || id != "QmZyWQ14" {
+		t.Errorf("PeerID = %q, %v", id, ok)
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	valid := []string{
+		"/ip4/127.0.0.1/tcp/4001",
+		"/ip6/::1/tcp/4001",
+		"/ip4/10.0.0.1/udp/4001/quic",
+		"/dns4/example.com/tcp/443/ws",
+		"/p2p/QmAbC",
+	}
+	for _, s := range valid {
+		m, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if m.String() != s {
+			t.Errorf("round trip %q -> %q", s, m.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	invalid := []string{
+		"",
+		"ip4/1.2.3.4",
+		"/",
+		"/ip4",
+		"/ip4/999.0.0.1/tcp/80",
+		"/ip4/1.2.3.4/tcp/99999",
+		"/ip4/::1/tcp/80",
+		"/ip6/1.2.3.4/tcp/80",
+		"/bogus/1",
+		"/tcp/-1",
+	}
+	for _, s := range invalid {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestEncapsulateDecapsulate(t *testing.T) {
+	base := MustParse("/ip4/1.2.3.4/tcp/3333")
+	p2p := MustParse("/p2p/QmTarget")
+	full := base.Encapsulate(p2p)
+	if full.String() != "/ip4/1.2.3.4/tcp/3333/p2p/QmTarget" {
+		t.Errorf("Encapsulate = %s", full)
+	}
+	back := full.Decapsulate(p2p)
+	if !back.Equal(base) {
+		t.Errorf("Decapsulate = %s, want %s", back, base)
+	}
+	// Decapsulating something absent is a no-op.
+	if got := base.Decapsulate(MustParse("/p2p/QmOther")); !got.Equal(base) {
+		t.Errorf("absent Decapsulate = %s", got)
+	}
+}
+
+func TestRelayPrefixing(t *testing.T) {
+	relay := MustParse("/ip4/9.9.9.9/tcp/4001/p2p/QmRelay")
+	m := Relay(relay, "QmBrowserNode")
+	want := "/ip4/9.9.9.9/tcp/4001/p2p/QmRelay/p2p-circuit/p2p/QmBrowserNode"
+	if m.String() != want {
+		t.Errorf("Relay = %s, want %s", m, want)
+	}
+	if !m.IsRelay() {
+		t.Error("IsRelay should be true")
+	}
+	if relay.IsRelay() {
+		t.Error("plain address should not be a relay")
+	}
+}
+
+func TestDialInfo(t *testing.T) {
+	m := MustParse("/ip4/127.0.0.1/tcp/4001/p2p/QmX")
+	network, hostport, err := m.DialInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if network != "tcp" || hostport != "127.0.0.1:4001" {
+		t.Errorf("DialInfo = %s %s", network, hostport)
+	}
+	if _, _, err := MustParse("/p2p/QmX").DialInfo(); err == nil {
+		t.Error("p2p-only address should not be dialable")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"/ip4/1.2.3.4/tcp/3333/p2p/QmZyWQ14",
+		"/ip4/10.0.0.1/udp/4001/quic",
+		"/dns4/gateway.ipfs.io/tcp/443/ws",
+	} {
+		m := MustParse(s)
+		back, err := FromBytes(m.Bytes())
+		if err != nil {
+			t.Fatalf("FromBytes(%s): %v", s, err)
+		}
+		if !back.Equal(m) {
+			t.Errorf("binary round trip %q -> %q", s, back)
+		}
+	}
+}
+
+func TestFromBytesErrors(t *testing.T) {
+	if _, err := FromBytes(nil); err == nil {
+		t.Error("empty binary should fail")
+	}
+	if _, err := FromBytes([]byte{0xff, 0xff, 0x01}); err == nil {
+		t.Error("unknown code should fail")
+	}
+	m := MustParse("/p2p/QmX")
+	raw := m.Bytes()
+	if _, err := FromBytes(raw[:len(raw)-2]); err == nil {
+		t.Error("truncated value should fail")
+	}
+}
+
+func TestForPeer(t *testing.T) {
+	m := ForPeer("192.168.1.7", 4001, "QmPeer")
+	if !strings.HasSuffix(m.String(), "/p2p/QmPeer") {
+		t.Errorf("ForPeer = %s", m)
+	}
+}
+
+func TestQuickForPeerRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint8, port uint16, idSeed uint8) bool {
+		ip := MustParse("/ip4/" + ipStr(a, b, c, d) + "/tcp/" + itoa(int(port)))
+		back, err := FromBytes(ip.Bytes())
+		return err == nil && back.Equal(ip)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func ipStr(a, b, c, d uint8) string {
+	return itoa(int(a)) + "." + itoa(int(b)) + "." + itoa(int(c)) + "." + itoa(int(d))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

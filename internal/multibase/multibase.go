@@ -1,0 +1,191 @@
+// Package multibase implements the self-describing base-encoding scheme
+// used by CIDs (§2.1, Figure 1 of the paper). A multibase string is a
+// single prefix character identifying the encoding followed by the
+// encoded payload. The paper's example CID uses base32 ("b").
+package multibase
+
+import (
+	"encoding/base32"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Encoding identifies a supported multibase encoding by its prefix rune.
+type Encoding rune
+
+// Supported encodings. The live network supports 24; we implement the
+// ones IPFS actually emits plus hex for debugging.
+const (
+	Identity  Encoding = '\x00' // raw binary passthrough
+	Base16    Encoding = 'f'    // lowercase hex
+	Base32    Encoding = 'b'    // RFC4648 lowercase, no padding (CIDv1 default)
+	Base32Up  Encoding = 'B'    // RFC4648 uppercase, no padding
+	Base58BTC Encoding = 'z'    // Bitcoin alphabet (CIDv0, PeerIDs)
+	Base64    Encoding = 'm'    // RFC4648, no padding
+	Base64URL Encoding = 'u'    // RFC4648 URL-safe, no padding
+)
+
+var (
+	base32Lower = base32.StdEncoding.WithPadding(base32.NoPadding)
+	base32Upper = base32.StdEncoding.WithPadding(base32.NoPadding)
+	base64Std   = base64.StdEncoding.WithPadding(base64.NoPadding)
+	base64URL   = base64.URLEncoding.WithPadding(base64.NoPadding)
+)
+
+const btcAlphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+var btcIndex = func() [256]int8 {
+	var idx [256]int8
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := 0; i < len(btcAlphabet); i++ {
+		idx[btcAlphabet[i]] = int8(i)
+	}
+	return idx
+}()
+
+// Name returns the canonical multibase name of the encoding.
+func (e Encoding) Name() string {
+	switch e {
+	case Identity:
+		return "identity"
+	case Base16:
+		return "base16"
+	case Base32:
+		return "base32"
+	case Base32Up:
+		return "base32upper"
+	case Base58BTC:
+		return "base58btc"
+	case Base64:
+		return "base64"
+	case Base64URL:
+		return "base64url"
+	}
+	return fmt.Sprintf("unknown(%q)", rune(e))
+}
+
+// Encode encodes data with the given encoding, including the prefix rune.
+func Encode(e Encoding, data []byte) (string, error) {
+	switch e {
+	case Identity:
+		return "\x00" + string(data), nil
+	case Base16:
+		return "f" + hex.EncodeToString(data), nil
+	case Base32:
+		return "b" + strings.ToLower(base32Lower.EncodeToString(data)), nil
+	case Base32Up:
+		return "B" + base32Upper.EncodeToString(data), nil
+	case Base58BTC:
+		return "z" + base58Encode(data), nil
+	case Base64:
+		return "m" + base64Std.EncodeToString(data), nil
+	case Base64URL:
+		return "u" + base64URL.EncodeToString(data), nil
+	}
+	return "", fmt.Errorf("multibase: unsupported encoding %q", rune(e))
+}
+
+// MustEncode is Encode for known-good encodings; it panics on error.
+func MustEncode(e Encoding, data []byte) string {
+	s, err := Encode(e, data)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Decode parses a multibase string, returning the encoding indicated by
+// its prefix and the decoded payload.
+func Decode(s string) (Encoding, []byte, error) {
+	if len(s) == 0 {
+		return 0, nil, fmt.Errorf("multibase: empty string")
+	}
+	e := Encoding(s[0])
+	rest := s[1:]
+	switch e {
+	case Identity:
+		return e, []byte(rest), nil
+	case Base16:
+		b, err := hex.DecodeString(rest)
+		return e, b, wrapErr(err)
+	case Base32:
+		b, err := base32Lower.DecodeString(strings.ToUpper(rest))
+		return e, b, wrapErr(err)
+	case Base32Up:
+		b, err := base32Upper.DecodeString(rest)
+		return e, b, wrapErr(err)
+	case Base58BTC:
+		b, err := base58Decode(rest)
+		return e, b, wrapErr(err)
+	case Base64:
+		b, err := base64Std.DecodeString(rest)
+		return e, b, wrapErr(err)
+	case Base64URL:
+		b, err := base64URL.DecodeString(rest)
+		return e, b, wrapErr(err)
+	}
+	return 0, nil, fmt.Errorf("multibase: unknown prefix %q", s[0])
+}
+
+func wrapErr(err error) error {
+	if err != nil {
+		return fmt.Errorf("multibase: %w", err)
+	}
+	return nil
+}
+
+func base58Encode(data []byte) string {
+	if len(data) == 0 {
+		return ""
+	}
+	// Count leading zero bytes: they map to leading '1' characters.
+	zeros := 0
+	for zeros < len(data) && data[zeros] == 0 {
+		zeros++
+	}
+	x := new(big.Int).SetBytes(data)
+	radix := big.NewInt(58)
+	mod := new(big.Int)
+	var out []byte
+	for x.Sign() > 0 {
+		x.DivMod(x, radix, mod)
+		out = append(out, btcAlphabet[mod.Int64()])
+	}
+	for i := 0; i < zeros; i++ {
+		out = append(out, '1')
+	}
+	// Reverse.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return string(out)
+}
+
+func base58Decode(s string) ([]byte, error) {
+	if len(s) == 0 {
+		return nil, nil
+	}
+	zeros := 0
+	for zeros < len(s) && s[zeros] == '1' {
+		zeros++
+	}
+	x := new(big.Int)
+	radix := big.NewInt(58)
+	for i := zeros; i < len(s); i++ {
+		d := btcIndex[s[i]]
+		if d < 0 {
+			return nil, fmt.Errorf("invalid base58 character %q", s[i])
+		}
+		x.Mul(x, radix)
+		x.Add(x, big.NewInt(int64(d)))
+	}
+	body := x.Bytes()
+	out := make([]byte, zeros+len(body))
+	copy(out[zeros:], body)
+	return out, nil
+}

@@ -1,0 +1,56 @@
+// Package multicodec holds the subset of the multicodec table used by
+// this implementation. A multicodec code is a varint identifier that
+// tells a consumer how the addressed bytes are encoded (§2.1, Figure 1:
+// "Multicodec identifier — protobuf, json, cbor, etc.").
+package multicodec
+
+import "fmt"
+
+// Code is a multicodec identifier.
+type Code uint64
+
+// Codec and multihash codes from the canonical multicodec table.
+const (
+	Identity  Code = 0x00
+	Raw       Code = 0x55 // raw binary
+	DagPB     Code = 0x70 // MerkleDAG protobuf (the paper's Fig 1 example)
+	DagCBOR   Code = 0x71
+	Libp2pKey Code = 0x72 // public key addressed content (IPNS)
+
+	// Multihash function codes (they share the same table).
+	IdentityHash Code = 0x00
+	SHA2_256     Code = 0x12
+	SHA2_512     Code = 0x13
+)
+
+var names = map[Code]string{
+	Raw:       "raw",
+	DagPB:     "dag-pb",
+	DagCBOR:   "dag-cbor",
+	Libp2pKey: "libp2p-key",
+	SHA2_256:  "sha2-256",
+	SHA2_512:  "sha2-512",
+}
+
+// String returns the canonical name of the code. Identity (0x00) is
+// ambiguous between the codec and multihash tables; it prints as
+// "identity".
+func (c Code) String() string {
+	if c == Identity {
+		return "identity"
+	}
+	if n, ok := names[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("multicodec(0x%x)", uint64(c))
+}
+
+// KnownCodec reports whether c is a content codec this implementation
+// can interpret.
+func KnownCodec(c Code) bool {
+	switch c {
+	case Raw, DagPB, DagCBOR, Libp2pKey, Identity:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package multicodec
+
+import "testing"
+
+func TestCanonicalCodes(t *testing.T) {
+	// Codes from the canonical multicodec table; Figure 1 shows dag-pb
+	// (0x70) and sha2-256 (0x12).
+	cases := []struct {
+		code Code
+		want uint64
+	}{
+		{Raw, 0x55},
+		{DagPB, 0x70},
+		{DagCBOR, 0x71},
+		{Libp2pKey, 0x72},
+		{SHA2_256, 0x12},
+		{SHA2_512, 0x13},
+		{Identity, 0x00},
+	}
+	for _, c := range cases {
+		if uint64(c.code) != c.want {
+			t.Errorf("%s = 0x%x, want 0x%x", c.code, uint64(c.code), c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[Code]string{
+		Raw:      "raw",
+		DagPB:    "dag-pb",
+		SHA2_256: "sha2-256",
+		Identity: "identity",
+	}
+	for code, want := range cases {
+		if got := code.String(); got != want {
+			t.Errorf("String(0x%x) = %q, want %q", uint64(code), got, want)
+		}
+	}
+	if got := Code(0xbeef).String(); got != "multicodec(0xbeef)" {
+		t.Errorf("unknown code String = %q", got)
+	}
+}
+
+func TestKnownCodec(t *testing.T) {
+	for _, c := range []Code{Raw, DagPB, DagCBOR, Libp2pKey, Identity} {
+		if !KnownCodec(c) {
+			t.Errorf("KnownCodec(%s) = false", c)
+		}
+	}
+	if KnownCodec(Code(0x9999)) {
+		t.Error("KnownCodec(0x9999) = true")
+	}
+}

@@ -1,0 +1,112 @@
+// Package multihash implements self-describing hash digests (§2.1,
+// Figure 1). A multihash is <hash-func-code varint><digest-length
+// varint><digest>, so readers can verify content without out-of-band
+// agreement on the hash function. The network default is sha2-256 with
+// 32-byte digests.
+package multihash
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/sha512"
+	"errors"
+	"fmt"
+
+	"repro/internal/multicodec"
+	"repro/internal/varint"
+)
+
+// Multihash is a validated, binary-encoded multihash.
+type Multihash []byte
+
+// Errors returned by this package.
+var (
+	ErrUnknownFunction = errors.New("multihash: unknown hash function")
+	ErrInvalidLength   = errors.New("multihash: digest length mismatch")
+	ErrTooShort        = errors.New("multihash: buffer too short")
+)
+
+// Sum computes the multihash of data with the given hash function code.
+// The supported codes are SHA2_256 (the network default), SHA2_512 and
+// IdentityHash (which embeds data directly and is used for small inline
+// objects).
+func Sum(code multicodec.Code, data []byte) (Multihash, error) {
+	var digest []byte
+	switch code {
+	case multicodec.SHA2_256:
+		d := sha256.Sum256(data)
+		digest = d[:]
+	case multicodec.SHA2_512:
+		d := sha512.Sum512(data)
+		digest = d[:]
+	case multicodec.IdentityHash:
+		digest = data
+	default:
+		return nil, fmt.Errorf("%w: 0x%x", ErrUnknownFunction, uint64(code))
+	}
+	return FromDigest(code, digest), nil
+}
+
+// SumSHA256 computes the default sha2-256 multihash of data.
+func SumSHA256(data []byte) Multihash {
+	mh, _ := Sum(multicodec.SHA2_256, data)
+	return mh
+}
+
+// FromDigest wraps an already-computed digest in multihash framing.
+func FromDigest(code multicodec.Code, digest []byte) Multihash {
+	buf := varint.Encode(uint64(code))
+	buf = varint.Append(buf, uint64(len(digest)))
+	return append(buf, digest...)
+}
+
+// Decoded is the parsed form of a multihash.
+type Decoded struct {
+	Code   multicodec.Code // hash function
+	Length int             // digest length in bytes
+	Digest []byte          // the raw digest
+}
+
+// Decode parses and validates a binary multihash.
+func Decode(mh []byte) (Decoded, error) {
+	code, n, err := varint.Decode(mh)
+	if err != nil {
+		return Decoded{}, fmt.Errorf("multihash: reading code: %w", err)
+	}
+	length, m, err := varint.Decode(mh[n:])
+	if err != nil {
+		return Decoded{}, fmt.Errorf("multihash: reading length: %w", err)
+	}
+	digest := mh[n+m:]
+	if uint64(len(digest)) != length {
+		return Decoded{}, fmt.Errorf("%w: header says %d, have %d bytes", ErrInvalidLength, length, len(digest))
+	}
+	return Decoded{Code: multicodec.Code(code), Length: int(length), Digest: digest}, nil
+}
+
+// Validate reports whether mh is a well-formed multihash.
+func Validate(mh []byte) error {
+	_, err := Decode(mh)
+	return err
+}
+
+// Verify reports whether mh is the multihash of data, enabling the
+// self-certification property of §2.1 ("content cannot be altered
+// without modifying its CID").
+func Verify(mh Multihash, data []byte) bool {
+	dec, err := Decode(mh)
+	if err != nil {
+		return false
+	}
+	want, err := Sum(dec.Code, data)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(mh, want)
+}
+
+// Equal reports whether two multihashes are byte-identical.
+func Equal(a, b Multihash) bool { return bytes.Equal(a, b) }
+
+// String renders the multihash as hex for debugging.
+func (m Multihash) String() string { return fmt.Sprintf("%x", []byte(m)) }

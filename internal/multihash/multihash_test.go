@@ -1,0 +1,128 @@
+package multihash
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/multicodec"
+)
+
+func TestSumSHA256Framing(t *testing.T) {
+	data := []byte("merkle-dag")
+	mh := SumSHA256(data)
+	// Figure 1: sha2-256 code 0x12, length 0x20, then the digest.
+	if mh[0] != 0x12 {
+		t.Errorf("function code = 0x%x, want 0x12", mh[0])
+	}
+	if mh[1] != 0x20 {
+		t.Errorf("length = 0x%x, want 0x20 (32 bytes)", mh[1])
+	}
+	want := sha256.Sum256(data)
+	if !bytes.Equal(mh[2:], want[:]) {
+		t.Error("digest mismatch with crypto/sha256")
+	}
+}
+
+func TestDecode(t *testing.T) {
+	mh := SumSHA256([]byte("x"))
+	dec, err := Decode(mh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Code != multicodec.SHA2_256 || dec.Length != 32 || len(dec.Digest) != 32 {
+		t.Errorf("Decode = %+v", dec)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty multihash should fail")
+	}
+	if _, err := Decode([]byte{0x12}); err == nil {
+		t.Error("missing length should fail")
+	}
+	if _, err := Decode([]byte{0x12, 0x20, 0xab}); err == nil {
+		t.Error("short digest should fail")
+	}
+	mh := SumSHA256([]byte("x"))
+	if _, err := Decode(append(mh, 0x00)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestSumUnknownFunction(t *testing.T) {
+	if _, err := Sum(multicodec.Code(0x9999), []byte("x")); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestIdentityHash(t *testing.T) {
+	data := []byte("tiny")
+	mh, err := Sum(multicodec.IdentityHash, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(mh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Digest, data) {
+		t.Errorf("identity digest = %q, want %q", dec.Digest, data)
+	}
+	if !Verify(mh, data) {
+		t.Error("identity multihash should verify")
+	}
+}
+
+func TestVerifySelfCertification(t *testing.T) {
+	data := []byte("the content cannot be altered without modifying its CID")
+	mh := SumSHA256(data)
+	if !Verify(mh, data) {
+		t.Error("Verify should accept matching content")
+	}
+	tampered := append([]byte(nil), data...)
+	tampered[0] ^= 1
+	if Verify(mh, tampered) {
+		t.Error("Verify should reject tampered content")
+	}
+	if Verify(Multihash{0x12, 0x01, 0xab}, data) {
+		t.Error("Verify should reject digest with wrong length for sha2-256")
+	}
+}
+
+func TestSHA512(t *testing.T) {
+	mh, err := Sum(multicodec.SHA2_512, []byte("long hash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(mh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Length != 64 {
+		t.Errorf("sha2-512 length = %d, want 64", dec.Length)
+	}
+}
+
+func TestQuickSumVerify(t *testing.T) {
+	f := func(data []byte) bool {
+		return Verify(SumSHA256(data), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistinctInputsDistinctHashes(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		return !Equal(SumSHA256(a), SumSHA256(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

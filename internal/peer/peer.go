@@ -1,0 +1,139 @@
+// Package peer implements peer identity (§2.2): every peer is
+// identified by a PeerID, the multihash of its public key. The PeerID is
+// used when establishing a secure channel to verify that the key
+// securing the channel is the key that identifies the peer.
+package peer
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/multibase"
+	"repro/internal/multicodec"
+	"repro/internal/multihash"
+)
+
+// ID is a PeerID: the multihash of the peer's public key, stored as a
+// string so it can key maps.
+type ID string
+
+// Identity is a peer's key pair plus its derived ID.
+type Identity struct {
+	ID      ID
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+}
+
+// Errors returned by this package.
+var (
+	ErrBadSignature = errors.New("peer: bad signature")
+	ErrKeyMismatch  = errors.New("peer: public key does not match PeerID")
+)
+
+// NewIdentity generates a fresh ed25519 identity using the provided
+// randomness source. Passing a seeded *rand.Rand makes network
+// populations reproducible; pass nil for crypto-quality randomness.
+func NewIdentity(rng *rand.Rand) (Identity, error) {
+	var (
+		pub  ed25519.PublicKey
+		priv ed25519.PrivateKey
+		err  error
+	)
+	if rng == nil {
+		pub, priv, err = ed25519.GenerateKey(nil)
+	} else {
+		pub, priv, err = ed25519.GenerateKey(rngReader{rng})
+	}
+	if err != nil {
+		return Identity{}, fmt.Errorf("peer: generating key: %w", err)
+	}
+	return Identity{ID: IDFromPublicKey(pub), Public: pub, private: priv}, nil
+}
+
+// MustNewIdentity is NewIdentity for tests; it panics on error.
+func MustNewIdentity(rng *rand.Rand) Identity {
+	id, err := NewIdentity(rng)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+type rngReader struct{ r *rand.Rand }
+
+func (r rngReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(r.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+// IDFromPublicKey derives the PeerID: the sha2-256 multihash of the
+// public key bytes.
+func IDFromPublicKey(pub ed25519.PublicKey) ID {
+	return ID(multihash.SumSHA256(pub))
+}
+
+// Sign signs msg with the identity's private key.
+func (id Identity) Sign(msg []byte) []byte {
+	return ed25519.Sign(id.private, msg)
+}
+
+// Verify checks that sig over msg was produced by the holder of pub,
+// and that pub is the key identified by expected.
+func Verify(expected ID, pub ed25519.PublicKey, msg, sig []byte) error {
+	if IDFromPublicKey(pub) != expected {
+		return ErrKeyMismatch
+	}
+	if !ed25519.Verify(pub, msg, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Multihash returns the ID's underlying multihash bytes.
+func (id ID) Multihash() multihash.Multihash { return multihash.Multihash(id) }
+
+// DHTKey returns the 256-bit key under which this peer is indexed in the
+// DHT: the SHA256 of its binary representation (§2.3).
+func (id ID) DHTKey() []byte {
+	mh := multihash.SumSHA256([]byte(id))
+	dec, _ := multihash.Decode(mh)
+	return dec.Digest
+}
+
+// String renders the ID in base58btc, the familiar "Qm..."-style form.
+func (id ID) String() string {
+	if id == "" {
+		return "<nil-peer>"
+	}
+	return multibase.MustEncode(multibase.Base58BTC, []byte(id))[1:]
+}
+
+// Short returns a truncated form for logs.
+func (id ID) Short() string {
+	s := id.String()
+	if len(s) > 8 {
+		return s[:8]
+	}
+	return s
+}
+
+// ParseID decodes the base58btc text form of a PeerID.
+func ParseID(s string) (ID, error) {
+	_, raw, err := multibase.Decode("z" + s)
+	if err != nil {
+		return "", fmt.Errorf("peer: parsing id: %w", err)
+	}
+	if err := multihash.Validate(raw); err != nil {
+		return "", fmt.Errorf("peer: id is not a multihash: %w", err)
+	}
+	return ID(raw), nil
+}
+
+// IPNSKeyCid returns the CID form of the peer's public key hash used by
+// IPNS ("the CID of the publisher's public key", §3.3). It uses the
+// libp2p-key codec.
+func (id ID) IPNSKeyCid() multicodec.Code { return multicodec.Libp2pKey }

@@ -1,0 +1,105 @@
+package peer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityDeterministicWithSeed(t *testing.T) {
+	a := MustNewIdentity(rand.New(rand.NewSource(7)))
+	b := MustNewIdentity(rand.New(rand.NewSource(7)))
+	if a.ID != b.ID {
+		t.Error("same seed should yield the same identity")
+	}
+	c := MustNewIdentity(rand.New(rand.NewSource(8)))
+	if a.ID == c.ID {
+		t.Error("different seeds should yield different identities")
+	}
+}
+
+func TestIDFromPublicKey(t *testing.T) {
+	id := MustNewIdentity(rand.New(rand.NewSource(1)))
+	if IDFromPublicKey(id.Public) != id.ID {
+		t.Error("ID must be the multihash of the public key")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	id := MustNewIdentity(rand.New(rand.NewSource(2)))
+	msg := []byte("provider record")
+	sig := id.Sign(msg)
+	if err := Verify(id.ID, id.Public, msg, sig); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// Tampered message.
+	if err := Verify(id.ID, id.Public, []byte("other"), sig); err != ErrBadSignature {
+		t.Errorf("tampered msg: err = %v, want ErrBadSignature", err)
+	}
+	// Wrong key for the claimed ID: channel security check of §2.2.
+	other := MustNewIdentity(rand.New(rand.NewSource(3)))
+	if err := Verify(id.ID, other.Public, msg, other.Sign(msg)); err != ErrKeyMismatch {
+		t.Errorf("impostor key: err = %v, want ErrKeyMismatch", err)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	id := MustNewIdentity(rand.New(rand.NewSource(4)))
+	s := id.ID.String()
+	back, err := ParseID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id.ID {
+		t.Errorf("ParseID(String()) = %s, want %s", back, id.ID)
+	}
+}
+
+func TestParseIDErrors(t *testing.T) {
+	if _, err := ParseID("not!base58"); err == nil {
+		t.Error("invalid base58 should fail")
+	}
+	if _, err := ParseID("111"); err == nil {
+		t.Error("non-multihash should fail")
+	}
+}
+
+func TestDHTKey(t *testing.T) {
+	id := MustNewIdentity(rand.New(rand.NewSource(5)))
+	k := id.ID.DHTKey()
+	if len(k) != 32 {
+		t.Errorf("DHT key length = %d, want 32 (256-bit keyspace)", len(k))
+	}
+	other := MustNewIdentity(rand.New(rand.NewSource(6)))
+	k2 := other.ID.DHTKey()
+	same := true
+	for i := range k {
+		if k[i] != k2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("distinct peers must map to distinct DHT keys")
+	}
+}
+
+func TestShort(t *testing.T) {
+	id := MustNewIdentity(rand.New(rand.NewSource(9)))
+	if len(id.ID.Short()) != 8 {
+		t.Errorf("Short() = %q", id.ID.Short())
+	}
+	if ID("").String() != "<nil-peer>" {
+		t.Error("zero ID should print a placeholder")
+	}
+}
+
+func TestQuickSignVerify(t *testing.T) {
+	id := MustNewIdentity(rand.New(rand.NewSource(10)))
+	f := func(msg []byte) bool {
+		return Verify(id.ID, id.Public, msg, id.Sign(msg)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package record implements the two record types the DHT stores
+// (§3.1): provider records, which map a CID to the PeerID of a peer
+// holding the content, and signed peer records, which map a PeerID to
+// its Multiaddresses. Both carry the timers of §3.1: records are
+// republished every 12 h and expire after 24 h so the system never
+// serves stale mappings.
+package record
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/varint"
+)
+
+// Default intervals from §3.1.
+const (
+	DefaultRepublishInterval = 12 * time.Hour
+	DefaultExpireInterval    = 24 * time.Hour
+)
+
+// ProviderRecord states that Provider held the content identified by
+// Cid at time Published.
+type ProviderRecord struct {
+	Cid       cid.Cid
+	Provider  peer.ID
+	Published time.Time
+}
+
+// Expired reports whether the record has passed the expiry interval at
+// time now.
+func (r ProviderRecord) Expired(now time.Time, ttl time.Duration) bool {
+	if ttl <= 0 {
+		ttl = DefaultExpireInterval
+	}
+	return now.Sub(r.Published) > ttl
+}
+
+// PeerRecord maps a PeerID to its Multiaddresses, signed by the peer's
+// key so that requestors can authenticate the mapping.
+type PeerRecord struct {
+	ID        peer.ID
+	Addrs     []multiaddr.Multiaddr
+	Seq       uint64 // monotonically increasing per publisher
+	PublicKey ed25519.PublicKey
+	Signature []byte
+	Published time.Time
+}
+
+// Errors returned by this package.
+var (
+	ErrBadRecord = errors.New("record: malformed")
+	ErrExpired   = errors.New("record: expired")
+)
+
+// signablePeerRecord returns the canonical byte string covered by the
+// peer-record signature.
+func signablePeerRecord(id peer.ID, addrs []multiaddr.Multiaddr, seq uint64) []byte {
+	out := []byte("ipfs-peer-record:")
+	out = append(out, id...)
+	out = varint.Append(out, seq)
+	for _, a := range addrs {
+		ab := a.Bytes()
+		out = varint.Append(out, uint64(len(ab)))
+		out = append(out, ab...)
+	}
+	return out
+}
+
+// NewPeerRecord builds and signs a peer record for the identity.
+func NewPeerRecord(ident peer.Identity, addrs []multiaddr.Multiaddr, seq uint64, now time.Time) PeerRecord {
+	return PeerRecord{
+		ID:        ident.ID,
+		Addrs:     append([]multiaddr.Multiaddr(nil), addrs...),
+		Seq:       seq,
+		PublicKey: ident.Public,
+		Signature: ident.Sign(signablePeerRecord(ident.ID, addrs, seq)),
+		Published: now,
+	}
+}
+
+// Verify checks the record's signature and that the embedded key
+// matches the claimed PeerID.
+func (r PeerRecord) Verify() error {
+	return peer.Verify(r.ID, r.PublicKey, signablePeerRecord(r.ID, r.Addrs, r.Seq), r.Signature)
+}
+
+// Expired reports whether the record is older than ttl at now.
+func (r PeerRecord) Expired(now time.Time, ttl time.Duration) bool {
+	if ttl <= 0 {
+		ttl = DefaultExpireInterval
+	}
+	return now.Sub(r.Published) > ttl
+}
+
+// ProviderStore holds the provider records a DHT server is responsible
+// for. It enforces the expiry interval on read.
+type ProviderStore struct {
+	mu      sync.RWMutex
+	ttl     time.Duration
+	records map[string]map[peer.ID]ProviderRecord // cid key -> provider -> record
+	now     func() time.Time
+}
+
+// NewProviderStore creates a store with the given TTL (<=0 selects the
+// 24 h default). now overrides the clock for tests and simulation; nil
+// uses time.Now.
+func NewProviderStore(ttl time.Duration, now func() time.Time) *ProviderStore {
+	if ttl <= 0 {
+		ttl = DefaultExpireInterval
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &ProviderStore{ttl: ttl, records: make(map[string]map[peer.ID]ProviderRecord), now: now}
+}
+
+// Add stores (or refreshes) a provider record.
+func (s *ProviderStore) Add(r ProviderRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := r.Cid.Key()
+	m, ok := s.records[key]
+	if !ok {
+		m = make(map[peer.ID]ProviderRecord)
+		s.records[key] = m
+	}
+	m[r.Provider] = r
+}
+
+// Get returns the unexpired provider records for c.
+func (s *ProviderStore) Get(c cid.Cid) []ProviderRecord {
+	now := s.now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ProviderRecord
+	for _, r := range s.records[c.Key()] {
+		if !r.Expired(now, s.ttl) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GC removes expired records and returns how many were dropped.
+func (s *ProviderStore) GC() int {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for key, m := range s.records {
+		for p, r := range m {
+			if r.Expired(now, s.ttl) {
+				delete(m, p)
+				dropped++
+			}
+		}
+		if len(m) == 0 {
+			delete(s.records, key)
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of live (possibly expired, not yet GC'd)
+// records.
+func (s *ProviderStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, m := range s.records {
+		n += len(m)
+	}
+	return n
+}
+
+// PeerStore holds signed peer records keyed by PeerID, retaining the
+// highest sequence number seen for each peer.
+type PeerStore struct {
+	mu      sync.RWMutex
+	ttl     time.Duration
+	records map[peer.ID]PeerRecord
+	now     func() time.Time
+}
+
+// NewPeerStore creates a peer-record store with the given TTL.
+func NewPeerStore(ttl time.Duration, now func() time.Time) *PeerStore {
+	if ttl <= 0 {
+		ttl = DefaultExpireInterval
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &PeerStore{ttl: ttl, records: make(map[peer.ID]PeerRecord), now: now}
+}
+
+// Put stores a verified record, rejecting invalid signatures and stale
+// sequence numbers.
+func (s *PeerStore) Put(r PeerRecord) error {
+	if err := r.Verify(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.records[r.ID]; ok && cur.Seq >= r.Seq {
+		return nil // keep the newer (or equal) record we already have
+	}
+	s.records[r.ID] = r
+	return nil
+}
+
+// Get returns the record for id if present and unexpired.
+func (s *PeerStore) Get(id peer.ID) (PeerRecord, error) {
+	s.mu.RLock()
+	r, ok := s.records[id]
+	s.mu.RUnlock()
+	if !ok {
+		return PeerRecord{}, fmt.Errorf("%w: no record for %s", ErrBadRecord, id.Short())
+	}
+	if r.Expired(s.now(), s.ttl) {
+		return PeerRecord{}, ErrExpired
+	}
+	return r, nil
+}
+
+// Len returns the number of stored records.
+func (s *PeerStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}

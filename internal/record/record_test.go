@@ -1,0 +1,168 @@
+package record
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/multiaddr"
+	"repro/internal/multicodec"
+	"repro/internal/peer"
+)
+
+var epoch = time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func testIdentity(seed int64) peer.Identity {
+	return peer.MustNewIdentity(rand.New(rand.NewSource(seed)))
+}
+
+func TestProviderRecordExpiry(t *testing.T) {
+	r := ProviderRecord{
+		Cid:       cid.Sum(multicodec.Raw, []byte("content")),
+		Provider:  testIdentity(1).ID,
+		Published: epoch,
+	}
+	if r.Expired(epoch.Add(23*time.Hour), 0) {
+		t.Error("record should be live at 23h (24h default expiry)")
+	}
+	if !r.Expired(epoch.Add(25*time.Hour), 0) {
+		t.Error("record should expire after 24h")
+	}
+	if r.Expired(epoch.Add(2*time.Hour), time.Hour) == false {
+		t.Error("custom ttl should apply")
+	}
+}
+
+func TestPeerRecordSignVerify(t *testing.T) {
+	ident := testIdentity(2)
+	addrs := []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/1.2.3.4/tcp/4001")}
+	r := NewPeerRecord(ident, addrs, 1, epoch)
+	if err := r.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Tamper with the addresses.
+	r2 := r
+	r2.Addrs = []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/6.6.6.6/tcp/4001")}
+	if err := r2.Verify(); err == nil {
+		t.Error("tampered record should fail verification")
+	}
+	// Claim someone else's ID.
+	r3 := r
+	r3.ID = testIdentity(3).ID
+	if err := r3.Verify(); err == nil {
+		t.Error("record with mismatched ID should fail")
+	}
+}
+
+func TestProviderStore(t *testing.T) {
+	now := epoch
+	clock := func() time.Time { return now }
+	s := NewProviderStore(0, clock)
+	c := cid.Sum(multicodec.Raw, []byte("x"))
+	p1, p2 := testIdentity(4).ID, testIdentity(5).ID
+	s.Add(ProviderRecord{Cid: c, Provider: p1, Published: now})
+	s.Add(ProviderRecord{Cid: c, Provider: p2, Published: now})
+	if got := s.Get(c); len(got) != 2 {
+		t.Fatalf("Get = %d records, want 2", len(got))
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	// Re-adding the same provider refreshes rather than duplicates.
+	s.Add(ProviderRecord{Cid: c, Provider: p1, Published: now.Add(time.Hour)})
+	if got := s.Get(c); len(got) != 2 {
+		t.Errorf("refresh duplicated: %d records", len(got))
+	}
+}
+
+func TestProviderStoreExpiryAndGC(t *testing.T) {
+	now := epoch
+	clock := func() time.Time { return now }
+	s := NewProviderStore(0, clock)
+	c := cid.Sum(multicodec.Raw, []byte("y"))
+	s.Add(ProviderRecord{Cid: c, Provider: testIdentity(6).ID, Published: epoch})
+	now = epoch.Add(25 * time.Hour)
+	if got := s.Get(c); len(got) != 0 {
+		t.Errorf("expired records served: %d", len(got))
+	}
+	if dropped := s.GC(); dropped != 1 {
+		t.Errorf("GC dropped %d, want 1", dropped)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len after GC = %d", s.Len())
+	}
+}
+
+func TestPeerStorePutGet(t *testing.T) {
+	now := epoch
+	clock := func() time.Time { return now }
+	s := NewPeerStore(0, clock)
+	ident := testIdentity(7)
+	r := NewPeerRecord(ident, []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/1.1.1.1/tcp/1")}, 1, epoch)
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ident.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 || len(got.Addrs) != 1 {
+		t.Errorf("Get = %+v", got)
+	}
+	if _, err := s.Get(testIdentity(8).ID); err == nil {
+		t.Error("unknown peer should fail")
+	}
+}
+
+func TestPeerStoreSequenceOrdering(t *testing.T) {
+	s := NewPeerStore(0, func() time.Time { return epoch })
+	ident := testIdentity(9)
+	newer := NewPeerRecord(ident, []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/2.2.2.2/tcp/2")}, 5, epoch)
+	older := NewPeerRecord(ident, []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/1.1.1.1/tcp/1")}, 3, epoch)
+	if err := s.Put(newer); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(older); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ident.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 5 {
+		t.Errorf("stale record replaced newer one: seq = %d", got.Seq)
+	}
+}
+
+func TestPeerStoreRejectsForged(t *testing.T) {
+	s := NewPeerStore(0, nil)
+	ident := testIdentity(10)
+	r := NewPeerRecord(ident, nil, 1, epoch)
+	r.ID = testIdentity(11).ID // forge ownership
+	if err := s.Put(r); err == nil {
+		t.Error("forged record should be rejected")
+	}
+}
+
+func TestPeerStoreExpiry(t *testing.T) {
+	now := epoch
+	s := NewPeerStore(0, func() time.Time { return now })
+	ident := testIdentity(12)
+	if err := s.Put(NewPeerRecord(ident, nil, 1, epoch)); err != nil {
+		t.Fatal(err)
+	}
+	now = epoch.Add(30 * time.Hour)
+	if _, err := s.Get(ident.ID); err != ErrExpired {
+		t.Errorf("err = %v, want ErrExpired", err)
+	}
+}
+
+func TestDefaultIntervalsMatchPaper(t *testing.T) {
+	if DefaultRepublishInterval != 12*time.Hour {
+		t.Error("republish interval should be 12h (§3.1)")
+	}
+	if DefaultExpireInterval != 24*time.Hour {
+		t.Error("expiry interval should be 24h (§3.1)")
+	}
+}

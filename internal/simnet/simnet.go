@@ -1,0 +1,382 @@
+// Package simnet is the in-process network simulator standing in for
+// the live IPFS network and the AWS testbed of §4.3. Peers attach as
+// endpoints with a geographic region; message latency follows the
+// speed-of-light model of internal/geo plus jitter, processing delay
+// and a bandwidth term for block transfers.
+//
+// Peer behaviour classes reproduce the pathologies the paper measures:
+// dead routing-table entries that eat the 5 s dial timeout, and
+// websocket-only peers whose handshakes hang for 45 s — the spike
+// structure of Figure 9c. A time base (internal/simtime) compresses
+// simulated seconds into real milliseconds so experiments replay fast.
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Class is a peer behaviour class.
+type Class int
+
+// Behaviour classes.
+const (
+	// Normal peers respond within RTT plus small processing jitter.
+	Normal Class = iota
+	// Slow peers respond, but each RPC takes seconds — the long
+	// responses §6.1 attributes to "less responsive peers".
+	Slow
+	// DeadDial peers appear in routing tables but are gone: dials eat
+	// the 5 s transport timeout (Fig 9c's spike at 5 s).
+	DeadDial
+	// WSBroken peers accept only websocket transports and their
+	// handshake hangs until the 45 s timeout (Fig 9c's spike at 45 s).
+	WSBroken
+)
+
+// Config tunes the simulator.
+type Config struct {
+	// Base compresses simulated time; simtime.New(0.002) runs 500x
+	// faster than real time.
+	Base simtime.Base
+	// Seed makes jitter and bandwidth assignment reproducible.
+	Seed int64
+	// DialTimeout is the simulated TCP/QUIC dial timeout (default 5 s).
+	DialTimeout time.Duration
+	// WSHandshakeTimeout is the simulated websocket handshake timeout
+	// (default 45 s).
+	WSHandshakeTimeout time.Duration
+	// MeanBandwidth is the mean per-peer upload bandwidth in bytes per
+	// simulated second (default 3 MiB/s).
+	MeanBandwidth float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Base.Scale() == 1 && c.Base == (simtime.Base{}) {
+		c.Base = simtime.Realtime
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.WSHandshakeTimeout <= 0 {
+		c.WSHandshakeTimeout = 45 * time.Second
+	}
+	if c.MeanBandwidth <= 0 {
+		c.MeanBandwidth = 3 << 20
+	}
+	return c
+}
+
+// Network is a simulated network holding all attached endpoints.
+type Network struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	nodes map[peer.ID]*node
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Stats counters (atomic under mu for simplicity).
+	statsMu  sync.Mutex
+	requests int64
+	dials    int64
+	failures int64
+}
+
+type node struct {
+	id       peer.ID
+	region   geo.Region
+	class    Class
+	addr     multiaddr.Multiaddr
+	bwBps    float64
+	online   bool
+	dialable bool
+
+	mu      sync.RWMutex
+	handler transport.Handler
+	closed  bool
+	// allowFrom holds peers whose dials succeed despite this node being
+	// undialable: when a NAT'd node dials out, the NAT mapping lets the
+	// remote end connect back (the mechanism relays and AutoNAT rely
+	// on, §2.2–2.3).
+	allowFrom map[peer.ID]bool
+}
+
+// New creates an empty simulated network.
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	return &Network{
+		cfg:   cfg,
+		nodes: make(map[peer.ID]*node),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Base returns the simulator's time base.
+func (n *Network) Base() simtime.Base { return n.cfg.Base }
+
+// NodeOpts configures one attached peer.
+type NodeOpts struct {
+	Region   geo.Region
+	Class    Class
+	Dialable bool
+	// BandwidthBps overrides the sampled upload bandwidth when > 0.
+	BandwidthBps float64
+}
+
+// AddNode attaches a peer and returns its endpoint. The synthetic
+// multiaddress encodes a unique simulated IP.
+func (n *Network) AddNode(id peer.ID, opts NodeOpts) transport.Endpoint {
+	n.rngMu.Lock()
+	jbw := n.cfg.MeanBandwidth * (0.4 + 1.2*n.rng.Float64())
+	ipA, ipB, ipC := 10+n.rng.Intn(200), n.rng.Intn(256), n.rng.Intn(256)
+	n.rngMu.Unlock()
+	if opts.BandwidthBps > 0 {
+		jbw = opts.BandwidthBps
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	port := 4001
+	addr := multiaddr.ForPeer(fmt.Sprintf("%d.%d.%d.%d", ipA, ipB, ipC, 1+len(n.nodes)%250), port, id.String())
+	nd := &node{
+		id:       id,
+		region:   opts.Region,
+		class:    opts.Class,
+		addr:     addr,
+		bwBps:    jbw,
+		online:   true,
+		dialable: opts.Dialable,
+	}
+	n.nodes[id] = nd
+	return &endpoint{net: n, node: nd}
+}
+
+// SetOnline toggles a peer's liveness; offline peers fail all dials and
+// in-flight requests. The churn scheduler drives this.
+func (n *Network) SetOnline(id peer.ID, online bool) {
+	n.mu.RLock()
+	nd := n.nodes[id]
+	n.mu.RUnlock()
+	if nd != nil {
+		nd.mu.Lock()
+		nd.online = online
+		nd.mu.Unlock()
+	}
+}
+
+// Online reports a peer's current liveness.
+func (n *Network) Online(id peer.ID) bool {
+	n.mu.RLock()
+	nd := n.nodes[id]
+	n.mu.RUnlock()
+	if nd == nil {
+		return false
+	}
+	nd.mu.RLock()
+	defer nd.mu.RUnlock()
+	return nd.online
+}
+
+// Len returns the number of attached peers.
+func (n *Network) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.nodes)
+}
+
+// Stats returns cumulative counters: total requests, dials, failures.
+func (n *Network) Stats() (requests, dials, failures int64) {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.requests, n.dials, n.failures
+}
+
+func (n *Network) countRequest() {
+	n.statsMu.Lock()
+	n.requests++
+	n.statsMu.Unlock()
+}
+
+func (n *Network) countDial(failed bool) {
+	n.statsMu.Lock()
+	n.dials++
+	if failed {
+		n.failures++
+	}
+	n.statsMu.Unlock()
+}
+
+// jitter returns a uniform random duration in [0, max).
+func (n *Network) jitter(max time.Duration) time.Duration {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(max)))
+}
+
+// slowDelay samples the processing delay of a Slow peer: 2–20 s.
+func (n *Network) slowDelay() time.Duration {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return 2*time.Second + time.Duration(n.rng.Int63n(int64(18*time.Second)))
+}
+
+// endpoint implements transport.Endpoint on the simulator.
+type endpoint struct {
+	net  *Network
+	node *node
+}
+
+func (e *endpoint) LocalPeer() peer.ID { return e.node.id }
+
+func (e *endpoint) Addrs() []multiaddr.Multiaddr {
+	return []multiaddr.Multiaddr{e.node.addr}
+}
+
+func (e *endpoint) SetHandler(h transport.Handler) {
+	e.node.mu.Lock()
+	e.node.handler = h
+	e.node.mu.Unlock()
+}
+
+func (e *endpoint) Close() error {
+	e.node.mu.Lock()
+	e.node.closed = true
+	e.node.online = false
+	e.node.mu.Unlock()
+	return nil
+}
+
+// Dial simulates connection establishment: two RTTs (transport + secure
+// channel negotiation, the paper's Dial + Negotiate) on success, the
+// class-specific timeout on failure.
+func (e *endpoint) Dial(ctx context.Context, target peer.ID, addrs []multiaddr.Multiaddr) (transport.Conn, error) {
+	base := e.net.cfg.Base
+	e.net.mu.RLock()
+	remote := e.net.nodes[target]
+	e.net.mu.RUnlock()
+
+	e.node.mu.RLock()
+	selfClosed := e.node.closed
+	e.node.mu.RUnlock()
+	if selfClosed {
+		return nil, transport.ErrClosed
+	}
+
+	if remote == nil {
+		e.net.countDial(true)
+		if err := base.Sleep(ctx, e.net.cfg.DialTimeout); err != nil {
+			return nil, err
+		}
+		return nil, transport.ErrPeerUnreachable
+	}
+
+	remote.mu.RLock()
+	online, dialable, class := remote.online, remote.dialable, remote.class
+	if !dialable && remote.allowFrom[e.node.id] && !transport.IsFreshDial(ctx) {
+		dialable = true // NAT mapping held open by a prior outbound dial
+	}
+	remote.mu.RUnlock()
+
+	switch {
+	case class == WSBroken:
+		e.net.countDial(true)
+		if err := base.Sleep(ctx, e.net.cfg.WSHandshakeTimeout); err != nil {
+			return nil, err
+		}
+		return nil, transport.ErrHandshakeTimeout
+	case !online, !dialable, class == DeadDial:
+		e.net.countDial(true)
+		if err := base.Sleep(ctx, e.net.cfg.DialTimeout); err != nil {
+			return nil, err
+		}
+		return nil, transport.ErrDialTimeout
+	}
+
+	rtt := geo.RTT(e.node.region, remote.region)
+	handshake := 2*rtt + e.net.jitter(rtt/4+time.Millisecond)
+	if err := base.Sleep(ctx, handshake); err != nil {
+		return nil, err
+	}
+	e.net.countDial(false)
+	// Our outbound connection opens a NAT mapping: the remote may now
+	// dial us back even if we are otherwise unreachable.
+	e.node.mu.Lock()
+	if e.node.allowFrom == nil {
+		e.node.allowFrom = make(map[peer.ID]bool)
+	}
+	e.node.allowFrom[remote.id] = true
+	e.node.mu.Unlock()
+	return &conn{net: e.net, local: e.node, remote: remote, rtt: rtt}, nil
+}
+
+// conn is a live simulated connection.
+type conn struct {
+	net    *Network
+	local  *node
+	remote *node
+	rtt    time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *conn) RemotePeer() peer.ID { return c.remote.id }
+
+func (c *conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Request performs one RPC: the request travels half an RTT, the remote
+// processes it (class-dependent), and the response travels back with a
+// bandwidth term proportional to its size.
+func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return wire.Message{}, transport.ErrClosed
+	}
+	base := c.net.cfg.Base
+	c.net.countRequest()
+
+	c.remote.mu.RLock()
+	online, handler, class := c.remote.online, c.remote.handler, c.remote.class
+	c.remote.mu.RUnlock()
+	if !online || handler == nil {
+		// The peer vanished mid-connection: the request hangs until the
+		// dial timeout.
+		if err := base.Sleep(ctx, c.net.cfg.DialTimeout); err != nil {
+			return wire.Message{}, err
+		}
+		return wire.Message{}, transport.ErrPeerUnreachable
+	}
+
+	proc := c.net.jitter(5*time.Millisecond) + time.Millisecond
+	if class == Slow {
+		proc += c.net.slowDelay()
+	}
+
+	resp := handler(ctx, c.local.id, req)
+
+	// One combined sleep covers the request leg, processing and the
+	// response leg with its bandwidth term; a single sleep keeps the
+	// scheduler-granularity error per RPC minimal.
+	transfer := time.Duration(float64(len(resp.BlockData)+256) / c.remote.bwBps * float64(time.Second))
+	if err := base.Sleep(ctx, c.rtt+proc+transfer); err != nil {
+		return wire.Message{}, err
+	}
+	return resp, nil
+}

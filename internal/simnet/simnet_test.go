@@ -1,0 +1,274 @@
+package simnet
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/peer"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// fastCfg compresses time 1000x so simulated 5s timeouts take 5ms.
+func fastCfg() Config {
+	return Config{Base: simtime.New(0.001), Seed: 1}
+}
+
+func testIdentity(seed int64) peer.Identity {
+	return peer.MustNewIdentity(rand.New(rand.NewSource(seed)))
+}
+
+func echoHandler(id string) transport.Handler {
+	return func(_ context.Context, from peer.ID, req wire.Message) wire.Message {
+		return wire.Message{Type: wire.TAck, ErrMsg: id}
+	}
+}
+
+func TestDialAndRequest(t *testing.T) {
+	net := New(fastCfg())
+	a := testIdentity(1)
+	b := testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb := net.AddNode(b.ID, NodeOpts{Region: geo.UsWest1, Dialable: true})
+	ea.SetHandler(echoHandler("a"))
+	eb.SetHandler(echoHandler("b"))
+
+	conn, err := ea.Dial(context.Background(), b.ID, eb.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.RemotePeer() != b.ID {
+		t.Error("RemotePeer mismatch")
+	}
+	resp, err := conn.Request(context.Background(), wire.Message{Type: wire.TPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.TAck || resp.ErrMsg != "b" {
+		t.Errorf("resp = %+v", resp)
+	}
+	reqs, dials, failures := net.Stats()
+	if reqs != 1 || dials != 1 || failures != 0 {
+		t.Errorf("stats = %d/%d/%d", reqs, dials, failures)
+	}
+}
+
+func TestDialUnknownPeerTimesOut(t *testing.T) {
+	net := New(fastCfg())
+	a := testIdentity(1)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	ghost := testIdentity(99)
+	start := time.Now()
+	_, err := ea.Dial(context.Background(), ghost.ID, nil)
+	if err != transport.ErrPeerUnreachable {
+		t.Errorf("err = %v", err)
+	}
+	// 5 simulated seconds at scale 0.001 = 5ms real.
+	if el := time.Since(start); el < 3*time.Millisecond || el > 500*time.Millisecond {
+		t.Errorf("dial timeout took %v real", el)
+	}
+}
+
+func TestDeadDialClassEatsDialTimeout(t *testing.T) {
+	net := New(fastCfg())
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true, Class: DeadDial})
+	start := time.Now()
+	_, err := ea.Dial(context.Background(), b.ID, nil)
+	if err != transport.ErrDialTimeout {
+		t.Errorf("err = %v, want ErrDialTimeout", err)
+	}
+	sim := net.Base().Sim(time.Since(start))
+	if sim < 4*time.Second || sim > 8*time.Second {
+		t.Errorf("dead dial took %v simulated, want ~5s", sim)
+	}
+}
+
+func TestWSBrokenClassEatsHandshakeTimeout(t *testing.T) {
+	net := New(fastCfg())
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true, Class: WSBroken})
+	start := time.Now()
+	_, err := ea.Dial(context.Background(), b.ID, nil)
+	if err != transport.ErrHandshakeTimeout {
+		t.Errorf("err = %v, want ErrHandshakeTimeout", err)
+	}
+	sim := net.Base().Sim(time.Since(start))
+	if sim < 40*time.Second || sim > 55*time.Second {
+		t.Errorf("ws-broken dial took %v simulated, want ~45s", sim)
+	}
+}
+
+func TestUndialablePeer(t *testing.T) {
+	net := New(fastCfg())
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: false})
+	if _, err := ea.Dial(context.Background(), b.ID, nil); err != transport.ErrDialTimeout {
+		t.Errorf("NAT'd peer dial err = %v", err)
+	}
+}
+
+func TestOfflinePeer(t *testing.T) {
+	net := New(fastCfg())
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb := net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb.SetHandler(echoHandler("b"))
+	net.SetOnline(b.ID, false)
+	if net.Online(b.ID) {
+		t.Error("SetOnline(false) ignored")
+	}
+	if _, err := ea.Dial(context.Background(), b.ID, nil); err == nil {
+		t.Error("dialing an offline peer should fail")
+	}
+	net.SetOnline(b.ID, true)
+	if _, err := ea.Dial(context.Background(), b.ID, nil); err != nil {
+		t.Errorf("dial after coming back online: %v", err)
+	}
+}
+
+func TestPeerVanishesMidConnection(t *testing.T) {
+	net := New(fastCfg())
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb := net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb.SetHandler(echoHandler("b"))
+	conn, err := ea.Dial(context.Background(), b.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetOnline(b.ID, false)
+	if _, err := conn.Request(context.Background(), wire.Message{Type: wire.TPing}); err == nil {
+		t.Error("request to vanished peer should fail")
+	}
+}
+
+func TestLatencyReflectsGeography(t *testing.T) {
+	net := New(Config{Base: simtime.New(0.01), Seed: 2})
+	frankfurt := testIdentity(1)
+	paris := testIdentity(2)
+	sydney := testIdentity(3)
+	ef := net.AddNode(frankfurt.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	ep := net.AddNode(paris.ID, NodeOpts{Region: "FR", Dialable: true})
+	es := net.AddNode(sydney.ID, NodeOpts{Region: geo.ApSoutheast2, Dialable: true})
+	ep.SetHandler(echoHandler("p"))
+	es.SetHandler(echoHandler("s"))
+
+	ctx := context.Background()
+	measure := func(target peer.ID) time.Duration {
+		start := time.Now()
+		conn, err := ef.Dial(ctx, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Request(ctx, wire.Message{Type: wire.TPing}); err != nil {
+			t.Fatal(err)
+		}
+		_ = ef
+		return net.Base().Sim(time.Since(start))
+	}
+	near := measure(paris.ID)
+	far := measure(sydney.ID)
+	if near >= far {
+		t.Errorf("Frankfurt->Paris (%v) should be faster than Frankfurt->Sydney (%v)", near, far)
+	}
+}
+
+func TestSlowClassDelaysRequests(t *testing.T) {
+	net := New(fastCfg())
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb := net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true, Class: Slow})
+	eb.SetHandler(echoHandler("b"))
+	conn, err := ea.Dial(context.Background(), b.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := conn.Request(context.Background(), wire.Message{Type: wire.TPing}); err != nil {
+		t.Fatal(err)
+	}
+	sim := net.Base().Sim(time.Since(start))
+	if sim < 2*time.Second {
+		t.Errorf("slow peer request took %v simulated, want >= 2s", sim)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	net := New(Config{Base: simtime.New(0.05), Seed: 3})
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true, Class: DeadDial})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ea.Dial(ctx, b.ID, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("context cancellation did not cut the dial short")
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	net := New(fastCfg())
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb := net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb.SetHandler(echoHandler("b"))
+	conn, err := ea.Dial(context.Background(), b.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := conn.Request(context.Background(), wire.Message{}); err != transport.ErrClosed {
+		t.Errorf("request on closed conn: %v", err)
+	}
+	ea.Close()
+	if _, err := ea.Dial(context.Background(), b.ID, nil); err != transport.ErrClosed {
+		t.Errorf("dial from closed endpoint: %v", err)
+	}
+}
+
+func TestBandwidthAffectsBlockTransfer(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MeanBandwidth = 1 << 20 // 1 MiB/s mean
+	net := New(cfg)
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb := net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true, BandwidthBps: 1 << 20})
+	big := make([]byte, 1<<20)
+	eb.SetHandler(func(_ context.Context, _ peer.ID, req wire.Message) wire.Message {
+		if req.Type == wire.TWantBlock {
+			return wire.Message{Type: wire.TBlock, BlockData: big}
+		}
+		return wire.Message{Type: wire.TAck}
+	})
+	conn, err := ea.Dial(context.Background(), b.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	start := time.Now()
+	if _, err := conn.Request(ctx, wire.Message{Type: wire.TAck}); err != nil {
+		t.Fatal(err)
+	}
+	small := net.Base().Sim(time.Since(start))
+	start = time.Now()
+	if _, err := conn.Request(ctx, wire.Message{Type: wire.TWantBlock}); err != nil {
+		t.Fatal(err)
+	}
+	blockDur := net.Base().Sim(time.Since(start))
+	// 1 MiB at 1 MiB/s should add roughly a simulated second.
+	if blockDur < small+500*time.Millisecond {
+		t.Errorf("block transfer %v not slower than control %v", blockDur, small)
+	}
+}

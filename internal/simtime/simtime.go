@@ -1,0 +1,97 @@
+// Package simtime provides the time base that lets simulated
+// experiments replay in compressed wall-clock time. All protocol
+// timeouts and modeled latencies are expressed in simulated time; a
+// Base with Scale < 1 shrinks them for execution and measurement
+// results are converted back with Sim.
+package simtime
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// spinThreshold is the real duration below which Sleep busy-waits
+// instead of using a timer: Go timers have ~1 ms granularity, which
+// would otherwise swamp sub-millisecond scaled latencies and distort
+// simulated measurements.
+const spinThreshold = 2 * time.Millisecond
+
+// Base converts between simulated and real durations. The zero value is
+// unusable; use Realtime or New.
+type Base struct {
+	scale float64 // real = sim * scale
+}
+
+// Realtime is the identity base used outside simulations.
+var Realtime = Base{scale: 1}
+
+// New returns a base that compresses simulated time by the given factor
+// (0 < scale <= 1 typically; scale 0.01 runs 100x faster than real).
+func New(scale float64) Base {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Base{scale: scale}
+}
+
+// Scale returns the compression factor.
+func (b Base) Scale() float64 {
+	if b.scale == 0 {
+		return 1
+	}
+	return b.scale
+}
+
+// Real converts a simulated duration to the real duration to wait.
+func (b Base) Real(sim time.Duration) time.Duration {
+	return time.Duration(float64(sim) * b.Scale())
+}
+
+// Sim converts an elapsed real duration back to simulated time.
+func (b Base) Sim(real time.Duration) time.Duration {
+	return time.Duration(float64(real) / b.Scale())
+}
+
+// Sleep pauses for the scaled equivalent of sim, or until ctx is done.
+// Short scaled durations busy-wait for precision (see spinThreshold).
+func (b Base) Sleep(ctx context.Context, sim time.Duration) error {
+	real := b.Real(sim)
+	if real <= 0 {
+		return ctx.Err()
+	}
+	if real < spinThreshold {
+		deadline := time.Now().Add(real)
+		for i := 0; time.Now().Before(deadline); i++ {
+			if i%64 == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			runtime.Gosched()
+		}
+		return nil
+	}
+	t := time.NewTimer(real)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// After returns a channel firing after the scaled equivalent of sim.
+func (b Base) After(sim time.Duration) <-chan time.Time {
+	return time.After(b.Real(sim))
+}
+
+// SimSince returns the simulated time elapsed since the real instant t0.
+func (b Base) SimSince(t0 time.Time) time.Duration {
+	return b.Sim(time.Since(t0))
+}
+
+// WithTimeout derives a context whose deadline is the scaled equivalent
+// of the simulated duration.
+func (b Base) WithTimeout(ctx context.Context, sim time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, b.Real(sim))
+}

@@ -1,0 +1,94 @@
+package simtime
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRealSimConversion(t *testing.T) {
+	b := New(0.01)
+	if got := b.Real(10 * time.Second); got != 100*time.Millisecond {
+		t.Errorf("Real = %v", got)
+	}
+	if got := b.Sim(100 * time.Millisecond); got != 10*time.Second {
+		t.Errorf("Sim = %v", got)
+	}
+}
+
+func TestZeroAndNegativeScaleFallsBack(t *testing.T) {
+	if New(0).Scale() != 1 {
+		t.Error("scale 0 should fall back to 1")
+	}
+	if New(-2).Scale() != 1 {
+		t.Error("negative scale should fall back to 1")
+	}
+	var zero Base
+	if zero.Scale() != 1 {
+		t.Error("zero value should behave as realtime")
+	}
+	if Realtime.Real(time.Second) != time.Second {
+		t.Error("Realtime must be the identity")
+	}
+}
+
+func TestSleepPrecisionShort(t *testing.T) {
+	b := New(0.001)
+	// 200 simulated ms at scale 0.001 = 200µs real: spin path.
+	start := time.Now()
+	if err := b.Sleep(context.Background(), 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	real := time.Since(start)
+	if real < 150*time.Microsecond || real > 1500*time.Microsecond {
+		t.Errorf("short sleep took %v real, want ~200µs", real)
+	}
+}
+
+func TestSleepCancellation(t *testing.T) {
+	b := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := b.Sleep(ctx, 10*time.Second)
+	if err == nil {
+		t.Fatal("cancelled sleep should return an error")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation did not interrupt the sleep")
+	}
+}
+
+func TestSleepZero(t *testing.T) {
+	if err := Realtime.Sleep(context.Background(), 0); err != nil {
+		t.Errorf("zero sleep: %v", err)
+	}
+}
+
+func TestSimSince(t *testing.T) {
+	b := New(0.001)
+	start := time.Now()
+	if err := b.Sleep(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sim := b.SimSince(start)
+	if sim < 800*time.Millisecond || sim > 3*time.Second {
+		t.Errorf("SimSince = %v, want ~1s", sim)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	b := New(0.001)
+	ctx, cancel := b.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline")
+	}
+	if until := time.Until(dl); until > 100*time.Millisecond {
+		t.Errorf("deadline %v away, want ~60ms", until)
+	}
+}

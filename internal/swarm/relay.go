@@ -1,0 +1,158 @@
+package swarm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/wire"
+)
+
+// Relaying implements the §2.2 use of Multiaddress prefixing:
+// "the extensible syntax of Multiaddresses allows for intermediate
+// relaying of communication through prefixing peer addresses. This is
+// used to proxy messages to in-browser nodes that cannot be directly
+// contacted."
+//
+// A NAT'd peer reserves a slot at a publicly reachable relay (keeping
+// its NAT mapping open by dialing out), then advertises
+// /<relay-addrs>/p2p-circuit/p2p/<self>. Peers that cannot dial it
+// directly send the relay a TRelay envelope; the relay forwards the
+// inner message over its return path to the reserved peer.
+
+// relayState tracks reservations this swarm is serving as a relay.
+type relayState struct {
+	mu           sync.Mutex
+	reservations map[peer.ID][]multiaddr.Multiaddr
+}
+
+func (s *Swarm) relayInit() *relayState {
+	s.relayOnce.Do(func() {
+		s.relay = &relayState{reservations: make(map[peer.ID][]multiaddr.Multiaddr)}
+	})
+	return s.relay
+}
+
+// Reserve asks relay to forward traffic to us and returns the relayed
+// multiaddress to advertise. The outbound connection both registers
+// the reservation and holds the NAT mapping open.
+func (s *Swarm) Reserve(ctx context.Context, relay wire.PeerInfo) (multiaddr.Multiaddr, error) {
+	resp, err := s.Request(ctx, relay.ID, relay.Addrs, wire.Message{
+		Type:  wire.TRelayReserve,
+		Peers: []wire.PeerInfo{{ID: s.ident.ID, Addrs: s.Addrs()}},
+	})
+	if err != nil {
+		return multiaddr.Multiaddr{}, fmt.Errorf("swarm: reserve at %s: %w", relay.ID.Short(), err)
+	}
+	if resp.Type != wire.TAck {
+		return multiaddr.Multiaddr{}, fmt.Errorf("swarm: reserve rejected: %s", resp.ErrMsg)
+	}
+	if len(resp.Peers) == 0 || len(resp.Peers[0].Addrs) == 0 {
+		return multiaddr.Multiaddr{}, fmt.Errorf("swarm: relay returned no addresses")
+	}
+	return multiaddr.Relay(resp.Peers[0].Addrs[0], s.ident.ID.String()), nil
+}
+
+// HandleRelayReserve serves an inbound reservation: record the
+// requestor so TRelay envelopes for it are forwarded.
+func (s *Swarm) HandleRelayReserve(from peer.ID, req wire.Message) wire.Message {
+	if len(req.Peers) == 0 || req.Peers[0].ID != from {
+		return wire.ErrorMessage("relay: reservation must carry the requestor's info")
+	}
+	st := s.relayInit()
+	st.mu.Lock()
+	st.reservations[from] = req.Peers[0].Addrs
+	st.mu.Unlock()
+	// Return our public addresses so the client can build its relayed
+	// multiaddress.
+	return wire.Message{Type: wire.TAck, Peers: []wire.PeerInfo{{ID: s.ident.ID, Addrs: s.Addrs()}}}
+}
+
+// HandleRelay forwards an envelope to a reserved peer and returns the
+// inner response.
+func (s *Swarm) HandleRelay(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
+	target := peer.ID(req.Key)
+	st := s.relayInit()
+	st.mu.Lock()
+	addrs, ok := st.reservations[target]
+	st.mu.Unlock()
+	if !ok {
+		return wire.ErrorMessage("relay: no reservation for %s", target.Short())
+	}
+	inner, err := wire.Unmarshal(req.BlockData)
+	if err != nil {
+		return wire.ErrorMessage("relay: bad inner message: %v", err)
+	}
+	fctx, cancel := s.base.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	resp, err := s.Request(fctx, target, addrs, inner)
+	if err != nil {
+		return wire.ErrorMessage("relay: forward to %s failed: %v", target.Short(), err)
+	}
+	return resp
+}
+
+// RequestVia sends req to target through the relay encoded in a
+// /p2p-circuit multiaddress.
+func (s *Swarm) RequestVia(ctx context.Context, relayed multiaddr.Multiaddr, target peer.ID, req wire.Message) (wire.Message, error) {
+	relayAddr, relayID, err := splitRelay(relayed)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	resp, err := s.Request(ctx, relayID, []multiaddr.Multiaddr{relayAddr}, wire.Message{
+		Type:      wire.TRelay,
+		Key:       []byte(target),
+		BlockData: req.Marshal(),
+	})
+	if err != nil {
+		return wire.Message{}, err
+	}
+	if resp.Type == wire.TError {
+		return resp, fmt.Errorf("swarm: relayed request: %s", resp.ErrMsg)
+	}
+	return resp, nil
+}
+
+// splitRelay decomposes /<relay>/p2p-circuit/p2p/<target> into the
+// relay's dialable address+identity.
+func splitRelay(m multiaddr.Multiaddr) (relayAddr multiaddr.Multiaddr, relayID peer.ID, err error) {
+	if !m.IsRelay() {
+		return multiaddr.Multiaddr{}, "", fmt.Errorf("swarm: %s is not a relay address", m)
+	}
+	comps := m.Components()
+	cut := -1
+	for i, c := range comps {
+		if c.Name == "p2p-circuit" {
+			cut = i
+			break
+		}
+	}
+	if cut <= 0 {
+		return multiaddr.Multiaddr{}, "", fmt.Errorf("swarm: malformed relay address %s", m)
+	}
+	prefix := m
+	// Rebuild the prefix address from its components.
+	prefixStr := ""
+	for _, c := range comps[:cut] {
+		prefixStr += "/" + c.Name
+		if c.Value != "" {
+			prefixStr += "/" + c.Value
+		}
+	}
+	prefix, err = multiaddr.Parse(prefixStr)
+	if err != nil {
+		return multiaddr.Multiaddr{}, "", err
+	}
+	idStr, ok := prefix.PeerID()
+	if !ok {
+		return multiaddr.Multiaddr{}, "", fmt.Errorf("swarm: relay address %s lacks the relay's /p2p id", m)
+	}
+	id, err := peer.ParseID(idStr)
+	if err != nil {
+		return multiaddr.Multiaddr{}, "", err
+	}
+	return prefix, id, nil
+}

@@ -1,0 +1,313 @@
+// Package swarm manages a peer's live connections: dialing with
+// identity verification, connection reuse, the address book of up to
+// 900 recently seen peers (§3.2), and the AutoNAT reachability check
+// that decides whether a peer joins the DHT as a server or a client
+// (§2.3).
+package swarm
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/simtime"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// AddressBookCapacity is the paper's address-book bound: "each IPFS
+// node maintains an address book of up to 900 recently seen peers".
+const AddressBookCapacity = 900
+
+// AddressBook is an LRU-bounded map from PeerID to known addresses.
+type AddressBook struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently seen
+	entries map[peer.ID]*bookEntry
+}
+
+type bookEntry struct {
+	addrs []multiaddr.Multiaddr
+	elem  *list.Element
+}
+
+// NewAddressBook creates a book bounded to capacity (<=0 selects 900).
+func NewAddressBook(capacity int) *AddressBook {
+	if capacity <= 0 {
+		capacity = AddressBookCapacity
+	}
+	return &AddressBook{cap: capacity, order: list.New(), entries: make(map[peer.ID]*bookEntry)}
+}
+
+// Add records addresses for a peer, refreshing recency and evicting the
+// least recently seen peer when full.
+func (b *AddressBook) Add(id peer.ID, addrs []multiaddr.Multiaddr) {
+	if len(addrs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[id]; ok {
+		e.addrs = append([]multiaddr.Multiaddr(nil), addrs...)
+		b.order.MoveToFront(e.elem)
+		return
+	}
+	for len(b.entries) >= b.cap {
+		oldest := b.order.Back()
+		if oldest == nil {
+			break
+		}
+		delete(b.entries, oldest.Value.(peer.ID))
+		b.order.Remove(oldest)
+	}
+	elem := b.order.PushFront(id)
+	b.entries[id] = &bookEntry{addrs: append([]multiaddr.Multiaddr(nil), addrs...), elem: elem}
+}
+
+// Get returns known addresses for id, refreshing recency. The §3.2
+// optimization: "nodes check whether they already have an address for
+// the PeerID they have discovered before performing any further
+// lookups".
+func (b *AddressBook) Get(id peer.ID) ([]multiaddr.Multiaddr, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[id]
+	if !ok {
+		return nil, false
+	}
+	b.order.MoveToFront(e.elem)
+	return append([]multiaddr.Multiaddr(nil), e.addrs...), true
+}
+
+// Clear empties the book. The §4.3 experiments flush it between
+// retrievals so every retrieval pays the full discovery cost.
+func (b *AddressBook) Clear() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.order.Init()
+	b.entries = make(map[peer.ID]*bookEntry)
+}
+
+// Len returns the number of peers in the book.
+func (b *AddressBook) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// Swarm multiplexes connections over a transport endpoint.
+type Swarm struct {
+	ident peer.Identity
+	ep    transport.Endpoint
+	base  simtime.Base
+
+	mu    sync.Mutex
+	conns map[peer.ID]transport.Conn
+	book  *AddressBook
+
+	relayOnce sync.Once
+	relay     *relayState
+}
+
+// New creates a swarm over the endpoint.
+func New(ident peer.Identity, ep transport.Endpoint, base simtime.Base) *Swarm {
+	return &Swarm{
+		ident: ident,
+		ep:    ep,
+		base:  base,
+		conns: make(map[peer.ID]transport.Conn),
+		book:  NewAddressBook(0),
+	}
+}
+
+// Local returns the local peer ID.
+func (s *Swarm) Local() peer.ID { return s.ident.ID }
+
+// Addrs returns the endpoint's listen addresses.
+func (s *Swarm) Addrs() []multiaddr.Multiaddr { return s.ep.Addrs() }
+
+// Book returns the address book.
+func (s *Swarm) Book() *AddressBook { return s.book }
+
+// Connected reports whether a live connection to id exists.
+func (s *Swarm) Connected(id peer.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.conns[id]
+	return ok
+}
+
+// ConnectedPeers lists peers with live connections — the neighbours
+// Bitswap asks opportunistically (§3.2 step 4).
+func (s *Swarm) ConnectedPeers() []peer.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]peer.ID, 0, len(s.conns))
+	for id := range s.conns {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Connect returns an existing connection to id or dials one, consulting
+// the address book when addrs is empty. The returned duration is the
+// dial+negotiate time (zero for reused connections), the denominator
+// terms of the paper's stretch metric (Eq 2).
+func (s *Swarm) Connect(ctx context.Context, id peer.ID, addrs []multiaddr.Multiaddr) (transport.Conn, time.Duration, error) {
+	s.mu.Lock()
+	if c, ok := s.conns[id]; ok {
+		s.mu.Unlock()
+		return c, 0, nil
+	}
+	s.mu.Unlock()
+
+	if len(addrs) == 0 {
+		if known, ok := s.book.Get(id); ok {
+			addrs = known
+		}
+	}
+	start := time.Now()
+	c, err := s.ep.Dial(ctx, id, addrs)
+	if err != nil {
+		return nil, s.base.SimSince(start), err
+	}
+	dialDur := s.base.SimSince(start)
+	s.book.Add(id, addrs)
+
+	s.mu.Lock()
+	if existing, ok := s.conns[id]; ok {
+		s.mu.Unlock()
+		c.Close()
+		return existing, dialDur, nil
+	}
+	s.conns[id] = c
+	s.mu.Unlock()
+	return c, dialDur, nil
+}
+
+// Request connects (or reuses) and performs one RPC.
+func (s *Swarm) Request(ctx context.Context, id peer.ID, addrs []multiaddr.Multiaddr, req wire.Message) (wire.Message, error) {
+	c, _, err := s.Connect(ctx, id, addrs)
+	if err != nil {
+		return wire.Message{}, err
+	}
+	resp, err := c.Request(ctx, req)
+	if err != nil {
+		// Drop the broken connection so future attempts redial.
+		s.Disconnect(id)
+		return wire.Message{}, err
+	}
+	return resp, nil
+}
+
+// Disconnect closes and forgets the connection to id.
+func (s *Swarm) Disconnect(id peer.ID) {
+	s.mu.Lock()
+	c, ok := s.conns[id]
+	delete(s.conns, id)
+	s.mu.Unlock()
+	if ok {
+		c.Close()
+	}
+}
+
+// DisconnectAll closes every connection; the §4.3 experiment does this
+// between retrievals so Bitswap cannot shortcut the next lookup.
+func (s *Swarm) DisconnectAll() {
+	s.mu.Lock()
+	conns := s.conns
+	s.conns = make(map[peer.ID]transport.Conn)
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close shuts down the swarm and its endpoint.
+func (s *Swarm) Close() error {
+	s.DisconnectAll()
+	return s.ep.Close()
+}
+
+// NATStatus is the outcome of an AutoNAT check.
+type NATStatus int
+
+// AutoNAT outcomes (§2.3).
+const (
+	// NATUnknown means not enough peers answered to decide.
+	NATUnknown NATStatus = iota
+	// NATPublic means more than three peers dialed us back: the peer
+	// upgrades to DHT server.
+	NATPublic
+	// NATPrivate means dial-backs failed: the peer stays a DHT client.
+	NATPrivate
+)
+
+// AutoNATThreshold is the §2.3 rule: "if more than three peers can
+// connect to the newly joining peer, then the new peer upgrades its
+// participation to act as a server node".
+const AutoNATThreshold = 3
+
+// CheckNAT runs the Autonat protocol against up to maxProbes already
+// connected peers: each is asked to initiate a connection back to us.
+func (s *Swarm) CheckNAT(ctx context.Context, maxProbes int) NATStatus {
+	peers := s.ConnectedPeers()
+	if maxProbes <= 0 {
+		maxProbes = 2 * AutoNATThreshold
+	}
+	if len(peers) > maxProbes {
+		peers = peers[:maxProbes]
+	}
+	successes, failures := 0, 0
+	for _, id := range peers {
+		resp, err := s.Request(ctx, id, nil, wire.Message{
+			Type:  wire.TDialBack,
+			Peers: []wire.PeerInfo{{ID: s.ident.ID, Addrs: s.Addrs()}},
+		})
+		switch {
+		case err == nil && resp.Type == wire.TAck:
+			successes++
+		default:
+			failures++
+		}
+		if successes > AutoNATThreshold {
+			return NATPublic
+		}
+	}
+	if successes > AutoNATThreshold {
+		return NATPublic
+	}
+	if failures > AutoNATThreshold {
+		return NATPrivate
+	}
+	if successes+failures == 0 {
+		return NATUnknown
+	}
+	if successes > failures {
+		return NATPublic
+	}
+	return NATPrivate
+}
+
+// HandleDialBack serves an inbound TDialBack request: try to dial the
+// requestor back at the addresses it supplied.
+func (s *Swarm) HandleDialBack(ctx context.Context, req wire.Message) wire.Message {
+	if len(req.Peers) == 0 {
+		return wire.ErrorMessage("dial-back: no addresses supplied")
+	}
+	target := req.Peers[0]
+	// Use a fresh short-lived connection from a fresh path; reusing an
+	// existing conn or NAT mapping would defeat the reachability test.
+	dialCtx, cancel := s.base.WithTimeout(transport.WithFreshDial(ctx), 10*time.Second)
+	defer cancel()
+	c, err := s.ep.Dial(dialCtx, target.ID, target.Addrs)
+	if err != nil {
+		return wire.ErrorMessage("dial-back failed: %v", err)
+	}
+	c.Close()
+	return wire.Message{Type: wire.TAck}
+}

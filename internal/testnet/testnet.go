@@ -1,0 +1,225 @@
+// Package testnet builds simulated IPFS networks: a geo-distributed
+// peer population attached to the simulator, DHT servers with seeded
+// routing tables (modelling a converged, long-running network with its
+// share of stale entries), and vantage nodes standing in for the six
+// AWS measurement VMs of §4.3.
+package testnet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/geo"
+	"repro/internal/kbucket"
+	"repro/internal/peer"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/wire"
+)
+
+// Config tunes the built network.
+type Config struct {
+	// N is the number of DHT server peers.
+	N int
+	// Seed drives all randomness.
+	Seed int64
+	// Scale compresses simulated time (e.g. 0.001 = 1000x faster).
+	Scale float64
+
+	// Behaviour-class fractions among the population. Dead peers model
+	// stale routing-table entries (5 s dial timeouts); slow peers take
+	// seconds per RPC; ws-broken peers hang for the 45 s handshake
+	// timeout. The remainder behave normally.
+	FracDead     float64
+	FracSlow     float64
+	FracWSBroken float64
+
+	// NeighborLinks seeds each routing table with this many keyspace
+	// neighbours on each side (gives lookup convergence); RandomLinks
+	// adds long-range contacts.
+	NeighborLinks int
+	RandomLinks   int
+
+	// Node behaviour knobs passed through to core.Config.
+	K                 int
+	Alpha             int
+	QueryTimeout      time.Duration
+	BitswapTimeout    time.Duration
+	OmitProviderAddrs bool
+	ParallelDiscovery bool
+
+	// Now anchors record timestamps.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 200
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.001
+	}
+	if c.FracDead == 0 && c.FracSlow == 0 && c.FracWSBroken == 0 {
+		c.FracDead, c.FracSlow, c.FracWSBroken = 0.15, 0.08, 0.02
+	}
+	if c.NeighborLinks <= 0 {
+		c.NeighborLinks = 24
+	}
+	if c.RandomLinks <= 0 {
+		c.RandomLinks = 40
+	}
+	if c.Now == nil {
+		base := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+		c.Now = func() time.Time { return base }
+	}
+	return c
+}
+
+// Testnet is a built simulated network.
+type Testnet struct {
+	Cfg     Config
+	Net     *simnet.Network
+	Base    simtime.Base
+	Nodes   []*core.Node   // all server peers, index-aligned with Classes
+	Classes []simnet.Class // behaviour class per node
+	Pop     *geo.Population
+}
+
+// Build constructs the network.
+func Build(cfg Config) *Testnet {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := simtime.New(cfg.Scale)
+	net := simnet.New(simnet.Config{Base: base, Seed: cfg.Seed + 1})
+
+	popCfg := geo.DefaultPopulationConfig(cfg.N)
+	popCfg.Seed = cfg.Seed + 2
+	pop := geo.GeneratePopulation(popCfg)
+
+	tn := &Testnet{Cfg: cfg, Net: net, Base: base, Pop: pop}
+
+	infos := make([]wire.PeerInfo, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		ident := peer.MustNewIdentity(rng)
+		class := simnet.Normal
+		switch x := rng.Float64(); {
+		case x < cfg.FracDead:
+			class = simnet.DeadDial
+		case x < cfg.FracDead+cfg.FracSlow:
+			class = simnet.Slow
+		case x < cfg.FracDead+cfg.FracSlow+cfg.FracWSBroken:
+			class = simnet.WSBroken
+		}
+		ep := net.AddNode(ident.ID, simnet.NodeOpts{
+			Region:   pop.Peers[i].Country,
+			Dialable: true, // reachability is expressed through the class
+			Class:    class,
+		})
+		node := core.New(ident, ep, core.Config{
+			Mode:              dht.ModeServer,
+			Region:            pop.Peers[i].Country,
+			K:                 cfg.K,
+			Alpha:             cfg.Alpha,
+			QueryTimeout:      cfg.QueryTimeout,
+			BitswapTimeout:    cfg.BitswapTimeout,
+			OmitProviderAddrs: cfg.OmitProviderAddrs,
+			ParallelDiscovery: cfg.ParallelDiscovery,
+			Base:              base,
+			Now:               cfg.Now,
+		})
+		tn.Nodes = append(tn.Nodes, node)
+		tn.Classes = append(tn.Classes, class)
+		infos[i] = node.Info()
+	}
+
+	tn.seedTables(rng, infos)
+	return tn
+}
+
+// seedTables wires the routing topology: each node learns its keyspace
+// neighbours (so lookups converge on the true k closest) plus random
+// long-range contacts (so lookups make exponential progress), the shape
+// a converged Kademlia network has. Dead peers are seeded like everyone
+// else: they are exactly the stale entries real tables accumulate.
+func (tn *Testnet) seedTables(rng *rand.Rand, infos []wire.PeerInfo) {
+	n := len(tn.Nodes)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	keys := make([]kbucket.Key, n)
+	for i, node := range tn.Nodes {
+		keys[i] = kbucket.KeyForPeer(node.ID())
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return kbucket.Less(keys[order[a]], keys[order[b]])
+	})
+	pos := make([]int, n) // node index -> position in sorted order
+	for p, idx := range order {
+		pos[idx] = p
+	}
+
+	for i, node := range tn.Nodes {
+		p := pos[i]
+		for d := 1; d <= tn.Cfg.NeighborLinks; d++ {
+			succ := order[(p+d)%n]
+			pred := order[(p-d%n+n)%n]
+			node.DHT().Seed(infos[succ])
+			node.DHT().Seed(infos[pred])
+		}
+		for r := 0; r < tn.Cfg.RandomLinks; r++ {
+			node.DHT().Seed(infos[rng.Intn(n)])
+		}
+	}
+}
+
+// LiveNodes returns the nodes whose class responds normally.
+func (tn *Testnet) LiveNodes() []*core.Node {
+	var out []*core.Node
+	for i, node := range tn.Nodes {
+		if tn.Classes[i] == simnet.Normal {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// AddVantage attaches an instrumented measurement node in the given
+// region (one of the §4.3 AWS VMs) with a seeded routing table.
+func (tn *Testnet) AddVantage(region geo.Region, seed int64) *core.Node {
+	rng := rand.New(rand.NewSource(seed))
+	ident := peer.MustNewIdentity(rng)
+	ep := tn.Net.AddNode(ident.ID, simnet.NodeOpts{
+		Region:   region,
+		Dialable: true,
+		Class:    simnet.Normal,
+	})
+	node := core.New(ident, ep, core.Config{
+		Mode:              dht.ModeServer,
+		Region:            region,
+		K:                 tn.Cfg.K,
+		Alpha:             tn.Cfg.Alpha,
+		QueryTimeout:      tn.Cfg.QueryTimeout,
+		BitswapTimeout:    tn.Cfg.BitswapTimeout,
+		OmitProviderAddrs: tn.Cfg.OmitProviderAddrs,
+		ParallelDiscovery: tn.Cfg.ParallelDiscovery,
+		Base:              tn.Base,
+		Now:               tn.Cfg.Now,
+	})
+	// Seed with keyspace-spread contacts like a bootstrapped node.
+	for r := 0; r < tn.Cfg.NeighborLinks+tn.Cfg.RandomLinks; r++ {
+		node.DHT().Seed(tn.Nodes[rng.Intn(len(tn.Nodes))].Info())
+	}
+	return node
+}
+
+// FlushVantage resets a vantage node's connections and address book so
+// the next retrieval pays the full discovery cost, as the §4.3
+// experiment does between iterations.
+func FlushVantage(n *core.Node) {
+	n.Swarm().DisconnectAll()
+	n.Swarm().Book().Clear()
+}

@@ -1,0 +1,106 @@
+package testnet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/simnet"
+)
+
+func TestBuildTopology(t *testing.T) {
+	tn := Build(Config{N: 120, Seed: 5, Scale: 0.0005})
+	if len(tn.Nodes) != 120 || len(tn.Classes) != 120 {
+		t.Fatalf("nodes=%d classes=%d", len(tn.Nodes), len(tn.Classes))
+	}
+	// Every routing table is seeded with neighbours + random links.
+	for i, node := range tn.Nodes {
+		if node.DHT().Table().Len() < 2*tn.Cfg.NeighborLinks/2 {
+			t.Errorf("node %d table has only %d peers", i, node.DHT().Table().Len())
+		}
+	}
+	// Population attributes align with nodes.
+	if len(tn.Pop.Peers) != 120 {
+		t.Errorf("population = %d", len(tn.Pop.Peers))
+	}
+}
+
+func TestClassMix(t *testing.T) {
+	tn := Build(Config{N: 600, Seed: 6, Scale: 0.0005, FracDead: 0.2, FracSlow: 0.1, FracWSBroken: 0.05})
+	counts := map[simnet.Class]int{}
+	for _, c := range tn.Classes {
+		counts[c]++
+	}
+	n := float64(len(tn.Classes))
+	if f := float64(counts[simnet.DeadDial]) / n; f < 0.14 || f > 0.27 {
+		t.Errorf("dead fraction = %.2f, want ~0.2", f)
+	}
+	if f := float64(counts[simnet.Slow]) / n; f < 0.05 || f > 0.16 {
+		t.Errorf("slow fraction = %.2f, want ~0.1", f)
+	}
+	if len(tn.LiveNodes()) != counts[simnet.Normal] {
+		t.Error("LiveNodes should match the Normal class count")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := Build(Config{N: 40, Seed: 7, Scale: 0.0005})
+	b := Build(Config{N: 40, Seed: 7, Scale: 0.0005})
+	for i := range a.Nodes {
+		if a.Nodes[i].ID() != b.Nodes[i].ID() {
+			t.Fatal("builds with the same seed must be identical")
+		}
+		if a.Classes[i] != b.Classes[i] {
+			t.Fatal("class assignment must be deterministic")
+		}
+	}
+}
+
+func TestVantageOperates(t *testing.T) {
+	tn := Build(Config{N: 60, Seed: 8, Scale: 0.0005, FracDead: 1e-9, FracSlow: 1e-9, FracWSBroken: 1e-9})
+	v := tn.AddVantage(geo.EuCentral1, 99)
+	if v.Region() != geo.EuCentral1 {
+		t.Error("region not set")
+	}
+	if v.DHT().Table().Len() == 0 {
+		t.Error("vantage table not seeded")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	pub, err := v.AddAndPublish(ctx, []byte("vantage content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.StoreOK == 0 {
+		t.Error("no records stored")
+	}
+	// FlushVantage clears connections and the address book.
+	FlushVantage(v)
+	if len(v.Swarm().ConnectedPeers()) != 0 || v.Swarm().Book().Len() != 0 {
+		t.Error("FlushVantage left state behind")
+	}
+}
+
+func TestLookupsConvergeAcrossKeyspace(t *testing.T) {
+	// The neighbour+random topology must let any node find the true
+	// closest peers for arbitrary keys.
+	tn := Build(Config{N: 150, Seed: 9, Scale: 0.0003, FracDead: 1e-9, FracSlow: 1e-9, FracWSBroken: 1e-9})
+	ctx := context.Background()
+	payloads := [][]byte{[]byte("k1"), []byte("k2"), []byte("k3")}
+	for i, p := range payloads {
+		publisher := tn.Nodes[(i*37)%len(tn.Nodes)]
+		pub, err := publisher.AddAndPublish(ctx, p)
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		requester := tn.Nodes[(i*53+11)%len(tn.Nodes)]
+		provs, _, err := requester.DHT().FindProviders(ctx, pub.Cid)
+		if err != nil {
+			t.Fatalf("find %d: %v", i, err)
+		}
+		if len(provs) == 0 {
+			t.Fatalf("no providers for key %d", i)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package transport defines the message-oriented transport abstraction
+// shared by the in-process network simulator and the real TCP
+// transport. Peers exchange request/response wire messages over
+// connections whose remote identity is verified against the expected
+// PeerID (§2.2).
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/wire"
+)
+
+// Handler serves inbound requests. It runs once per request and returns
+// the response message.
+type Handler func(ctx context.Context, from peer.ID, req wire.Message) wire.Message
+
+// Conn is an established, identity-verified connection to a remote peer.
+type Conn interface {
+	// RemotePeer returns the verified identity of the other end.
+	RemotePeer() peer.ID
+	// Request performs one RPC. It honours ctx cancellation.
+	Request(ctx context.Context, req wire.Message) (wire.Message, error)
+	// Close releases the connection.
+	Close() error
+}
+
+// Endpoint is a peer's attachment to a network (simulated or TCP).
+type Endpoint interface {
+	// LocalPeer returns the local identity.
+	LocalPeer() peer.ID
+	// Addrs returns the listen multiaddresses other peers can dial.
+	Addrs() []multiaddr.Multiaddr
+	// SetHandler installs the inbound request handler. It must be called
+	// before the endpoint serves traffic.
+	SetHandler(Handler)
+	// Dial connects to the peer expected to be target at one of addrs.
+	// The connection fails if the remote identity does not match.
+	Dial(ctx context.Context, target peer.ID, addrs []multiaddr.Multiaddr) (Conn, error)
+	// Close shuts the endpoint down.
+	Close() error
+}
+
+// freshDialKey marks dials that must not reuse NAT mappings.
+type freshDialKey struct{}
+
+// WithFreshDial marks the context so the dial behaves as if coming
+// from a previously unseen address — AutoNAT dial-backs use it, since
+// their purpose is to test general reachability rather than an
+// existing NAT mapping (§2.3).
+func WithFreshDial(ctx context.Context) context.Context {
+	return context.WithValue(ctx, freshDialKey{}, true)
+}
+
+// IsFreshDial reports whether the context carries the fresh-dial mark.
+func IsFreshDial(ctx context.Context) bool {
+	v, _ := ctx.Value(freshDialKey{}).(bool)
+	return v
+}
+
+// Common transport errors.
+var (
+	ErrPeerUnreachable  = errors.New("transport: peer unreachable")
+	ErrDialTimeout      = errors.New("transport: dial timed out")
+	ErrHandshakeTimeout = errors.New("transport: handshake timed out")
+	ErrIdentityMismatch = errors.New("transport: remote identity mismatch")
+	ErrClosed           = errors.New("transport: closed")
+)

@@ -1,0 +1,107 @@
+// Package varint implements the unsigned varint encoding used throughout
+// the multiformats family (multihash, CID, multiaddr, wire framing).
+//
+// The encoding is the LEB128-style base-128 encoding also used by Go's
+// encoding/binary Uvarint, restricted — per the multiformats spec — to
+// minimal encodings of at most 9 bytes (63 bits of payload).
+package varint
+
+import (
+	"errors"
+	"io"
+)
+
+// MaxLen is the maximum number of bytes a spec-compliant varint may occupy.
+const MaxLen = 9
+
+// Errors returned by the decoding functions.
+var (
+	ErrOverflow     = errors.New("varint: value overflows 63 bits")
+	ErrUnderflow    = errors.New("varint: buffer too small")
+	ErrNotMinimal   = errors.New("varint: encoding is not minimal")
+	ErrMaxLenExceed = errors.New("varint: encoding exceeds 9 bytes")
+)
+
+// Len returns the number of bytes required to encode v.
+func Len(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Append appends the varint encoding of v to dst and returns the
+// extended slice.
+func Append(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Encode returns the varint encoding of v as a fresh slice.
+func Encode(v uint64) []byte {
+	return Append(make([]byte, 0, Len(v)), v)
+}
+
+// Decode reads a varint from the start of buf. It returns the value and
+// the number of bytes consumed. Non-minimal encodings, encodings longer
+// than MaxLen bytes and values above 2^63-1 are rejected.
+func Decode(buf []byte) (uint64, int, error) {
+	var (
+		v     uint64
+		shift uint
+	)
+	for i, b := range buf {
+		if i >= MaxLen {
+			return 0, 0, ErrMaxLenExceed
+		}
+		if i == MaxLen-1 && b > 0x7f {
+			return 0, 0, ErrOverflow
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			if b == 0 && i > 0 {
+				return 0, 0, ErrNotMinimal
+			}
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, ErrUnderflow
+}
+
+// ReadUvarint reads a varint from r one byte at a time, enforcing the
+// same minimality and range rules as Decode.
+func ReadUvarint(r io.ByteReader) (uint64, error) {
+	var (
+		v     uint64
+		shift uint
+	)
+	for i := 0; ; i++ {
+		if i >= MaxLen {
+			return 0, ErrMaxLenExceed
+		}
+		b, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && i > 0 {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i == MaxLen-1 && b > 0x7f {
+			return 0, ErrOverflow
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			if b == 0 && i > 0 {
+				return 0, ErrNotMinimal
+			}
+			return v, nil
+		}
+		shift += 7
+	}
+}

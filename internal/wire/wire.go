@@ -1,0 +1,388 @@
+// Package wire defines the request/response messages exchanged between
+// peers — the DHT RPCs of §3.1–3.2 and the Bitswap messages
+// (WANT-HAVE / HAVE / WANT-BLOCK / BLOCK) — together with a compact
+// varint-framed binary codec used by the TCP transport.
+package wire
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/record"
+	"repro/internal/varint"
+)
+
+// Type enumerates message kinds.
+type Type uint8
+
+// Requests.
+const (
+	TPing          Type = iota + 1
+	TFindNode           // DHT: return k closest peers to Key
+	TAddProvider        // DHT: store a provider record for Key (CID bytes)
+	TGetProviders       // DHT: return providers of Key plus closer peers
+	TPutPeerRecord      // DHT: store a signed peer record
+	TGetPeerRecord      // DHT: fetch the peer record for Key (PeerID bytes)
+	TPutIPNS            // DHT: store an IPNS record under Key
+	TGetIPNS            // DHT: fetch the IPNS record under Key
+	TWantHave           // Bitswap: does the peer have block Key?
+	TWantBlock          // Bitswap: send block Key
+	TIdentify           // exchange listen addresses after connecting
+	TCrawl              // measurement: dump the peer's k-bucket contents (§4.1)
+	TDialBack           // AutoNAT: ask the peer to dial us back (§2.3)
+	TRelayReserve       // circuit relay: reserve a forwarding slot at the relay
+	TRelay              // circuit relay: forward the inner message (BlockData) to Key's peer
+)
+
+// Responses.
+const (
+	TAck Type = iota + 64
+	TNodes
+	TProviders
+	TPeerRecordResp
+	TIPNSResp
+	THave
+	TDontHave
+	TBlock
+	TError
+)
+
+// PeerInfo couples a PeerID with known multiaddresses, the unit the
+// DHT returns from lookups.
+type PeerInfo struct {
+	ID    peer.ID
+	Addrs []multiaddr.Multiaddr
+}
+
+// Message is the single wire message type; unused fields stay zero.
+type Message struct {
+	Type      Type
+	Key       []byte             // DHT key / binary CID / PeerID
+	Peers     []PeerInfo         // closer peers (TNodes) or identify addresses
+	Providers []PeerInfo         // provider peers (TProviders)
+	PeerRec   *record.PeerRecord // signed peer record payload
+	IPNSData  []byte             // opaque serialized IPNS record
+	BlockData []byte             // block payload (TBlock)
+	ErrMsg    string             // error detail (TError)
+}
+
+// Errors returned by the codec.
+var (
+	ErrTooLarge  = errors.New("wire: message exceeds size limit")
+	ErrMalformed = errors.New("wire: malformed message")
+)
+
+// MaxMessageSize bounds a single message (a block of 256 KiB plus
+// generous framing headroom).
+const MaxMessageSize = 1 << 20
+
+// String names the message type for logs.
+func (t Type) String() string {
+	switch t {
+	case TPing:
+		return "PING"
+	case TFindNode:
+		return "FIND_NODE"
+	case TAddProvider:
+		return "ADD_PROVIDER"
+	case TGetProviders:
+		return "GET_PROVIDERS"
+	case TPutPeerRecord:
+		return "PUT_PEER_RECORD"
+	case TGetPeerRecord:
+		return "GET_PEER_RECORD"
+	case TPutIPNS:
+		return "PUT_IPNS"
+	case TGetIPNS:
+		return "GET_IPNS"
+	case TWantHave:
+		return "WANT_HAVE"
+	case TWantBlock:
+		return "WANT_BLOCK"
+	case TIdentify:
+		return "IDENTIFY"
+	case TCrawl:
+		return "CRAWL"
+	case TDialBack:
+		return "DIAL_BACK"
+	case TRelayReserve:
+		return "RELAY_RESERVE"
+	case TRelay:
+		return "RELAY"
+	case TAck:
+		return "ACK"
+	case TNodes:
+		return "NODES"
+	case TProviders:
+		return "PROVIDERS"
+	case TPeerRecordResp:
+		return "PEER_RECORD"
+	case TIPNSResp:
+		return "IPNS"
+	case THave:
+		return "HAVE"
+	case TDontHave:
+		return "DONT_HAVE"
+	case TBlock:
+		return "BLOCK"
+	case TError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// ErrorMessage builds a TError response.
+func ErrorMessage(format string, args ...interface{}) Message {
+	return Message{Type: TError, ErrMsg: fmt.Sprintf(format, args...)}
+}
+
+// appendBytes writes a varint length followed by the bytes.
+func appendBytes(dst, b []byte) []byte {
+	dst = varint.Append(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendPeerInfos(dst []byte, infos []PeerInfo) []byte {
+	dst = varint.Append(dst, uint64(len(infos)))
+	for _, pi := range infos {
+		dst = appendBytes(dst, []byte(pi.ID))
+		dst = varint.Append(dst, uint64(len(pi.Addrs)))
+		for _, a := range pi.Addrs {
+			dst = appendBytes(dst, a.Bytes())
+		}
+	}
+	return dst
+}
+
+// Marshal encodes the message body (without outer framing).
+func (m Message) Marshal() []byte {
+	out := []byte{byte(m.Type)}
+	out = appendBytes(out, m.Key)
+	out = appendPeerInfos(out, m.Peers)
+	out = appendPeerInfos(out, m.Providers)
+	if m.PeerRec != nil {
+		out = append(out, 1)
+		out = appendBytes(out, []byte(m.PeerRec.ID))
+		out = varint.Append(out, m.PeerRec.Seq)
+		out = appendBytes(out, m.PeerRec.PublicKey)
+		out = appendBytes(out, m.PeerRec.Signature)
+		out = varint.Append(out, uint64(len(m.PeerRec.Addrs)))
+		for _, a := range m.PeerRec.Addrs {
+			out = appendBytes(out, a.Bytes())
+		}
+		out = varint.Append(out, uint64(m.PeerRec.Published.UnixNano()))
+	} else {
+		out = append(out, 0)
+	}
+	out = appendBytes(out, m.IPNSData)
+	out = appendBytes(out, m.BlockData)
+	out = appendBytes(out, []byte(m.ErrMsg))
+	return out
+}
+
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, used, err := varint.Decode(r.buf[r.pos:])
+	if err != nil {
+		return nil, err
+	}
+	r.pos += used
+	if uint64(len(r.buf)-r.pos) < n {
+		return nil, ErrMalformed
+	}
+	out := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	n, used, err := varint.Decode(r.buf[r.pos:])
+	if err != nil {
+		return 0, err
+	}
+	r.pos += used
+	return n, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrMalformed
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) peerInfos() ([]PeerInfo, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 4096 {
+		return nil, ErrMalformed
+	}
+	out := make([]PeerInfo, 0, n)
+	for i := uint64(0); i < n; i++ {
+		idb, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		na, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if na > 1024 {
+			return nil, ErrMalformed
+		}
+		pi := PeerInfo{ID: peer.ID(idb)}
+		for j := uint64(0); j < na; j++ {
+			ab, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			a, err := multiaddr.FromBytes(ab)
+			if err != nil {
+				return nil, err
+			}
+			pi.Addrs = append(pi.Addrs, a)
+		}
+		out = append(out, pi)
+	}
+	return out, nil
+}
+
+// Unmarshal decodes a message body.
+func Unmarshal(buf []byte) (Message, error) {
+	if len(buf) == 0 {
+		return Message{}, ErrMalformed
+	}
+	r := &reader{buf: buf}
+	tb, err := r.byte()
+	if err != nil {
+		return Message{}, err
+	}
+	m := Message{Type: Type(tb)}
+	if m.Key, err = r.bytes(); err != nil {
+		return Message{}, fmt.Errorf("%w: key: %v", ErrMalformed, err)
+	}
+	if len(m.Key) == 0 {
+		m.Key = nil
+	}
+	if m.Peers, err = r.peerInfos(); err != nil {
+		return Message{}, fmt.Errorf("%w: peers: %v", ErrMalformed, err)
+	}
+	if m.Providers, err = r.peerInfos(); err != nil {
+		return Message{}, fmt.Errorf("%w: providers: %v", ErrMalformed, err)
+	}
+	flag, err := r.byte()
+	if err != nil {
+		return Message{}, err
+	}
+	if flag == 1 {
+		var rec record.PeerRecord
+		idb, err := r.bytes()
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: rec id: %v", ErrMalformed, err)
+		}
+		rec.ID = peer.ID(idb)
+		if rec.Seq, err = r.uvarint(); err != nil {
+			return Message{}, fmt.Errorf("%w: rec seq: %v", ErrMalformed, err)
+		}
+		pk, err := r.bytes()
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: rec key: %v", ErrMalformed, err)
+		}
+		rec.PublicKey = ed25519.PublicKey(append([]byte(nil), pk...))
+		sig, err := r.bytes()
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: rec sig: %v", ErrMalformed, err)
+		}
+		rec.Signature = append([]byte(nil), sig...)
+		na, err := r.uvarint()
+		if err != nil {
+			return Message{}, err
+		}
+		if na > 1024 {
+			return Message{}, ErrMalformed
+		}
+		for j := uint64(0); j < na; j++ {
+			ab, err := r.bytes()
+			if err != nil {
+				return Message{}, err
+			}
+			a, err := multiaddr.FromBytes(ab)
+			if err != nil {
+				return Message{}, err
+			}
+			rec.Addrs = append(rec.Addrs, a)
+		}
+		ns, err := r.uvarint()
+		if err != nil {
+			return Message{}, err
+		}
+		rec.Published = time.Unix(0, int64(ns))
+		m.PeerRec = &rec
+	}
+	if m.IPNSData, err = r.bytes(); err != nil {
+		return Message{}, fmt.Errorf("%w: ipns: %v", ErrMalformed, err)
+	}
+	if len(m.IPNSData) == 0 {
+		m.IPNSData = nil
+	}
+	if m.BlockData, err = r.bytes(); err != nil {
+		return Message{}, fmt.Errorf("%w: block: %v", ErrMalformed, err)
+	}
+	if len(m.BlockData) == 0 {
+		m.BlockData = nil
+	}
+	eb, err := r.bytes()
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: err: %v", ErrMalformed, err)
+	}
+	m.ErrMsg = string(eb)
+	return m, nil
+}
+
+// WriteFrame writes a length-prefixed message to w.
+func WriteFrame(w io.Writer, m Message) error {
+	body := m.Marshal()
+	if len(body) > MaxMessageSize {
+		return ErrTooLarge
+	}
+	frame := varint.Append(make([]byte, 0, len(body)+5), uint64(len(body)))
+	frame = append(frame, body...)
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.ByteReader) (Message, error) {
+	n, err := varint.ReadUvarint(r)
+	if err != nil {
+		return Message{}, err
+	}
+	if n > MaxMessageSize {
+		return Message{}, ErrTooLarge
+	}
+	buf := make([]byte, n)
+	for i := range buf {
+		b, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Message{}, err
+		}
+		buf[i] = b
+	}
+	return Unmarshal(buf)
+}

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/multiaddr"
+	"repro/internal/peer"
+	"repro/internal/record"
+)
+
+func testIdentity(seed int64) peer.Identity {
+	return peer.MustNewIdentity(rand.New(rand.NewSource(seed)))
+}
+
+func sampleMessage() Message {
+	p1 := testIdentity(1)
+	p2 := testIdentity(2)
+	rec := record.NewPeerRecord(p1,
+		[]multiaddr.Multiaddr{multiaddr.MustParse("/ip4/1.2.3.4/tcp/4001")},
+		7, time.Unix(0, 1_600_000_000_000_000_000))
+	return Message{
+		Type: TProviders,
+		Key:  []byte{0x01, 0x55, 0x12, 0x02, 0xaa, 0xbb},
+		Peers: []PeerInfo{
+			{ID: p1.ID, Addrs: []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/1.2.3.4/tcp/4001")}},
+			{ID: p2.ID},
+		},
+		Providers: []PeerInfo{{ID: p2.ID, Addrs: []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/5.6.7.8/tcp/4002/p2p/" + p2.ID.String())}}},
+		PeerRec:   &rec,
+		IPNSData:  []byte("ipns-bytes"),
+		BlockData: []byte("block-bytes"),
+		ErrMsg:    "",
+	}
+}
+
+func messagesEqual(a, b Message) bool {
+	if a.Type != b.Type || !bytes.Equal(a.Key, b.Key) || a.ErrMsg != b.ErrMsg {
+		return false
+	}
+	if !bytes.Equal(a.IPNSData, b.IPNSData) || !bytes.Equal(a.BlockData, b.BlockData) {
+		return false
+	}
+	if len(a.Peers) != len(b.Peers) || len(a.Providers) != len(b.Providers) {
+		return false
+	}
+	eqInfos := func(x, y []PeerInfo) bool {
+		for i := range x {
+			if x[i].ID != y[i].ID || len(x[i].Addrs) != len(y[i].Addrs) {
+				return false
+			}
+			for j := range x[i].Addrs {
+				if !x[i].Addrs[j].Equal(y[i].Addrs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !eqInfos(a.Peers, b.Peers) || !eqInfos(a.Providers, b.Providers) {
+		return false
+	}
+	if (a.PeerRec == nil) != (b.PeerRec == nil) {
+		return false
+	}
+	if a.PeerRec != nil {
+		ra, rb := a.PeerRec, b.PeerRec
+		if ra.ID != rb.ID || ra.Seq != rb.Seq || !ra.Published.Equal(rb.Published) {
+			return false
+		}
+		if !reflect.DeepEqual([]byte(ra.PublicKey), []byte(rb.PublicKey)) || !bytes.Equal(ra.Signature, rb.Signature) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !messagesEqual(m, back) {
+		t.Errorf("round trip mismatch:\n  in:  %+v\n  out: %+v", m, back)
+	}
+	// The embedded signed record must still verify after the trip.
+	if err := back.PeerRec.Verify(); err != nil {
+		t.Errorf("peer record signature broken by codec: %v", err)
+	}
+}
+
+func TestMinimalMessage(t *testing.T) {
+	m := Message{Type: TPing}
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != TPing || back.Key != nil || back.PeerRec != nil || len(back.Peers) != 0 {
+		t.Errorf("minimal round trip = %+v", back)
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	m := ErrorMessage("no record for %s", "abc")
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != TError || back.ErrMsg != "no record for abc" {
+		t.Errorf("error round trip = %+v", back)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty buffer should fail")
+	}
+	m := sampleMessage().Marshal()
+	for _, cut := range []int{1, 3, len(m) / 2, len(m) - 1} {
+		if _, err := Unmarshal(m[:cut]); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{sampleMessage(), {Type: TPing}, ErrorMessage("x")}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range msgs {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !messagesEqual(want, got) {
+			t.Errorf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	big := Message{Type: TBlock, BlockData: make([]byte, MaxMessageSize+1)}
+	if err := WriteFrame(&bytes.Buffer{}, big); err != ErrTooLarge {
+		t.Errorf("oversized write: %v, want ErrTooLarge", err)
+	}
+	// A frame header claiming a huge size must be rejected before allocation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := ReadFrame(bufio.NewReader(&buf)); err != ErrTooLarge {
+		t.Errorf("oversized read: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, tt := range []Type{TPing, TFindNode, TAddProvider, TGetProviders, TWantHave, TWantBlock, TBlock, TError, TCrawl, TIdentify} {
+		if s := tt.String(); s == "" || s[0] == 'T' && len(s) > 5 && s[:5] == "TYPE(" {
+			t.Errorf("missing String for %d: %q", tt, s)
+		}
+	}
+	if Type(250).String() != "TYPE(250)" {
+		t.Error("unknown type should fall back")
+	}
+}
+
+func TestQuickRoundTripKeyAndBlock(t *testing.T) {
+	f := func(key, blockData []byte, errMsg string, ty uint8) bool {
+		m := Message{Type: Type(ty), Key: key, BlockData: blockData, ErrMsg: errMsg}
+		back, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		keyOK := bytes.Equal(back.Key, key) || (len(key) == 0 && back.Key == nil)
+		blockOK := bytes.Equal(back.BlockData, blockData) || (len(blockData) == 0 && back.BlockData == nil)
+		return keyOK && blockOK && back.ErrMsg == errMsg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package ipfs is the public API of this reproduction of "Design and
+// Evaluation of IPFS: A Storage Layer for the Decentralized Web"
+// (SIGCOMM 2022). It re-exports the core node, simulated and TCP
+// testnet builders, the HTTP gateway, and the measurement crawler
+// behind a compact facade.
+//
+// Quickstart:
+//
+//	tn := ipfs.NewSimNetwork(ipfs.SimConfig{Peers: 100})
+//	alice, bob := tn.Node(0), tn.Node(1)
+//	pub, _ := alice.AddAndPublish(ctx, []byte("hello decentralized web"))
+//	data, res, _ := bob.Retrieve(ctx, pub.Cid)
+package ipfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/dht"
+	"repro/internal/gateway"
+	"repro/internal/geo"
+	"repro/internal/multicodec"
+	"repro/internal/peer"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/testnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Re-exported core types.
+type (
+	// Node is an IPFS peer (see internal/core).
+	Node = core.Node
+	// Cid is a content identifier (§2.1).
+	Cid = cid.Cid
+	// PeerID identifies a peer (§2.2).
+	PeerID = peer.ID
+	// PeerInfo couples a PeerID with its multiaddresses.
+	PeerInfo = wire.PeerInfo
+	// PublishResult instruments a publication (Fig 9a–c).
+	PublishResult = core.PublishResult
+	// RetrieveResult instruments a retrieval (Fig 9d–f).
+	RetrieveResult = core.RetrieveResult
+	// Gateway is the HTTP bridge of §3.4.
+	Gateway = gateway.Gateway
+	// GatewayRequest is one client GET through the gateway.
+	GatewayRequest = gateway.Request
+	// GatewayLogEntry is one access-log line (§4.2 schema).
+	GatewayLogEntry = gateway.LogEntry
+	// GatewayTierStats aggregates a serving tier (Table 5).
+	GatewayTierStats = gateway.TierStats
+	// Crawler implements the §4.1 measurement methodology.
+	Crawler = crawler.Crawler
+	// Region names a geographic location for the latency model.
+	Region = geo.Region
+)
+
+// ParseCid parses the text form of a CID.
+func ParseCid(s string) (Cid, error) { return cid.Parse(s) }
+
+// SumCid computes the CID of raw data (sha2-256, raw codec).
+func SumCid(data []byte) Cid { return cid.Sum(multicodec.Raw, data) }
+
+// SimConfig configures an in-process simulated network.
+type SimConfig struct {
+	// Peers is the network size (default 200).
+	Peers int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Scale compresses simulated time; 0.001 replays 1000x faster than
+	// real time (the default). Use 1 for real-time behaviour.
+	Scale float64
+	// Clean removes the dead/slow/broken peer classes, for examples and
+	// tests that want a well-behaved network.
+	Clean bool
+}
+
+// SimNetwork is a simulated IPFS network.
+type SimNetwork struct {
+	tn *testnet.Testnet
+}
+
+// NewSimNetwork builds a simulated network with a geo-distributed
+// population and converged routing tables.
+func NewSimNetwork(cfg SimConfig) *SimNetwork {
+	tcfg := testnet.Config{
+		N:     cfg.Peers,
+		Seed:  cfg.Seed,
+		Scale: cfg.Scale,
+	}
+	if tcfg.Seed == 0 {
+		tcfg.Seed = 1
+	}
+	if cfg.Clean {
+		tcfg.FracDead, tcfg.FracSlow, tcfg.FracWSBroken = 1e-9, 1e-9, 1e-9
+	}
+	return &SimNetwork{tn: testnet.Build(tcfg)}
+}
+
+// Node returns the i-th peer.
+func (s *SimNetwork) Node(i int) *Node { return s.tn.Nodes[i] }
+
+// Len returns the network size.
+func (s *SimNetwork) Len() int { return len(s.tn.Nodes) }
+
+// LiveNodes returns the well-behaved peers.
+func (s *SimNetwork) LiveNodes() []*Node { return s.tn.LiveNodes() }
+
+// AddNode attaches a fresh, bootstrapped node in the given region.
+func (s *SimNetwork) AddNode(region Region, seed int64) *Node {
+	return s.tn.AddVantage(region, seed)
+}
+
+// Testnet exposes the underlying builder for advanced use.
+func (s *SimNetwork) Testnet() *testnet.Testnet { return s.tn }
+
+// NewGateway builds an HTTP gateway in front of a fresh node in the
+// given region with an nginx-style cache of cacheBytes.
+func (s *SimNetwork) NewGateway(region Region, cacheBytes int64, seed int64) *Gateway {
+	node := s.tn.AddVantage(region, seed)
+	return gateway.New(node, cacheBytes, s.tn.Base)
+}
+
+// NewCrawler builds a §4.1 crawler attached to the network.
+func (s *SimNetwork) NewCrawler(seed int64) *Crawler {
+	ident := peer.MustNewIdentity(randFrom(seed))
+	ep := s.tn.Net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
+	sw := swarm.New(ident, ep, s.tn.Base)
+	return crawler.New(sw, crawler.Config{Base: s.tn.Base})
+}
+
+// Bootstrap returns bootstrap infos for joining this network.
+func (s *SimNetwork) Bootstrap(n int) []PeerInfo {
+	if n > len(s.tn.Nodes) {
+		n = len(s.tn.Nodes)
+	}
+	out := make([]PeerInfo, 0, n)
+	for _, node := range s.tn.Nodes[:n] {
+		out = append(out, node.Info())
+	}
+	return out
+}
+
+// TCPNodeConfig configures a real-TCP node.
+type TCPNodeConfig struct {
+	// Listen is the host:port to bind (default "127.0.0.1:0").
+	Listen string
+	// Seed derives the identity deterministically; 0 uses crypto
+	// randomness.
+	Seed int64
+	// Region is informational.
+	Region Region
+	// Client joins as a DHT client instead of a server.
+	Client bool
+}
+
+// NewTCPNode starts a node on a real TCP listener — the cmd/ipfs-node
+// path and the way to build multi-process local testnets.
+func NewTCPNode(cfg TCPNodeConfig) (*Node, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	var ident peer.Identity
+	var err error
+	if cfg.Seed != 0 {
+		ident = peer.MustNewIdentity(randFrom(cfg.Seed))
+	} else if ident, err = peer.NewIdentity(nil); err != nil {
+		return nil, fmt.Errorf("ipfs: %w", err)
+	}
+	ep, err := transport.ListenTCP(ident, cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	mode := dht.ModeServer
+	if cfg.Client {
+		mode = dht.ModeClient
+	}
+	return core.New(ident, ep, core.Config{Mode: mode, Region: cfg.Region}), nil
+}
+
+// NewTCPGateway builds an HTTP gateway over a TCP node.
+func NewTCPGateway(node *Node, cacheBytes int64) *Gateway {
+	return gateway.New(node, cacheBytes, simtime.Realtime)
+}
+
+// ParsePeerInfo parses "peerID@/ip4/../tcp/../p2p/.." or a bare
+// multiaddress with a /p2p component into bootstrap info.
+func ParsePeerInfo(s string) (PeerInfo, error) {
+	m, err := parseMaddr(s)
+	if err != nil {
+		return PeerInfo{}, err
+	}
+	idStr, ok := m.PeerID()
+	if !ok {
+		return PeerInfo{}, fmt.Errorf("ipfs: address %q has no /p2p component", s)
+	}
+	id, err := peer.ParseID(idStr)
+	if err != nil {
+		return PeerInfo{}, err
+	}
+	return PeerInfo{ID: id, Addrs: []multiaddrT{m}}, nil
+}
+
+// SummarizeGatewayLog aggregates an access log into per-tier request
+// counts, traffic and median latency (Table 5).
+func SummarizeGatewayLog(log []GatewayLogEntry) map[string]GatewayTierStats {
+	out := make(map[string]GatewayTierStats)
+	for tier, s := range gateway.Summarize(log) {
+		out[tier.String()] = s
+	}
+	return out
+}
+
+// DefaultReplication is the paper's k = 20.
+const DefaultReplication = 20
+
+// DefaultBitswapTimeout is the 1 s opportunistic timeout.
+const DefaultBitswapTimeout = time.Second

@@ -1,0 +1,137 @@
+package ipfs_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/ipfs"
+)
+
+func TestSimNetworkPublishRetrieve(t *testing.T) {
+	net := ipfs.NewSimNetwork(ipfs.SimConfig{Peers: 60, Scale: 0.0005, Clean: true, Seed: 3})
+	if net.Len() != 60 {
+		t.Fatalf("Len = %d", net.Len())
+	}
+	ctx := context.Background()
+	alice, bob := net.Node(0), net.Node(30)
+	content := bytes.Repeat([]byte("facade"), 5000)
+
+	pub, err := alice.AddAndPublish(ctx, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.PublishPeerRecord(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := bob.Retrieve(ctx, pub.Cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("content mismatch")
+	}
+	if res.Provider != alice.ID() {
+		t.Error("wrong provider")
+	}
+}
+
+func TestParseCidRoundTrip(t *testing.T) {
+	c := ipfs.SumCid([]byte("parse me"))
+	back, err := ipfs.ParseCid(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(c) {
+		t.Error("round trip failed")
+	}
+	if _, err := ipfs.ParseCid("garbage"); err == nil {
+		t.Error("garbage should not parse")
+	}
+}
+
+func TestParsePeerInfo(t *testing.T) {
+	node, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	addr := node.Addrs()[0].String()
+	info, err := ipfs.ParsePeerInfo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != node.ID() || len(info.Addrs) != 1 {
+		t.Errorf("info = %+v", info)
+	}
+	if _, err := ipfs.ParsePeerInfo("/ip4/1.2.3.4/tcp/4001"); err == nil {
+		t.Error("address without /p2p should fail")
+	}
+	if _, err := ipfs.ParsePeerInfo("junk"); err == nil {
+		t.Error("junk should fail")
+	}
+}
+
+func TestNewTCPNodeDeterministicSeed(t *testing.T) {
+	a, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.ID() != b.ID() {
+		t.Error("same seed should produce the same identity")
+	}
+}
+
+func TestFacadeGateway(t *testing.T) {
+	net := ipfs.NewSimNetwork(ipfs.SimConfig{Peers: 30, Scale: 0.0005, Clean: true, Seed: 4})
+	gw := net.NewGateway("US", 8<<20, 11)
+	data := []byte("gateway content")
+	root, err := gw.Pin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := gw.Fetch(context.Background(), ipfs.GatewayRequest{Cid: root, Time: time.Now(), UserID: "t"})
+	if resp.Err != nil || resp.Bytes != len(data) {
+		t.Errorf("resp = %+v", resp)
+	}
+	stats := ipfs.SummarizeGatewayLog(gw.Log())
+	if stats["IPFS node store"].Requests != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestFacadeCrawler(t *testing.T) {
+	net := ipfs.NewSimNetwork(ipfs.SimConfig{Peers: 50, Scale: 0.0005, Clean: true, Seed: 5})
+	cr := net.NewCrawler(77)
+	report := cr.Crawl(context.Background(), net.Bootstrap(2))
+	if len(report.Observations) < 48 {
+		t.Errorf("crawl found %d of 50", len(report.Observations))
+	}
+}
+
+func TestAddNodeJoins(t *testing.T) {
+	net := ipfs.NewSimNetwork(ipfs.SimConfig{Peers: 40, Scale: 0.0005, Clean: true, Seed: 6})
+	joiner := net.AddNode("DE", 123)
+	ctx := context.Background()
+	pub, err := joiner.AddAndPublish(ctx, []byte("from the newcomer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.PublishPeerRecord(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := net.Node(10).Retrieve(ctx, pub.Cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from the newcomer" {
+		t.Error("content mismatch")
+	}
+}

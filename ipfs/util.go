@@ -1,0 +1,14 @@
+package ipfs
+
+import (
+	"math/rand"
+
+	"repro/internal/multiaddr"
+)
+
+// multiaddrT aliases the internal multiaddr type for the facade.
+type multiaddrT = multiaddr.Multiaddr
+
+func parseMaddr(s string) (multiaddrT, error) { return multiaddr.Parse(s) }
+
+func randFrom(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
