@@ -21,6 +21,7 @@ import (
 	"repro/internal/merkledag"
 	"repro/internal/multicodec"
 	"repro/internal/peer"
+	"repro/internal/routing"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -350,6 +351,40 @@ func BenchmarkAblationGatewayCacheSize(b *testing.B) {
 			[]int64{4 << 20, 32 << 20})
 		b.ReportMetric(100*pts[len(pts)-1].NginxHit, "bigcache-hit-%")
 	}
+}
+
+// --- content-routing subsystem ---
+
+// BenchmarkRoutingComparison races the four content routers on one
+// simulated network under churn, reporting per-retrieval routing
+// message counts and latency for the baseline walk vs the accelerated
+// one-hop client.
+func BenchmarkRoutingComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
+			NetworkSize: 200, Objects: 3, Scale: 0.0005, Seed: 42,
+		})
+		dht := res.Router(routing.KindDHT)
+		accel := res.Router(routing.KindAccelerated)
+		b.ReportMetric(dht.RetrMsgs.Mean(), "dht-retr-msgs")
+		b.ReportMetric(accel.RetrMsgs.Mean(), "accel-retr-msgs")
+		b.ReportMetric(dht.RetrLatency.Percentile(50), "dht-retr-p50-s")
+		b.ReportMetric(accel.RetrLatency.Percentile(50), "accel-retr-p50-s")
+	}
+}
+
+// BenchmarkAcceleratedLookup measures one-hop lookups against a
+// converged snapshot (no churn): the best case the accelerated client
+// buys. The reported metric comes from the same runs the loop times.
+func BenchmarkAcceleratedLookup(b *testing.B) {
+	msgs := 0.0
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
+			NetworkSize: 150, Objects: 2, ChurnFraction: 1e-9, Scale: 0.0005, Seed: int64(7 + i),
+		})
+		msgs = res.Router(routing.KindAccelerated).RetrMsgs.Mean()
+	}
+	b.ReportMetric(msgs, "retr-msgs")
 }
 
 // --- micro-benchmarks of the hot paths ---

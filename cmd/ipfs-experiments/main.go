@@ -7,6 +7,7 @@
 //	ipfs-experiments -run table4 -iters 20 -network 1000
 //	ipfs-experiments -run fig8
 //	ipfs-experiments -run ablations
+//	ipfs-experiments -run routing -network 300 -churn 0.2
 package main
 
 import (
@@ -20,7 +21,8 @@ import (
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment id: all, table1, table2, table3, table4, table5, fig4a, fig4b, fig5, fig6, fig7a, fig7b, fig7c, fig7d, fig8, fig9, fig10, fig11, ablations")
+		run     = flag.String("run", "all", "experiment id: all, table1, table2, table3, table4, table5, fig4a, fig4b, fig5, fig6, fig7a, fig7b, fig7c, fig7d, fig8, fig9, fig10, fig11, ablations, routing")
+		churn   = flag.Float64("churn", 0.2, "fraction of the network churned offline in the routing comparison (0 selects the default; pass e.g. 1e-9 for effectively none)")
 		network = flag.Int("network", 600, "simulated network size for performance runs")
 		iters   = flag.Int("iters", 8, "publications per region")
 		pop     = flag.Int("population", 20000, "population size for deployment analyses")
@@ -50,8 +52,9 @@ func main() {
 	needDeploy := want("table2", "table3", "fig4a", "fig5", "fig7a", "fig7b", "fig7c", "fig7d", "fig8")
 	needGateway := want("table5", "fig4b", "fig6", "fig11")
 	needAblations := want("ablations")
+	needRouting := want("routing")
 
-	if !needPerf && !needDeploy && !needGateway && !needAblations {
+	if !needPerf && !needDeploy && !needGateway && !needAblations && !needRouting {
 		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", *run)
 		flag.Usage()
 		os.Exit(2)
@@ -135,6 +138,18 @@ func main() {
 			fmt.Println(res.Fig11a(*points))
 			fmt.Println(res.Fig11b())
 		}
+	}
+
+	if needRouting {
+		fmt.Fprintln(os.Stderr, "running content-routing comparison...")
+		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
+			NetworkSize: *network, Objects: *iters, ChurnFraction: *churn,
+			Scale: *scale, Seed: *seed,
+		})
+		fmt.Println(res.Table())
+		fmt.Println()
+		fmt.Println("== headline comparison ==")
+		fmt.Println(res.Summary())
 	}
 
 	if needAblations {

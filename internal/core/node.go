@@ -18,6 +18,7 @@ import (
 	"repro/internal/merkledag"
 	"repro/internal/multiaddr"
 	"repro/internal/peer"
+	"repro/internal/routing"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
 	"repro/internal/transport"
@@ -53,6 +54,13 @@ type Config struct {
 	// ProvideAfterRetrieve republishes a provider record for content we
 	// just fetched, making us a temporary provider (§3.1).
 	ProvideAfterRetrieve bool
+	// Routing selects the content-routing implementation: the baseline
+	// DHT walk (default), the accelerated one-hop client, the delegated
+	// indexer client, or the parallel composite racing all of them.
+	Routing routing.Kind
+	// Indexers are the delegated-routing indexer nodes the indexer and
+	// parallel routers publish to and query.
+	Indexers []wire.PeerInfo
 	// Base compresses simulated time.
 	Base simtime.Base
 	// Now supplies the clock for record expiry.
@@ -82,6 +90,9 @@ type Node struct {
 	store   *block.MemStore
 	builder *merkledag.Builder
 	repub   republisher
+
+	router routing.Router
+	accel  *routing.AcceleratedRouter // non-nil when the accelerated client is in play
 
 	ipnsSeq uint64
 }
@@ -114,8 +125,96 @@ func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 		store:   store,
 		builder: merkledag.NewBuilder(store, cfg.ChunkSize, cfg.Fanout),
 	}
+	n.router = n.buildRouter()
 	ep.SetHandler(n.handle)
 	return n
+}
+
+// buildRouter assembles the configured routing stack over the node's
+// swarm and DHT. The DHT walk always backs the alternatives so a stale
+// snapshot or an empty indexer degrades to today's behaviour instead of
+// failing.
+func (n *Node) buildRouter() routing.Router {
+	base := routing.NewDHT(n.dht)
+	newAccel := func(fallback routing.Router) *routing.AcceleratedRouter {
+		n.accel = routing.NewAccelerated(n.sw, fallback, routing.AcceleratedConfig{
+			K:           n.cfg.K,
+			Parallelism: n.cfg.Alpha,
+			RPCTimeout:  n.cfg.QueryTimeout,
+			Base:        n.cfg.Base,
+		})
+		return n.accel
+	}
+	newIndexer := func(fallback routing.Router) *routing.IndexerRouter {
+		return routing.NewIndexerRouter(n.sw, n.cfg.Indexers, fallback, routing.IndexerRouterConfig{
+			RPCTimeout: n.cfg.QueryTimeout,
+			Base:       n.cfg.Base,
+		})
+	}
+	switch n.cfg.Routing {
+	case routing.KindAccelerated:
+		return newAccel(base)
+	case routing.KindIndexer:
+		return newIndexer(base)
+	case routing.KindParallel:
+		// Members race without their own DHT fallbacks: the base member
+		// already walks, and a doubled walk would waste RPCs.
+		members := []routing.Router{base, newAccel(nil)}
+		if len(n.cfg.Indexers) > 0 {
+			members = append(members, newIndexer(nil))
+		}
+		return routing.NewParallel(members...)
+	default:
+		return base
+	}
+}
+
+// Router exposes the node's content router.
+func (n *Node) Router() routing.Router { return n.router }
+
+// SetRouter swaps the content router (experiments wire custom stacks),
+// rebinding the Accelerated()/RefreshRoutingSnapshot helpers to the new
+// stack's accelerated client, if it has one.
+func (n *Node) SetRouter(r routing.Router) {
+	n.router = r
+	n.accel = findAccelerated(r)
+}
+
+// findAccelerated locates an accelerated client in a router stack.
+func findAccelerated(r routing.Router) *routing.AcceleratedRouter {
+	switch v := r.(type) {
+	case *routing.AcceleratedRouter:
+		return v
+	case *routing.ParallelRouter:
+		for _, m := range v.Members() {
+			if a := findAccelerated(m); a != nil {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// Accelerated returns the accelerated client when one is configured,
+// else nil.
+func (n *Node) Accelerated() *routing.AcceleratedRouter { return n.accel }
+
+// RefreshRoutingSnapshot crawls the network into the accelerated
+// client's snapshot, seeding the crawl from the node's routing table.
+// It is a no-op for nodes without an accelerated client.
+func (n *Node) RefreshRoutingSnapshot(ctx context.Context) (int, error) {
+	if n.accel == nil {
+		return 0, nil
+	}
+	var bootstrap []wire.PeerInfo
+	for _, id := range n.dht.Table().AllPeers() {
+		info := wire.PeerInfo{ID: id}
+		if addrs, ok := n.sw.Book().Get(id); ok {
+			info.Addrs = addrs
+		}
+		bootstrap = append(bootstrap, info)
+	}
+	return n.accel.Refresh(ctx, bootstrap)
 }
 
 // handle dispatches inbound requests to the owning subsystem.
@@ -208,13 +307,15 @@ type PublishResult struct {
 	dht.ProvideResult
 }
 
-// Publish pushes provider records for root to the k closest peers
-// (Figure 3 steps 2–3). The content must have been Added locally first.
+// Publish pushes provider records for root through the configured
+// router — the k closest DHT peers for the baseline walk (Figure 3
+// steps 2–3), the snapshot neighbourhood for the accelerated client, or
+// the indexer store. The content must have been Added locally first.
 func (n *Node) Publish(ctx context.Context, root cid.Cid) (PublishResult, error) {
 	if !n.store.Has(root) {
 		return PublishResult{}, fmt.Errorf("core: publish: %s not in local store", root)
 	}
-	res, err := n.dht.Provide(ctx, root)
+	res, err := n.router.Provide(ctx, root)
 	if err == nil {
 		n.repub.track(root)
 	}

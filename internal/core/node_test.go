@@ -194,8 +194,12 @@ func TestBitswapMissCostsTimeout(t *testing.T) {
 }
 
 func TestParallelDiscoverySkipsBitswapPenalty(t *testing.T) {
+	// Scale is coarser than the sibling tests: the assertion below is a
+	// simulated-time budget, and at 0.0004 one simulated second is only
+	// 0.4 ms of real time — scheduler or race-detector overhead alone
+	// would blow it.
 	tn := testnet.Build(testnet.Config{
-		N: 30, Seed: 12, Scale: 0.0004,
+		N: 30, Seed: 12, Scale: 0.02,
 		FracDead: 0.0001, FracSlow: 0.0001, FracWSBroken: 0.0001,
 		ParallelDiscovery: true,
 	})

@@ -40,13 +40,13 @@ func (r *republisher) list() []cid.Cid {
 // Provided returns the CIDs this node currently republishes.
 func (n *Node) Provided() []cid.Cid { return n.repub.list() }
 
-// Republish refreshes the provider records of every tracked CID plus
-// the node's peer record. It returns how many provide operations
-// succeeded.
+// Republish refreshes the provider records of every tracked CID
+// through the configured router, plus the node's peer record. It
+// returns how many provide operations succeeded.
 func (n *Node) Republish(ctx context.Context) int {
 	ok := 0
 	for _, c := range n.repub.list() {
-		if _, err := n.dht.Provide(ctx, c); err == nil {
+		if _, err := n.router.Provide(ctx, c); err == nil {
 			ok++
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/merkledag"
 	"repro/internal/peer"
+	"repro/internal/routing"
 	"repro/internal/wire"
 )
 
@@ -25,7 +26,8 @@ type RetrieveResult struct {
 	Total        time.Duration
 	BitswapPhase time.Duration // opportunistic ask of connected peers
 	BitswapHit   bool          // content resolved without the DHT
-	ProviderWalk time.Duration // first DHT walk (content discovery)
+	ProviderWalk time.Duration // content discovery via the router (first DHT walk)
+	LookupMsgs   int           // routing RPCs the content-discovery lookup issued
 	PeerWalk     time.Duration // second DHT walk (peer discovery)
 	UsedBook     bool          // address book supplied the addresses
 	Dial         time.Duration // peer routing: connect to the provider
@@ -126,7 +128,7 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	if n.cfg.ProvideAfterRetrieve {
 		// Having verified the content, we can serve it: publish a
 		// provider record pointing at ourselves (§3.1).
-		if _, err := n.dht.Provide(ctx, root); err == nil {
+		if _, err := n.router.Provide(ctx, root); err == nil {
 			// best effort
 			_ = err
 		}
@@ -141,7 +143,8 @@ func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) 
 		return n.discoverParallel(ctx, root, res)
 	}
 
-	// Serial (deployed) behaviour: Bitswap first, DHT after its timeout.
+	// Serial (deployed) behaviour: Bitswap first, the router after its
+	// timeout.
 	if id, dur, err := n.bswap.AskConnected(ctx, root); err == nil {
 		res.BitswapPhase = dur
 		res.BitswapHit = true
@@ -150,8 +153,9 @@ func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) 
 		res.BitswapPhase = dur
 	}
 
-	providers, walk, err := n.dht.FindProviders(ctx, root)
-	res.ProviderWalk = walk.Duration
+	providers, lookup, err := n.router.FindProviders(ctx, root)
+	res.ProviderWalk = lookup.Duration
+	res.LookupMsgs = routing.LookupMessages(lookup)
 	if err != nil {
 		if errors.Is(err, dht.ErrNoProviders) {
 			return wire.PeerInfo{}, fmt.Errorf("%w: no provider records for %s", ErrNotFound, root)
@@ -161,13 +165,14 @@ func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) 
 	return providers[0], nil
 }
 
-// discoverParallel races Bitswap against the DHT walk — the §6.2
+// discoverParallel races Bitswap against the router lookup — the §6.2
 // optimization trading extra requests for latency.
 func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, error) {
 	type outcome struct {
 		info    wire.PeerInfo
 		bitswap bool
 		dur     time.Duration
+		msgs    int
 		err     error
 	}
 	ch := make(chan outcome, 2)
@@ -179,8 +184,8 @@ func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *Retrieve
 		ch <- outcome{info: wire.PeerInfo{ID: id}, bitswap: true, dur: dur, err: err}
 	}()
 	go func() {
-		providers, walk, err := n.dht.FindProviders(pctx, root)
-		o := outcome{dur: walk.Duration, err: err}
+		providers, lookup, err := n.router.FindProviders(pctx, root)
+		o := outcome{dur: lookup.Duration, msgs: routing.LookupMessages(lookup), err: err}
 		if err == nil {
 			o.info = providers[0]
 		}
@@ -196,6 +201,7 @@ func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *Retrieve
 				res.BitswapHit = true
 			} else {
 				res.ProviderWalk = o.dur
+				res.LookupMsgs = o.msgs
 			}
 			return o.info, nil
 		}

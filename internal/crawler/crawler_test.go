@@ -1,10 +1,11 @@
-package crawler
+package crawler_test
 
 import (
 	"context"
 	"math/rand"
 	"testing"
 
+	"repro/internal/crawler"
 	"repro/internal/peer"
 	"repro/internal/simnet"
 	"repro/internal/swarm"
@@ -12,11 +13,11 @@ import (
 	"repro/internal/wire"
 )
 
-func buildCrawler(tn *testnet.Testnet, seed int64) *Crawler {
+func buildCrawler(tn *testnet.Testnet, seed int64) *crawler.Crawler {
 	ident := peer.MustNewIdentity(rand.New(rand.NewSource(seed)))
 	ep := tn.Net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
 	sw := swarm.New(ident, ep, tn.Base)
-	return New(sw, Config{Base: tn.Base, Workers: 64})
+	return crawler.New(sw, crawler.Config{Base: tn.Base, Workers: 64})
 }
 
 func TestCrawlDiscoversWholeNetwork(t *testing.T) {

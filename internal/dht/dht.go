@@ -9,6 +9,7 @@ package dht
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cid"
@@ -79,7 +80,7 @@ type DHT struct {
 	ident peer.Identity
 	sw    *swarm.Swarm
 	table *kbucket.Table
-	mode  Mode
+	mode  atomic.Int32 // holds a Mode; AutoNAT flips it while RPCs are in flight
 
 	providers *record.ProviderStore
 	peerRecs  *record.PeerStore
@@ -95,23 +96,24 @@ type DHT struct {
 // New creates a DHT participant in the given mode.
 func New(ident peer.Identity, sw *swarm.Swarm, mode Mode, cfg Config) *DHT {
 	cfg = cfg.withDefaults()
-	return &DHT{
+	d := &DHT{
 		cfg:       cfg,
 		ident:     ident,
 		sw:        sw,
 		table:     kbucket.NewTable(ident.ID, cfg.K),
-		mode:      mode,
 		providers: record.NewProviderStore(cfg.RecordTTL, cfg.Now),
 		peerRecs:  record.NewPeerStore(cfg.RecordTTL, cfg.Now),
 		ipns:      make(map[string][]byte),
 	}
+	d.mode.Store(int32(mode))
+	return d
 }
 
 // Mode returns the participation mode.
-func (d *DHT) Mode() Mode { return d.mode }
+func (d *DHT) Mode() Mode { return Mode(d.mode.Load()) }
 
 // SetMode changes the participation mode (after an AutoNAT check).
-func (d *DHT) SetMode(m Mode) { d.mode = m }
+func (d *DHT) SetMode(m Mode) { d.mode.Store(int32(m)) }
 
 // Table exposes the routing table (the crawler and testnet builder use
 // it).
@@ -136,7 +138,7 @@ func (d *DHT) Seed(info wire.PeerInfo) {
 // selfInfo is attached to outbound requests when we are a server so
 // responders can learn about us.
 func (d *DHT) selfInfo() []wire.PeerInfo {
-	if d.mode != ModeServer {
+	if d.Mode() != ModeServer {
 		return nil
 	}
 	return []wire.PeerInfo{{ID: d.ident.ID, Addrs: d.sw.Addrs()}}
@@ -154,7 +156,7 @@ func (d *DHT) nextSeq() uint64 {
 // it for DHT message types. Clients refuse to serve (§2.3: "DHT clients
 // only request records or content but do not store or provide any").
 func (d *DHT) HandleMessage(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
-	if d.mode != ModeServer {
+	if d.Mode() != ModeServer {
 		return wire.ErrorMessage("peer is a DHT client")
 	}
 	// Learn about the requester if it identified itself as a server.

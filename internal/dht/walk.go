@@ -16,6 +16,7 @@ type WalkInfo struct {
 	Duration time.Duration // total walk time
 	Queried  int           // peers successfully queried
 	Failed   int           // peers that timed out or refused
+	Launched int           // RPCs issued, including ones abandoned at early stop
 	Depth    int           // longest discovery chain from the seeds
 }
 
@@ -156,6 +157,7 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 		case res = <-results:
 		case <-ctx.Done():
 			info.Duration = d.cfg.Base.SimSince(start)
+			info.Launched = launched
 			return d.closestSeen(cands, target), final, info
 		}
 		inflight--
@@ -189,6 +191,7 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 	}
 	cancel()
 	info.Duration = d.cfg.Base.SimSince(start)
+	info.Launched = launched
 	return d.closestSeen(cands, target), final, info
 }
 

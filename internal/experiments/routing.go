@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cid"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/testnet"
+	"repro/internal/wire"
+)
+
+// RoutingConfig tunes the content-routing comparison: the same
+// simulated network serves one publisher/getter vantage pair per router
+// implementation, with a slice of the network churned offline between
+// publish and retrieve so stale state is part of the measurement.
+type RoutingConfig struct {
+	NetworkSize     int     // DHT servers (default 300)
+	Objects         int     // publications per router (default 6)
+	ObjectSizeBytes int     // default 64 KiB, small so routing dominates
+	ChurnFraction   float64 // nodes taken offline before retrievals (default 0.2)
+	Scale           float64 // time compression (default 0.001)
+	Seed            int64
+}
+
+func (c RoutingConfig) withDefaults() RoutingConfig {
+	if c.NetworkSize <= 0 {
+		c.NetworkSize = 300
+	}
+	if c.Objects <= 0 {
+		c.Objects = 6
+	}
+	if c.ObjectSizeBytes <= 0 {
+		c.ObjectSizeBytes = 64 * 1024
+	}
+	if c.ChurnFraction <= 0 {
+		c.ChurnFraction = 0.2
+	}
+	if c.ChurnFraction > 1 {
+		c.ChurnFraction = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.001
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// RouterPerf aggregates one router implementation's measurements.
+type RouterPerf struct {
+	Kind routing.Kind
+	Name string // the router's self-reported name (parallel lists members)
+
+	Publications int
+	Retrievals   int
+	Failures     int
+
+	PubLatency  *stats.Sample // seconds per publish
+	PubMsgs     *stats.Sample // routing RPCs per publish
+	RetrLatency *stats.Sample // seconds per retrieval
+	RetrMsgs    *stats.Sample // routing RPCs per content-discovery lookup
+}
+
+func newRouterPerf(kind routing.Kind) *RouterPerf {
+	return &RouterPerf{
+		Kind:        kind,
+		PubLatency:  stats.NewSample(),
+		PubMsgs:     stats.NewSample(),
+		RetrLatency: stats.NewSample(),
+		RetrMsgs:    stats.NewSample(),
+	}
+}
+
+// RoutingResults is the outcome of the comparison.
+type RoutingResults struct {
+	Cfg     RoutingConfig
+	Routers []*RouterPerf
+}
+
+// RunRoutingComparison measures publish/retrieve latency and routing
+// message counts for the DHT walk, the accelerated one-hop client, the
+// delegated indexer, and the parallel composite on one simulated
+// network under churn. Every router faces the same network, the same
+// churn set, and the same object schedule.
+func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
+	cfg = cfg.withDefaults()
+	tn := testnet.Build(testnet.Config{
+		N:     cfg.NetworkSize,
+		Seed:  cfg.Seed,
+		Scale: cfg.Scale,
+		// A small dead fraction keeps tables realistically stale; the
+		// heavier churn lever is SetOnline below.
+		FracDead: 0.05, FracSlow: 0.02, FracWSBroken: 1e-9,
+	})
+	ix := tn.AddIndexer(geo.EuCentral1, cfg.Seed+7)
+	indexers := []wire.PeerInfo{ix.Info()}
+
+	// The churn set is fixed up front so every router sees the same
+	// departures.
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	churned := rng.Perm(cfg.NetworkSize)[:int(float64(cfg.NetworkSize)*cfg.ChurnFraction)]
+
+	res := &RoutingResults{Cfg: cfg}
+	ctx := context.Background()
+	kinds := []routing.Kind{routing.KindDHT, routing.KindAccelerated, routing.KindIndexer, routing.KindParallel}
+	for i, kind := range kinds {
+		rp := newRouterPerf(kind)
+		res.Routers = append(res.Routers, rp)
+
+		publisher := tn.AddVantageRouting(geo.EuCentral1, cfg.Seed+int64(100+i), kind, indexers)
+		getter := tn.AddVantageRouting(geo.UsWest1, cfg.Seed+int64(200+i), kind, indexers)
+		rp.Name = publisher.Router().Name()
+		publisher.DHT().PublishPeerRecord(ctx)
+		// Accelerated clients snapshot the network before churn hits,
+		// so retrievals run against a stale view — the hard case.
+		publisher.RefreshRoutingSnapshot(ctx)
+		getter.RefreshRoutingSnapshot(ctx)
+
+		payload := make([]byte, cfg.ObjectSizeBytes)
+		prng := rand.New(rand.NewSource(cfg.Seed + int64(1000*i)))
+		var roots []cid.Cid
+		for j := 0; j < cfg.Objects; j++ {
+			prng.Read(payload)
+			pub, err := publisher.AddAndPublish(ctx, payload)
+			rp.Publications++
+			if err != nil {
+				rp.Failures++
+				continue
+			}
+			roots = append(roots, pub.Cid)
+			rp.PubLatency.AddDuration(pub.TotalDuration)
+			rp.PubMsgs.Add(float64(routing.ProvideMessages(pub.ProvideResult)))
+		}
+
+		// Churn: the chosen slice departs, then every object is
+		// retrieved against the degraded network. Bystanders are drawn
+		// from peers still online so every router's Bitswap phase faces
+		// the same live neighbourhood.
+		for _, idx := range churned {
+			tn.SetOnline(idx, false)
+		}
+		var live []*core.Node
+		for _, n := range tn.LiveNodes() {
+			if tn.Net.Online(n.ID()) {
+				live = append(live, n)
+			}
+		}
+		for _, root := range roots {
+			testnet.FlushVantage(getter)
+			// Connect to a few bystanders so the opportunistic Bitswap
+			// phase runs (and misses) as in the §4.3 setup.
+			for k := 0; k < 2; k++ {
+				b := live[prng.Intn(len(live))]
+				getter.Swarm().Connect(ctx, b.ID(), b.Addrs())
+			}
+			rp.Retrievals++
+			data, rres, err := getter.Retrieve(ctx, root)
+			if err != nil || len(data) != cfg.ObjectSizeBytes {
+				rp.Failures++
+				continue
+			}
+			rp.RetrLatency.AddDuration(rres.Total)
+			rp.RetrMsgs.Add(float64(rres.LookupMsgs))
+			getter.Store().Clear()
+		}
+		// Departed peers return before the next router's turn.
+		for _, idx := range churned {
+			tn.SetOnline(idx, true)
+		}
+	}
+	return res
+}
+
+// Table renders the side-by-side router comparison.
+func (r *RoutingResults) Table() string {
+	t := stats.NewTable("Router", "Pub p50", "Pub msgs", "Retr p50", "Retr msgs", "OK", "Fail")
+	for _, rp := range r.Routers {
+		ok := rp.Publications + rp.Retrievals - rp.Failures
+		t.AddRow(string(rp.Kind),
+			fmt.Sprintf("%.2fs", rp.PubLatency.Percentile(50)),
+			fmt.Sprintf("%.1f", rp.PubMsgs.Mean()),
+			fmt.Sprintf("%.2fs", rp.RetrLatency.Percentile(50)),
+			fmt.Sprintf("%.1f", rp.RetrMsgs.Mean()),
+			ok, rp.Failures)
+	}
+	return fmt.Sprintf("Routing comparison: %d-peer network, %d objects/router, %.0f%% churn before retrievals\n",
+		r.Cfg.NetworkSize, r.Cfg.Objects, 100*r.Cfg.ChurnFraction) + t.String()
+}
+
+// Router returns the stats for one kind, or nil.
+func (r *RoutingResults) Router(kind routing.Kind) *RouterPerf {
+	for _, rp := range r.Routers {
+		if rp.Kind == kind {
+			return rp
+		}
+	}
+	return nil
+}
+
+// Summary prints the headline comparisons: how much of the multi-hop
+// walk each alternative removes.
+func (r *RoutingResults) Summary() string {
+	var b strings.Builder
+	base := r.Router(routing.KindDHT)
+	if base == nil || base.RetrMsgs.Len() == 0 {
+		return "no baseline measurements\n"
+	}
+	fmt.Fprintf(&b, "dht baseline: %.1f routing msgs per retrieval, retr p50 %.2fs, pub p50 %.2fs\n",
+		base.RetrMsgs.Mean(), base.RetrLatency.Percentile(50), base.PubLatency.Percentile(50))
+	for _, rp := range r.Routers {
+		if rp.Kind == routing.KindDHT || rp.RetrMsgs.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s: %.1f msgs per retrieval (%.1fx vs dht), retr p50 %.2fs, pub p50 %.2fs\n",
+			rp.Kind, rp.RetrMsgs.Mean(), rp.RetrMsgs.Mean()/base.RetrMsgs.Mean(),
+			rp.RetrLatency.Percentile(50), rp.PubLatency.Percentile(50))
+	}
+	return b.String()
+}

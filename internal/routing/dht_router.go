@@ -1,0 +1,35 @@
+package routing
+
+import (
+	"context"
+
+	"repro/internal/cid"
+	"repro/internal/dht"
+	"repro/internal/wire"
+)
+
+// DHTRouter adapts the iterative DHT walk of internal/dht to the Router
+// interface — today's deployed behaviour, kept as the baseline every
+// alternative is measured against.
+type DHTRouter struct {
+	d *dht.DHT
+}
+
+// NewDHT wraps a DHT participant as a Router.
+func NewDHT(d *dht.DHT) *DHTRouter { return &DHTRouter{d: d} }
+
+// Name implements Router.
+func (r *DHTRouter) Name() string { return string(KindDHT) }
+
+// DHT exposes the wrapped DHT.
+func (r *DHTRouter) DHT() *dht.DHT { return r.d }
+
+// Provide implements Router via the walk-then-store of §3.1.
+func (r *DHTRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
+	return r.d.Provide(ctx, c)
+}
+
+// FindProviders implements Router via the iterative walk of §3.2.
+func (r *DHTRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
+	return r.d.FindProviders(ctx, c)
+}

@@ -1,0 +1,240 @@
+package routing
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/peer"
+	"repro/internal/record"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Indexer is the delegated-routing aggregator node role: a single peer
+// holding a large provider-record store that publishers push to and
+// requestors query directly over the existing wire/swarm fabric —
+// content discovery in one RPC instead of a DHT walk. It is not a DHT
+// participant; it only ever speaks ADD_PROVIDER / GET_PROVIDERS (plus
+// PING and IDENTIFY).
+type Indexer struct {
+	ident     peer.Identity
+	sw        *swarm.Swarm
+	providers *record.ProviderStore
+	now       func() time.Time
+}
+
+// IndexerConfig tunes an indexer node.
+type IndexerConfig struct {
+	// RecordTTL expires provider records (default 24 h, as the DHT's).
+	RecordTTL time.Duration
+	// Base compresses simulated time.
+	Base simtime.Base
+	// Now supplies the clock for record expiry.
+	Now func() time.Time
+}
+
+// NewIndexer assembles an indexer node over the endpoint and installs
+// its message handler.
+func NewIndexer(ident peer.Identity, ep transport.Endpoint, cfg IndexerConfig) *Indexer {
+	if cfg.Base == (simtime.Base{}) {
+		cfg.Base = simtime.Realtime
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	ix := &Indexer{
+		ident:     ident,
+		sw:        swarm.New(ident, ep, cfg.Base),
+		providers: record.NewProviderStore(cfg.RecordTTL, cfg.Now),
+		now:       cfg.Now,
+	}
+	ep.SetHandler(ix.handle)
+	return ix
+}
+
+// ID returns the indexer's PeerID.
+func (ix *Indexer) ID() peer.ID { return ix.ident.ID }
+
+// Info returns the indexer's PeerInfo for client configuration.
+func (ix *Indexer) Info() wire.PeerInfo {
+	return wire.PeerInfo{ID: ix.ident.ID, Addrs: ix.sw.Addrs()}
+}
+
+// Len returns how many provider records the indexer holds.
+func (ix *Indexer) Len() int { return ix.providers.Len() }
+
+// GC drops expired records, returning how many were removed.
+func (ix *Indexer) GC() int { return ix.providers.GC() }
+
+// Close shuts the indexer down.
+func (ix *Indexer) Close() error { return ix.sw.Close() }
+
+// handle serves the indexer's two-RPC protocol.
+func (ix *Indexer) handle(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
+	switch req.Type {
+	case wire.TPing:
+		return wire.Message{Type: wire.TAck}
+
+	case wire.TIdentify:
+		return wire.Message{Type: wire.TNodes, Peers: []wire.PeerInfo{ix.Info()}}
+
+	case wire.TAddProvider:
+		if len(req.Providers) == 0 {
+			return wire.ErrorMessage("no provider supplied")
+		}
+		c, err := cid.FromBytes(req.Key)
+		if err != nil {
+			return wire.ErrorMessage("bad cid: %v", err)
+		}
+		prov := req.Providers[0]
+		ix.providers.Add(record.ProviderRecord{Cid: c, Provider: prov.ID, Published: ix.now()})
+		if len(prov.Addrs) > 0 {
+			ix.sw.Book().Add(prov.ID, prov.Addrs)
+		}
+		return wire.Message{Type: wire.TAck}
+
+	case wire.TGetProviders:
+		c, err := cid.FromBytes(req.Key)
+		if err != nil {
+			return wire.ErrorMessage("bad cid: %v", err)
+		}
+		resp := wire.Message{Type: wire.TProviders}
+		for _, pr := range ix.providers.Get(c) {
+			info := wire.PeerInfo{ID: pr.Provider}
+			if addrs, ok := ix.sw.Book().Get(pr.Provider); ok {
+				info.Addrs = addrs
+			}
+			resp.Providers = append(resp.Providers, info)
+		}
+		return resp
+	}
+	return wire.ErrorMessage("indexer: unhandled message %s", req.Type)
+}
+
+// IndexerRouterConfig tunes the delegated-routing client.
+type IndexerRouterConfig struct {
+	// RPCTimeout bounds one indexer RPC (default 10 s).
+	RPCTimeout time.Duration
+	// Base compresses simulated time.
+	Base simtime.Base
+}
+
+func (c IndexerRouterConfig) withDefaults() IndexerRouterConfig {
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 10 * time.Second
+	}
+	if c.Base == (simtime.Base{}) {
+		c.Base = simtime.Realtime
+	}
+	return c
+}
+
+// IndexerRouter is the delegated-routing client: it publishes provider
+// records to every configured indexer and answers lookups from the
+// first indexer that knows the key, falling back to the DHT on a miss
+// (the production deployment's behaviour — the indexer accelerates the
+// common case, the DHT stays authoritative).
+type IndexerRouter struct {
+	cfg      IndexerRouterConfig
+	sw       *swarm.Swarm
+	fallback Router // nil disables fallback (tests)
+
+	mu       sync.RWMutex
+	indexers []wire.PeerInfo
+}
+
+// NewIndexerRouter creates a client talking to the given indexers.
+func NewIndexerRouter(sw *swarm.Swarm, indexers []wire.PeerInfo, fallback Router, cfg IndexerRouterConfig) *IndexerRouter {
+	return &IndexerRouter{
+		cfg:      cfg.withDefaults(),
+		sw:       sw,
+		fallback: fallback,
+		indexers: append([]wire.PeerInfo(nil), indexers...),
+	}
+}
+
+// Name implements Router.
+func (r *IndexerRouter) Name() string { return string(KindIndexer) }
+
+// SetIndexers replaces the indexer set (e.g. after discovery).
+func (r *IndexerRouter) SetIndexers(indexers []wire.PeerInfo) {
+	r.mu.Lock()
+	r.indexers = append([]wire.PeerInfo(nil), indexers...)
+	r.mu.Unlock()
+}
+
+func (r *IndexerRouter) targets() []wire.PeerInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]wire.PeerInfo(nil), r.indexers...)
+}
+
+// Provide implements Router: push the record to every indexer in one
+// hop each. If no indexer accepts it, fall back to the DHT walk so the
+// record is never lost.
+func (r *IndexerRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
+	var res ProvideResult
+	start := time.Now()
+	targets := r.targets()
+	if len(targets) == 0 {
+		if r.fallback != nil {
+			return r.fallback.Provide(ctx, c)
+		}
+		return res, fmt.Errorf("routing: indexer provide %s: no indexers configured", c)
+	}
+	req := wire.Message{
+		Type:      wire.TAddProvider,
+		Key:       c.Bytes(),
+		Providers: []wire.PeerInfo{{ID: r.sw.Local(), Addrs: r.sw.Addrs()}},
+	}
+	res.StoreAttempts, res.StoreOK = storeBatch(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, targets, req)
+	res.BatchDuration = r.cfg.Base.SimSince(start)
+	res.TotalDuration = res.BatchDuration
+	if res.StoreOK == 0 {
+		return provideFallback(ctx, r.fallback, c, res,
+			fmt.Errorf("routing: indexer provide %s: all %d indexer stores failed", c, res.StoreAttempts))
+	}
+	return res, nil
+}
+
+// FindProviders implements Router: ask each indexer in turn; the first
+// non-empty answer wins. A miss (every indexer empty or unreachable)
+// falls back to the DHT walk, with the indexer RPCs included in the
+// reported message count.
+func (r *IndexerRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
+	var info LookupInfo
+	start := time.Now()
+	key := c.Bytes()
+	for _, ix := range r.targets() {
+		if ctx.Err() != nil {
+			break
+		}
+		rctx, cancel := r.cfg.Base.WithTimeout(ctx, r.cfg.RPCTimeout)
+		resp, err := r.sw.Request(rctx, ix.ID, ix.Addrs, wire.Message{Type: wire.TGetProviders, Key: key})
+		cancel()
+		if err != nil || resp.Type != wire.TProviders {
+			info.Failed++
+			continue
+		}
+		info.Queried++
+		if len(resp.Providers) > 0 {
+			info.Duration = r.cfg.Base.SimSince(start)
+			info.Depth = 1
+			return fillAddrs(r.sw, resp.Providers), info, nil
+		}
+	}
+	info.Duration = r.cfg.Base.SimSince(start)
+	if err := ctx.Err(); err != nil {
+		return nil, info, err
+	}
+	if r.fallback != nil {
+		providers, finfo, err := r.fallback.FindProviders(ctx, c)
+		return providers, mergeLookup(info, finfo), err
+	}
+	return nil, info, ErrNoProviders
+}

@@ -1,0 +1,144 @@
+package routing
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/wire"
+)
+
+// ParallelRouter races its member routers and returns the first
+// success, cancelling the losers — the paper's §6.2 "running DHT
+// lookups in parallel to Bitswap could be superior" generalized to
+// arbitrary discovery paths (walk vs one-hop snapshot vs indexer). It
+// trades extra requests for latency, exactly the trade-off the paper
+// frames.
+type ParallelRouter struct {
+	members []Router
+}
+
+// NewParallel builds a composite over the members; at least one is
+// required.
+func NewParallel(members ...Router) *ParallelRouter {
+	return &ParallelRouter{members: members}
+}
+
+// Name implements Router, naming the members raced.
+func (r *ParallelRouter) Name() string {
+	names := make([]string, len(r.members))
+	for i, m := range r.members {
+		names[i] = m.Name()
+	}
+	return string(KindParallel) + "(" + strings.Join(names, "+") + ")"
+}
+
+// Members exposes the raced routers.
+func (r *ParallelRouter) Members() []Router { return r.members }
+
+// Provide implements Router: every member publishes concurrently and
+// the first success wins, with the losers cancelled. Because the
+// members push records to disjoint places (DHT neighbourhood, snapshot
+// neighbourhood, indexer store), the winner alone satisfies the §3.1
+// contract; the extra replicas the losers managed before cancellation
+// are a bonus, never a correctness requirement.
+func (r *ParallelRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
+	if len(r.members) == 0 {
+		return ProvideResult{}, fmt.Errorf("routing: parallel provide %s: no members", c)
+	}
+	type outcome struct {
+		res ProvideResult
+		err error
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, len(r.members))
+	for _, m := range r.members {
+		m := m
+		go func() {
+			res, err := m.Provide(pctx, c)
+			ch <- outcome{res: res, err: err}
+		}()
+	}
+	var firstErr error
+	loserMsgs := 0
+	for i := 0; i < len(r.members); i++ {
+		o := <-ch
+		if o.err == nil {
+			cancel()
+			// Drain the cancelled losers (they return promptly once the
+			// context falls) and charge the RPCs they managed to launch,
+			// so the race's extra-requests-for-latency trade-off shows
+			// up in the message accounting.
+			for j := i + 1; j < len(r.members); j++ {
+				lo := <-ch
+				loserMsgs += ProvideMessages(lo.res)
+			}
+			o.res.Walk.Launched = LookupMessages(o.res.Walk) + loserMsgs
+			return o.res, nil
+		}
+		loserMsgs += ProvideMessages(o.res)
+		if firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	return ProvideResult{}, firstErr
+}
+
+// FindProviders implements Router: members race and the first
+// provider-carrying response wins; losers are cancelled.
+func (r *ParallelRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
+	if len(r.members) == 0 {
+		return nil, LookupInfo{}, fmt.Errorf("routing: parallel find %s: no members", c)
+	}
+	type outcome struct {
+		providers []wire.PeerInfo
+		info      LookupInfo
+		err       error
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, len(r.members))
+	for _, m := range r.members {
+		m := m
+		go func() {
+			providers, info, err := m.FindProviders(pctx, c)
+			ch <- outcome{providers: providers, info: info, err: err}
+		}()
+	}
+	var firstErr error
+	var lastInfo LookupInfo
+	var maxDur time.Duration
+	for i := 0; i < len(r.members); i++ {
+		o := <-ch
+		if o.info.Duration > maxDur {
+			maxDur = o.info.Duration
+		}
+		if o.err == nil && len(o.providers) > 0 {
+			cancel()
+			// Drain the cancelled losers and charge the RPCs they
+			// launched before losing; the winner's duration and depth
+			// are kept — the race costs messages, not time.
+			loserMsgs := LookupMessages(lastInfo)
+			for j := i + 1; j < len(r.members); j++ {
+				lo := <-ch
+				loserMsgs += LookupMessages(lo.info)
+			}
+			o.info.Launched = LookupMessages(o.info) + loserMsgs
+			return o.providers, o.info, nil
+		}
+		lastInfo = mergeLookup(lastInfo, o.info)
+		if firstErr == nil && o.err != nil {
+			firstErr = o.err
+		}
+	}
+	if firstErr == nil {
+		firstErr = ErrNoProviders
+	}
+	// Members raced concurrently, so the combined duration is the
+	// slowest member's, not mergeLookup's sequential sum.
+	lastInfo.Duration = maxDur
+	return nil, lastInfo, firstErr
+}

@@ -1,0 +1,157 @@
+// Package routing abstracts content routing behind a pluggable Router
+// interface. The paper shows that multi-hop DHT walks dominate both
+// publication delay (§6.1, Fig 9a–c) and retrieval delay (§6.2) and
+// proposes running alternative discovery paths in parallel as the main
+// optimization lever; production IPFS answered with the accelerated
+// DHT client and delegated indexer nodes. This package provides all of
+// them over the same message fabric so they can be compared and
+// ablated:
+//
+//   - DHTRouter: the baseline iterative walk of internal/dht.
+//   - AcceleratedRouter: a full-routing-table client that snapshots
+//     the network with internal/crawler and then provides/looks up in
+//     one hop against the K closest peers.
+//   - IndexerRouter: a delegated-routing client publishing to and
+//     querying indexer aggregator nodes, falling back to the DHT.
+//   - ParallelRouter: a composite racing member routers, returning the
+//     first success and cancelling the losers (§6.2's "parallel
+//     discovery" generalized beyond Bitswap).
+package routing
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/dht"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/wire"
+)
+
+// Kind selects a Router implementation in core.Config.
+type Kind string
+
+// Available router kinds.
+const (
+	// KindDHT is the baseline iterative DHT walk (the deployed client).
+	KindDHT Kind = "dht"
+	// KindAccelerated is the one-hop full-routing-table client.
+	KindAccelerated Kind = "accelerated"
+	// KindIndexer delegates to indexer nodes with DHT fallback.
+	KindIndexer Kind = "indexer"
+	// KindParallel races every configured router.
+	KindParallel Kind = "parallel"
+)
+
+// ProvideResult aliases the DHT's publication instrumentation so every
+// router reports the phase breakdown core.PublishResult expects. One-hop
+// routers leave the walk fields zero — that is the saving they exist to
+// demonstrate.
+type ProvideResult = dht.ProvideResult
+
+// LookupInfo aliases the DHT's walk statistics; non-walking routers fill
+// Queried/Failed with their direct RPC counts so message accounting
+// stays comparable across implementations.
+type LookupInfo = dht.WalkInfo
+
+// Router is the content-routing abstraction core.Node publishes and
+// retrieves through.
+type Router interface {
+	// Name identifies the implementation in experiment output.
+	Name() string
+	// Provide publishes a provider record for c.
+	Provide(ctx context.Context, c cid.Cid) (ProvideResult, error)
+	// FindProviders locates peers holding c. Implementations return as
+	// soon as one record-holding response arrives (§3.2).
+	FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error)
+}
+
+// ErrNoProviders is returned when a lookup exhausts every path without
+// finding a provider record; it wraps the DHT sentinel so callers
+// checking errors.Is(err, dht.ErrNoProviders) keep working.
+var ErrNoProviders = dht.ErrNoProviders
+
+// LookupMessages counts the routing RPCs one lookup issued. Walk-based
+// lookups report every launched query (including ones abandoned at
+// early stop); one-hop routers fill Queried/Failed directly.
+func LookupMessages(info LookupInfo) int {
+	return max(info.Launched, info.Queried+info.Failed)
+}
+
+// ProvideMessages counts the routing RPCs one publication issued: the
+// walk queries plus the record-store batch.
+func ProvideMessages(res ProvideResult) int {
+	return LookupMessages(res.Walk) + res.StoreAttempts
+}
+
+// mergeLookup accumulates a fallback path's statistics onto the direct
+// path's, so a miss-then-fallback lookup reports its full message cost.
+func mergeLookup(direct, fallback LookupInfo) LookupInfo {
+	return LookupInfo{
+		Duration: direct.Duration + fallback.Duration,
+		Queried:  direct.Queried + fallback.Queried,
+		Failed:   direct.Failed + fallback.Failed,
+		Launched: LookupMessages(direct) + LookupMessages(fallback),
+		Depth:    max(direct.Depth, fallback.Depth),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// storeBatch pushes req to every target with concurrent fire-and-forget
+// RPCs — the §3.1 record-store fan-out the one-hop routers share.
+func storeBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout time.Duration, targets []wire.PeerInfo, req wire.Message) (attempts, acked int) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, info := range targets {
+		info := info
+		wg.Add(1)
+		attempts++
+		go func() {
+			defer wg.Done()
+			rctx, cancel := base.WithTimeout(ctx, timeout)
+			defer cancel()
+			resp, err := sw.Request(rctx, info.ID, info.Addrs, req)
+			if err == nil && resp.Type == wire.TAck {
+				mu.Lock()
+				acked++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return attempts, acked
+}
+
+// provideFallback routes a fully-failed one-hop batch through the
+// fallback router, charging the wasted direct RPCs onto the fallback's
+// result so the reported cost covers both paths.
+func provideFallback(ctx context.Context, fallback Router, c cid.Cid, direct ProvideResult, directErr error) (ProvideResult, error) {
+	if fallback == nil || ctx.Err() != nil {
+		return direct, directErr
+	}
+	fres, err := fallback.Provide(ctx, c)
+	fres.StoreAttempts += direct.StoreAttempts
+	fres.TotalDuration += direct.TotalDuration
+	return fres, err
+}
+
+// fillAddrs backfills provider addresses from the local address book —
+// §3.2's "check whether they already have an address" shortcut.
+func fillAddrs(sw *swarm.Swarm, providers []wire.PeerInfo) []wire.PeerInfo {
+	out := make([]wire.PeerInfo, 0, len(providers))
+	for _, p := range providers {
+		if addrs, ok := sw.Book().Get(p.ID); ok && len(p.Addrs) == 0 {
+			p.Addrs = addrs
+		}
+		out = append(out, p)
+	}
+	return out
+}

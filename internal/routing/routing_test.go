@@ -1,0 +1,343 @@
+package routing_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/multicodec"
+	"repro/internal/peer"
+	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/testnet"
+	"repro/internal/wire"
+)
+
+// fakeRouter scripts a Router for composite tests: it waits delay (or a
+// cancelled context), then returns its canned outcome.
+type fakeRouter struct {
+	name      string
+	delay     time.Duration
+	err       error
+	provider  peer.ID
+	cancelled atomic.Bool
+	calls     atomic.Int32
+}
+
+func (f *fakeRouter) Name() string { return f.name }
+
+func (f *fakeRouter) wait(ctx context.Context) error {
+	f.calls.Add(1)
+	select {
+	case <-time.After(f.delay):
+		return f.err
+	case <-ctx.Done():
+		f.cancelled.Store(true)
+		return ctx.Err()
+	}
+}
+
+func (f *fakeRouter) Provide(ctx context.Context, c cid.Cid) (routing.ProvideResult, error) {
+	if err := f.wait(ctx); err != nil {
+		return routing.ProvideResult{}, err
+	}
+	return routing.ProvideResult{StoreAttempts: 1, StoreOK: 1}, nil
+}
+
+func (f *fakeRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, routing.LookupInfo, error) {
+	if err := f.wait(ctx); err != nil {
+		return nil, routing.LookupInfo{}, err
+	}
+	return []wire.PeerInfo{{ID: f.provider}}, routing.LookupInfo{Queried: 1}, nil
+}
+
+func testCid(s string) cid.Cid { return cid.Sum(multicodec.Raw, []byte(s)) }
+
+func TestParallelFirstWinnerCancelsLosers(t *testing.T) {
+	fast := &fakeRouter{name: "fast", delay: time.Millisecond, provider: peer.ID("winner")}
+	slow := &fakeRouter{name: "slow", delay: time.Minute, provider: peer.ID("loser")}
+	r := routing.NewParallel(fast, slow)
+
+	providers, info, err := r.FindProviders(context.Background(), testCid("race"))
+	if err != nil {
+		t.Fatalf("FindProviders: %v", err)
+	}
+	if len(providers) != 1 || providers[0].ID != peer.ID("winner") {
+		t.Fatalf("providers = %v, want the fast member's", providers)
+	}
+	if info.Queried != 1 {
+		t.Errorf("winner lookup info not propagated: %+v", info)
+	}
+	// The slow member must observe cancellation rather than run out its
+	// full delay.
+	deadline := time.After(2 * time.Second)
+	for !slow.cancelled.Load() {
+		select {
+		case <-deadline:
+			t.Fatal("slow member was not cancelled after the fast one won")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestParallelProvideFirstSuccessWins(t *testing.T) {
+	failing := &fakeRouter{name: "failing", delay: time.Millisecond, err: errors.New("boom")}
+	ok := &fakeRouter{name: "ok", delay: 5 * time.Millisecond}
+	res, err := routing.NewParallel(failing, ok).Provide(context.Background(), testCid("pub"))
+	if err != nil {
+		t.Fatalf("Provide: %v", err)
+	}
+	if res.StoreOK != 1 {
+		t.Errorf("StoreOK = %d, want the succeeding member's result", res.StoreOK)
+	}
+}
+
+func TestParallelAllFailReturnsFirstError(t *testing.T) {
+	e1 := errors.New("first")
+	a := &fakeRouter{name: "a", delay: time.Millisecond, err: e1}
+	b := &fakeRouter{name: "b", delay: 2 * time.Millisecond, err: errors.New("second")}
+	if _, err := routing.NewParallel(a, b).Provide(context.Background(), testCid("x")); !errors.Is(err, e1) {
+		t.Errorf("err = %v, want first member's error", err)
+	}
+	if _, _, err := routing.NewParallel(a, b).FindProviders(context.Background(), testCid("x")); err == nil {
+		t.Error("FindProviders should fail when every member fails")
+	}
+}
+
+// countingRouter wraps a Router and counts calls, so fallback use is
+// observable.
+type countingRouter struct {
+	inner    routing.Router
+	provides atomic.Int32
+	finds    atomic.Int32
+}
+
+func (c *countingRouter) Name() string { return c.inner.Name() }
+
+func (c *countingRouter) Provide(ctx context.Context, id cid.Cid) (routing.ProvideResult, error) {
+	c.provides.Add(1)
+	return c.inner.Provide(ctx, id)
+}
+
+func (c *countingRouter) FindProviders(ctx context.Context, id cid.Cid) ([]wire.PeerInfo, routing.LookupInfo, error) {
+	c.finds.Add(1)
+	return c.inner.FindProviders(ctx, id)
+}
+
+func TestIndexerRoundTrip(t *testing.T) {
+	base := simtime.New(0.0005)
+	net := simnet.New(simnet.Config{Base: base, Seed: 3})
+	rng := rand.New(rand.NewSource(9))
+
+	newSwarm := func() *swarm.Swarm {
+		ident := peer.MustNewIdentity(rng)
+		ep := net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
+		return swarm.New(ident, ep, base)
+	}
+	ixIdent := peer.MustNewIdentity(rng)
+	ixEp := net.AddNode(ixIdent.ID, simnet.NodeOpts{Region: "US", Dialable: true})
+	ix := routing.NewIndexer(ixIdent, ixEp, routing.IndexerConfig{Base: base})
+
+	pubSw, getSw := newSwarm(), newSwarm()
+	cfg := routing.IndexerRouterConfig{Base: base}
+	pub := routing.NewIndexerRouter(pubSw, []wire.PeerInfo{ix.Info()}, nil, cfg)
+	// The getter's fallback must never fire on a hit.
+	fb := &countingRouter{inner: &fakeRouter{name: "fb", err: errors.New("unused")}}
+	get := routing.NewIndexerRouter(getSw, []wire.PeerInfo{ix.Info()}, fb, cfg)
+
+	c := testCid("indexed content")
+	ctx := context.Background()
+	res, err := pub.Provide(ctx, c)
+	if err != nil {
+		t.Fatalf("Provide: %v", err)
+	}
+	if res.StoreOK != 1 || res.Walk.Queried != 0 {
+		t.Errorf("provide result = %+v, want one direct store and no walk", res)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("indexer holds %d records, want 1", ix.Len())
+	}
+
+	providers, info, err := get.FindProviders(ctx, c)
+	if err != nil {
+		t.Fatalf("FindProviders: %v", err)
+	}
+	if len(providers) == 0 || providers[0].ID != pubSw.Local() {
+		t.Fatalf("providers = %v, want the publisher", providers)
+	}
+	if len(providers[0].Addrs) == 0 {
+		t.Error("provider addrs missing: the indexer should return its address book entry")
+	}
+	if got := routing.LookupMessages(info); got != 1 {
+		t.Errorf("lookup used %d messages, want exactly 1 (one-hop)", got)
+	}
+	if fb.finds.Load() != 0 {
+		t.Error("fallback consulted despite an indexer hit")
+	}
+}
+
+func buildCleanNet(t *testing.T, n int, seed int64) *testnet.Testnet {
+	t.Helper()
+	return testnet.Build(testnet.Config{
+		N: n, Seed: seed, Scale: 0.0004,
+		FracDead: 0.0001, FracSlow: 0.0001, FracWSBroken: 0.0001,
+	})
+}
+
+func TestIndexerMissFallsBackToDHT(t *testing.T) {
+	tn := buildCleanNet(t, 120, 31)
+	ctx := context.Background()
+
+	// Publish through the plain DHT so the indexer never hears of it.
+	publisher := tn.AddVantage("DE", 900)
+	data := []byte("only on the dht")
+	pub, err := publisher.AddAndPublish(ctx, data)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	ix := tn.AddIndexer("US", 901)
+	getter := tn.AddVantage("US", 902)
+	fb := &countingRouter{inner: routing.NewDHT(getter.DHT())}
+	r := routing.NewIndexerRouter(getter.Swarm(), []wire.PeerInfo{ix.Info()}, fb,
+		routing.IndexerRouterConfig{Base: tn.Base})
+
+	providers, info, err := r.FindProviders(ctx, pub.Cid)
+	if err != nil {
+		t.Fatalf("FindProviders after indexer miss: %v", err)
+	}
+	if len(providers) == 0 || providers[0].ID != publisher.ID() {
+		t.Fatalf("providers = %v, want the DHT publisher", providers)
+	}
+	if fb.finds.Load() != 1 {
+		t.Errorf("fallback consulted %d times, want exactly 1", fb.finds.Load())
+	}
+	// The reported message count must include both the wasted indexer
+	// RPC and the fallback walk.
+	if got := routing.LookupMessages(info); got < 2 {
+		t.Errorf("lookup reports %d messages, want the indexer miss plus the walk", got)
+	}
+}
+
+func TestAcceleratedOneHopLookup(t *testing.T) {
+	tn := buildCleanNet(t, 120, 33)
+	ctx := context.Background()
+
+	publisher := tn.AddVantageRouting("DE", 910, routing.KindAccelerated, nil)
+	getter := tn.AddVantageRouting("US", 911, routing.KindAccelerated, nil)
+	if _, err := publisher.RefreshRoutingSnapshot(ctx); err != nil {
+		t.Fatalf("publisher refresh: %v", err)
+	}
+	if n, err := getter.RefreshRoutingSnapshot(ctx); err != nil || n < 100 {
+		t.Fatalf("getter refresh: snapshot %d peers, err %v", n, err)
+	}
+
+	data := []byte("one hop away")
+	pub, err := publisher.AddAndPublish(ctx, data)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	// One-hop publication: no walk phase at all.
+	if pub.Walk.Queried != 0 || pub.WalkDuration != 0 {
+		t.Errorf("accelerated publish ran a walk: %+v", pub.ProvideResult)
+	}
+	if pub.StoreOK == 0 {
+		t.Fatal("no records stored")
+	}
+
+	providers, info, err := getter.Router().FindProviders(ctx, pub.Cid)
+	if err != nil {
+		t.Fatalf("FindProviders: %v", err)
+	}
+	if len(providers) == 0 || providers[0].ID != publisher.ID() {
+		t.Fatalf("providers = %v, want publisher", providers)
+	}
+	if got := routing.LookupMessages(info); got > 6 {
+		t.Errorf("accelerated lookup used %d messages, want a single small wave", got)
+	}
+
+	// End-to-end retrieval through the node API.
+	got, rres, err := getter.Retrieve(ctx, pub.Cid)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("retrieve: %v", err)
+	}
+	if rres.LookupMsgs > 6 {
+		t.Errorf("retrieval lookup used %d messages, want one-hop", rres.LookupMsgs)
+	}
+}
+
+func TestAcceleratedSurvivesStaleSnapshotUnderChurn(t *testing.T) {
+	tn := buildCleanNet(t, 150, 35)
+	ctx := context.Background()
+
+	publisher := tn.AddVantageRouting("DE", 920, routing.KindAccelerated, nil)
+	getter := tn.AddVantageRouting("US", 921, routing.KindAccelerated, nil)
+	if _, err := publisher.RefreshRoutingSnapshot(ctx); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if _, err := getter.RefreshRoutingSnapshot(ctx); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+
+	// A third of the network departs after the snapshot was taken: both
+	// clients now operate on a stale view.
+	for i := 0; i < 50; i++ {
+		tn.SetOnline(i, false)
+	}
+
+	data := []byte("published against a stale snapshot")
+	pub, err := publisher.AddAndPublish(ctx, data)
+	if err != nil {
+		t.Fatalf("publish with stale snapshot: %v", err)
+	}
+	if pub.StoreOK == 0 {
+		t.Fatal("no records stored despite live majority")
+	}
+
+	got, rres, err := getter.Retrieve(ctx, pub.Cid)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("retrieve with stale snapshot: %v", err)
+	}
+	if rres.Provider != publisher.ID() {
+		t.Errorf("provider = %s, want publisher", rres.Provider.Short())
+	}
+}
+
+func TestConfigRoutingSelector(t *testing.T) {
+	tn := buildCleanNet(t, 60, 37)
+	ix := tn.AddIndexer("US", 930)
+	cases := []struct {
+		kind routing.Kind
+		want string
+	}{
+		{routing.KindDHT, "dht"},
+		{routing.KindAccelerated, "accelerated"},
+		{routing.KindIndexer, "indexer"},
+		{routing.KindParallel, "parallel(dht+accelerated+indexer)"},
+	}
+	for i, tc := range cases {
+		node := tn.AddVantageRouting("DE", int64(940+i), tc.kind, []wire.PeerInfo{ix.Info()})
+		if got := node.Router().Name(); got != tc.want {
+			t.Errorf("kind %q built router %q, want %q", tc.kind, got, tc.want)
+		}
+		if tc.kind == routing.KindAccelerated && node.Accelerated() == nil {
+			t.Error("accelerated node lost its Accelerated() accessor")
+		}
+	}
+	// The default is the DHT baseline.
+	node := tn.AddVantage("DE", 950)
+	if got := node.Router().Name(); got != "dht" {
+		t.Errorf("default router = %q, want dht", got)
+	}
+	if !strings.HasPrefix(routing.NewParallel(routing.NewDHT(node.DHT())).Name(), "parallel(") {
+		t.Error("parallel name should list members")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/kbucket"
 	"repro/internal/peer"
+	"repro/internal/routing"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 	"repro/internal/wire"
@@ -50,6 +51,12 @@ type Config struct {
 	BitswapTimeout    time.Duration
 	OmitProviderAddrs bool
 	ParallelDiscovery bool
+	// Routing selects the content router for every built node (vantage
+	// routers can be overridden per node with AddVantageRouting).
+	Routing routing.Kind
+	// Indexers configures the delegated-routing indexer set, typically
+	// from AddIndexer.
+	Indexers []wire.PeerInfo
 
 	// Now anchors record timestamps.
 	Now func() time.Time
@@ -127,6 +134,8 @@ func Build(cfg Config) *Testnet {
 			BitswapTimeout:    cfg.BitswapTimeout,
 			OmitProviderAddrs: cfg.OmitProviderAddrs,
 			ParallelDiscovery: cfg.ParallelDiscovery,
+			Routing:           cfg.Routing,
+			Indexers:          cfg.Indexers,
 			Base:              base,
 			Now:               cfg.Now,
 		})
@@ -190,6 +199,13 @@ func (tn *Testnet) LiveNodes() []*core.Node {
 // AddVantage attaches an instrumented measurement node in the given
 // region (one of the §4.3 AWS VMs) with a seeded routing table.
 func (tn *Testnet) AddVantage(region geo.Region, seed int64) *core.Node {
+	return tn.AddVantageRouting(region, seed, tn.Cfg.Routing, tn.Cfg.Indexers)
+}
+
+// AddVantageRouting attaches a vantage node using a specific content
+// router — the routing-comparison experiment puts vantages with
+// different routers on the same network.
+func (tn *Testnet) AddVantageRouting(region geo.Region, seed int64, kind routing.Kind, indexers []wire.PeerInfo) *core.Node {
 	rng := rand.New(rand.NewSource(seed))
 	ident := peer.MustNewIdentity(rng)
 	ep := tn.Net.AddNode(ident.ID, simnet.NodeOpts{
@@ -206,6 +222,8 @@ func (tn *Testnet) AddVantage(region geo.Region, seed int64) *core.Node {
 		BitswapTimeout:    tn.Cfg.BitswapTimeout,
 		OmitProviderAddrs: tn.Cfg.OmitProviderAddrs,
 		ParallelDiscovery: tn.Cfg.ParallelDiscovery,
+		Routing:           kind,
+		Indexers:          indexers,
 		Base:              tn.Base,
 		Now:               tn.Cfg.Now,
 	})
@@ -214,6 +232,28 @@ func (tn *Testnet) AddVantage(region geo.Region, seed int64) *core.Node {
 		node.DHT().Seed(tn.Nodes[rng.Intn(len(tn.Nodes))].Info())
 	}
 	return node
+}
+
+// AddIndexer attaches a delegated-routing indexer node to the network
+// and returns it; pass its Info to indexer-routed nodes.
+func (tn *Testnet) AddIndexer(region geo.Region, seed int64) *routing.Indexer {
+	rng := rand.New(rand.NewSource(seed))
+	ident := peer.MustNewIdentity(rng)
+	ep := tn.Net.AddNode(ident.ID, simnet.NodeOpts{
+		Region:   region,
+		Dialable: true,
+		Class:    simnet.Normal,
+	})
+	return routing.NewIndexer(ident, ep, routing.IndexerConfig{
+		Base: tn.Base,
+		Now:  tn.Cfg.Now,
+	})
+}
+
+// SetOnline toggles node i's simulated liveness — the churn lever the
+// routing experiments pull between publish and retrieve.
+func (tn *Testnet) SetOnline(i int, online bool) {
+	tn.Net.SetOnline(tn.Nodes[i].ID(), online)
 }
 
 // FlushVantage resets a vantage node's connections and address book so

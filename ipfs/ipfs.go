@@ -24,6 +24,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/multicodec"
 	"repro/internal/peer"
+	"repro/internal/routing"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
@@ -58,6 +59,27 @@ type (
 	Crawler = crawler.Crawler
 	// Region names a geographic location for the latency model.
 	Region = geo.Region
+	// Router is the pluggable content-routing abstraction every node
+	// publishes and retrieves through (see internal/routing).
+	Router = routing.Router
+	// RoutingKind selects a Router implementation in node configs.
+	RoutingKind = routing.Kind
+	// Indexer is the delegated-routing aggregator node role.
+	Indexer = routing.Indexer
+	// AcceleratedRouter is the one-hop full-routing-table client.
+	AcceleratedRouter = routing.AcceleratedRouter
+)
+
+// Router kinds selectable via core.Config.Routing.
+const (
+	// RoutingDHT is the baseline iterative DHT walk.
+	RoutingDHT = routing.KindDHT
+	// RoutingAccelerated is the snapshot-based one-hop client.
+	RoutingAccelerated = routing.KindAccelerated
+	// RoutingIndexer delegates to indexer nodes with DHT fallback.
+	RoutingIndexer = routing.KindIndexer
+	// RoutingParallel races every configured router.
+	RoutingParallel = routing.KindParallel
 )
 
 // ParseCid parses the text form of a CID.
@@ -114,6 +136,18 @@ func (s *SimNetwork) LiveNodes() []*Node { return s.tn.LiveNodes() }
 // AddNode attaches a fresh, bootstrapped node in the given region.
 func (s *SimNetwork) AddNode(region Region, seed int64) *Node {
 	return s.tn.AddVantage(region, seed)
+}
+
+// AddNodeRouting attaches a fresh node using the given content router;
+// indexers may be nil for kinds that do not use them.
+func (s *SimNetwork) AddNodeRouting(region Region, seed int64, kind RoutingKind, indexers []PeerInfo) *Node {
+	return s.tn.AddVantageRouting(region, seed, kind, indexers)
+}
+
+// AddIndexer attaches a delegated-routing indexer node; pass its Info
+// to nodes created with RoutingIndexer or RoutingParallel.
+func (s *SimNetwork) AddIndexer(region Region, seed int64) *Indexer {
+	return s.tn.AddIndexer(region, seed)
 }
 
 // Testnet exposes the underlying builder for advanced use.
