@@ -370,6 +370,26 @@ func BenchmarkRoutingComparison(b *testing.B) {
 		b.ReportMetric(accel.RetrMsgs.Mean(), "accel-retr-msgs")
 		b.ReportMetric(dht.RetrLatency.Percentile(50), "dht-retr-p50-s")
 		b.ReportMetric(accel.RetrLatency.Percentile(50), "accel-retr-p50-s")
+		b.ReportMetric(dht.RetrWantHaves.Mean(), "dht-want-haves")
+		b.ReportMetric(accel.RetrWantHaves.Mean(), "accel-want-haves")
+	}
+}
+
+// BenchmarkSessionRoutingUnderChurn compares broadcast-vs-routed
+// Bitswap sessions under heavier churn: WANT-HAVE fan-out, how many
+// sessions the router fed directly, and the mid-session fail-overs
+// that replaced churned providers.
+func BenchmarkSessionRoutingUnderChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
+			NetworkSize: 200, Objects: 3, ChurnFraction: 0.35, Scale: 0.0005, Seed: 11,
+		})
+		dht := res.Router(routing.KindDHT)
+		accel := res.Router(routing.KindAccelerated)
+		b.ReportMetric(dht.RetrWantHaves.Mean(), "dht-want-haves")
+		b.ReportMetric(accel.RetrWantHaves.Mean(), "accel-want-haves")
+		b.ReportMetric(float64(accel.RoutedSessions), "routed-sessions")
+		b.ReportMetric(float64(dht.Failures+accel.Failures), "failures")
 	}
 }
 

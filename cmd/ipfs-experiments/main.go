@@ -150,6 +150,9 @@ func main() {
 		fmt.Println()
 		fmt.Println("== headline comparison ==")
 		fmt.Println(res.Summary())
+		fmt.Println("(WANT-HAVEs counts per-session Bitswap messages: one-hop routers feed")
+		fmt.Println(" sessions known providers and skip the opportunistic broadcast; the")
+		fmt.Println(" Routed column is how many retrievals took that path.)")
 	}
 
 	if needAblations {

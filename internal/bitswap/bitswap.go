@@ -2,8 +2,11 @@
 // requests travel as WANT-HAVE messages, holders answer HAVE (IHAVE),
 // the requestor follows with WANT-BLOCK and the block terminates the
 // exchange. Bitswap is also used opportunistically before any DHT
-// lookup: the requestor asks all already-connected peers for the CID
-// and falls back to the DHT after a 1 s timeout.
+// lookup: the requestor asks already-connected peers for the CID and
+// falls back to the DHT after a 1 s timeout — unless a session router
+// (internal/routing) supplies known providers, in which case the
+// WANT-HAVEs go to those candidates directly and the blind broadcast
+// is skipped.
 package bitswap
 
 import (
@@ -25,10 +28,27 @@ import (
 // before falling back to the DHT.
 const DefaultOpportunisticTimeout = time.Second
 
+// DefaultSessionPeerTarget bounds how many routed candidates one
+// session-peer consult asks for (matching the walk's α so targeted
+// WANT-HAVE counts compare fairly with lookup RPC counts).
+const DefaultSessionPeerTarget = 3
+
+// SessionRouting is the session-facing slice of the routing.Router
+// surface (internal/routing implementations satisfy it structurally):
+// SessionPeers supplies candidate holders for a CID without a
+// multi-hop walk, and WantBroadcast is the policy deciding whether the
+// opportunistic broadcast still runs alongside routed candidates.
+type SessionRouting interface {
+	SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error)
+	WantBroadcast() bool
+}
+
 // Config tunes the protocol.
 type Config struct {
 	// OpportunisticTimeout bounds the ask-connected-peers phase.
 	OpportunisticTimeout time.Duration
+	// SessionPeerTarget bounds routed candidates per consult (default 3).
+	SessionPeerTarget int
 	// Base compresses simulated time.
 	Base simtime.Base
 }
@@ -36,6 +56,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.OpportunisticTimeout <= 0 {
 		c.OpportunisticTimeout = DefaultOpportunisticTimeout
+	}
+	if c.SessionPeerTarget <= 0 {
+		c.SessionPeerTarget = DefaultSessionPeerTarget
 	}
 	if c.Base == (simtime.Base{}) {
 		c.Base = simtime.Realtime
@@ -52,12 +75,20 @@ type Bitswap struct {
 	mu       sync.Mutex
 	wantlist map[string]struct{} // CID keys currently wanted
 
-	statsMu     sync.Mutex
-	blocksSent  int
-	blocksRecv  int
-	bytesSent   int64
-	bytesRecv   int64
-	havesServed int
+	routingMu sync.RWMutex
+	routing   SessionRouting
+
+	askMu sync.Mutex
+	asks  map[string]*askFlight // CID key -> in-flight discovery
+
+	statsMu        sync.Mutex
+	blocksSent     int
+	blocksRecv     int
+	bytesSent      int64
+	bytesRecv      int64
+	havesServed    int
+	wantHavesSent  int
+	dupsSuppressed int
 }
 
 // Errors returned by this package.
@@ -73,7 +104,22 @@ func New(sw *swarm.Swarm, store block.Store, cfg Config) *Bitswap {
 		sw:       sw,
 		store:    store,
 		wantlist: make(map[string]struct{}),
+		asks:     make(map[string]*askFlight),
 	}
+}
+
+// SetRouting installs the session router consulted by AskConnected and
+// session fail-over. Passing nil restores the pure broadcast behaviour.
+func (b *Bitswap) SetRouting(r SessionRouting) {
+	b.routingMu.Lock()
+	b.routing = r
+	b.routingMu.Unlock()
+}
+
+func (b *Bitswap) sessionRouting() SessionRouting {
+	b.routingMu.RLock()
+	defer b.routingMu.RUnlock()
+	return b.routing
 }
 
 // Wantlist returns the CID keys currently wanted, for diagnostics.
@@ -106,6 +152,21 @@ func (b *Bitswap) Stats() (blocksSent, blocksRecv int, bytesSent, bytesRecv int6
 	return b.blocksSent, b.blocksRecv, b.bytesSent, b.bytesRecv
 }
 
+// MsgStats reports cumulative WANT-HAVE accounting: messages actually
+// sent and the duplicate broadcast fan-out suppressed by the in-flight
+// ask deduplication.
+func (b *Bitswap) MsgStats() (wantHavesSent, dupsSuppressed int) {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.wantHavesSent, b.dupsSuppressed
+}
+
+func (b *Bitswap) countWantHaves(n int) {
+	b.statsMu.Lock()
+	b.wantHavesSent += n
+	b.statsMu.Unlock()
+}
+
 // HandleMessage serves inbound Bitswap requests (the provider side of
 // Figure 3 step 6).
 func (b *Bitswap) HandleMessage(_ context.Context, _ peer.ID, req wire.Message) wire.Message {
@@ -136,36 +197,216 @@ func (b *Bitswap) HandleMessage(_ context.Context, _ peer.ID, req wire.Message) 
 	return wire.ErrorMessage("bitswap: unhandled %s", req.Type)
 }
 
-// AskConnected broadcasts WANT-HAVE for c to all connected peers and
-// returns the first peer that answers HAVE within the opportunistic
-// timeout — step 4 of Figure 3. The returned duration is the simulated
-// time spent (the full timeout on failure, the §6.2 "extra 1 s").
-func (b *Bitswap) AskConnected(ctx context.Context, c cid.Cid) (peer.ID, time.Duration, error) {
+// AskStats instruments one session-peer discovery (AskConnected).
+type AskStats struct {
+	// Duration is the simulated time the discovery took (the full
+	// opportunistic timeout on a broadcast miss, the §6.2 "extra 1 s").
+	Duration time.Duration
+	// Routed reports that the winning peer came from the session
+	// router's candidates rather than the blind broadcast.
+	Routed bool
+	// Broadcast reports that the opportunistic broadcast ran.
+	Broadcast bool
+	// RoutingMsgs counts the routing RPCs the SessionPeers consult
+	// issued (0 for the walk-based baseline, which declines for free).
+	RoutingMsgs int
+	// WantHaves counts WANT-HAVE messages this discovery sent.
+	WantHaves int
+	// Suppressed counts the duplicate broadcast fan-out this call
+	// avoided by joining an in-flight ask for the same CID.
+	Suppressed int
+}
+
+// askFlight is one in-flight AskConnected, shared by duplicate callers.
+type askFlight struct {
+	done      chan struct{}
+	info      wire.PeerInfo
+	st        AskStats
+	err       error
+	cancelled bool // the leader's caller cancelled mid-flight
+}
+
+// AskConnected discovers a session peer for c — step 4 of Figure 3,
+// routed through the configured session router. Routed candidates get
+// targeted WANT-HAVEs (skipping the blind broadcast when the router's
+// policy says so); without candidates, or when they all turn out
+// stale, the opportunistic broadcast to connected peers runs as
+// deployed. Concurrent asks for the same CID join the in-flight
+// discovery instead of broadcasting twice.
+func (b *Bitswap) AskConnected(ctx context.Context, c cid.Cid) (wire.PeerInfo, AskStats, error) {
 	start := time.Now()
-	peers := b.sw.ConnectedPeers()
-	if len(peers) == 0 {
-		// Nobody to ask: still honour the timeout semantics by waiting
-		// nothing — the DHT fallback proceeds immediately.
-		return "", 0, ErrTimeout
+	key := c.Key()
+	b.askMu.Lock()
+	if fl, ok := b.asks[key]; ok {
+		b.askMu.Unlock()
+		return b.joinAsk(ctx, c, fl, start)
 	}
+	fl := &askFlight{done: make(chan struct{})}
+	b.asks[key] = fl
+	b.askMu.Unlock()
+
+	fl.info, fl.st, fl.err = b.ask(ctx, c)
+	fl.cancelled = fl.err != nil && ctx.Err() != nil
+	b.askMu.Lock()
+	delete(b.asks, key)
+	b.askMu.Unlock()
+	close(fl.done)
+	return fl.info, fl.st, fl.err
+}
+
+// joinAsk waits on an in-flight discovery for the same CID instead of
+// launching a duplicate. The suppressed count is the fan-out the
+// duplicate would have sent — what the leader actually sent, targeted
+// or broadcast — so the accounting stays honest in routed setups.
+func (b *Bitswap) joinAsk(ctx context.Context, c cid.Cid, fl *askFlight, start time.Time) (wire.PeerInfo, AskStats, error) {
+	select {
+	case <-fl.done:
+		if fl.cancelled && ctx.Err() == nil {
+			// The leader's caller cancelled mid-flight; this caller is
+			// still live, so rerun the discovery rather than inheriting
+			// the cancellation.
+			return b.AskConnected(ctx, c)
+		}
+		suppressed := fl.st.WantHaves
+		if suppressed == 0 {
+			suppressed = 1 // at minimum the duplicate ask itself
+		}
+		b.statsMu.Lock()
+		b.dupsSuppressed += suppressed
+		b.statsMu.Unlock()
+		st := AskStats{
+			Duration:   b.cfg.Base.SimSince(start),
+			Routed:     fl.st.Routed,
+			Broadcast:  fl.st.Broadcast,
+			Suppressed: suppressed,
+		}
+		return fl.info, st, fl.err
+	case <-ctx.Done():
+		return wire.PeerInfo{}, AskStats{Duration: b.cfg.Base.SimSince(start)}, ctx.Err()
+	}
+}
+
+// ask runs one deduplicated session-peer discovery.
+func (b *Bitswap) ask(ctx context.Context, c cid.Cid) (wire.PeerInfo, AskStats, error) {
+	start := time.Now()
+	var st AskStats
+
+	var routed []wire.PeerInfo
+	broadcast := true
+	if r := b.sessionRouting(); r != nil {
+		peers, msgs, err := r.SessionPeers(ctx, c, b.cfg.SessionPeerTarget)
+		st.RoutingMsgs = msgs
+		if err == nil && len(peers) > 0 {
+			routed = peers
+			broadcast = r.WantBroadcast()
+		}
+	}
+
+	info, asked, ok := b.askWave(ctx, c, routed, broadcast, nil, &st)
+	if ok {
+		st.Duration = b.cfg.Base.SimSince(start)
+		return info, st, nil
+	}
+	// Routed candidates all stale and the broadcast was skipped: fail
+	// open into the opportunistic broadcast before giving up, so a
+	// router answering with dead (or zero) peers never makes retrieval
+	// worse than the deployed behaviour. Peers the first wave already
+	// asked are excluded — they answered once.
+	if len(routed) > 0 && !broadcast {
+		if info, _, ok := b.askWave(ctx, c, nil, true, asked, &st); ok {
+			st.Duration = b.cfg.Base.SimSince(start)
+			return info, st, nil
+		}
+	}
+	st.Duration = b.cfg.Base.SimSince(start)
+	return wire.PeerInfo{}, st, ErrTimeout
+}
+
+// askWave sends WANT-HAVE to the routed candidates plus (when broadcast
+// is set) every connected peer, returning the first that answers HAVE
+// along with the set of peers asked so far (for chaining a fallback
+// wave without duplicate sends). A routed-candidates-only wave returns
+// as soon as every target has answered; a broadcast miss waits out the
+// full opportunistic timeout, preserving the deployed fallback
+// semantics (§6.2).
+func (b *Bitswap) askWave(ctx context.Context, c cid.Cid, routed []wire.PeerInfo, broadcast bool, seen map[peer.ID]bool, st *AskStats) (wire.PeerInfo, map[peer.ID]bool, bool) {
+	targets := make([]wire.PeerInfo, 0, len(routed))
+	if seen == nil {
+		seen = make(map[peer.ID]bool, len(routed))
+	}
+	fromRouter := make(map[peer.ID]bool, len(routed))
+	for _, pi := range routed {
+		if pi.ID == b.sw.Local() || seen[pi.ID] {
+			continue
+		}
+		seen[pi.ID] = true
+		fromRouter[pi.ID] = true
+		targets = append(targets, pi)
+	}
+	broadcastRan := false
+	if broadcast {
+		for _, id := range b.sw.ConnectedPeers() {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			targets = append(targets, wire.PeerInfo{ID: id})
+			broadcastRan = true
+		}
+		st.Broadcast = st.Broadcast || broadcastRan
+	}
+	if len(targets) == 0 {
+		return wire.PeerInfo{}, seen, false
+	}
+	st.WantHaves += len(targets)
+	b.countWantHaves(len(targets))
+
 	actx, cancel := b.cfg.Base.WithTimeout(ctx, b.cfg.OpportunisticTimeout)
 	defer cancel()
-
-	found := make(chan peer.ID, len(peers))
-	for _, id := range peers {
-		id := id
+	found := make(chan wire.PeerInfo, len(targets))
+	var wg sync.WaitGroup
+	for _, pi := range targets {
+		pi := pi
+		wg.Add(1)
 		go func() {
-			resp, err := b.sw.Request(actx, id, nil, wire.Message{Type: wire.TWantHave, Key: c.Bytes()})
+			defer wg.Done()
+			resp, err := b.sw.Request(actx, pi.ID, pi.Addrs, wire.Message{Type: wire.TWantHave, Key: c.Bytes()})
 			if err == nil && resp.Type == wire.THave {
-				found <- id
+				found <- pi
 			}
 		}()
 	}
+	allDone := make(chan struct{})
+	go func() { wg.Wait(); close(allDone) }()
+
+	win := func(pi wire.PeerInfo) (wire.PeerInfo, map[peer.ID]bool, bool) {
+		st.Routed = fromRouter[pi.ID]
+		return pi, seen, true
+	}
 	select {
-	case id := <-found:
-		return id, b.cfg.Base.SimSince(start), nil
+	case pi := <-found:
+		return win(pi)
+	case <-allDone:
+		// Every target answered; a HAVE may still sit in the buffer.
+		select {
+		case pi := <-found:
+			return win(pi)
+		default:
+		}
+		if broadcastRan && ctx.Err() == nil {
+			// The deployed client has no all-answered signal: a
+			// broadcast miss pays the full opportunistic timeout
+			// before the DHT fallback (§3.2, §6.2).
+			<-actx.Done()
+		}
+		return wire.PeerInfo{}, seen, false
 	case <-actx.Done():
-		return "", b.cfg.Base.SimSince(start), ErrTimeout
+		select {
+		case pi := <-found:
+			return win(pi)
+		default:
+		}
+		return wire.PeerInfo{}, seen, false
 	}
 }
 
@@ -176,14 +417,25 @@ func (b *Bitswap) FetchBlock(ctx context.Context, from wire.PeerInfo, c cid.Cid)
 	b.addWant(c)
 	defer b.dropWant(c)
 
-	resp, err := b.sw.Request(ctx, from.ID, from.Addrs, wire.Message{Type: wire.TWantHave, Key: c.Bytes()})
-	if err != nil {
+	if err := b.wantHave(ctx, from, c); err != nil {
 		return block.Block{}, err
 	}
-	if resp.Type != wire.THave {
-		return block.Block{}, ErrNotFound
-	}
 	return b.fetchDirect(ctx, from, c)
+}
+
+// wantHave runs the WANT-HAVE handshake against one peer: ErrNotFound
+// unless it answers HAVE. Shared by FetchBlock and session fetches so
+// the protocol sequence and the message counting live in one place.
+func (b *Bitswap) wantHave(ctx context.Context, from wire.PeerInfo, c cid.Cid) error {
+	b.countWantHaves(1)
+	resp, err := b.sw.Request(ctx, from.ID, from.Addrs, wire.Message{Type: wire.TWantHave, Key: c.Bytes()})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.THave {
+		return ErrNotFound
+	}
+	return nil
 }
 
 // fetchDirect sends WANT-BLOCK without the preceding WANT-HAVE, used
@@ -212,38 +464,177 @@ func (b *Bitswap) fetchDirect(ctx context.Context, from wire.PeerInfo, c cid.Cid
 	return blk, nil
 }
 
+// SessionStats counts one session's Bitswap message usage, the
+// per-session accounting core.RetrieveResult surfaces next to the
+// routing lookup messages.
+type SessionStats struct {
+	WantHaves   int // WANT-HAVE handshakes this session sent
+	WantBlocks  int // WANT-BLOCK transfer messages
+	RoutingMsgs int // routing RPCs spent discovering fail-over providers
+	Failovers   int // provider switches after mid-session failures
+}
+
 // Session binds Bitswap to one providing peer and implements
 // merkledag.Fetcher, so a whole DAG can be assembled from that peer
 // while populating the local store (making this node a future provider,
-// §3.1).
+// §3.1). When the bound provider fails mid-session — churn — the
+// session consults the configured router for an alternate provider and
+// fails over instead of aborting the DAG.
 type Session struct {
-	bs   *Bitswap
-	from wire.PeerInfo
-	ctx  context.Context
+	bs  *Bitswap
+	ctx context.Context
 
-	mu      sync.Mutex
-	started bool
+	mu        sync.Mutex
+	from      wire.PeerInfo
+	anchor    cid.Cid // first-requested CID: the DAG root provider records point at
+	anchorSet bool
+	started   bool
+	confirmed bool
+	tried     map[peer.ID]bool
+	stats     SessionStats
+
+	foMu sync.Mutex // serializes fail-over provider switches
 }
 
 // NewSession creates a fetch session bound to the providing peer.
 func (b *Bitswap) NewSession(ctx context.Context, from wire.PeerInfo) *Session {
-	return &Session{bs: b, from: from, ctx: ctx}
+	return &Session{bs: b, from: from, ctx: ctx, tried: make(map[peer.ID]bool)}
+}
+
+// Confirm records that the provider already answered HAVE during
+// discovery (a routed or broadcast hit), so the session skips the
+// redundant WANT-HAVE handshake and starts with WANT-BLOCK directly.
+func (s *Session) Confirm() *Session {
+	s.mu.Lock()
+	s.confirmed = true
+	s.mu.Unlock()
+	return s
+}
+
+// ForRoot pins the session's fail-over anchor to the DAG root being
+// assembled — the CID provider records exist for. Without it the
+// anchor defaults to the first CID that misses the local store, which
+// is a mid-DAG block when a partial earlier retrieval left the root
+// cached.
+func (s *Session) ForRoot(root cid.Cid) *Session {
+	s.mu.Lock()
+	s.anchor, s.anchorSet = root, true
+	s.mu.Unlock()
+	return s
+}
+
+// Stats returns the session's message accounting so far.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Session) addStats(d SessionStats) {
+	s.mu.Lock()
+	s.stats.WantHaves += d.WantHaves
+	s.stats.WantBlocks += d.WantBlocks
+	s.stats.RoutingMsgs += d.RoutingMsgs
+	s.stats.Failovers += d.Failovers
+	s.mu.Unlock()
 }
 
 // Get implements merkledag.Fetcher: local store first, then the remote
-// peer. The first remote fetch performs the full WANT-HAVE handshake;
-// Get is safe for the concurrent sibling fetches of
-// merkledag.AssembleConcurrent.
+// peer. The first remote fetch performs the WANT-HAVE handshake unless
+// discovery already confirmed the provider; Get is safe for the
+// concurrent sibling fetches of merkledag.AssembleConcurrent.
 func (s *Session) Get(c cid.Cid) (block.Block, error) {
 	if blk, err := s.bs.store.Get(c); err == nil {
 		return blk, nil
 	}
+	s.bs.addWant(c)
+	defer s.bs.dropWant(c)
+
 	s.mu.Lock()
-	first := !s.started
+	if !s.anchorSet {
+		s.anchor, s.anchorSet = c, true
+	}
+	from := s.from
+	handshake := !s.started && !s.confirmed
 	s.started = true
 	s.mu.Unlock()
-	if first {
-		return s.bs.FetchBlock(s.ctx, s.from, c)
+
+	blk, err := s.fetch(from, c, handshake)
+	if err == nil {
+		return blk, nil
 	}
-	return s.bs.fetchDirect(s.ctx, s.from, c)
+	return s.failover(c, from, err)
+}
+
+// fetch runs one block exchange against a specific provider, counting
+// the session's messages.
+func (s *Session) fetch(from wire.PeerInfo, c cid.Cid, handshake bool) (block.Block, error) {
+	if handshake {
+		s.addStats(SessionStats{WantHaves: 1})
+		if err := s.bs.wantHave(s.ctx, from, c); err != nil {
+			return block.Block{}, err
+		}
+	}
+	s.addStats(SessionStats{WantBlocks: 1})
+	return s.bs.fetchDirect(s.ctx, from, c)
+}
+
+// failover consults the session router for an alternate provider after
+// a mid-session failure (churn taking the bound provider offline is
+// the common cause) and retries the block against it. Provider records
+// exist for DAG roots, so alternates are looked up by the session's
+// anchor CID rather than the failed block.
+func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.Block, error) {
+	if s.ctx.Err() != nil {
+		return block.Block{}, cause
+	}
+	r := s.bs.sessionRouting()
+	if r == nil {
+		return block.Block{}, cause
+	}
+	s.foMu.Lock()
+	defer s.foMu.Unlock()
+
+	s.mu.Lock()
+	s.tried[failed.ID] = true
+	cur := s.from
+	anchor := s.anchor
+	s.mu.Unlock()
+	// Another goroutine may have already switched providers; retry the
+	// block against the new binding before spending routing RPCs.
+	if cur.ID != failed.ID {
+		if blk, err := s.fetch(cur, c, false); err == nil {
+			return blk, nil
+		}
+		s.mu.Lock()
+		s.tried[cur.ID] = true
+		s.mu.Unlock()
+	}
+
+	peers, msgs, err := r.SessionPeers(s.ctx, anchor, s.bs.cfg.SessionPeerTarget)
+	s.addStats(SessionStats{RoutingMsgs: msgs})
+	if err != nil {
+		return block.Block{}, cause
+	}
+	for _, pi := range peers {
+		s.mu.Lock()
+		dup := s.tried[pi.ID]
+		s.mu.Unlock()
+		if dup || pi.ID == s.bs.sw.Local() {
+			continue
+		}
+		blk, err := s.fetch(pi, c, true)
+		if err != nil {
+			s.mu.Lock()
+			s.tried[pi.ID] = true
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		s.from = pi
+		s.stats.Failovers++
+		s.mu.Unlock()
+		return blk, nil
+	}
+	return block.Block{}, cause
 }

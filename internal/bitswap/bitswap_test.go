@@ -3,7 +3,10 @@ package bitswap
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -113,15 +116,21 @@ func TestAskConnectedFindsHolder(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	id, dur, err := requester.bs.AskConnected(ctx, blk.Cid())
+	info, st, err := requester.bs.AskConnected(ctx, blk.Cid())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id != holder.ident.ID {
-		t.Errorf("holder = %s", id.Short())
+	if info.ID != holder.ident.ID {
+		t.Errorf("holder = %s", info.ID.Short())
 	}
-	if dur <= 0 || dur > 500*time.Millisecond {
-		t.Errorf("opportunistic hit took %v", dur)
+	if st.Duration <= 0 || st.Duration > 500*time.Millisecond {
+		t.Errorf("opportunistic hit took %v", st.Duration)
+	}
+	if !st.Broadcast || st.Routed {
+		t.Errorf("stats = %+v, want a broadcast hit", st)
+	}
+	if st.WantHaves != 3 {
+		t.Errorf("broadcast sent %d WANT-HAVEs, want one per connected peer (3)", st.WantHaves)
 	}
 }
 
@@ -135,13 +144,13 @@ func TestAskConnectedTimesOut(t *testing.T) {
 		}
 	}
 	missing := cid.Sum(multicodec.Raw, []byte("nobody has this"))
-	_, dur, err := requester.bs.AskConnected(ctx, missing)
+	_, st, err := requester.bs.AskConnected(ctx, missing)
 	if err != ErrTimeout {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	// The full 1 s opportunistic timeout must elapse (§3.2).
-	if dur < 900*time.Millisecond || dur > 2*time.Second {
-		t.Errorf("timeout took %v simulated, want ~1s", dur)
+	if st.Duration < 900*time.Millisecond || st.Duration > 2*time.Second {
+		t.Errorf("timeout took %v simulated, want ~1s", st.Duration)
 	}
 }
 
@@ -203,6 +212,309 @@ func TestCorruptBlockRejected(t *testing.T) {
 	_, err := vBs.FetchBlock(context.Background(), wire.PeerInfo{ID: evil.ID, Addrs: evilEp.Addrs()}, want)
 	if err == nil {
 		t.Fatal("corrupt block accepted")
+	}
+}
+
+// fakeRouting scripts a SessionRouting for ask/session tests.
+type fakeRouting struct {
+	mu        sync.Mutex
+	peers     []wire.PeerInfo
+	msgs      int
+	err       error
+	broadcast bool
+	onlyKey   string // when set, only this CID key has session peers
+	consults  int
+}
+
+func (f *fakeRouting) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.consults++
+	if f.err != nil {
+		return nil, f.msgs, f.err
+	}
+	if f.onlyKey != "" && c.Key() != f.onlyKey {
+		return nil, f.msgs, errors.New("fakeRouting: no session peers for that cid")
+	}
+	peers := f.peers
+	if n > 0 && len(peers) > n {
+		peers = peers[:n]
+	}
+	return peers, f.msgs, nil
+}
+
+func (f *fakeRouting) WantBroadcast() bool { return f.broadcast }
+
+func (f *fakeRouting) setPeers(peers []wire.PeerInfo) {
+	f.mu.Lock()
+	f.peers = peers
+	f.mu.Unlock()
+}
+
+// slowAskEngine builds a second engine over a peer's swarm/store with a
+// generous simulated opportunistic window: at scale 0.001 the 1 s
+// default is only ~1 ms of real time, which race-detector scheduling
+// overhead can blow.
+func slowAskEngine(p *testPeer) *Bitswap {
+	return New(p.sw, p.store, Config{Base: p.bs.cfg.Base, OpportunisticTimeout: 30 * time.Second})
+}
+
+func TestAskConnectedRoutedSkipsBroadcast(t *testing.T) {
+	_, ps := buildPeers(t, 4)
+	requester, holder := ps[0], ps[3]
+	blk := block.New(multicodec.Raw, []byte("routed content"))
+	holder.store.Put(blk)
+	ctx := context.Background()
+	// Connected bystanders that would receive the blind broadcast.
+	for _, p := range ps[1:3] {
+		if _, _, err := requester.sw.Connect(ctx, p.ident.ID, p.info.Addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The router knows the (unconnected) holder; policy skips broadcast.
+	bs := slowAskEngine(requester)
+	bs.SetRouting(&fakeRouting{peers: []wire.PeerInfo{holder.info}, msgs: 1})
+
+	info, st, err := bs.AskConnected(ctx, blk.Cid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != holder.ident.ID {
+		t.Errorf("session peer = %s, want the routed holder", info.ID.Short())
+	}
+	if !st.Routed || st.Broadcast {
+		t.Errorf("stats = %+v, want routed hit without broadcast", st)
+	}
+	if st.WantHaves != 1 {
+		t.Errorf("routed ask sent %d WANT-HAVEs, want exactly 1 (the candidate)", st.WantHaves)
+	}
+	if st.RoutingMsgs != 1 {
+		t.Errorf("routing msgs = %d, want the consult's RPC", st.RoutingMsgs)
+	}
+}
+
+func TestAskConnectedZeroRoutedPeersFallsBackToBroadcast(t *testing.T) {
+	// Satellite: a routed session whose router returns zero peers must
+	// fall back to the opportunistic broadcast rather than erroring.
+	_, ps := buildPeers(t, 3)
+	requester, holder := ps[0], ps[2]
+	blk := block.New(multicodec.Raw, []byte("broadcast fallback"))
+	holder.store.Put(blk)
+	ctx := context.Background()
+	for _, p := range ps[1:] {
+		if _, _, err := requester.sw.Connect(ctx, p.ident.ID, p.info.Addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs := slowAskEngine(requester)
+	bs.SetRouting(&fakeRouting{}) // zero candidates, skip-broadcast policy
+
+	info, st, err := bs.AskConnected(ctx, blk.Cid())
+	if err != nil {
+		t.Fatalf("zero routed peers must not fail discovery: %v", err)
+	}
+	if info.ID != holder.ident.ID {
+		t.Errorf("holder = %s", info.ID.Short())
+	}
+	if !st.Broadcast || st.Routed {
+		t.Errorf("stats = %+v, want a broadcast fallback hit", st)
+	}
+}
+
+func TestAskConnectedStaleRoutedPeersFallBackToBroadcast(t *testing.T) {
+	net, ps := buildPeers(t, 3)
+	requester, stale, holder := ps[0], ps[1], ps[2]
+	blk := block.New(multicodec.Raw, []byte("stale candidate"))
+	holder.store.Put(blk)
+	ctx := context.Background()
+	if _, _, err := requester.sw.Connect(ctx, holder.ident.ID, holder.info.Addrs); err != nil {
+		t.Fatal(err)
+	}
+	// The router's only candidate has departed (churn).
+	net.SetOnline(stale.ident.ID, false)
+	bs := slowAskEngine(requester)
+	bs.SetRouting(&fakeRouting{peers: []wire.PeerInfo{stale.info}, msgs: 1})
+
+	info, st, err := bs.AskConnected(ctx, blk.Cid())
+	if err != nil {
+		t.Fatalf("stale routed candidate must fail open into the broadcast: %v", err)
+	}
+	if info.ID != holder.ident.ID {
+		t.Errorf("holder = %s", info.ID.Short())
+	}
+	if !st.Broadcast {
+		t.Error("fallback broadcast should have run")
+	}
+}
+
+func TestAskConnectedDeduplicatesConcurrentBroadcasts(t *testing.T) {
+	_, ps := buildPeers(t, 4)
+	requester := ps[0]
+	ctx := context.Background()
+	for _, p := range ps[1:] {
+		if _, _, err := requester.sw.Connect(ctx, p.ident.ID, p.info.Addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A dedicated engine with a long opportunistic window keeps the
+	// leader in flight while the duplicate callers arrive.
+	bs := slowAskEngine(requester)
+	missing := cid.Sum(multicodec.Raw, []byte("wanted twice at once"))
+
+	var wg sync.WaitGroup
+	var suppressed atomic.Int32
+	askOnce := func() {
+		defer wg.Done()
+		_, st, err := bs.AskConnected(ctx, missing)
+		if err != ErrTimeout {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		suppressed.Add(int32(st.Suppressed))
+	}
+	// The leader first; the duplicates launch only once its flight is
+	// registered, so every one of them joins deterministically.
+	wg.Add(1)
+	go askOnce()
+	for {
+		bs.askMu.Lock()
+		inFlight := len(bs.asks)
+		bs.askMu.Unlock()
+		if inFlight == 1 {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go askOnce()
+	}
+	wg.Wait()
+
+	sent, supp := bs.MsgStats()
+	if sent != 3 {
+		t.Errorf("sent %d WANT-HAVEs, want one broadcast of 3 with duplicates joined", sent)
+	}
+	if supp == 0 || int32(supp) != suppressed.Load() {
+		t.Errorf("suppressed = %d (per-call sum %d), want the joined callers' fan-out counted", supp, suppressed.Load())
+	}
+
+	// A later ask for the same CID broadcasts again: deduplication is
+	// per-in-flight ask, not a cache.
+	if _, _, err := bs.AskConnected(ctx, missing); err != ErrTimeout {
+		t.Errorf("follow-up ask err = %v", err)
+	}
+	if sent2, _ := bs.MsgStats(); sent2 != 6 {
+		t.Errorf("follow-up ask sent %d total WANT-HAVEs, want 6", sent2)
+	}
+}
+
+func TestConfirmedSessionSkipsHandshake(t *testing.T) {
+	_, ps := buildPeers(t, 2)
+	holder, requester := ps[0], ps[1]
+	data := bytes.Repeat([]byte("confirmed dag "), 2000)
+	root, err := merkledag.NewBuilder(holder.store, 4096, 8).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := requester.bs.NewSession(context.Background(), holder.info).Confirm()
+	got, err := merkledag.Assemble(session, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("assembled content mismatch")
+	}
+	st := session.Stats()
+	if st.WantHaves != 0 {
+		t.Errorf("confirmed session sent %d WANT-HAVEs, want 0 (discovery already shook hands)", st.WantHaves)
+	}
+	if st.WantBlocks == 0 {
+		t.Error("session should count its WANT-BLOCK transfers")
+	}
+}
+
+func TestSessionFailsOverViaRouter(t *testing.T) {
+	net, ps := buildPeers(t, 3)
+	primary, backup, requester := ps[0], ps[1], ps[2]
+	data := bytes.Repeat([]byte("replicated dag "), 3000)
+	root, err := merkledag.NewBuilder(primary.store, 4096, 8).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merkledag.NewBuilder(backup.store, 4096, 8).Add(data); err != nil {
+		t.Fatal(err)
+	}
+	requester.bs.SetRouting(&fakeRouting{peers: []wire.PeerInfo{primary.info, backup.info}})
+
+	session := requester.bs.NewSession(context.Background(), primary.info)
+	// Fetch the root from the primary, then churn it away mid-session.
+	if _, err := session.Get(root); err != nil {
+		t.Fatalf("first block: %v", err)
+	}
+	net.SetOnline(primary.ident.ID, false)
+
+	got, err := merkledag.Assemble(session, root)
+	if err != nil {
+		t.Fatalf("assemble after provider churn: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("assembled content mismatch")
+	}
+	st := session.Stats()
+	if st.Failovers != 1 {
+		t.Errorf("failovers = %d, want exactly 1 switch to the backup", st.Failovers)
+	}
+	if len(requester.bs.Wantlist()) != 0 {
+		t.Error("wantlist should drain after the session completes")
+	}
+}
+
+func TestSessionFailoverAnchorsOnRoot(t *testing.T) {
+	// Provider records exist for DAG roots only. With the root block
+	// already local (a partial earlier retrieval), the first network
+	// fetch is a mid-DAG block — fail-over must still look up providers
+	// by the root the session was created for.
+	net, ps := buildPeers(t, 3)
+	primary, backup, requester := ps[0], ps[1], ps[2]
+	data := bytes.Repeat([]byte("anchored dag "), 3000)
+	root, err := merkledag.NewBuilder(primary.store, 4096, 8).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merkledag.NewBuilder(backup.store, 4096, 8).Add(data); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// The root block is already local; its children are not.
+	if _, err := requester.bs.FetchBlock(ctx, primary.info, root); err != nil {
+		t.Fatal(err)
+	}
+	// The router only knows providers for the root CID.
+	requester.bs.SetRouting(&fakeRouting{peers: []wire.PeerInfo{backup.info}, onlyKey: root.Key()})
+	net.SetOnline(primary.ident.ID, false)
+
+	session := requester.bs.NewSession(ctx, primary.info).ForRoot(root)
+	got, err := merkledag.Assemble(session, root)
+	if err != nil {
+		t.Fatalf("assemble with root-anchored fail-over: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("assembled content mismatch")
+	}
+	if st := session.Stats(); st.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", st.Failovers)
+	}
+}
+
+func TestSessionFailoverWithoutRouterStillFails(t *testing.T) {
+	net, ps := buildPeers(t, 2)
+	holder, requester := ps[0], ps[1]
+	blk := block.New(multicodec.Raw, []byte("gone"))
+	holder.store.Put(blk)
+	net.SetOnline(holder.ident.ID, false)
+	session := requester.bs.NewSession(context.Background(), holder.info)
+	if _, err := session.Get(blk.Cid()); err == nil {
+		t.Error("session with no router and a dead provider must fail")
 	}
 }
 

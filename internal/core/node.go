@@ -114,6 +114,7 @@ func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 	d.SetIPNSValidator(ipns.ValidatorFor(cfg.Now))
 	bs := bitswap.New(sw, store, bitswap.Config{
 		OpportunisticTimeout: cfg.BitswapTimeout,
+		SessionPeerTarget:    cfg.Alpha,
 		Base:                 cfg.Base,
 	})
 	n := &Node{
@@ -126,6 +127,10 @@ func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 		builder: merkledag.NewBuilder(store, cfg.ChunkSize, cfg.Fanout),
 	}
 	n.router = n.buildRouter()
+	// Bitswap session peer selection and the want-broadcast policy go
+	// through the same router that serves provider lookups, so the
+	// one-hop clients feed retrieval directly (§3.2 end to end).
+	bs.SetRouting(n.router)
 	ep.SetHandler(n.handle)
 	return n
 }
@@ -173,11 +178,12 @@ func (n *Node) buildRouter() routing.Router {
 func (n *Node) Router() routing.Router { return n.router }
 
 // SetRouter swaps the content router (experiments wire custom stacks),
-// rebinding the Accelerated()/RefreshRoutingSnapshot helpers to the new
-// stack's accelerated client, if it has one.
+// rebinding Bitswap's session routing and the
+// Accelerated()/RefreshRoutingSnapshot helpers to the new stack.
 func (n *Node) SetRouter(r routing.Router) {
 	n.router = r
 	n.accel = findAccelerated(r)
+	n.bswap.SetRouting(r)
 }
 
 // findAccelerated locates an accelerated client in a router stack.

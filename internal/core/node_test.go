@@ -12,6 +12,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/multicodec"
 	"repro/internal/peer"
+	"repro/internal/routing"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 	"repro/internal/testnet"
@@ -313,5 +314,102 @@ func TestVantageNodeRetrievesAcrossRegions(t *testing.T) {
 	}
 	if res.Total <= 0 {
 		t.Error("no total duration")
+	}
+}
+
+// buildRoutedNet is buildSmallNet with a generous simulated Bitswap
+// window: at these scales the 1 s default is well under a millisecond
+// of real time, which race-detector scheduling overhead can blow.
+func buildRoutedNet(t *testing.T, n int) *testnet.Testnet {
+	t.Helper()
+	return testnet.Build(testnet.Config{
+		N:        n,
+		Seed:     11,
+		Scale:    0.0004,
+		FracDead: 0.0001, FracSlow: 0.0001, FracWSBroken: 0.0001,
+		BitswapTimeout: 30 * time.Second,
+	})
+}
+
+func TestRetrieveRoutedSessionSkipsBroadcast(t *testing.T) {
+	// With the accelerated router holding a fresh snapshot, the session
+	// peer comes from the router in one hop: no blind WANT-HAVE
+	// broadcast, no provider walk, and strictly fewer WANT-HAVEs than
+	// the broadcast would have cost.
+	tn := buildRoutedNet(t, 60)
+	ctx := context.Background()
+	publisher := tn.AddVantageRouting("DE", 600, routing.KindAccelerated, nil)
+	getter := tn.AddVantageRouting("US", 601, routing.KindAccelerated, nil)
+	for _, n := range []*core.Node{publisher, getter} {
+		if _, err := n.RefreshRoutingSnapshot(ctx); err != nil {
+			t.Fatalf("refresh: %v", err)
+		}
+	}
+	pub, err := publisher.AddAndPublish(ctx, bytes.Repeat([]byte{5}, 32*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connect bystanders that a blind broadcast would have asked.
+	for i := 0; i < 3; i++ {
+		b := tn.Nodes[i]
+		if _, _, err := getter.Swarm().Connect(ctx, b.ID(), b.Addrs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, res, err := getter.Retrieve(ctx, pub.Cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 32*1024 {
+		t.Errorf("len = %d", len(data))
+	}
+	if !res.RoutedSession || res.BitswapHit {
+		t.Errorf("result = %+v, want a routed session", res)
+	}
+	if res.ProviderWalk != 0 {
+		t.Error("routed session should not pay a provider walk")
+	}
+	// One targeted WANT-HAVE to the known provider; the confirmed
+	// session then starts with WANT-BLOCK directly. The broadcast would
+	// have cost one per connected bystander.
+	if res.WantHaves != 1 {
+		t.Errorf("WantHaves = %d, want exactly 1 targeted ask", res.WantHaves)
+	}
+	if res.WantBlocks == 0 {
+		t.Error("transfer should count WANT-BLOCK messages")
+	}
+}
+
+func TestRetrieveRouterWithoutProvidersFallsBackToBroadcast(t *testing.T) {
+	// Satellite: a routed session whose router returns zero peers must
+	// fall back to the opportunistic broadcast. The accelerated getter
+	// has a snapshot, but the content was never published anywhere —
+	// only a connected neighbour holds it.
+	tn := buildRoutedNet(t, 40)
+	ctx := context.Background()
+	holder := tn.Nodes[0]
+	getter := tn.AddVantageRouting("US", 610, routing.KindAccelerated, nil)
+	if _, err := getter.RefreshRoutingSnapshot(ctx); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	data := bytes.Repeat([]byte{9}, 4096)
+	root, err := holder.Add(data) // added, never published
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := getter.Swarm().Connect(ctx, holder.ID(), holder.Addrs()); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res, err := getter.Retrieve(ctx, root)
+	if err != nil {
+		t.Fatalf("zero routed providers must fall back to the broadcast: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("content mismatch")
+	}
+	if !res.BitswapHit || res.RoutedSession {
+		t.Errorf("result = %+v, want a broadcast hit", res)
 	}
 }

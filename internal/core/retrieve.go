@@ -23,15 +23,22 @@ type RetrieveResult struct {
 	Cid   cid.Cid
 	Bytes int
 
-	Total        time.Duration
-	BitswapPhase time.Duration // opportunistic ask of connected peers
-	BitswapHit   bool          // content resolved without the DHT
-	ProviderWalk time.Duration // content discovery via the router (first DHT walk)
-	LookupMsgs   int           // routing RPCs the content-discovery lookup issued
-	PeerWalk     time.Duration // second DHT walk (peer discovery)
-	UsedBook     bool          // address book supplied the addresses
-	Dial         time.Duration // peer routing: connect to the provider
-	Fetch        time.Duration // content exchange (Bitswap transfer)
+	Total         time.Duration
+	BitswapPhase  time.Duration // opportunistic/routed ask for a session peer
+	BitswapHit    bool          // content resolved by the blind broadcast
+	RoutedSession bool          // session peer came from the router, broadcast skipped
+	ProviderWalk  time.Duration // content discovery via the router (first DHT walk)
+	LookupMsgs    int           // routing RPCs across discovery, session consults, fail-over
+	PeerWalk      time.Duration // second DHT walk (peer discovery)
+	UsedBook      bool          // address book supplied the addresses
+	Dial          time.Duration // peer routing: connect to the provider
+	Fetch         time.Duration // content exchange (Bitswap transfer)
+
+	// Per-session Bitswap message accounting, alongside LookupMsgs.
+	WantHaves        int // WANT-HAVE messages sent (discovery + session handshakes)
+	WantBlocks       int // WANT-BLOCK transfer messages
+	SuppressedWants  int // duplicate broadcast fan-out suppressed by deduplication
+	SessionFailovers int // provider switches the session made under churn
 
 	Provider peer.ID
 }
@@ -114,10 +121,21 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	res.Dial = dialDur
 
 	// Content exchange: fetch and verify the DAG via Bitswap, with
-	// sibling blocks requested concurrently as real sessions do.
+	// sibling blocks requested concurrently as real sessions do. A
+	// provider that already answered HAVE during discovery skips the
+	// redundant handshake; a provider failing mid-session is replaced
+	// through the router (fail-over under churn).
 	fetchStart := time.Now()
-	session := n.bswap.NewSession(ctx, provider)
+	session := n.bswap.NewSession(ctx, provider).ForRoot(root)
+	if res.BitswapHit || res.RoutedSession {
+		session.Confirm()
+	}
 	data, err := merkledag.AssembleConcurrent(session, root, 8)
+	ss := session.Stats()
+	res.WantHaves += ss.WantHaves
+	res.WantBlocks += ss.WantBlocks
+	res.LookupMsgs += ss.RoutingMsgs
+	res.SessionFailovers += ss.Failovers
 	res.Fetch = n.cfg.Base.SimSince(fetchStart)
 	res.Total = n.cfg.Base.SimSince(start)
 	if err != nil {
@@ -136,26 +154,36 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	return data, res, nil
 }
 
-// discover locates a provider for root: the opportunistic Bitswap
-// phase, then (or in parallel, when configured) the DHT walk.
+// discover locates a provider for root: the session-routed (or
+// opportunistic) Bitswap phase, then (or in parallel, when configured)
+// the router's provider lookup.
 func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, error) {
 	if n.cfg.ParallelDiscovery {
 		return n.discoverParallel(ctx, root, res)
 	}
 
-	// Serial (deployed) behaviour: Bitswap first, the router after its
-	// timeout.
-	if id, dur, err := n.bswap.AskConnected(ctx, root); err == nil {
-		res.BitswapPhase = dur
-		res.BitswapHit = true
-		return wire.PeerInfo{ID: id}, nil
-	} else {
-		res.BitswapPhase = dur
+	// Serial (deployed) behaviour: the Bitswap ask first — targeted at
+	// router-known providers when the router has them, the blind
+	// broadcast otherwise — then the provider lookup after its timeout.
+	info, ask, err := n.bswap.AskConnected(ctx, root)
+	res.BitswapPhase = ask.Duration
+	res.WantHaves += ask.WantHaves
+	res.SuppressedWants += ask.Suppressed
+	res.LookupMsgs += ask.RoutingMsgs
+	if err == nil {
+		res.BitswapHit = !ask.Routed
+		res.RoutedSession = ask.Routed
+		return info, nil
 	}
 
+	// Known trade-off: for one-hop routers a session-consult miss above
+	// already probed the snapshot/indexer neighbourhood, and
+	// FindProviders re-probes it before walking. Both waves really go
+	// out (and are charged), but handing the consult result forward
+	// would save the duplicate — see the ROADMAP open item.
 	providers, lookup, err := n.router.FindProviders(ctx, root)
 	res.ProviderWalk = lookup.Duration
-	res.LookupMsgs = routing.LookupMessages(lookup)
+	res.LookupMsgs += routing.LookupMessages(lookup)
 	if err != nil {
 		if errors.Is(err, dht.ErrNoProviders) {
 			return wire.PeerInfo{}, fmt.Errorf("%w: no provider records for %s", ErrNotFound, root)
@@ -165,12 +193,13 @@ func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) 
 	return providers[0], nil
 }
 
-// discoverParallel races Bitswap against the router lookup — the §6.2
-// optimization trading extra requests for latency.
+// discoverParallel races the Bitswap ask against the router lookup —
+// the §6.2 optimization trading extra requests for latency.
 func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, error) {
 	type outcome struct {
 		info    wire.PeerInfo
 		bitswap bool
+		ask     bitswap.AskStats
 		dur     time.Duration
 		msgs    int
 		err     error
@@ -180,8 +209,8 @@ func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *Retrieve
 	defer cancel()
 
 	go func() {
-		id, dur, err := n.bswap.AskConnected(pctx, root)
-		ch <- outcome{info: wire.PeerInfo{ID: id}, bitswap: true, dur: dur, err: err}
+		info, ask, err := n.bswap.AskConnected(pctx, root)
+		ch <- outcome{info: info, bitswap: true, ask: ask, dur: ask.Duration, err: err}
 	}()
 	go func() {
 		providers, lookup, err := n.router.FindProviders(pctx, root)
@@ -192,16 +221,35 @@ func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *Retrieve
 		ch <- o
 	}()
 
+	// charge adds an outcome's messages to the result whether it won or
+	// lost: the race trades extra requests for latency, and those extra
+	// requests must show up in the accounting.
+	charge := func(o outcome) {
+		if o.bitswap {
+			res.WantHaves += o.ask.WantHaves
+			res.SuppressedWants += o.ask.Suppressed
+			res.LookupMsgs += o.ask.RoutingMsgs
+		} else {
+			res.LookupMsgs += o.msgs
+		}
+	}
 	var firstErr error
 	for i := 0; i < 2; i++ {
 		o := <-ch
+		charge(o)
 		if o.err == nil {
 			if o.bitswap {
 				res.BitswapPhase = o.dur
-				res.BitswapHit = true
+				res.BitswapHit = !o.ask.Routed
+				res.RoutedSession = o.ask.Routed
 			} else {
 				res.ProviderWalk = o.dur
-				res.LookupMsgs = o.msgs
+			}
+			// Cancel and drain the loser so the RPCs it launched before
+			// losing are charged too.
+			cancel()
+			for j := i + 1; j < 2; j++ {
+				charge(<-ch)
 			}
 			return o.info, nil
 		}

@@ -14,6 +14,9 @@ var perfOnce *PerfResults
 
 func perfResults(t *testing.T) *PerfResults {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping the full performance experiment in -short mode")
+	}
 	if perfOnce == nil {
 		perfOnce = RunPerformance(PerfConfig{NetworkSize: 300, IterationsPer: 2, Scale: 0.0015, Seed: 42})
 	}
@@ -104,6 +107,9 @@ func TestDeploymentShapes(t *testing.T) {
 }
 
 func TestGatewayShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the gateway experiment in -short mode")
+	}
 	res := RunGateway(GatewayConfig{
 		NetworkSize: 40, Objects: 120, Requests: 1200, TraceOnly: 30000,
 		Scale: 0.0008, Seed: 17,
@@ -145,6 +151,9 @@ func TestGatewayShapes(t *testing.T) {
 }
 
 func TestGatewayCacheSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the gateway cache sweep in -short mode")
+	}
 	pts := RunGatewayCacheSweep(AblationConfig{Scale: 0.0008, Seed: 23}, []int64{2 << 20, 32 << 20})
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
@@ -155,6 +164,9 @@ func TestGatewayCacheSweepMonotone(t *testing.T) {
 }
 
 func TestClientServerSplitAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the churned client/server ablation in -short mode")
+	}
 	pts := RunClientServerSplit(AblationConfig{NetworkSize: 200, Iterations: 3, Scale: 0.001, Seed: 23})
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))

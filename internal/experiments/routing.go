@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"repro/internal/cid"
-	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/routing"
 	"repro/internal/stats"
@@ -62,19 +61,27 @@ type RouterPerf struct {
 	Retrievals   int
 	Failures     int
 
-	PubLatency  *stats.Sample // seconds per publish
-	PubMsgs     *stats.Sample // routing RPCs per publish
-	RetrLatency *stats.Sample // seconds per retrieval
-	RetrMsgs    *stats.Sample // routing RPCs per content-discovery lookup
+	// RoutedSessions counts retrievals whose Bitswap session peer came
+	// from the router (the WANT-HAVE broadcast was skipped entirely).
+	RoutedSessions int
+	// Failovers counts mid-session provider switches under churn.
+	Failovers int
+
+	PubLatency    *stats.Sample // seconds per publish
+	PubMsgs       *stats.Sample // routing RPCs per publish
+	RetrLatency   *stats.Sample // seconds per retrieval
+	RetrMsgs      *stats.Sample // routing RPCs per retrieval (discovery + session consults + fail-over)
+	RetrWantHaves *stats.Sample // Bitswap WANT-HAVE messages per retrieval
 }
 
 func newRouterPerf(kind routing.Kind) *RouterPerf {
 	return &RouterPerf{
-		Kind:        kind,
-		PubLatency:  stats.NewSample(),
-		PubMsgs:     stats.NewSample(),
-		RetrLatency: stats.NewSample(),
-		RetrMsgs:    stats.NewSample(),
+		Kind:          kind,
+		PubLatency:    stats.NewSample(),
+		PubMsgs:       stats.NewSample(),
+		RetrLatency:   stats.NewSample(),
+		RetrMsgs:      stats.NewSample(),
+		RetrWantHaves: stats.NewSample(),
 	}
 }
 
@@ -146,12 +153,7 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 		for _, idx := range churned {
 			tn.SetOnline(idx, false)
 		}
-		var live []*core.Node
-		for _, n := range tn.LiveNodes() {
-			if tn.Net.Online(n.ID()) {
-				live = append(live, n)
-			}
-		}
+		live := tn.OnlineNodes()
 		for _, root := range roots {
 			testnet.FlushVantage(getter)
 			// Connect to a few bystanders so the opportunistic Bitswap
@@ -168,6 +170,11 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 			}
 			rp.RetrLatency.AddDuration(rres.Total)
 			rp.RetrMsgs.Add(float64(rres.LookupMsgs))
+			rp.RetrWantHaves.Add(float64(rres.WantHaves))
+			if rres.RoutedSession {
+				rp.RoutedSessions++
+			}
+			rp.Failovers += rres.SessionFailovers
 			getter.Store().Clear()
 		}
 		// Departed peers return before the next router's turn.
@@ -180,7 +187,7 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 
 // Table renders the side-by-side router comparison.
 func (r *RoutingResults) Table() string {
-	t := stats.NewTable("Router", "Pub p50", "Pub msgs", "Retr p50", "Retr msgs", "OK", "Fail")
+	t := stats.NewTable("Router", "Pub p50", "Pub msgs", "Retr p50", "Retr msgs", "WANT-HAVEs", "Routed", "OK", "Fail")
 	for _, rp := range r.Routers {
 		ok := rp.Publications + rp.Retrievals - rp.Failures
 		t.AddRow(string(rp.Kind),
@@ -188,6 +195,8 @@ func (r *RoutingResults) Table() string {
 			fmt.Sprintf("%.1f", rp.PubMsgs.Mean()),
 			fmt.Sprintf("%.2fs", rp.RetrLatency.Percentile(50)),
 			fmt.Sprintf("%.1f", rp.RetrMsgs.Mean()),
+			fmt.Sprintf("%.1f", rp.RetrWantHaves.Mean()),
+			fmt.Sprintf("%d/%d", rp.RoutedSessions, rp.Retrievals),
 			ok, rp.Failures)
 	}
 	return fmt.Sprintf("Routing comparison: %d-peer network, %d objects/router, %.0f%% churn before retrievals\n",
@@ -212,14 +221,17 @@ func (r *RoutingResults) Summary() string {
 	if base == nil || base.RetrMsgs.Len() == 0 {
 		return "no baseline measurements\n"
 	}
-	fmt.Fprintf(&b, "dht baseline: %.1f routing msgs per retrieval, retr p50 %.2fs, pub p50 %.2fs\n",
-		base.RetrMsgs.Mean(), base.RetrLatency.Percentile(50), base.PubLatency.Percentile(50))
+	fmt.Fprintf(&b, "dht baseline: %.1f routing msgs and %.1f WANT-HAVEs per retrieval, retr p50 %.2fs, pub p50 %.2fs\n",
+		base.RetrMsgs.Mean(), base.RetrWantHaves.Mean(),
+		base.RetrLatency.Percentile(50), base.PubLatency.Percentile(50))
 	for _, rp := range r.Routers {
 		if rp.Kind == routing.KindDHT || rp.RetrMsgs.Len() == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%s: %.1f msgs per retrieval (%.1fx vs dht), retr p50 %.2fs, pub p50 %.2fs\n",
+		fmt.Fprintf(&b, "%s: %.1f msgs (%.1fx) and %.1f WANT-HAVEs (%.1fx) per retrieval, %d/%d routed sessions, retr p50 %.2fs, pub p50 %.2fs\n",
 			rp.Kind, rp.RetrMsgs.Mean(), rp.RetrMsgs.Mean()/base.RetrMsgs.Mean(),
+			rp.RetrWantHaves.Mean(), rp.RetrWantHaves.Mean()/base.RetrWantHaves.Mean(),
+			rp.RoutedSessions, rp.Retrievals,
 			rp.RetrLatency.Percentile(50), rp.PubLatency.Percentile(50))
 	}
 	return b.String()

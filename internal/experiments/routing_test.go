@@ -13,9 +13,14 @@ import (
 // routing messages than the baseline DHT walk, on the same network,
 // under the same churn.
 func TestRoutingComparison(t *testing.T) {
-	res := RunRoutingComparison(RoutingConfig{
-		NetworkSize: 180, Objects: 3, Scale: 0.0005, Seed: 42,
-	})
+	cfg := RoutingConfig{NetworkSize: 180, Objects: 3, Scale: 0.0005, Seed: 42}
+	if testing.Short() {
+		// Keep the headline property exercised in -short (race) CI runs,
+		// on a smaller churned network.
+		cfg.NetworkSize = 100
+		cfg.Objects = 2
+	}
+	res := RunRoutingComparison(cfg)
 	if len(res.Routers) != 4 {
 		t.Fatalf("measured %d routers, want 4", len(res.Routers))
 	}
@@ -40,6 +45,26 @@ func TestRoutingComparison(t *testing.T) {
 	if accel.PubMsgs.Mean() >= dht.PubMsgs.Mean() {
 		t.Errorf("accelerated used %.1f msgs per publish vs dht %.1f, want fewer",
 			accel.PubMsgs.Mean(), dht.PubMsgs.Mean())
+	}
+	// Session routing: the one-hop routers answer with known providers,
+	// send targeted WANT-HAVEs and skip the broadcast, so they must
+	// retrieve with strictly fewer WANT-HAVE messages than the baseline
+	// broadcast on the same testnet.
+	for _, kind := range []routing.Kind{routing.KindAccelerated, routing.KindIndexer} {
+		rp := res.Router(kind)
+		if rp.RetrWantHaves.Len() == 0 {
+			t.Fatalf("%s: no WANT-HAVE samples", kind)
+		}
+		if rp.RetrWantHaves.Mean() >= dht.RetrWantHaves.Mean() {
+			t.Errorf("%s sent %.1f WANT-HAVEs per retrieval vs dht broadcast %.1f, want strictly fewer",
+				kind, rp.RetrWantHaves.Mean(), dht.RetrWantHaves.Mean())
+		}
+		if rp.RoutedSessions == 0 {
+			t.Errorf("%s: no routed sessions despite router-known providers", kind)
+		}
+	}
+	if dht.RoutedSessions != 0 {
+		t.Errorf("dht baseline reported %d routed sessions, want 0 (it broadcasts)", dht.RoutedSessions)
 	}
 	for _, render := range []string{res.Table(), res.Summary()} {
 		if !strings.Contains(render, "dht") || !strings.Contains(render, "accelerated") {

@@ -225,6 +225,25 @@ func (r *AcceleratedRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResu
 // carrying provider records. Exhausting the snapshot neighbourhood
 // falls back to the iterative walk.
 func (r *AcceleratedRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
+	return findWithFallback(ctx, r.direct, r.fallback, c)
+}
+
+// SessionPeers implements Router: the same one-hop snapshot lookup as
+// FindProviders, without the walk fallback — a session candidate miss
+// costs Bitswap nothing but the direct RPCs, and the caller decides
+// whether to broadcast or walk next.
+func (r *AcceleratedRouter) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error) {
+	return sessionFromDirect(ctx, r.direct, c, n)
+}
+
+// WantBroadcast implements Router: the snapshot names the record
+// holders directly, so the opportunistic broadcast is skipped.
+func (r *AcceleratedRouter) WantBroadcast() bool { return false }
+
+// direct runs the one-hop lookup against the snapshot neighbourhood,
+// returning ErrNoProviders when the neighbourhood is exhausted without
+// a provider-carrying response.
+func (r *AcceleratedRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
 	var info LookupInfo
 	start := time.Now()
 	key := c.Bytes()
@@ -283,10 +302,6 @@ func (r *AcceleratedRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wir
 	info.Duration = r.cfg.Base.SimSince(start)
 	if err := ctx.Err(); err != nil {
 		return nil, info, err
-	}
-	if r.fallback != nil {
-		providers, finfo, err := r.fallback.FindProviders(ctx, c)
-		return providers, mergeLookup(info, finfo), err
 	}
 	return nil, info, ErrNoProviders
 }

@@ -33,3 +33,14 @@ func (r *DHTRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, erro
 func (r *DHTRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
 	return r.d.FindProviders(ctx, c)
 }
+
+// SessionPeers implements Router. The walk-based client has no provider
+// knowledge short of the multi-hop lookup, so it declines: Bitswap
+// keeps today's opportunistic broadcast and the walk stays the
+// FindProviders fallback.
+func (r *DHTRouter) SessionPeers(context.Context, cid.Cid, int) ([]wire.PeerInfo, int, error) {
+	return nil, 0, ErrNoSessionPeers
+}
+
+// WantBroadcast implements Router: the deployed client broadcasts.
+func (r *DHTRouter) WantBroadcast() bool { return true }

@@ -207,6 +207,23 @@ func (r *IndexerRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, 
 // falls back to the DHT walk, with the indexer RPCs included in the
 // reported message count.
 func (r *IndexerRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
+	return findWithFallback(ctx, r.direct, r.fallback, c)
+}
+
+// SessionPeers implements Router: one RPC to the first indexer that
+// knows the key, without the DHT fallback — a session candidate miss
+// leaves the caller on the broadcast/walk path.
+func (r *IndexerRouter) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error) {
+	return sessionFromDirect(ctx, r.direct, c, n)
+}
+
+// WantBroadcast implements Router: the indexer names the providers
+// directly, so the opportunistic broadcast is skipped.
+func (r *IndexerRouter) WantBroadcast() bool { return false }
+
+// direct queries the configured indexers in turn, returning
+// ErrNoProviders when every indexer misses or is unreachable.
+func (r *IndexerRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
 	var info LookupInfo
 	start := time.Now()
 	key := c.Bytes()
@@ -231,10 +248,6 @@ func (r *IndexerRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.Pe
 	info.Duration = r.cfg.Base.SimSince(start)
 	if err := ctx.Err(); err != nil {
 		return nil, info, err
-	}
-	if r.fallback != nil {
-		providers, finfo, err := r.fallback.FindProviders(ctx, c)
-		return providers, mergeLookup(info, finfo), err
 	}
 	return nil, info, ErrNoProviders
 }

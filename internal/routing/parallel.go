@@ -87,6 +87,59 @@ func (r *ParallelRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult,
 	return ProvideResult{}, firstErr
 }
 
+// SessionPeers implements Router: members race their cheap candidate
+// lookups and the first non-empty answer wins, with losers cancelled
+// and their RPCs charged onto the reported message count. Members with
+// no session knowledge (the walk baseline) decline instantly, so the
+// race degenerates to the one-hop members.
+func (r *ParallelRouter) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error) {
+	if len(r.members) == 0 {
+		return nil, 0, fmt.Errorf("routing: parallel session peers %s: no members", c)
+	}
+	type outcome struct {
+		peers []wire.PeerInfo
+		msgs  int
+		err   error
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, len(r.members))
+	for _, m := range r.members {
+		m := m
+		go func() {
+			peers, msgs, err := m.SessionPeers(pctx, c, n)
+			ch <- outcome{peers: peers, msgs: msgs, err: err}
+		}()
+	}
+	msgs := 0
+	for i := 0; i < len(r.members); i++ {
+		o := <-ch
+		msgs += o.msgs
+		if o.err == nil && len(o.peers) > 0 {
+			cancel()
+			// Drain the cancelled losers and charge their RPCs.
+			for j := i + 1; j < len(r.members); j++ {
+				msgs += (<-ch).msgs
+			}
+			return o.peers, msgs, nil
+		}
+	}
+	return nil, msgs, ErrNoSessionPeers
+}
+
+// WantBroadcast implements Router: the composite broadcasts when any
+// member would — racing the broadcast against the routed candidates is
+// exactly the extra-requests-for-latency trade the parallel router
+// makes.
+func (r *ParallelRouter) WantBroadcast() bool {
+	for _, m := range r.members {
+		if m.WantBroadcast() {
+			return true
+		}
+	}
+	return false
+}
+
 // FindProviders implements Router: members race and the first
 // provider-carrying response wins; losers are cancelled.
 func (r *ParallelRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {

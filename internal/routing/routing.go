@@ -20,6 +20,7 @@ package routing
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -57,7 +58,12 @@ type ProvideResult = dht.ProvideResult
 type LookupInfo = dht.WalkInfo
 
 // Router is the content-routing abstraction core.Node publishes and
-// retrieves through.
+// retrieves through. Besides the provider-record operations of §3.1–3.2
+// it carries the session-facing surface Bitswap consults: SessionPeers
+// supplies candidate holders without paying a multi-hop walk, and
+// WantBroadcast is the policy deciding whether the opportunistic
+// WANT-HAVE broadcast still runs for sessions routed through this
+// router.
 type Router interface {
 	// Name identifies the implementation in experiment output.
 	Name() string
@@ -66,12 +72,69 @@ type Router interface {
 	// FindProviders locates peers holding c. Implementations return as
 	// soon as one record-holding response arrives (§3.2).
 	FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error)
+	// SessionPeers returns up to n candidate peers believed to hold c
+	// without paying a multi-hop walk, plus the routing RPCs spent
+	// learning them. Routers with no cheap provider knowledge (the
+	// baseline walk) return ErrNoSessionPeers, keeping Bitswap on its
+	// opportunistic broadcast.
+	SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error)
+	// WantBroadcast reports whether Bitswap's opportunistic WANT-HAVE
+	// broadcast should still run alongside routed session candidates.
+	// One-hop routers answer false — they know the providers, so the
+	// broadcast is pure waste (§3.2) — while the walk-based baseline
+	// and composites containing it answer true.
+	WantBroadcast() bool
 }
 
 // ErrNoProviders is returned when a lookup exhausts every path without
 // finding a provider record; it wraps the DHT sentinel so callers
 // checking errors.Is(err, dht.ErrNoProviders) keep working.
 var ErrNoProviders = dht.ErrNoProviders
+
+// ErrNoSessionPeers is returned by SessionPeers when a router has no
+// cheap provider knowledge for the key; the caller falls back to the
+// opportunistic broadcast (and ultimately the FindProviders walk).
+var ErrNoSessionPeers = errors.New("routing: no session peers known")
+
+// capPeers bounds a candidate list to n entries (n <= 0 means all).
+func capPeers(peers []wire.PeerInfo, n int) []wire.PeerInfo {
+	if n > 0 && len(peers) > n {
+		return peers[:n]
+	}
+	return peers
+}
+
+// directFn is a router's one-hop lookup (snapshot neighbourhood or
+// indexer query), returning ErrNoProviders on a miss.
+type directFn func(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error)
+
+// findWithFallback is the shared direct-then-fallback FindProviders
+// control flow of the one-hop routers: try the direct path, return on
+// success or context error, otherwise walk the fallback with the
+// wasted direct RPCs merged into the reported cost.
+func findWithFallback(ctx context.Context, direct directFn, fallback Router, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
+	providers, info, err := direct(ctx, c)
+	if err == nil || ctx.Err() != nil {
+		return providers, info, err
+	}
+	if fallback != nil {
+		providers, finfo, err := fallback.FindProviders(ctx, c)
+		return providers, mergeLookup(info, finfo), err
+	}
+	return nil, info, ErrNoProviders
+}
+
+// sessionFromDirect is the shared SessionPeers body of the one-hop
+// routers: the direct lookup capped to n candidates, with a miss
+// mapped to ErrNoSessionPeers so the caller keeps its broadcast/walk
+// fallback.
+func sessionFromDirect(ctx context.Context, direct directFn, c cid.Cid, n int) ([]wire.PeerInfo, int, error) {
+	providers, info, err := direct(ctx, c)
+	if err != nil {
+		return nil, LookupMessages(info), ErrNoSessionPeers
+	}
+	return capPeers(providers, n), LookupMessages(info), nil
+}
 
 // LookupMessages counts the routing RPCs one lookup issued. Walk-based
 // lookups report every launched query (including ones abandoned at

@@ -27,8 +27,10 @@ type fakeRouter struct {
 	delay     time.Duration
 	err       error
 	provider  peer.ID
+	broadcast bool
 	cancelled atomic.Bool
 	calls     atomic.Int32
+	sessions  atomic.Int32
 }
 
 func (f *fakeRouter) Name() string { return f.name }
@@ -57,6 +59,19 @@ func (f *fakeRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerI
 	}
 	return []wire.PeerInfo{{ID: f.provider}}, routing.LookupInfo{Queried: 1}, nil
 }
+
+func (f *fakeRouter) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error) {
+	f.sessions.Add(1)
+	if err := f.wait(ctx); err != nil {
+		return nil, 0, err
+	}
+	if f.provider == "" {
+		return nil, 0, routing.ErrNoSessionPeers
+	}
+	return []wire.PeerInfo{{ID: f.provider}}, 1, nil
+}
+
+func (f *fakeRouter) WantBroadcast() bool { return f.broadcast }
 
 func testCid(s string) cid.Cid { return cid.Sum(multicodec.Raw, []byte(s)) }
 
@@ -118,6 +133,7 @@ type countingRouter struct {
 	inner    routing.Router
 	provides atomic.Int32
 	finds    atomic.Int32
+	sessions atomic.Int32
 }
 
 func (c *countingRouter) Name() string { return c.inner.Name() }
@@ -131,6 +147,13 @@ func (c *countingRouter) FindProviders(ctx context.Context, id cid.Cid) ([]wire.
 	c.finds.Add(1)
 	return c.inner.FindProviders(ctx, id)
 }
+
+func (c *countingRouter) SessionPeers(ctx context.Context, id cid.Cid, n int) ([]wire.PeerInfo, int, error) {
+	c.sessions.Add(1)
+	return c.inner.SessionPeers(ctx, id, n)
+}
+
+func (c *countingRouter) WantBroadcast() bool { return c.inner.WantBroadcast() }
 
 func TestIndexerRoundTrip(t *testing.T) {
 	base := simtime.New(0.0005)
@@ -339,5 +362,138 @@ func TestConfigRoutingSelector(t *testing.T) {
 	}
 	if !strings.HasPrefix(routing.NewParallel(routing.NewDHT(node.DHT())).Name(), "parallel(") {
 		t.Error("parallel name should list members")
+	}
+}
+
+func TestDHTRouterDeclinesSessionPeers(t *testing.T) {
+	tn := buildCleanNet(t, 30, 41)
+	r := routing.NewDHT(tn.AddVantage("DE", 960).DHT())
+	peers, msgs, err := r.SessionPeers(context.Background(), testCid("x"), 3)
+	if !errors.Is(err, routing.ErrNoSessionPeers) || len(peers) != 0 || msgs != 0 {
+		t.Errorf("dht session peers = (%v, %d, %v), want a free decline", peers, msgs, err)
+	}
+	if !r.WantBroadcast() {
+		t.Error("dht router must keep the opportunistic broadcast")
+	}
+}
+
+func TestAcceleratedSessionPeersOneHop(t *testing.T) {
+	tn := buildCleanNet(t, 120, 43)
+	ctx := context.Background()
+
+	publisher := tn.AddVantageRouting("DE", 970, routing.KindAccelerated, nil)
+	getter := tn.AddVantageRouting("US", 971, routing.KindAccelerated, nil)
+	for _, n := range []interface {
+		RefreshRoutingSnapshot(context.Context) (int, error)
+	}{publisher, getter} {
+		if _, err := n.RefreshRoutingSnapshot(ctx); err != nil {
+			t.Fatalf("refresh: %v", err)
+		}
+	}
+	pub, err := publisher.AddAndPublish(ctx, []byte("session candidate content"))
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	r := getter.Router()
+	if r.WantBroadcast() {
+		t.Error("accelerated router should skip the broadcast")
+	}
+	peers, msgs, err := r.SessionPeers(ctx, pub.Cid, 3)
+	if err != nil {
+		t.Fatalf("SessionPeers: %v", err)
+	}
+	if len(peers) == 0 || peers[0].ID != publisher.ID() {
+		t.Fatalf("session peers = %v, want the publisher", peers)
+	}
+	if len(peers) > 3 {
+		t.Errorf("session peers not capped: %d", len(peers))
+	}
+	if msgs == 0 || msgs > 6 {
+		t.Errorf("session lookup spent %d RPCs, want a single small wave", msgs)
+	}
+
+	// An unpublished key must decline without walking.
+	if _, _, err := r.SessionPeers(ctx, testCid("never published"), 3); !errors.Is(err, routing.ErrNoSessionPeers) {
+		t.Errorf("miss err = %v, want ErrNoSessionPeers", err)
+	}
+}
+
+func TestIndexerSessionPeersNoDHTFallback(t *testing.T) {
+	tn := buildCleanNet(t, 60, 45)
+	ctx := context.Background()
+	ix := tn.AddIndexer("US", 980)
+
+	publisher := tn.AddVantage("DE", 981)
+	pubR := routing.NewIndexerRouter(publisher.Swarm(), []wire.PeerInfo{ix.Info()}, nil,
+		routing.IndexerRouterConfig{Base: tn.Base})
+	pub, err := publisher.AddAndPublish(ctx, []byte("indexed session content"))
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if _, err := pubR.Provide(ctx, pub.Cid); err != nil {
+		t.Fatalf("indexer provide: %v", err)
+	}
+
+	getter := tn.AddVantage("US", 982)
+	fb := &countingRouter{inner: routing.NewDHT(getter.DHT())}
+	r := routing.NewIndexerRouter(getter.Swarm(), []wire.PeerInfo{ix.Info()}, fb,
+		routing.IndexerRouterConfig{Base: tn.Base})
+
+	peers, msgs, err := r.SessionPeers(ctx, pub.Cid, 2)
+	if err != nil || len(peers) == 0 || peers[0].ID != publisher.ID() {
+		t.Fatalf("session peers = (%v, %v), want the publisher", peers, err)
+	}
+	if msgs != 1 {
+		t.Errorf("session lookup spent %d RPCs, want exactly 1", msgs)
+	}
+	// A miss must decline instead of walking the DHT: session candidates
+	// are advisory, the broadcast/walk fallback belongs to the caller.
+	if _, _, err := r.SessionPeers(ctx, testCid("not indexed"), 2); !errors.Is(err, routing.ErrNoSessionPeers) {
+		t.Errorf("miss err = %v, want ErrNoSessionPeers", err)
+	}
+	if fb.finds.Load() != 0 || fb.sessions.Load() != 0 {
+		t.Error("session peer miss must not consult the DHT fallback")
+	}
+}
+
+func TestParallelSessionPeersRaceAndPolicy(t *testing.T) {
+	fast := &fakeRouter{name: "fast", delay: time.Millisecond, provider: peer.ID("winner")}
+	slow := &fakeRouter{name: "slow", delay: time.Minute, provider: peer.ID("loser")}
+	decline := &fakeRouter{name: "decline", delay: time.Millisecond, broadcast: true}
+	r := routing.NewParallel(decline, fast, slow)
+
+	peers, msgs, err := r.SessionPeers(context.Background(), testCid("race"), 3)
+	if err != nil {
+		t.Fatalf("SessionPeers: %v", err)
+	}
+	if len(peers) != 1 || peers[0].ID != peer.ID("winner") {
+		t.Fatalf("peers = %v, want the fast member's", peers)
+	}
+	if msgs < 1 {
+		t.Errorf("msgs = %d, want the winner's RPC charged", msgs)
+	}
+	deadline := time.After(2 * time.Second)
+	for !slow.cancelled.Load() {
+		select {
+		case <-deadline:
+			t.Fatal("slow member was not cancelled after the fast one won")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Broadcast policy: any member wanting the broadcast keeps it.
+	if !r.WantBroadcast() {
+		t.Error("composite with a broadcasting member must broadcast")
+	}
+	if routing.NewParallel(fast, slow).WantBroadcast() {
+		t.Error("composite of one-hop members must skip the broadcast")
+	}
+
+	// All members declining yields ErrNoSessionPeers.
+	d2 := &fakeRouter{name: "d2", delay: time.Millisecond}
+	if _, _, err := routing.NewParallel(d2).SessionPeers(context.Background(), testCid("none"), 3); !errors.Is(err, routing.ErrNoSessionPeers) {
+		t.Errorf("all-decline err = %v, want ErrNoSessionPeers", err)
 	}
 }

@@ -196,6 +196,19 @@ func (tn *Testnet) LiveNodes() []*core.Node {
 	return out
 }
 
+// OnlineNodes returns the live nodes currently online — the bystander
+// pool the churn experiments draw Bitswap neighbours from, so every
+// router's opportunistic phase faces the same live neighbourhood.
+func (tn *Testnet) OnlineNodes() []*core.Node {
+	var out []*core.Node
+	for _, node := range tn.LiveNodes() {
+		if tn.Net.Online(node.ID()) {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
 // AddVantage attaches an instrumented measurement node in the given
 // region (one of the §4.3 AWS VMs) with a seeded routing table.
 func (tn *Testnet) AddVantage(region geo.Region, seed int64) *core.Node {
