@@ -11,6 +11,7 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/cid"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/peer"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -356,13 +358,13 @@ func BenchmarkAblationGatewayCacheSize(b *testing.B) {
 // --- content-routing subsystem ---
 
 // BenchmarkRoutingComparison races the four content routers on one
-// simulated network under churn, reporting per-retrieval routing
-// message counts and latency for the baseline walk vs the accelerated
-// one-hop client.
+// simulated network under the churn timeline, reporting per-retrieval
+// routing message counts and latency for the baseline walk vs the
+// accelerated one-hop client.
 func BenchmarkRoutingComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
-			NetworkSize: 200, Objects: 3, Scale: 0.0005, Seed: 42,
+			NetworkSize: 200, Objects: 3, Ticks: 2, Window: 8 * time.Hour, Scale: 0.0005, Seed: 42,
 		})
 		dht := res.Router(routing.KindDHT)
 		accel := res.Router(routing.KindAccelerated)
@@ -376,31 +378,43 @@ func BenchmarkRoutingComparison(b *testing.B) {
 }
 
 // BenchmarkSessionRoutingUnderChurn compares broadcast-vs-routed
-// Bitswap sessions under heavier churn: WANT-HAVE fan-out, how many
-// sessions the router fed directly, and the mid-session fail-overs
-// that replaced churned providers.
+// Bitswap sessions under a heavier churn timeline: WANT-HAVE fan-out,
+// how many sessions the router fed directly, the mid-session fail-overs
+// that replaced churned providers, and the network-wide RPC budget by
+// category (so background republish/refresh traffic lands in the
+// uploaded BENCH_PR.json next to the per-lookup metrics).
 func BenchmarkSessionRoutingUnderChurn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
-			NetworkSize: 200, Objects: 3, ChurnFraction: 0.35, Scale: 0.0005, Seed: 11,
+			NetworkSize: 200, Objects: 3, Ticks: 2, Window: 8 * time.Hour,
+			ChurnAmplitude: 3, Scale: 0.0005, Seed: 11,
 		})
 		dht := res.Router(routing.KindDHT)
 		accel := res.Router(routing.KindAccelerated)
 		b.ReportMetric(dht.RetrWantHaves.Mean(), "dht-want-haves")
 		b.ReportMetric(accel.RetrWantHaves.Mean(), "accel-want-haves")
 		b.ReportMetric(float64(accel.RoutedSessions), "routed-sessions")
+		b.ReportMetric(accel.FallbackRate(), "accel-fallback-rate")
 		b.ReportMetric(float64(dht.Failures+accel.Failures), "failures")
+		b.ReportMetric(float64(res.Budget.Requests), "rpc-total")
+		b.ReportMetric(float64(res.Budget.Category(transport.CatLookup)), "rpc-lookup")
+		b.ReportMetric(float64(res.Budget.Category(transport.CatPublish)), "rpc-publish")
+		b.ReportMetric(float64(res.Budget.Category(transport.CatRepublish)), "rpc-republish")
+		b.ReportMetric(float64(res.Budget.Category(transport.CatRefresh)), "rpc-refresh")
+		b.ReportMetric(float64(res.Budget.Category(transport.CatWant)), "rpc-want")
 	}
 }
 
 // BenchmarkAcceleratedLookup measures one-hop lookups against a
-// converged snapshot (no churn): the best case the accelerated client
-// buys. The reported metric comes from the same runs the loop times.
+// converged snapshot (near-zero churn amplitude): the best case the
+// accelerated client buys. The reported metric comes from the same
+// runs the loop times.
 func BenchmarkAcceleratedLookup(b *testing.B) {
 	msgs := 0.0
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
-			NetworkSize: 150, Objects: 2, ChurnFraction: 1e-9, Scale: 0.0005, Seed: int64(7 + i),
+			NetworkSize: 150, Objects: 2, Ticks: 1, Window: 2 * time.Hour,
+			ChurnAmplitude: 0.01, Scale: 0.0005, Seed: int64(7 + i),
 		})
 		msgs = res.Router(routing.KindAccelerated).RetrMsgs.Mean()
 	}

@@ -215,6 +215,11 @@ type AskStats struct {
 	// Suppressed counts the duplicate broadcast fan-out this call
 	// avoided by joining an in-flight ask for the same CID.
 	Suppressed int
+	// ConsultMiss reports that the session router was consulted and had
+	// no candidates. Callers hand it forward (routing.WithSessionMiss)
+	// so a follow-up FindProviders skips re-probing the same one-hop
+	// neighbourhood.
+	ConsultMiss bool
 }
 
 // askFlight is one in-flight AskConnected, shared by duplicate callers.
@@ -275,10 +280,11 @@ func (b *Bitswap) joinAsk(ctx context.Context, c cid.Cid, fl *askFlight, start t
 		b.dupsSuppressed += suppressed
 		b.statsMu.Unlock()
 		st := AskStats{
-			Duration:   b.cfg.Base.SimSince(start),
-			Routed:     fl.st.Routed,
-			Broadcast:  fl.st.Broadcast,
-			Suppressed: suppressed,
+			Duration:    b.cfg.Base.SimSince(start),
+			Routed:      fl.st.Routed,
+			Broadcast:   fl.st.Broadcast,
+			Suppressed:  suppressed,
+			ConsultMiss: fl.st.ConsultMiss,
 		}
 		return fl.info, st, fl.err
 	case <-ctx.Done():
@@ -299,6 +305,8 @@ func (b *Bitswap) ask(ctx context.Context, c cid.Cid) (wire.PeerInfo, AskStats, 
 		if err == nil && len(peers) > 0 {
 			routed = peers
 			broadcast = r.WantBroadcast()
+		} else {
+			st.ConsultMiss = true
 		}
 	}
 

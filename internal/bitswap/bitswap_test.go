@@ -532,3 +532,43 @@ func TestWantlistTracking(t *testing.T) {
 		t.Error("wantlist should be empty after a completed fetch")
 	}
 }
+
+// TestAskStatsConsultMiss checks the consult-outcome flag callers hand
+// forward to skip the duplicate one-hop FindProviders probe: set on a
+// consult miss (error or zero candidates), clear when the router fed
+// candidates, clear with no router at all.
+func TestAskStatsConsultMiss(t *testing.T) {
+	_, ps := buildPeers(t, 2)
+	requester, holder := ps[0], ps[1]
+	blk := block.New(multicodec.Raw, []byte("consult miss flag"))
+	holder.store.Put(blk)
+	ctx := context.Background()
+	if _, _, err := requester.sw.Connect(ctx, holder.ident.ID, holder.info.Addrs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Router declines: miss recorded, broadcast still finds the holder.
+	bs := slowAskEngine(requester)
+	bs.SetRouting(&fakeRouting{err: errors.New("no candidates")})
+	if _, st, err := bs.AskConnected(ctx, blk.Cid()); err != nil || !st.ConsultMiss {
+		t.Errorf("declining router: err=%v stats=%+v, want a hit with ConsultMiss", err, st)
+	}
+
+	// Router answers zero peers: also a miss.
+	bs.SetRouting(&fakeRouting{})
+	if _, st, err := bs.AskConnected(ctx, blk.Cid()); err != nil || !st.ConsultMiss {
+		t.Errorf("empty router: err=%v stats=%+v, want a hit with ConsultMiss", err, st)
+	}
+
+	// Router feeds the holder: no miss.
+	bs.SetRouting(&fakeRouting{peers: []wire.PeerInfo{holder.info}, msgs: 1})
+	if _, st, err := bs.AskConnected(ctx, blk.Cid()); err != nil || st.ConsultMiss {
+		t.Errorf("feeding router: err=%v stats=%+v, want a routed hit without ConsultMiss", err, st)
+	}
+
+	// No router configured: nothing was consulted, nothing missed.
+	bs.SetRouting(nil)
+	if _, st, err := bs.AskConnected(ctx, blk.Cid()); err != nil || st.ConsultMiss {
+		t.Errorf("routerless: err=%v stats=%+v, want a broadcast hit without ConsultMiss", err, st)
+	}
+}

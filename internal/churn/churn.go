@@ -151,6 +151,13 @@ type TimelineConfig struct {
 	Start    time.Time
 	Duration time.Duration
 	Seed     int64
+	// Amplitude scales churn intensity for the defaulting (neither
+	// reliable nor unreachable) population: session lengths divide by it
+	// and offline gaps multiply by it, so 1 (or 0) reproduces the
+	// paper's Fig 8 model, >1 churns harder — shorter sessions, longer
+	// absences — and <1 is calmer. The churn-scenario experiments sweep
+	// it to stress stale-snapshot fallback paths.
+	Amplitude float64
 }
 
 // GenerateTimeline builds timelines for the population: reliable peers
@@ -159,6 +166,10 @@ type TimelineConfig struct {
 func GenerateTimeline(pop *geo.Population, cfg TimelineConfig) *Timeline {
 	model := NewModel(cfg.Seed)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	amp := cfg.Amplitude
+	if amp <= 0 {
+		amp = 1
+	}
 	end := cfg.Start.Add(cfg.Duration)
 	tl := &Timeline{Start: cfg.Start, End: end}
 	for _, p := range pop.Peers {
@@ -182,7 +193,7 @@ func GenerateTimeline(pop *geo.Population, cfg TimelineConfig) *Timeline {
 			online := rng.Float64() < 0.7
 			for t.Before(end) {
 				if online {
-					dur := model.SampleSession(p.Country)
+					dur := time.Duration(float64(model.SampleSession(p.Country)) / amp)
 					iv := Interval{Start: t, End: t.Add(dur)}
 					if iv.End.After(end) {
 						iv.End = end
@@ -195,7 +206,7 @@ func GenerateTimeline(pop *geo.Population, cfg TimelineConfig) *Timeline {
 					}
 					t = t.Add(dur)
 				} else {
-					t = t.Add(model.SampleGap(p.Country, t))
+					t = t.Add(time.Duration(float64(model.SampleGap(p.Country, t)) * amp))
 				}
 				online = !online
 			}

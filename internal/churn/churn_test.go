@@ -172,3 +172,40 @@ func TestMeasureSessionsApproximatesTruth(t *testing.T) {
 		}
 	}
 }
+
+// TestTimelineAmplitude checks the churn amplitude lever: a harder
+// amplitude must shrink the population's aggregate online fraction
+// (shorter sessions, longer gaps), and amplitude 1 must match the
+// default model exactly.
+func TestTimelineAmplitude(t *testing.T) {
+	pop := geo.GeneratePopulation(geo.DefaultPopulationConfig(600))
+	start := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	base := TimelineConfig{Start: start, Duration: 24 * time.Hour, Seed: 11}
+
+	uptime := func(tl *Timeline) float64 {
+		var sum float64
+		for i := range tl.Peers {
+			sum += tl.UptimeFraction(i)
+		}
+		return sum / float64(len(tl.Peers))
+	}
+	cfg1 := base
+	cfg1.Amplitude = 1
+	deflt := uptime(GenerateTimeline(pop, base))
+	amp1 := uptime(GenerateTimeline(pop, cfg1))
+	if deflt != amp1 {
+		t.Errorf("amplitude 1 (%f) must reproduce the default model (%f)", amp1, deflt)
+	}
+	cfgHard := base
+	cfgHard.Amplitude = 6
+	hard := uptime(GenerateTimeline(pop, cfgHard))
+	cfgCalm := base
+	cfgCalm.Amplitude = 0.25
+	calm := uptime(GenerateTimeline(pop, cfgCalm))
+	if !(calm > deflt && deflt > hard) {
+		t.Errorf("uptime fractions not ordered: calm %.3f > default %.3f > hard %.3f", calm, deflt, hard)
+	}
+	if hard > deflt*0.75 {
+		t.Errorf("amplitude 6 barely moved uptime: %.3f vs default %.3f", hard, deflt)
+	}
+}

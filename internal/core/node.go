@@ -321,7 +321,9 @@ func (n *Node) Publish(ctx context.Context, root cid.Cid) (PublishResult, error)
 	if !n.store.Has(root) {
 		return PublishResult{}, fmt.Errorf("core: publish: %s not in local store", root)
 	}
-	res, err := n.router.Provide(ctx, root)
+	// The whole provide tree — walk queries included — is attributed to
+	// the publish budget category.
+	res, err := n.router.Provide(transport.WithRPCCategory(ctx, transport.CatPublish), root)
 	if err == nil {
 		n.repub.track(root)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cid"
 	"repro/internal/record"
+	"repro/internal/transport"
 )
 
 // republisher tracks the CIDs this node provides so their records can
@@ -42,8 +43,12 @@ func (n *Node) Provided() []cid.Cid { return n.repub.list() }
 
 // Republish refreshes the provider records of every tracked CID
 // through the configured router, plus the node's peer record. It
-// returns how many provide operations succeeded.
+// returns how many provide operations succeeded. Every RPC underneath
+// is attributed to the republish budget category, so the simulator's
+// network-wide report separates this background traffic from
+// foreground lookups.
 func (n *Node) Republish(ctx context.Context) int {
+	ctx = transport.WithRPCCategory(ctx, transport.CatRepublish)
 	ok := 0
 	for _, c := range n.repub.list() {
 		if _, err := n.router.Provide(ctx, c); err == nil {

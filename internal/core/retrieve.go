@@ -176,12 +176,15 @@ func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) 
 		return info, nil
 	}
 
-	// Known trade-off: for one-hop routers a session-consult miss above
-	// already probed the snapshot/indexer neighbourhood, and
-	// FindProviders re-probes it before walking. Both waves really go
-	// out (and are charged), but handing the consult result forward
-	// would save the duplicate — see the ROADMAP open item.
-	providers, lookup, err := n.router.FindProviders(ctx, root)
+	// Consult-result handoff: a session-consult miss above already
+	// probed the snapshot/indexer neighbourhood, so the follow-up
+	// FindProviders skips the duplicate one-hop wave and goes straight
+	// to its walk fallback.
+	fctx := ctx
+	if ask.ConsultMiss {
+		fctx = routing.WithSessionMiss(ctx, root)
+	}
+	providers, lookup, err := n.router.FindProviders(fctx, root)
 	res.ProviderWalk = lookup.Duration
 	res.LookupMsgs += routing.LookupMessages(lookup)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/peer"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -91,6 +92,9 @@ func New(sw *swarm.Swarm, cfg Config) *Crawler {
 // when no undiscovered peers remain.
 func (c *Crawler) Crawl(ctx context.Context, bootstrap []wire.PeerInfo) *Report {
 	start := time.Now()
+	// Crawl traffic — snapshot refreshes included — lands under the
+	// refresh budget category in the simulator's network-wide report.
+	ctx = transport.WithRPCCategory(ctx, transport.CatRefresh)
 	report := &Report{Observations: make(map[peer.ID]*Observation)}
 
 	var (

@@ -135,17 +135,21 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 			c.state = stateInflight
 			inflight++
 			launched++
-			go func(cand *candidate) {
+			// Snapshot the candidate's info on this goroutine: the main
+			// loop keeps mutating candidates (addCandidate backfills
+			// Addrs on responses), and the query goroutine must not read
+			// the shared struct concurrently.
+			go func(pi wire.PeerInfo) {
 				qctx, qcancel := d.cfg.Base.WithTimeout(walkCtx, d.cfg.QueryTimeout)
 				defer qcancel()
 				req := mkReq()
 				req.Peers = d.selfInfo()
-				resp, err := d.sw.Request(qctx, cand.info.ID, cand.info.Addrs, req)
+				resp, err := d.sw.Request(qctx, pi.ID, pi.Addrs, req)
 				select {
-				case results <- queryResult{id: cand.info.ID, resp: resp, err: err}:
+				case results <- queryResult{id: pi.ID, resp: resp, err: err}:
 				case <-walkCtx.Done():
 				}
-			}(c)
+			}(c.info)
 		}
 	}
 

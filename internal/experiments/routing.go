@@ -3,28 +3,65 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/cid"
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/testnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
 // RoutingConfig tunes the content-routing comparison: the same
 // simulated network serves one publisher/getter vantage pair per router
-// implementation, with a slice of the network churned offline between
-// publish and retrieve so stale state is part of the measurement.
+// implementation, with liveness driven by a diurnal churn timeline
+// (internal/churn) instead of a one-shot offline slice — publishes,
+// refresh crawls, republishes and routed Bitswap sessions all face the
+// same session arrivals and departures.
 type RoutingConfig struct {
-	NetworkSize     int     // DHT servers (default 300)
-	Objects         int     // publications per router (default 6)
-	ObjectSizeBytes int     // default 64 KiB, small so routing dominates
-	ChurnFraction   float64 // nodes taken offline before retrievals (default 0.2)
-	Scale           float64 // time compression (default 0.001)
-	Seed            int64
+	NetworkSize     int // DHT servers (default 300)
+	Objects         int // publications per router (default 5)
+	ObjectSizeBytes int // default 64 KiB, small so routing dominates
+
+	// Window is the simulated span the churn timeline covers (default
+	// 24 h); Ticks spreads that many retrieval/sampling phases evenly
+	// across it (default 4).
+	Window time.Duration
+	Ticks  int
+	// ChurnAmplitude scales the timeline's churn intensity: 1 is the
+	// paper's Fig 8 model, >1 shortens sessions and lengthens absences.
+	ChurnAmplitude float64
+
+	// Kinds selects which routers compete (default all four).
+	Kinds []routing.Kind
+	// K overrides the replication / direct-query breadth (default 20);
+	// churn tests shrink it so store sets actually die.
+	K int
+	// IndexerTTL overrides the indexer's record TTL (default 24 h);
+	// staleness tests shrink it so expiry crosses the window.
+	IndexerTTL time.Duration
+	// NoRepublish / NoRefresh drop the background phases scheduled at
+	// mid-window, isolating pure decay for the monotonicity tests.
+	NoRepublish bool
+	NoRefresh   bool
+
+	// QueryTimeout / BitswapTimeout pass through to every node.
+	// Deterministic tests raise them so heavily-loaded (race-detector)
+	// runs cannot blow a scaled sub-millisecond window and flip a
+	// session outcome.
+	QueryTimeout   time.Duration
+	BitswapTimeout time.Duration
+
+	Scale float64 // time compression (default 0.001)
+	Seed  int64
 }
 
 func (c RoutingConfig) withDefaults() RoutingConfig {
@@ -32,16 +69,22 @@ func (c RoutingConfig) withDefaults() RoutingConfig {
 		c.NetworkSize = 300
 	}
 	if c.Objects <= 0 {
-		c.Objects = 6
+		c.Objects = 5
 	}
 	if c.ObjectSizeBytes <= 0 {
 		c.ObjectSizeBytes = 64 * 1024
 	}
-	if c.ChurnFraction <= 0 {
-		c.ChurnFraction = 0.2
+	if c.Window <= 0 {
+		c.Window = 24 * time.Hour
 	}
-	if c.ChurnFraction > 1 {
-		c.ChurnFraction = 1
+	if c.Ticks <= 0 {
+		c.Ticks = 4
+	}
+	if c.ChurnAmplitude <= 0 {
+		c.ChurnAmplitude = 1
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []routing.Kind{routing.KindDHT, routing.KindAccelerated, routing.KindIndexer, routing.KindParallel}
 	}
 	if c.Scale <= 0 {
 		c.Scale = 0.001
@@ -50,6 +93,17 @@ func (c RoutingConfig) withDefaults() RoutingConfig {
 		c.Seed = 42
 	}
 	return c
+}
+
+// RouterTick is one router's outcome at one retrieval tick, paired with
+// the health the scenario sampled at that instant.
+type RouterTick struct {
+	Offset         time.Duration
+	Retrievals     int
+	Failures       int
+	RoutedSessions int
+	SnapshotStale  float64 // accelerated snapshot staleness at the tick
+	IndexerHit     float64 // indexer record coverage at the tick
 }
 
 // RouterPerf aggregates one router implementation's measurements.
@@ -66,6 +120,9 @@ type RouterPerf struct {
 	RoutedSessions int
 	// Failovers counts mid-session provider switches under churn.
 	Failovers int
+
+	// Ticks is the per-retrieval-tick time series.
+	Ticks []RouterTick
 
 	PubLatency    *stats.Sample // seconds per publish
 	PubMsgs       *stats.Sample // routing RPCs per publish
@@ -85,103 +142,202 @@ func newRouterPerf(kind routing.Kind) *RouterPerf {
 	}
 }
 
+// FallbackRate is the fraction of retrievals whose session peer did
+// NOT come from the router: the broadcast/walk fallback carried them,
+// or they failed outright. It rises as churn leaves the one-hop view
+// stale. NaN before any retrievals.
+func (rp *RouterPerf) FallbackRate() float64 {
+	if rp.Retrievals == 0 {
+		return math.NaN()
+	}
+	return 1 - float64(rp.RoutedSessions)/float64(rp.Retrievals)
+}
+
 // RoutingResults is the outcome of the comparison.
 type RoutingResults struct {
 	Cfg     RoutingConfig
 	Routers []*RouterPerf
+	// Phases is the scenario time series: one row per scheduled phase
+	// (publish, each retrieval tick, mid-window refresh/republish).
+	Phases []PhaseSample
+	// Budget is the cumulative network-wide RPC budget of the whole
+	// experiment, by category.
+	Budget simnet.Budget
+}
+
+// routerPair is one router's publisher/getter vantage pair plus its
+// published roots.
+type routerPair struct {
+	rp        *RouterPerf
+	kind      routing.Kind
+	publisher *core.Node
+	getter    *core.Node
+	prng      *rand.Rand
+	roots     []cid.Cid
 }
 
 // RunRoutingComparison measures publish/retrieve latency and routing
 // message counts for the DHT walk, the accelerated one-hop client, the
 // delegated indexer, and the parallel composite on one simulated
-// network under churn. Every router faces the same network, the same
-// churn set, and the same object schedule.
+// network whose liveness follows a diurnal churn timeline. Every router
+// faces the same timeline, the same tick schedule, and the same object
+// sizes; snapshots are taken at the publish tick, so later retrievals
+// run against an increasingly stale one-hop view — the hard case.
 func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 	cfg = cfg.withDefaults()
+	clock := simtime.NewClock(testnet.DefaultEpoch)
 	tn := testnet.Build(testnet.Config{
-		N:     cfg.NetworkSize,
-		Seed:  cfg.Seed,
-		Scale: cfg.Scale,
-		// A small dead fraction keeps tables realistically stale; the
-		// heavier churn lever is SetOnline below.
-		FracDead: 0.05, FracSlow: 0.02, FracWSBroken: 1e-9,
+		N:              cfg.NetworkSize,
+		Seed:           cfg.Seed,
+		Scale:          cfg.Scale,
+		K:              cfg.K,
+		QueryTimeout:   cfg.QueryTimeout,
+		BitswapTimeout: cfg.BitswapTimeout,
+		Clock:          clock,
+		// The timeline is the only churn lever: behaviour classes stay
+		// near zero so stale entries come from real departures.
+		FracDead: 1e-9, FracSlow: 1e-9, FracWSBroken: 1e-9,
 	})
-	ix := tn.AddIndexer(geo.EuCentral1, cfg.Seed+7)
+	ix := tn.AddIndexerTTL(geo.EuCentral1, cfg.Seed+7, cfg.IndexerTTL)
 	indexers := []wire.PeerInfo{ix.Info()}
 
-	// The churn set is fixed up front so every router sees the same
-	// departures.
-	rng := rand.New(rand.NewSource(cfg.Seed + 13))
-	churned := rng.Perm(cfg.NetworkSize)[:int(float64(cfg.NetworkSize)*cfg.ChurnFraction)]
+	sc := NewScenarioRunner(tn, ScenarioConfig{
+		Window:    cfg.Window,
+		Amplitude: cfg.ChurnAmplitude,
+		Seed:      cfg.Seed + 13,
+	})
+	sc.ObserveIndexer(ix)
 
 	res := &RoutingResults{Cfg: cfg}
-	ctx := context.Background()
-	kinds := []routing.Kind{routing.KindDHT, routing.KindAccelerated, routing.KindIndexer, routing.KindParallel}
-	for i, kind := range kinds {
+	var pairs []*routerPair
+	for i, kind := range cfg.Kinds {
 		rp := newRouterPerf(kind)
 		res.Routers = append(res.Routers, rp)
-
-		publisher := tn.AddVantageRouting(geo.EuCentral1, cfg.Seed+int64(100+i), kind, indexers)
-		getter := tn.AddVantageRouting(geo.UsWest1, cfg.Seed+int64(200+i), kind, indexers)
-		rp.Name = publisher.Router().Name()
-		publisher.DHT().PublishPeerRecord(ctx)
-		// Accelerated clients snapshot the network before churn hits,
-		// so retrievals run against a stale view — the hard case.
-		publisher.RefreshRoutingSnapshot(ctx)
-		getter.RefreshRoutingSnapshot(ctx)
-
-		payload := make([]byte, cfg.ObjectSizeBytes)
-		prng := rand.New(rand.NewSource(cfg.Seed + int64(1000*i)))
-		var roots []cid.Cid
-		for j := 0; j < cfg.Objects; j++ {
-			prng.Read(payload)
-			pub, err := publisher.AddAndPublish(ctx, payload)
-			rp.Publications++
-			if err != nil {
-				rp.Failures++
-				continue
-			}
-			roots = append(roots, pub.Cid)
-			rp.PubLatency.AddDuration(pub.TotalDuration)
-			rp.PubMsgs.Add(float64(routing.ProvideMessages(pub.ProvideResult)))
+		p := &routerPair{
+			rp:        rp,
+			kind:      kind,
+			publisher: tn.AddVantageRouting(geo.EuCentral1, cfg.Seed+int64(100+i), kind, indexers),
+			getter:    tn.AddVantageRouting(geo.UsWest1, cfg.Seed+int64(200+i), kind, indexers),
+			prng:      rand.New(rand.NewSource(cfg.Seed + int64(1000*i))),
 		}
-
-		// Churn: the chosen slice departs, then every object is
-		// retrieved against the degraded network. Bystanders are drawn
-		// from peers still online so every router's Bitswap phase faces
-		// the same live neighbourhood.
-		for _, idx := range churned {
-			tn.SetOnline(idx, false)
-		}
-		live := tn.OnlineNodes()
-		for _, root := range roots {
-			testnet.FlushVantage(getter)
-			// Connect to a few bystanders so the opportunistic Bitswap
-			// phase runs (and misses) as in the §4.3 setup.
-			for k := 0; k < 2; k++ {
-				b := live[prng.Intn(len(live))]
-				getter.Swarm().Connect(ctx, b.ID(), b.Addrs())
-			}
-			rp.Retrievals++
-			data, rres, err := getter.Retrieve(ctx, root)
-			if err != nil || len(data) != cfg.ObjectSizeBytes {
-				rp.Failures++
-				continue
-			}
-			rp.RetrLatency.AddDuration(rres.Total)
-			rp.RetrMsgs.Add(float64(rres.LookupMsgs))
-			rp.RetrWantHaves.Add(float64(rres.WantHaves))
-			if rres.RoutedSession {
-				rp.RoutedSessions++
-			}
-			rp.Failovers += rres.SessionFailovers
-			getter.Store().Clear()
-		}
-		// Departed peers return before the next router's turn.
-		for _, idx := range churned {
-			tn.SetOnline(idx, true)
-		}
+		rp.Name = p.publisher.Router().Name()
+		sc.ObserveAccelerated(p.publisher.Accelerated(), p.getter.Accelerated())
+		pairs = append(pairs, p)
 	}
+
+	// Phase 1, tick 0: snapshot crawls and publications against
+	// whatever the timeline has online at the window start.
+	sc.Schedule("publish", 0, func(ctx context.Context, _ PhaseInfo) PhaseOutcome {
+		var out PhaseOutcome
+		payload := make([]byte, cfg.ObjectSizeBytes)
+		for _, p := range pairs {
+			// The peer record is part of publication traffic; tag it so
+			// the budget does not misfile it under foreground lookups
+			// (Node.Publish tags its own provide tree the same way).
+			p.publisher.DHT().PublishPeerRecord(transport.WithRPCCategory(ctx, transport.CatPublish))
+			p.publisher.RefreshRoutingSnapshot(ctx)
+			p.getter.RefreshRoutingSnapshot(ctx)
+			for j := 0; j < cfg.Objects; j++ {
+				p.prng.Read(payload)
+				pub, err := p.publisher.AddAndPublish(ctx, payload)
+				p.rp.Publications++
+				out.Ops++
+				if err != nil {
+					p.rp.Failures++
+					out.Failures++
+					continue
+				}
+				p.roots = append(p.roots, pub.Cid)
+				p.rp.PubLatency.AddDuration(pub.TotalDuration)
+				p.rp.PubMsgs.Add(float64(routing.ProvideMessages(pub.ProvideResult)))
+				if p.kind == routing.KindIndexer {
+					sc.TrackRoots(pub.Cid)
+				}
+			}
+		}
+		return out
+	})
+
+	// Background phases at mid-window: the snapshot re-crawl and the
+	// §3.1 republish cycle, so their traffic shows up in the budget
+	// next to foreground lookups.
+	if !cfg.NoRefresh {
+		sc.Schedule("refresh", cfg.Window/2, func(ctx context.Context, _ PhaseInfo) PhaseOutcome {
+			var out PhaseOutcome
+			for _, p := range pairs {
+				for _, n := range []*core.Node{p.publisher, p.getter} {
+					if n.Accelerated() == nil {
+						continue
+					}
+					out.Ops++
+					if _, err := n.RefreshRoutingSnapshot(ctx); err != nil {
+						out.Failures++
+					}
+				}
+			}
+			return out
+		})
+	}
+	if !cfg.NoRepublish {
+		sc.Schedule("republish", cfg.Window/2+time.Minute, func(ctx context.Context, _ PhaseInfo) PhaseOutcome {
+			var out PhaseOutcome
+			for _, p := range pairs {
+				ops := len(p.publisher.Provided()) + 1 // + the peer record
+				ok := p.publisher.Republish(ctx)
+				out.Ops += ops
+				out.Failures += ops - ok
+			}
+			return out
+		})
+	}
+
+	// Retrieval ticks: every router retrieves every object against the
+	// liveness the timeline dictates at that instant. Bystanders are
+	// drawn from peers currently online so every router's opportunistic
+	// Bitswap phase faces the same live neighbourhood.
+	for i := 1; i <= cfg.Ticks; i++ {
+		off := time.Duration(i) * cfg.Window / time.Duration(cfg.Ticks)
+		sc.Schedule("retrieve"+fmtOffset(off), off, func(ctx context.Context, info PhaseInfo) PhaseOutcome {
+			var out PhaseOutcome
+			live := tn.OnlineNodes()
+			for _, p := range pairs {
+				tick := RouterTick{Offset: off, SnapshotStale: info.SnapshotStale, IndexerHit: info.IndexerHit}
+				for _, root := range p.roots {
+					testnet.FlushVantage(p.getter)
+					for k := 0; k < 2 && len(live) > 0; k++ {
+						b := live[p.prng.Intn(len(live))]
+						p.getter.Swarm().Connect(ctx, b.ID(), b.Addrs())
+					}
+					p.rp.Retrievals++
+					tick.Retrievals++
+					out.Ops++
+					data, rres, err := p.getter.Retrieve(ctx, root)
+					if err != nil || len(data) != cfg.ObjectSizeBytes {
+						p.rp.Failures++
+						tick.Failures++
+						out.Failures++
+						p.getter.Store().Clear()
+						continue
+					}
+					p.rp.RetrLatency.AddDuration(rres.Total)
+					p.rp.RetrMsgs.Add(float64(rres.LookupMsgs))
+					p.rp.RetrWantHaves.Add(float64(rres.WantHaves))
+					if rres.RoutedSession {
+						p.rp.RoutedSessions++
+						tick.RoutedSessions++
+						out.Routed++
+					}
+					p.rp.Failovers += rres.SessionFailovers
+					p.getter.Store().Clear()
+				}
+				p.rp.Ticks = append(p.rp.Ticks, tick)
+			}
+			return out
+		})
+	}
+
+	res.Phases = sc.Run(context.Background())
+	res.Budget = tn.Net.Budget()
 	return res
 }
 
@@ -199,8 +355,60 @@ func (r *RoutingResults) Table() string {
 			fmt.Sprintf("%d/%d", rp.RoutedSessions, rp.Retrievals),
 			ok, rp.Failures)
 	}
-	return fmt.Sprintf("Routing comparison: %d-peer network, %d objects/router, %.0f%% churn before retrievals\n",
-		r.Cfg.NetworkSize, r.Cfg.Objects, 100*r.Cfg.ChurnFraction) + t.String()
+	return fmt.Sprintf("Routing comparison: %d-peer network, %d objects/router, %d retrieval ticks over %s, churn amplitude %.1f\n",
+		r.Cfg.NetworkSize, r.Cfg.Objects, r.Cfg.Ticks, r.Cfg.Window, r.Cfg.ChurnAmplitude) + t.String()
+}
+
+// TimeSeries renders the per-phase scenario series: the timeline-driven
+// liveness, the routers' health (snapshot staleness, indexer record
+// coverage), the workload outcome, and the RPC budget each phase spent
+// by category.
+func (r *RoutingResults) TimeSeries() string {
+	return r.timeSeries(true)
+}
+
+// StableTimeSeries renders the deterministic columns of the scenario
+// time series — phase schedule, timeline liveness, router health and
+// workload outcome. Exact RPC counts shift by a few requests with walk
+// goroutine scheduling, so the golden-file test diffs this render; the
+// full TimeSeries with budget columns is for the CLI.
+func (r *RoutingResults) StableTimeSeries() string {
+	return r.timeSeries(false)
+}
+
+// timeSeries is the shared renderer: the deterministic columns, plus —
+// when includeBudget is set — one column per budget category in
+// simnet.BudgetCategories order, so every row's categories sum to its
+// RPCs column.
+func (r *RoutingResults) timeSeries(includeBudget bool) string {
+	head := fmt.Sprintf("Churn-scenario time series: %d peers, %d routers, window %s, amplitude %.1f\n",
+		r.Cfg.NetworkSize, len(r.Routers), r.Cfg.Window, r.Cfg.ChurnAmplitude)
+	cols := []string{"Phase", "At", "Online", "SnapStale", "IxHit", "Ops", "Fail", "Routed"}
+	if includeBudget {
+		cols = append(cols, "RPCs")
+		for _, cat := range simnet.BudgetCategories {
+			cols = append(cols, string(cat))
+		}
+	}
+	t := stats.NewTable(cols...)
+	for _, ps := range r.Phases {
+		row := []interface{}{ps.Phase, fmtOffset(ps.Offset), ps.Online,
+			fmtHealth(ps.SnapshotStale), fmtHealth(ps.IndexerHit),
+			ps.Ops, ps.Failures, ps.Routed}
+		if includeBudget {
+			row = append(row, ps.Budget.Requests)
+			for _, cat := range simnet.BudgetCategories {
+				row = append(row, ps.Budget.Category(cat))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return head + t.String()
+}
+
+// BudgetReport renders the cumulative network-wide RPC budget.
+func (r *RoutingResults) BudgetReport() string {
+	return "Network-wide RPC budget: " + r.Budget.String() + "\n"
 }
 
 // Router returns the stats for one kind, or nil.

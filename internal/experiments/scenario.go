@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/churn"
+	"repro/internal/cid"
+	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/simtime"
+	"repro/internal/testnet"
+)
+
+// ScenarioConfig tunes the churn-scenario engine.
+type ScenarioConfig struct {
+	// Window is the simulated span the churn timeline covers.
+	Window time.Duration
+	// Amplitude scales the timeline's churn intensity (1 = the paper's
+	// Fig 8 session/gap model).
+	Amplitude float64
+	// Seed drives timeline generation.
+	Seed int64
+}
+
+// PhaseOutcome is what one workload phase reports back to the runner.
+type PhaseOutcome struct {
+	Ops      int // operations attempted (publishes, retrievals, republishes)
+	Failures int
+	Routed   int // retrievals whose Bitswap session was router-fed
+}
+
+// PhaseInfo is what the runner hands a workload phase: the tick's
+// instant and the liveness/health it sampled right after applying the
+// timeline — the single source of truth, so phases never re-sample.
+type PhaseInfo struct {
+	Now           time.Time
+	Offset        time.Duration
+	Online        int
+	SnapshotStale float64
+	IndexerHit    float64
+}
+
+// PhaseSample is one row of the scenario time series: the network and
+// router-health state at a phase's tick plus what the workload did and
+// what it cost the network.
+type PhaseSample struct {
+	Phase  string
+	Offset time.Duration // into the timeline window
+	Online int           // server peers the timeline has online
+
+	// SnapshotStale is the fraction of observed accelerated-router
+	// snapshot entries currently offline (NaN when none registered).
+	SnapshotStale float64
+	// IndexerHit is the fraction of tracked roots the observed indexer
+	// still holds an unexpired record for (NaN when none registered).
+	IndexerHit float64
+
+	// Budget is the network-wide RPC spend during this phase, by
+	// category.
+	Budget simnet.Budget
+
+	PhaseOutcome
+}
+
+// scheduledPhase is one workload phase awaiting its tick.
+type scheduledPhase struct {
+	name   string
+	offset time.Duration
+	run    func(ctx context.Context, info PhaseInfo) PhaseOutcome
+}
+
+// ScenarioRunner drives a testnet through a churn timeline: it owns the
+// simulated clock, applies per-tick liveness from PeerTimeline.OnlineAt,
+// runs the scheduled publish/retrieve/republish/refresh phases in
+// timeline order, and samples router health plus the network-wide RPC
+// budget at every tick. It replaces the one-shot offline slice the
+// routing comparison used to churn with.
+type ScenarioRunner struct {
+	TN    *testnet.Testnet
+	TL    *churn.Timeline
+	Clock *simtime.Clock
+	Start time.Time
+
+	accels  []*routing.AcceleratedRouter
+	indexer *routing.Indexer
+	roots   []cid.Cid
+
+	phases  []scheduledPhase
+	samples []PhaseSample
+}
+
+// NewScenarioRunner generates a churn timeline for the testnet's
+// population and binds the runner to the testnet's clock. The testnet
+// must have been built with Config.Clock.
+func NewScenarioRunner(tn *testnet.Testnet, cfg ScenarioConfig) *ScenarioRunner {
+	if tn.Clock == nil {
+		panic("experiments: ScenarioRunner requires a testnet built with Config.Clock")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 24 * time.Hour
+	}
+	start := tn.Clock.Now()
+	tl := churn.GenerateTimeline(tn.Pop, churn.TimelineConfig{
+		Start: start,
+		// An hour of margin past the window: generated sessions clip at
+		// the timeline end, so sampling liveness exactly at the final
+		// tick would otherwise find an empty network.
+		Duration:  cfg.Window + time.Hour,
+		Seed:      cfg.Seed,
+		Amplitude: cfg.Amplitude,
+	})
+	return &ScenarioRunner{TN: tn, TL: tl, Clock: tn.Clock, Start: start}
+}
+
+// ObserveAccelerated registers accelerated routers whose snapshot
+// staleness the per-tick health sample averages.
+func (s *ScenarioRunner) ObserveAccelerated(rs ...*routing.AcceleratedRouter) {
+	for _, r := range rs {
+		if r != nil {
+			s.accels = append(s.accels, r)
+		}
+	}
+}
+
+// ObserveIndexer registers the indexer whose record coverage the
+// per-tick health sample reports.
+func (s *ScenarioRunner) ObserveIndexer(ix *routing.Indexer) { s.indexer = ix }
+
+// TrackRoots adds published roots to the indexer hit-rate denominator.
+func (s *ScenarioRunner) TrackRoots(cs ...cid.Cid) { s.roots = append(s.roots, cs...) }
+
+// Schedule adds a workload phase at the given offset into the window.
+// Phases run in offset order (insertion order on ties) when Run is
+// called; run may be nil for a pure sampling tick.
+func (s *ScenarioRunner) Schedule(name string, offset time.Duration, run func(ctx context.Context, info PhaseInfo) PhaseOutcome) {
+	s.phases = append(s.phases, scheduledPhase{name: name, offset: offset, run: run})
+}
+
+// Run executes the schedule: for each phase it advances the clock to
+// the phase's tick, applies timeline liveness to the whole testnet,
+// samples router health, runs the workload, and records the RPC budget
+// the phase spent. It returns the collected time series.
+func (s *ScenarioRunner) Run(ctx context.Context) []PhaseSample {
+	sort.SliceStable(s.phases, func(a, b int) bool {
+		return s.phases[a].offset < s.phases[b].offset
+	})
+	for _, ph := range s.phases {
+		now := s.Start.Add(ph.offset)
+		s.Clock.Set(now)
+		online := s.TN.ApplyTimeline(s.TL, now)
+
+		sample := PhaseSample{
+			Phase:         ph.name,
+			Offset:        ph.offset,
+			Online:        online,
+			SnapshotStale: s.SnapshotStaleness(),
+			IndexerHit:    s.IndexerHitRate(),
+		}
+		before := s.TN.Net.Budget()
+		if ph.run != nil {
+			sample.PhaseOutcome = ph.run(ctx, PhaseInfo{
+				Now:           now,
+				Offset:        ph.offset,
+				Online:        online,
+				SnapshotStale: sample.SnapshotStale,
+				IndexerHit:    sample.IndexerHit,
+			})
+		}
+		sample.Budget = s.TN.Net.Budget().Sub(before)
+		s.samples = append(s.samples, sample)
+	}
+	return s.samples
+}
+
+// Samples returns the time series collected so far.
+func (s *ScenarioRunner) Samples() []PhaseSample { return s.samples }
+
+// SnapshotStaleness returns the fraction of observed accelerated
+// snapshot entries currently offline, or NaN when no router (or only
+// empty snapshots) are registered.
+func (s *ScenarioRunner) SnapshotStaleness() float64 {
+	total, stale := 0, 0
+	for _, r := range s.accels {
+		for _, pi := range r.Snapshot() {
+			total++
+			if !s.TN.Net.Online(pi.ID) {
+				stale++
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(stale) / float64(total)
+}
+
+// IndexerHitRate returns the fraction of tracked roots the observed
+// indexer still holds an unexpired provider record for, or NaN when no
+// indexer or no roots are registered. Expiry follows the scenario
+// clock, so the rate decays as the staleness window outgrows the
+// record TTL without a republish.
+func (s *ScenarioRunner) IndexerHitRate() float64 {
+	if s.indexer == nil || len(s.roots) == 0 {
+		return math.NaN()
+	}
+	hits := 0
+	for _, c := range s.roots {
+		if s.indexer.HasProvider(c) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(s.roots))
+}
+
+// fmtOffset renders a phase offset compactly ("+6h", "+90m", "+12h30m").
+func fmtOffset(d time.Duration) string {
+	d = d.Round(time.Minute)
+	h := d / time.Hour
+	m := (d % time.Hour) / time.Minute
+	switch {
+	case h == 0:
+		return fmt.Sprintf("+%dm", m)
+	case m == 0:
+		return fmt.Sprintf("+%dh", h)
+	default:
+		return fmt.Sprintf("+%dh%02dm", h, m)
+	}
+}
+
+// fmtHealth renders a health fraction as a percentage, "-" for NaN.
+func fmtHealth(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*v)
+}

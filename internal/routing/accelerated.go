@@ -156,6 +156,19 @@ func (r *AcceleratedRouter) SnapshotSize() int {
 	return len(r.snap)
 }
 
+// Snapshot returns the peers the current snapshot holds. Health probes
+// compare it against live network state to measure how stale the
+// one-hop view has become under churn.
+func (r *AcceleratedRouter) Snapshot() []wire.PeerInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]wire.PeerInfo, len(r.snap))
+	for i, e := range r.snap {
+		out[i] = e.info
+	}
+	return out
+}
+
 // closest returns the K snapshot peers nearest the key. It uses the
 // keyspace positions precomputed at snapshot time and a bounded
 // insertion (O(n·log K), no full copy or sort) — at the 20k-peer

@@ -68,6 +68,13 @@ func (ix *Indexer) Info() wire.PeerInfo {
 // Len returns how many provider records the indexer holds.
 func (ix *Indexer) Len() int { return ix.providers.Len() }
 
+// HasProvider reports whether the indexer currently holds at least one
+// unexpired provider record for c — the health probe churn-scenario
+// runners sample per tick without spending an RPC.
+func (ix *Indexer) HasProvider(c cid.Cid) bool {
+	return len(ix.providers.Get(c)) > 0
+}
+
 // GC drops expired records, returning how many were removed.
 func (ix *Indexer) GC() int { return ix.providers.GC() }
 

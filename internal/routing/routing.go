@@ -104,6 +104,26 @@ func capPeers(peers []wire.PeerInfo, n int) []wire.PeerInfo {
 	return peers
 }
 
+// sessionMissKey marks a context whose Bitswap session consult already
+// probed the router's direct path for a CID and missed.
+type sessionMissKey struct{}
+
+// WithSessionMiss hands a SessionPeers consult miss forward: a
+// FindProviders call under the returned context skips the one-hop
+// direct probe for c — the consult moments earlier asked the same
+// snapshot/indexer neighbourhood and got nothing — and goes straight
+// to the fallback walk, saving a duplicate RPC wave per
+// unpublished-content retrieval.
+func WithSessionMiss(ctx context.Context, c cid.Cid) context.Context {
+	return context.WithValue(ctx, sessionMissKey{}, c.Key())
+}
+
+// sessionMissed reports whether the context records a consult miss for c.
+func sessionMissed(ctx context.Context, c cid.Cid) bool {
+	k, _ := ctx.Value(sessionMissKey{}).(string)
+	return k != "" && k == c.Key()
+}
+
 // directFn is a router's one-hop lookup (snapshot neighbourhood or
 // indexer query), returning ErrNoProviders on a miss.
 type directFn func(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error)
@@ -111,8 +131,16 @@ type directFn func(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo,
 // findWithFallback is the shared direct-then-fallback FindProviders
 // control flow of the one-hop routers: try the direct path, return on
 // success or context error, otherwise walk the fallback with the
-// wasted direct RPCs merged into the reported cost.
+// wasted direct RPCs merged into the reported cost. A session-consult
+// miss recorded on the context skips the direct probe entirely — those
+// RPCs went out (and were charged) during the consult.
 func findWithFallback(ctx context.Context, direct directFn, fallback Router, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
+	if sessionMissed(ctx, c) {
+		if fallback != nil {
+			return fallback.FindProviders(ctx, c)
+		}
+		return nil, LookupInfo{}, ErrNoProviders
+	}
 	providers, info, err := direct(ctx, c)
 	if err == nil || ctx.Err() != nil {
 		return providers, info, err

@@ -497,3 +497,71 @@ func TestParallelSessionPeersRaceAndPolicy(t *testing.T) {
 		t.Errorf("all-decline err = %v, want ErrNoSessionPeers", err)
 	}
 }
+
+// TestSessionMissHandoffSkipsDirectProbe is the regression test for the
+// consult-result handoff: a FindProviders carrying a session-consult
+// miss for the same CID must not re-probe the one-hop neighbourhood —
+// the whole direct RPC wave is saved and only the fallback runs.
+func TestSessionMissHandoffSkipsDirectProbe(t *testing.T) {
+	tn := buildCleanNet(t, 60, 51)
+	ctx := context.Background()
+	node := tn.AddVantage("US", 990)
+	fb := &countingRouter{inner: &fakeRouter{name: "stub", delay: time.Millisecond, err: routing.ErrNoProviders}}
+	accel := routing.NewAccelerated(node.Swarm(), fb, routing.AcceleratedConfig{Base: tn.Base})
+	var infos []wire.PeerInfo
+	for _, n := range tn.Nodes {
+		infos = append(infos, n.Info())
+	}
+	accel.SetSnapshot(infos)
+
+	c := testCid("unpublished content")
+	// Plain miss: the direct one-hop wave probes the K closest snapshot
+	// peers before the fallback runs.
+	before, _, _ := tn.Net.Stats()
+	if _, _, err := accel.FindProviders(ctx, c); !errors.Is(err, routing.ErrNoProviders) {
+		t.Fatalf("plain miss err = %v, want ErrNoProviders", err)
+	}
+	mid, _, _ := tn.Net.Stats()
+	probed := mid - before
+	if probed == 0 {
+		t.Fatal("direct path issued no RPCs; test setup broken")
+	}
+	if fb.finds.Load() != 1 {
+		t.Fatalf("fallback consulted %d times, want 1", fb.finds.Load())
+	}
+
+	// The same lookup under WithSessionMiss goes straight to the
+	// fallback: zero duplicate direct RPCs — the saved wave.
+	if _, _, err := accel.FindProviders(routing.WithSessionMiss(ctx, c), c); !errors.Is(err, routing.ErrNoProviders) {
+		t.Fatalf("handoff miss err = %v, want ErrNoProviders", err)
+	}
+	after, _, _ := tn.Net.Stats()
+	if d := after - mid; d != 0 {
+		t.Errorf("handoff lookup issued %d RPCs, want 0 (the consult already probed the neighbourhood; plain miss cost %d)", d, probed)
+	}
+	if fb.finds.Load() != 2 {
+		t.Fatalf("fallback consulted %d times, want 2", fb.finds.Load())
+	}
+
+	// The hint is keyed to the CID: lookups for other keys still probe
+	// the snapshot directly.
+	b3, _, _ := tn.Net.Stats()
+	accel.FindProviders(routing.WithSessionMiss(ctx, c), testCid("different key"))
+	a3, _, _ := tn.Net.Stats()
+	if a3 == b3 {
+		t.Error("a hint for one CID suppressed the direct probe of another")
+	}
+
+	// Without a fallback, a hinted one-hop router declines instantly
+	// instead of re-probing.
+	bare := routing.NewAccelerated(node.Swarm(), nil, routing.AcceleratedConfig{Base: tn.Base})
+	bare.SetSnapshot(infos)
+	b4, _, _ := tn.Net.Stats()
+	if _, _, err := bare.FindProviders(routing.WithSessionMiss(ctx, c), c); !errors.Is(err, routing.ErrNoProviders) {
+		t.Fatalf("bare handoff err = %v, want ErrNoProviders", err)
+	}
+	a4, _, _ := tn.Net.Stats()
+	if a4 != b4 {
+		t.Errorf("fallback-less handoff lookup issued %d RPCs, want 0", a4-b4)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -87,10 +88,11 @@ type Network struct {
 	rng   *rand.Rand
 
 	// Stats counters (atomic under mu for simplicity).
-	statsMu  sync.Mutex
-	requests int64
-	dials    int64
-	failures int64
+	statsMu    sync.Mutex
+	requests   int64
+	dials      int64
+	failures   int64
+	byCategory map[transport.RPCCategory]int64
 }
 
 type node struct {
@@ -116,9 +118,10 @@ type node struct {
 func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	return &Network{
-		cfg:   cfg,
-		nodes: make(map[peer.ID]*node),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:        cfg,
+		nodes:      make(map[peer.ID]*node),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		byCategory: make(map[transport.RPCCategory]int64),
 	}
 }
 
@@ -201,9 +204,106 @@ func (n *Network) Stats() (requests, dials, failures int64) {
 	return n.requests, n.dials, n.failures
 }
 
-func (n *Network) countRequest() {
+// BudgetCategories is the render order of the budget breakdown.
+var BudgetCategories = []transport.RPCCategory{
+	transport.CatLookup, transport.CatPublish, transport.CatRepublish,
+	transport.CatRefresh, transport.CatWant, transport.CatOther,
+}
+
+// Budget is the simulator's network-wide RPC budget: every request any
+// peer carried, broken down by activity, so background traffic
+// (republish cycles, refresh crawls) is visible next to the per-lookup
+// accounting the experiments already report.
+type Budget struct {
+	Requests     int64 // all RPCs; always the sum over ByCategory
+	Dials        int64
+	DialFailures int64
+	ByCategory   map[transport.RPCCategory]int64
+}
+
+// Category returns one category's request count.
+func (b Budget) Category(cat transport.RPCCategory) int64 { return b.ByCategory[cat] }
+
+// Sub returns the budget spent since prev — the per-phase delta a
+// scenario engine samples between workload phases.
+func (b Budget) Sub(prev Budget) Budget {
+	d := Budget{
+		Requests:     b.Requests - prev.Requests,
+		Dials:        b.Dials - prev.Dials,
+		DialFailures: b.DialFailures - prev.DialFailures,
+		ByCategory:   make(map[transport.RPCCategory]int64, len(b.ByCategory)),
+	}
+	for cat, v := range b.ByCategory {
+		if delta := v - prev.ByCategory[cat]; delta != 0 {
+			d.ByCategory[cat] = delta
+		}
+	}
+	return d
+}
+
+// String renders the budget on one line, categories in fixed order.
+func (b Budget) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d requests (", b.Requests)
+	first := true
+	for _, cat := range BudgetCategories {
+		if b.ByCategory[cat] == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%s %d", cat, b.ByCategory[cat])
+	}
+	if first {
+		sb.WriteString("none")
+	}
+	fmt.Fprintf(&sb, "), %d dials (%d failed)", b.Dials, b.DialFailures)
+	return sb.String()
+}
+
+// Budget returns a snapshot of the cumulative network-wide RPC budget.
+func (n *Network) Budget() Budget {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	b := Budget{
+		Requests:     n.requests,
+		Dials:        n.dials,
+		DialFailures: n.failures,
+		ByCategory:   make(map[transport.RPCCategory]int64, len(n.byCategory)),
+	}
+	for cat, v := range n.byCategory {
+		b.ByCategory[cat] = v
+	}
+	return b
+}
+
+// categorize attributes one request: an explicit context tag wins (so a
+// republish cycle's walk and store RPCs all land under "republish"),
+// untagged requests classify by message type.
+func categorize(ctx context.Context, t wire.Type) transport.RPCCategory {
+	if cat := transport.RPCCategoryOf(ctx); cat != "" {
+		return cat
+	}
+	switch t {
+	case wire.TWantHave, wire.TWantBlock:
+		return transport.CatWant
+	case wire.TAddProvider:
+		return transport.CatPublish
+	case wire.TFindNode, wire.TGetProviders, wire.TGetPeerRecord,
+		wire.TPutPeerRecord, wire.TGetIPNS, wire.TPutIPNS:
+		return transport.CatLookup
+	case wire.TCrawl:
+		return transport.CatRefresh
+	}
+	return transport.CatOther
+}
+
+func (n *Network) countRequest(cat transport.RPCCategory) {
 	n.statsMu.Lock()
 	n.requests++
+	n.byCategory[cat]++
 	n.statsMu.Unlock()
 }
 
@@ -350,7 +450,7 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 		return wire.Message{}, transport.ErrClosed
 	}
 	base := c.net.cfg.Base
-	c.net.countRequest()
+	c.net.countRequest(categorize(ctx, req.Type))
 
 	c.remote.mu.RLock()
 	online, handler, class := c.remote.online, c.remote.handler, c.remote.class

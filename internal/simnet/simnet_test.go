@@ -3,6 +3,8 @@ package simnet
 import (
 	"context"
 	"math/rand"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -270,5 +272,92 @@ func TestBandwidthAffectsBlockTransfer(t *testing.T) {
 	// 1 MiB at 1 MiB/s should add roughly a simulated second.
 	if blockDur < small+500*time.Millisecond {
 		t.Errorf("block transfer %v not slower than control %v", blockDur, small)
+	}
+}
+
+// TestBudgetCategoriesSumUnderConcurrentLoad hammers one connection
+// pair from many goroutines with a mix of tagged and untagged requests
+// and asserts the per-category budget counters always sum to the
+// legacy requests total (run under -race in CI).
+func TestBudgetCategoriesSumUnderConcurrentLoad(t *testing.T) {
+	net := New(fastCfg())
+	a, b := testIdentity(1), testIdentity(2)
+	ea := net.AddNode(a.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	eb := net.AddNode(b.ID, NodeOpts{Region: geo.EuCentral1, Dialable: true})
+	ea.SetHandler(echoHandler("a"))
+	eb.SetHandler(echoHandler("b"))
+
+	conn, err := ea.Dial(context.Background(), b.ID, eb.Addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []struct {
+		ctx context.Context
+		typ wire.Type
+		cat transport.RPCCategory
+	}{
+		{context.Background(), wire.TWantHave, transport.CatWant},
+		{context.Background(), wire.TWantBlock, transport.CatWant},
+		{context.Background(), wire.TFindNode, transport.CatLookup},
+		{context.Background(), wire.TGetProviders, transport.CatLookup},
+		{context.Background(), wire.TAddProvider, transport.CatPublish},
+		{context.Background(), wire.TCrawl, transport.CatRefresh},
+		{context.Background(), wire.TIdentify, transport.CatOther},
+		// Explicit tags override the message-type default.
+		{transport.WithRPCCategory(context.Background(), transport.CatRepublish), wire.TAddProvider, transport.CatRepublish},
+		{transport.WithRPCCategory(context.Background(), transport.CatRefresh), wire.TFindNode, transport.CatRefresh},
+	}
+	const perKind = 40
+	var wg sync.WaitGroup
+	for _, k := range kinds {
+		for i := 0; i < perKind; i++ {
+			k := k
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn.Request(k.ctx, wire.Message{Type: k.typ})
+			}()
+		}
+	}
+	wg.Wait()
+
+	budget := net.Budget()
+	reqs, _, _ := net.Stats()
+	if budget.Requests != int64(len(kinds)*perKind) {
+		t.Fatalf("budget.Requests = %d, want %d", budget.Requests, len(kinds)*perKind)
+	}
+	if budget.Requests != reqs {
+		t.Fatalf("budget total %d != legacy stats total %d", budget.Requests, reqs)
+	}
+	var sum int64
+	for _, v := range budget.ByCategory {
+		sum += v
+	}
+	if sum != budget.Requests {
+		t.Fatalf("category sum %d != requests %d", sum, budget.Requests)
+	}
+	want := map[transport.RPCCategory]int64{
+		transport.CatWant:      2 * perKind,
+		transport.CatLookup:    2 * perKind,
+		transport.CatPublish:   perKind,
+		transport.CatRefresh:   2 * perKind,
+		transport.CatOther:     perKind,
+		transport.CatRepublish: perKind,
+	}
+	for cat, n := range want {
+		if got := budget.Category(cat); got != n {
+			t.Errorf("category %s = %d, want %d", cat, got, n)
+		}
+	}
+	// Delta arithmetic: spending one more tagged request moves exactly
+	// one counter.
+	before := net.Budget()
+	conn.Request(transport.WithRPCCategory(context.Background(), transport.CatRepublish), wire.Message{Type: wire.TPing})
+	d := net.Budget().Sub(before)
+	if d.Requests != 1 || d.Category(transport.CatRepublish) != 1 || len(d.ByCategory) != 1 {
+		t.Errorf("delta = %+v, want exactly one republish request", d)
+	}
+	if s := net.Budget().String(); !strings.Contains(s, "republish") || !strings.Contains(s, "requests") {
+		t.Errorf("budget render missing fields: %s", s)
 	}
 }

@@ -8,6 +8,7 @@ package simtime
 import (
 	"context"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -94,4 +95,42 @@ func (b Base) SimSince(t0 time.Time) time.Duration {
 // of the simulated duration.
 func (b Base) WithTimeout(ctx context.Context, sim time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(ctx, b.Real(sim))
+}
+
+// Clock is a movable simulated wall clock. Scenario engines set or
+// advance it between workload phases so record timestamps, TTL expiry
+// and churn-timeline liveness all observe the same simulated instant;
+// pass its Now method wherever a `func() time.Time` clock is expected.
+// It is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock creates a clock frozen at start.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Set jumps the clock to t. Scenario engines only move it forward, but
+// the clock itself does not enforce monotonicity.
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
 }

@@ -92,3 +92,34 @@ func TestWithTimeout(t *testing.T) {
 		t.Errorf("deadline %v away, want ~60ms", until)
 	}
 }
+
+// TestClock exercises the movable simulated wall clock.
+func TestClock(t *testing.T) {
+	start := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	c := NewClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	if got := c.Advance(6 * time.Hour); !got.Equal(start.Add(6 * time.Hour)) {
+		t.Errorf("Advance returned %v", got)
+	}
+	if !c.Now().Equal(start.Add(6 * time.Hour)) {
+		t.Errorf("Now after Advance = %v", c.Now())
+	}
+	c.Set(start.Add(24 * time.Hour))
+	if !c.Now().Equal(start.Add(24 * time.Hour)) {
+		t.Errorf("Now after Set = %v", c.Now())
+	}
+	// Concurrent readers/writers must be race-clean (run with -race).
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			c.Advance(time.Second)
+		}
+		close(done)
+	}()
+	for i := 0; i < 200; i++ {
+		_ = c.Now()
+	}
+	<-done
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/geo"
@@ -60,6 +61,11 @@ type Config struct {
 
 	// Now anchors record timestamps.
 	Now func() time.Time
+	// Clock, when set, supplies Now from a movable simulated wall clock
+	// — the churn-scenario engine advances it between workload phases so
+	// record TTLs and timeline liveness agree on the current instant.
+	// Ignored when Now is set explicitly.
+	Clock *simtime.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -79,17 +85,26 @@ func (c Config) withDefaults() Config {
 		c.RandomLinks = 40
 	}
 	if c.Now == nil {
-		base := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
-		c.Now = func() time.Time { return base }
+		if c.Clock != nil {
+			c.Now = c.Clock.Now
+		} else {
+			base := DefaultEpoch
+			c.Now = func() time.Time { return base }
+		}
 	}
 	return c
 }
+
+// DefaultEpoch anchors simulated wall-clock time (the start of the
+// paper's measurement campaign week used throughout the experiments).
+var DefaultEpoch = time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
 
 // Testnet is a built simulated network.
 type Testnet struct {
 	Cfg     Config
 	Net     *simnet.Network
 	Base    simtime.Base
+	Clock   *simtime.Clock // non-nil when built with Config.Clock
 	Nodes   []*core.Node   // all server peers, index-aligned with Classes
 	Classes []simnet.Class // behaviour class per node
 	Pop     *geo.Population
@@ -106,7 +121,7 @@ func Build(cfg Config) *Testnet {
 	popCfg.Seed = cfg.Seed + 2
 	pop := geo.GeneratePopulation(popCfg)
 
-	tn := &Testnet{Cfg: cfg, Net: net, Base: base, Pop: pop}
+	tn := &Testnet{Cfg: cfg, Net: net, Base: base, Clock: cfg.Clock, Pop: pop}
 
 	infos := make([]wire.PeerInfo, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -250,6 +265,13 @@ func (tn *Testnet) AddVantageRouting(region geo.Region, seed int64, kind routing
 // AddIndexer attaches a delegated-routing indexer node to the network
 // and returns it; pass its Info to indexer-routed nodes.
 func (tn *Testnet) AddIndexer(region geo.Region, seed int64) *routing.Indexer {
+	return tn.AddIndexerTTL(region, seed, 0)
+}
+
+// AddIndexerTTL attaches an indexer with a custom provider-record TTL
+// (<= 0 selects the 24 h default) — churn-scenario tests shrink it so
+// record expiry crosses the simulated window.
+func (tn *Testnet) AddIndexerTTL(region geo.Region, seed int64, ttl time.Duration) *routing.Indexer {
 	rng := rand.New(rand.NewSource(seed))
 	ident := peer.MustNewIdentity(rng)
 	ep := tn.Net.AddNode(ident.ID, simnet.NodeOpts{
@@ -258,15 +280,37 @@ func (tn *Testnet) AddIndexer(region geo.Region, seed int64) *routing.Indexer {
 		Class:    simnet.Normal,
 	})
 	return routing.NewIndexer(ident, ep, routing.IndexerConfig{
-		Base: tn.Base,
-		Now:  tn.Cfg.Now,
+		RecordTTL: ttl,
+		Base:      tn.Base,
+		Now:       tn.Cfg.Now,
 	})
 }
 
-// SetOnline toggles node i's simulated liveness — the churn lever the
-// routing experiments pull between publish and retrieve.
+// SetOnline toggles node i's simulated liveness — the one-shot churn
+// lever; timeline-driven experiments use ApplyTimeline instead.
 func (tn *Testnet) SetOnline(i int, online bool) {
 	tn.Net.SetOnline(tn.Nodes[i].ID(), online)
+}
+
+// ApplyTimeline sets every server node's simulated liveness from its
+// churn timeline at instant t, so publishes, refresh crawls,
+// republishes and Bitswap sessions all face whichever peers the
+// diurnal session model has online. Timelines are index-aligned with
+// Nodes (both derive from Pop); vantages and indexers are not in Nodes
+// and stay online. It returns how many server nodes are online.
+func (tn *Testnet) ApplyTimeline(tl *churn.Timeline, t time.Time) int {
+	online := 0
+	for i, node := range tn.Nodes {
+		if i >= len(tl.Peers) {
+			break
+		}
+		up := tl.Peers[i].OnlineAt(t)
+		tn.Net.SetOnline(node.ID(), up)
+		if up {
+			online++
+		}
+	}
+	return online
 }
 
 // FlushVantage resets a vantage node's connections and address book so

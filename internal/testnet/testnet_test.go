@@ -5,8 +5,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/churn"
 	"repro/internal/geo"
 	"repro/internal/simnet"
+	"repro/internal/simtime"
 )
 
 func TestBuildTopology(t *testing.T) {
@@ -102,5 +104,61 @@ func TestLookupsConvergeAcrossKeyspace(t *testing.T) {
 		if len(provs) == 0 {
 			t.Fatalf("no providers for key %d", i)
 		}
+	}
+}
+
+// TestApplyTimeline checks the churn-timeline liveness lever: every
+// server node's simulated liveness must match its timeline at the
+// applied instant, vantages stay online, and re-applying at a later
+// tick moves the network to the new state.
+func TestApplyTimeline(t *testing.T) {
+	clock := simtime.NewClock(DefaultEpoch)
+	tn := Build(Config{N: 80, Seed: 3, Scale: 0.0005, Clock: clock,
+		FracDead: 1e-9, FracSlow: 1e-9, FracWSBroken: 1e-9})
+	tl := churn.GenerateTimeline(tn.Pop, churn.TimelineConfig{
+		Start: DefaultEpoch, Duration: 13 * time.Hour, Seed: 7,
+	})
+	vantage := tn.AddVantage("DE", 99)
+
+	for _, off := range []time.Duration{0, 6 * time.Hour, 12 * time.Hour} {
+		at := DefaultEpoch.Add(off)
+		clock.Set(at)
+		online := tn.ApplyTimeline(tl, at)
+		if online <= 0 || online >= 80 {
+			t.Fatalf("offset %v: online = %d, want within (0, 80) under churn", off, online)
+		}
+		count := 0
+		for i, node := range tn.Nodes {
+			want := tl.Peers[i].OnlineAt(at)
+			if got := tn.Net.Online(node.ID()); got != want {
+				t.Fatalf("offset %v: node %d online = %v, timeline says %v", off, i, got, want)
+			}
+			if want {
+				count++
+			}
+		}
+		if count != online {
+			t.Errorf("offset %v: ApplyTimeline returned %d, recount says %d", off, online, count)
+		}
+		if !tn.Net.Online(vantage.ID()) {
+			t.Error("vantage went offline; timelines must only govern server nodes")
+		}
+	}
+}
+
+// TestClockDrivesNow checks that a testnet built with a Clock threads
+// it into record timestamps via Config.Now.
+func TestClockDrivesNow(t *testing.T) {
+	clock := simtime.NewClock(DefaultEpoch)
+	tn := Build(Config{N: 10, Seed: 4, Scale: 0.0005, Clock: clock})
+	if got := tn.Cfg.Now(); !got.Equal(DefaultEpoch) {
+		t.Fatalf("Now = %v, want the clock's epoch", got)
+	}
+	clock.Advance(3 * time.Hour)
+	if got := tn.Cfg.Now(); !got.Equal(DefaultEpoch.Add(3 * time.Hour)) {
+		t.Fatalf("Now did not follow the clock: %v", got)
+	}
+	if tn.Clock != clock {
+		t.Error("testnet did not retain its clock")
 	}
 }

@@ -44,6 +44,42 @@ type Endpoint interface {
 	Close() error
 }
 
+// RPCCategory labels the network activity one request belongs to, for
+// the simulator's network-wide RPC budget report. Callers that launch a
+// whole tree of RPCs for one background duty (a republish cycle, a
+// snapshot refresh crawl) attach the category to the context so every
+// request underneath is attributed to that duty rather than to the
+// foreground lookup traffic it would otherwise be mistaken for.
+type RPCCategory string
+
+// Budget categories. Untagged requests are classified by message type:
+// Bitswap wants, provider-record stores, and routing queries map to
+// CatWant, CatPublish and CatLookup respectively.
+const (
+	CatLookup    RPCCategory = "lookup"    // provider/peer lookups and session consults
+	CatPublish   RPCCategory = "publish"   // first-time provider-record publication
+	CatRepublish RPCCategory = "republish" // the 12 h record refresh cycle
+	CatRefresh   RPCCategory = "refresh"   // snapshot / routing-table refresh crawls
+	CatWant      RPCCategory = "want"      // Bitswap WANT-HAVE / WANT-BLOCK traffic
+	CatOther     RPCCategory = "other"     // identify, NAT, relay, ...
+)
+
+// rpcCategoryKey carries an RPCCategory on the context.
+type rpcCategoryKey struct{}
+
+// WithRPCCategory tags the context so every RPC issued under it is
+// attributed to cat in the simulator's budget report.
+func WithRPCCategory(ctx context.Context, cat RPCCategory) context.Context {
+	return context.WithValue(ctx, rpcCategoryKey{}, cat)
+}
+
+// RPCCategoryOf returns the category the context carries, or "" when
+// untagged (the transport then classifies by message type).
+func RPCCategoryOf(ctx context.Context) RPCCategory {
+	v, _ := ctx.Value(rpcCategoryKey{}).(RPCCategory)
+	return v
+}
+
 // freshDialKey marks dials that must not reuse NAT mappings.
 type freshDialKey struct{}
 
