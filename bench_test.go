@@ -374,6 +374,8 @@ func BenchmarkRoutingComparison(b *testing.B) {
 		b.ReportMetric(accel.RetrLatency.Percentile(50), "accel-retr-p50-s")
 		b.ReportMetric(dht.RetrWantHaves.Mean(), "dht-want-haves")
 		b.ReportMetric(accel.RetrWantHaves.Mean(), "accel-want-haves")
+		b.ReportMetric(dht.RetrTTFP.Percentile(50), "dht-time-to-first-provider-s")
+		b.ReportMetric(accel.RetrTTFP.Percentile(50), "accel-time-to-first-provider-s")
 	}
 }
 
@@ -396,6 +398,15 @@ func BenchmarkSessionRoutingUnderChurn(b *testing.B) {
 		b.ReportMetric(float64(accel.RoutedSessions), "routed-sessions")
 		b.ReportMetric(accel.FallbackRate(), "accel-fallback-rate")
 		b.ReportMetric(float64(dht.Failures+accel.Failures), "failures")
+		// Batched republish: RPCs per cycle stay bounded by the distinct
+		// target-peer count instead of CIDs x (walk + store fan-out).
+		b.ReportMetric(dht.RepubRPCs.Mean(), "dht-republish-rpcs-per-cycle")
+		ix := res.Router(routing.KindIndexer)
+		b.ReportMetric(ix.RepubRPCs.Mean(), "indexer-republish-rpcs-per-cycle")
+		// Streaming discovery: the walk baseline's time-to-first-provider
+		// vs the full-lookup wait retrieval used to block on.
+		b.ReportMetric(dht.RetrTTFP.Percentile(50), "dht-time-to-first-provider-s")
+		b.ReportMetric(dht.RetrLookupFull.Percentile(50), "dht-blocking-lookup-s")
 		b.ReportMetric(float64(res.Budget.Requests), "rpc-total")
 		b.ReportMetric(float64(res.Budget.Category(transport.CatLookup)), "rpc-lookup")
 		b.ReportMetric(float64(res.Budget.Category(transport.CatPublish)), "rpc-publish")

@@ -108,6 +108,11 @@ func New(sw *swarm.Swarm, store block.Store, cfg Config) *Bitswap {
 	}
 }
 
+// SessionPeerTarget reports how many candidate providers one session
+// consult (or fail-over) asks for — callers sizing fail-over candidate
+// pools match it.
+func (b *Bitswap) SessionPeerTarget() int { return b.cfg.SessionPeerTarget }
+
 // SetRouting installs the session router consulted by AskConnected and
 // session fail-over. Passing nil restores the pure broadcast behaviour.
 func (b *Bitswap) SetRouting(r SessionRouting) {
@@ -500,6 +505,11 @@ type Session struct {
 	confirmed bool
 	tried     map[peer.ID]bool
 	stats     SessionStats
+	// candidates supplies alternate providers discovered by the
+	// streaming lookup (core.Retrieve drains the provider stream into
+	// it while the fetch runs); fail-over tries them before spending
+	// routing RPCs on a fresh consult.
+	candidates func() []wire.PeerInfo
 
 	foMu sync.Mutex // serializes fail-over provider switches
 }
@@ -515,6 +525,18 @@ func (b *Bitswap) NewSession(ctx context.Context, from wire.PeerInfo) *Session {
 func (s *Session) Confirm() *Session {
 	s.mu.Lock()
 	s.confirmed = true
+	s.mu.Unlock()
+	return s
+}
+
+// WithCandidates installs a supplier of alternate providers — the
+// fail-over candidates a streaming provider lookup keeps yielding
+// after the first provider won. It is consulted at fail-over time (not
+// copied), so candidates that arrive while the DAG fetch is already
+// running still count.
+func (s *Session) WithCandidates(fn func() []wire.PeerInfo) *Session {
+	s.mu.Lock()
+	s.candidates = fn
 	s.mu.Unlock()
 	return s
 }
@@ -587,17 +609,15 @@ func (s *Session) fetch(from wire.PeerInfo, c cid.Cid, handshake bool) (block.Bl
 	return s.bs.fetchDirect(s.ctx, from, c)
 }
 
-// failover consults the session router for an alternate provider after
-// a mid-session failure (churn taking the bound provider offline is
-// the common cause) and retries the block against it. Provider records
-// exist for DAG roots, so alternates are looked up by the session's
-// anchor CID rather than the failed block.
+// failover retries a block against an alternate provider after a
+// mid-session failure (churn taking the bound provider offline is the
+// common cause): first the fail-over candidates the streaming lookup
+// already discovered — they cost zero extra RPCs — then a session
+// router consult. Provider records exist for DAG roots, so alternates
+// are looked up by the session's anchor CID rather than the failed
+// block.
 func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.Block, error) {
 	if s.ctx.Err() != nil {
-		return block.Block{}, cause
-	}
-	r := s.bs.sessionRouting()
-	if r == nil {
 		return block.Block{}, cause
 	}
 	s.foMu.Lock()
@@ -607,6 +627,7 @@ func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.
 	s.tried[failed.ID] = true
 	cur := s.from
 	anchor := s.anchor
+	candFn := s.candidates
 	s.mu.Unlock()
 	// Another goroutine may have already switched providers; retry the
 	// block against the new binding before spending routing RPCs.
@@ -619,11 +640,32 @@ func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.
 		s.mu.Unlock()
 	}
 
+	// Streamed candidates first: providers the lookup yielded after the
+	// winner, already paid for.
+	if candFn != nil {
+		if blk, err := s.tryAlternates(c, candFn()); err == nil {
+			return blk, nil
+		}
+	}
+
+	r := s.bs.sessionRouting()
+	if r == nil {
+		return block.Block{}, cause
+	}
 	peers, msgs, err := r.SessionPeers(s.ctx, anchor, s.bs.cfg.SessionPeerTarget)
 	s.addStats(SessionStats{RoutingMsgs: msgs})
 	if err != nil {
 		return block.Block{}, cause
 	}
+	if blk, err := s.tryAlternates(c, peers); err == nil {
+		return blk, nil
+	}
+	return block.Block{}, cause
+}
+
+// tryAlternates fetches c from the first not-yet-tried peer that
+// serves it, rebinding the session on success.
+func (s *Session) tryAlternates(c cid.Cid, peers []wire.PeerInfo) (block.Block, error) {
 	for _, pi := range peers {
 		s.mu.Lock()
 		dup := s.tried[pi.ID]
@@ -644,5 +686,5 @@ func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.
 		s.mu.Unlock()
 		return blk, nil
 	}
-	return block.Block{}, cause
+	return block.Block{}, ErrNotFound
 }

@@ -572,3 +572,42 @@ func TestAskStatsConsultMiss(t *testing.T) {
 		t.Errorf("routerless: err=%v stats=%+v, want a broadcast hit without ConsultMiss", err, st)
 	}
 }
+
+func TestSessionFailsOverViaStreamedCandidates(t *testing.T) {
+	// Fail-over candidates supplied by the streaming provider lookup are
+	// tried before (and here, instead of) a router consult: no session
+	// routing is installed at all, and the switch must cost zero routing
+	// RPCs.
+	net, ps := buildPeers(t, 3)
+	primary, backup, requester := ps[0], ps[1], ps[2]
+	data := bytes.Repeat([]byte("streamed dag "), 3000)
+	root, err := merkledag.NewBuilder(primary.store, 4096, 8).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merkledag.NewBuilder(backup.store, 4096, 8).Add(data); err != nil {
+		t.Fatal(err)
+	}
+
+	session := requester.bs.NewSession(context.Background(), primary.info).
+		WithCandidates(func() []wire.PeerInfo { return []wire.PeerInfo{backup.info} })
+	if _, err := session.Get(root); err != nil {
+		t.Fatalf("first block: %v", err)
+	}
+	net.SetOnline(primary.ident.ID, false)
+
+	got, err := merkledag.Assemble(session, root)
+	if err != nil {
+		t.Fatalf("assemble with streamed candidates: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("assembled content mismatch")
+	}
+	st := session.Stats()
+	if st.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1 switch to the streamed candidate", st.Failovers)
+	}
+	if st.RoutingMsgs != 0 {
+		t.Errorf("routing msgs = %d, want 0 — the candidate was already paid for", st.RoutingMsgs)
+	}
+}

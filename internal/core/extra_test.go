@@ -102,9 +102,12 @@ func TestRepublishRestoresRecords(t *testing.T) {
 	}
 	// The 12h cycle (run manually here) re-walks the DHT and assigns
 	// fresh record holders among the remaining peers.
-	ok := publisher.Republish(ctx)
-	if ok < 1 {
-		t.Errorf("Republish successes = %d", ok)
+	st := publisher.Republish(ctx)
+	if st.Batch.Provided < 1 {
+		t.Errorf("Republish landed records for %d cids, want the tracked cid re-provided", st.Batch.Provided)
+	}
+	if !st.PeerRecordOK {
+		t.Error("Republish did not refresh the peer record")
 	}
 	for i := range tn.Nodes {
 		tn.Net.SetOnline(tn.Nodes[i].ID(), true)

@@ -25,9 +25,15 @@ func (s *stubFallback) Provide(context.Context, cid.Cid) (routing.ProvideResult,
 	return routing.ProvideResult{}, routing.ErrNoProviders
 }
 
-func (s *stubFallback) FindProviders(context.Context, cid.Cid) ([]wire.PeerInfo, routing.LookupInfo, error) {
-	s.finds.Add(1)
-	return nil, routing.LookupInfo{}, routing.ErrNoProviders
+func (s *stubFallback) ProvideMany(_ context.Context, cids []cid.Cid) (routing.ProvideManyResult, error) {
+	return routing.ProvideManyResult{CIDs: len(cids)}, routing.ErrNoProviders
+}
+
+func (s *stubFallback) FindProvidersStream(context.Context, cid.Cid) (routing.ProviderSeq, *routing.StreamInfo) {
+	return routing.LazyStream(func() ([]wire.PeerInfo, routing.LookupInfo, error) {
+		s.finds.Add(1)
+		return nil, routing.LookupInfo{}, routing.ErrNoProviders
+	})
 }
 
 func (s *stubFallback) SessionPeers(context.Context, cid.Cid, int) ([]wire.PeerInfo, int, error) {

@@ -147,6 +147,7 @@ func (n *Node) buildRouter() routing.Router {
 			Parallelism: n.cfg.Alpha,
 			RPCTimeout:  n.cfg.QueryTimeout,
 			Base:        n.cfg.Base,
+			Now:         n.cfg.Now,
 		})
 		return n.accel
 	}
@@ -154,6 +155,7 @@ func (n *Node) buildRouter() routing.Router {
 		return routing.NewIndexerRouter(n.sw, n.cfg.Indexers, fallback, routing.IndexerRouterConfig{
 			RPCTimeout: n.cfg.QueryTimeout,
 			Base:       n.cfg.Base,
+			Now:        n.cfg.Now,
 		})
 	}
 	switch n.cfg.Routing {

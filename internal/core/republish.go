@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/cid"
 	"repro/internal/record"
+	"repro/internal/routing"
+	"repro/internal/simtime"
 	"repro/internal/transport"
 )
 
@@ -41,33 +43,70 @@ func (r *republisher) list() []cid.Cid {
 // Provided returns the CIDs this node currently republishes.
 func (n *Node) Provided() []cid.Cid { return n.repub.list() }
 
-// Republish refreshes the provider records of every tracked CID
-// through the configured router, plus the node's peer record. It
-// returns how many provide operations succeeded. Every RPC underneath
-// is attributed to the republish budget category, so the simulator's
-// network-wide report separates this background traffic from
-// foreground lookups.
-func (n *Node) Republish(ctx context.Context) int {
+// RepublishStats summarizes one §3.1 republish cycle.
+type RepublishStats struct {
+	// Batch is the batched record refresh: the cycle's CIDs grouped by
+	// target peer, one multi-record RPC per distinct target, with
+	// ack-ledger skips for records confirmed earlier in the cycle.
+	Batch routing.ProvideManyResult
+	// PeerRecordOK reports the node's peer-record refresh succeeded.
+	PeerRecordOK bool
+	// OK is the legacy success count: provided CIDs plus the peer
+	// record.
+	OK int
+}
+
+// RepublishRecords refreshes the provider records of every tracked CID
+// through the router's batched publication surface: the whole batch is
+// grouped by target peer (one multi-record ADD_PROVIDER RPC per
+// distinct target), and targets that already confirmed a record this
+// cycle — a publish minutes before the tick — are skipped via the ack
+// ledger. Every RPC underneath is attributed to the republish budget
+// category, so the simulator's network-wide report separates this
+// background traffic from foreground lookups.
+func (n *Node) RepublishRecords(ctx context.Context) routing.ProvideManyResult {
+	cids := n.repub.list()
+	if len(cids) == 0 {
+		return routing.ProvideManyResult{}
+	}
 	ctx = transport.WithRPCCategory(ctx, transport.CatRepublish)
-	ok := 0
-	for _, c := range n.repub.list() {
-		if _, err := n.router.Provide(ctx, c); err == nil {
-			ok++
-		}
-	}
+	res, _ := n.router.ProvideMany(ctx, cids)
+	return res
+}
+
+// Republish runs one full republish cycle: the batched record refresh,
+// then the node's peer record, then the ack-ledger cycle advance — so
+// everything confirmed during this cycle goes stale together and the
+// next cycle re-pushes it.
+func (n *Node) Republish(ctx context.Context) RepublishStats {
+	ctx = transport.WithRPCCategory(ctx, transport.CatRepublish)
+	var st RepublishStats
+	st.Batch = n.RepublishRecords(ctx)
+	st.OK = st.Batch.Provided
 	if _, err := n.dht.PublishPeerRecord(ctx); err == nil {
-		ok++
+		st.PeerRecordOK = true
+		st.OK++
 	}
-	return ok
+	routing.AdvanceCycle(n.router)
+	return st
 }
 
 // StartRepublisher runs Republish on the given simulated interval
-// (<= 0 selects the 12 h default) until ctx is cancelled.
+// (<= 0 selects the 12 h default) until ctx is cancelled. The first
+// cycle is delayed by a per-peer deterministic jitter so republish
+// cycles across a fleet desynchronize instead of thundering-herding
+// the same ticks.
 func (n *Node) StartRepublisher(ctx context.Context, interval time.Duration) {
 	if interval <= 0 {
 		interval = record.DefaultRepublishInterval
 	}
 	go func() {
+		jitter := simtime.Jitter(string(n.ident.ID)+"#republish", interval)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(n.cfg.Base.Real(jitter)):
+		}
 		t := time.NewTicker(n.cfg.Base.Real(interval))
 		defer t.Stop()
 		for {

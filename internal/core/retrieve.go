@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bitswap"
@@ -16,9 +17,9 @@ import (
 )
 
 // RetrieveResult instruments one content retrieval with the phase
-// breakdown of §3.2 / Figure 9d–f: opportunistic Bitswap, the DHT
-// walk(s) for provider and peer records, connecting to the provider,
-// and the content exchange. All durations are simulated time.
+// breakdown of §3.2 / Figure 9d–f: opportunistic Bitswap, the provider
+// lookup stream, connecting to the provider, and the content exchange.
+// All durations are simulated time.
 type RetrieveResult struct {
 	Cid   cid.Cid
 	Bytes int
@@ -27,12 +28,28 @@ type RetrieveResult struct {
 	BitswapPhase  time.Duration // opportunistic/routed ask for a session peer
 	BitswapHit    bool          // content resolved by the blind broadcast
 	RoutedSession bool          // session peer came from the router, broadcast skipped
-	ProviderWalk  time.Duration // content discovery via the router (first DHT walk)
-	LookupMsgs    int           // routing RPCs across discovery, session consults, fail-over
-	PeerWalk      time.Duration // second DHT walk (peer discovery)
-	UsedBook      bool          // address book supplied the addresses
-	Dial          time.Duration // peer routing: connect to the provider
-	Fetch         time.Duration // content exchange (Bitswap transfer)
+	// ProviderWalk is the time retrieval blocked on the provider stream
+	// before its first provider arrived — with streaming discovery the
+	// fetch starts here, while the lookup keeps running in background.
+	ProviderWalk time.Duration
+	// FirstProvider is the time-to-first-provider: retrieval start to
+	// the first provider known (Bitswap hit or first streamed batch) —
+	// the §6.2 metric streaming discovery improves, because retrieval
+	// no longer waits on complete lookup results.
+	FirstProvider time.Duration
+	// LookupFull is the provider stream's full duration, including the
+	// background draining for fail-over candidates after the first
+	// provider was already handed to Bitswap — what the old blocking
+	// lookup would have added to the critical path.
+	LookupFull time.Duration
+	// StreamCandidates counts extra providers the stream yielded after
+	// the first; they seed session fail-over without new routing RPCs.
+	StreamCandidates int
+	LookupMsgs       int           // routing RPCs across discovery, session consults, fail-over
+	PeerWalk         time.Duration // second DHT walk (peer discovery)
+	UsedBook         bool          // address book supplied the addresses
+	Dial             time.Duration // peer routing: connect to the provider
+	Fetch            time.Duration // content exchange (Bitswap transfer)
 
 	// Per-session Bitswap message accounting, alongside LookupMsgs.
 	WantHaves        int // WANT-HAVE messages sent (discovery + session handshakes)
@@ -43,7 +60,8 @@ type RetrieveResult struct {
 	Provider peer.ID
 }
 
-// Discover is the total lookup time: everything HTTP would not do.
+// Discover is the total lookup time retrieval blocked on: everything
+// HTTP would not do.
 func (r RetrieveResult) Discover() time.Duration {
 	return r.BitswapPhase + r.ProviderWalk + r.PeerWalk
 }
@@ -72,11 +90,88 @@ func (r RetrieveResult) StretchWithoutBitswap() float64 {
 // ErrNotFound is returned when no provider could be located.
 var ErrNotFound = errors.New("core: content not found")
 
+// providerStream runs a router's provider stream on its own goroutine:
+// the first discovered provider is delivered on first, later ones
+// accumulate as session fail-over candidates, and the stream's message
+// cost is collected once at Finish.
+type providerStream struct {
+	cancel context.CancelFunc
+	first  chan wire.PeerInfo
+	done   chan struct{}
+	st     *routing.StreamInfo
+
+	mu     sync.Mutex
+	extras []wire.PeerInfo
+}
+
+// startProviderStream launches the streaming lookup for root. The
+// stream stops itself after one session provider plus enough fail-over
+// candidates (the Bitswap session peer target), or when Finish cancels
+// it.
+func (n *Node) startProviderStream(ctx context.Context, root cid.Cid) *providerStream {
+	sctx, cancel := context.WithCancel(ctx)
+	seq, st := n.router.FindProvidersStream(sctx, root)
+	ps := &providerStream{
+		cancel: cancel,
+		first:  make(chan wire.PeerInfo, 1),
+		done:   make(chan struct{}),
+		st:     st,
+	}
+	total := 1 + n.bswap.SessionPeerTarget() // the session provider plus fail-over candidates
+	go func() {
+		defer close(ps.done)
+		count := 0
+		seq(func(batch []wire.PeerInfo) bool {
+			for _, p := range batch {
+				if count == 0 {
+					ps.first <- p
+				} else {
+					ps.mu.Lock()
+					ps.extras = append(ps.extras, p)
+					ps.mu.Unlock()
+				}
+				count++
+			}
+			return count < total
+		})
+	}()
+	return ps
+}
+
+// Candidates snapshots the fail-over candidates streamed so far. A
+// first provider nobody consumed — the Bitswap ask won the discovery
+// race before the stream yielded — is reclaimed as a candidate instead
+// of being stranded in the hand-off buffer. Candidates is only called
+// once discovery has returned, so draining the buffer here cannot race
+// a discovery select.
+func (ps *providerStream) Candidates() []wire.PeerInfo {
+	select {
+	case p := <-ps.first:
+		ps.mu.Lock()
+		ps.extras = append([]wire.PeerInfo{p}, ps.extras...)
+		ps.mu.Unlock()
+	default:
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return append([]wire.PeerInfo(nil), ps.extras...)
+}
+
+// Finish cancels any remaining lookup work, waits for the stream to
+// wind down, and returns its accumulated statistics.
+func (ps *providerStream) Finish() routing.LookupInfo {
+	ps.cancel()
+	<-ps.done
+	return ps.st.Info()
+}
+
 // Retrieve fetches the content behind root from the network, following
 // §3.2: (i) opportunistic Bitswap with a 1 s timeout, (ii) content
-// discovery via a DHT walk for provider records, (iii) peer discovery
-// via the address book or a second walk, (iv) peer routing (connect),
-// and (v) content exchange over Bitswap.
+// discovery via the router's provider stream — the first provider goes
+// straight to Bitswap while the stream keeps yielding fail-over
+// candidates in the background — (iii) peer discovery via the address
+// book or a second walk, (iv) peer routing (connect), and (v) content
+// exchange over Bitswap.
 func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResult, error) {
 	res := RetrieveResult{Cid: root}
 	start := time.Now()
@@ -88,12 +183,28 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 		return data, res, nil
 	}
 
-	provider, err := n.discover(ctx, root, &res)
+	provider, ps, err := n.discover(ctx, root, &res)
+	// finish collects the stream's cost exactly once, whatever exit
+	// path the retrieval takes: the lookup RPCs (background draining
+	// included), the full lookup duration, and the candidate count.
+	finished := false
+	finish := func() {
+		if ps == nil || finished {
+			return
+		}
+		finished = true
+		info := ps.Finish()
+		res.LookupMsgs += routing.LookupMessages(info)
+		res.LookupFull = info.Duration
+		res.StreamCandidates = len(ps.Candidates())
+	}
 	if err != nil {
 		res.Total = n.cfg.Base.SimSince(start)
+		finish()
 		return nil, res, err
 	}
 	res.Provider = provider.ID
+	res.FirstProvider = n.cfg.Base.SimSince(start)
 
 	// Peer discovery: map the PeerID to addresses via the address book
 	// (§3.2's shortcut) or a second DHT walk.
@@ -106,6 +217,7 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 			res.PeerWalk = walk.Duration
 			if err != nil {
 				res.Total = n.cfg.Base.SimSince(start)
+				finish()
 				return nil, res, fmt.Errorf("%w: provider %s unresolvable: %v", ErrNotFound, provider.ID.Short(), err)
 			}
 			provider.Addrs = info.Addrs
@@ -116,6 +228,7 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	_, dialDur, err := n.sw.Connect(ctx, provider.ID, provider.Addrs)
 	if err != nil {
 		res.Total = n.cfg.Base.SimSince(start)
+		finish()
 		return nil, res, fmt.Errorf("%w: cannot connect to provider: %v", ErrNotFound, err)
 	}
 	res.Dial = dialDur
@@ -124,9 +237,13 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	// sibling blocks requested concurrently as real sessions do. A
 	// provider that already answered HAVE during discovery skips the
 	// redundant handshake; a provider failing mid-session is replaced
-	// through the router (fail-over under churn).
+	// first from the stream's fail-over candidates (already paid for),
+	// then through the router.
 	fetchStart := time.Now()
 	session := n.bswap.NewSession(ctx, provider).ForRoot(root)
+	if ps != nil {
+		session.WithCandidates(ps.Candidates)
+	}
 	if res.BitswapHit || res.RoutedSession {
 		session.Confirm()
 	}
@@ -138,6 +255,7 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	res.SessionFailovers += ss.Failovers
 	res.Fetch = n.cfg.Base.SimSince(fetchStart)
 	res.Total = n.cfg.Base.SimSince(start)
+	finish()
 	if err != nil {
 		return nil, res, fmt.Errorf("%w: fetch failed: %v", ErrNotFound, err)
 	}
@@ -156,15 +274,17 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 
 // discover locates a provider for root: the session-routed (or
 // opportunistic) Bitswap phase, then (or in parallel, when configured)
-// the router's provider lookup.
-func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, error) {
+// the router's streaming provider lookup. The returned providerStream,
+// when non-nil, is still draining fail-over candidates; the caller
+// collects its cost via Finish.
+func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, *providerStream, error) {
 	if n.cfg.ParallelDiscovery {
 		return n.discoverParallel(ctx, root, res)
 	}
 
 	// Serial (deployed) behaviour: the Bitswap ask first — targeted at
 	// router-known providers when the router has them, the blind
-	// broadcast otherwise — then the provider lookup after its timeout.
+	// broadcast otherwise — then the provider stream after its timeout.
 	info, ask, err := n.bswap.AskConnected(ctx, root)
 	res.BitswapPhase = ask.Duration
 	res.WantHaves += ask.WantHaves
@@ -173,95 +293,115 @@ func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) 
 	if err == nil {
 		res.BitswapHit = !ask.Routed
 		res.RoutedSession = ask.Routed
-		return info, nil
+		return info, nil, nil
 	}
 
 	// Consult-result handoff: a session-consult miss above already
-	// probed the snapshot/indexer neighbourhood, so the follow-up
-	// FindProviders skips the duplicate one-hop wave and goes straight
-	// to its walk fallback.
+	// probed the snapshot/indexer neighbourhood, so the provider stream
+	// skips the duplicate one-hop wave and goes straight to its walk
+	// fallback.
 	fctx := ctx
 	if ask.ConsultMiss {
 		fctx = routing.WithSessionMiss(ctx, root)
 	}
-	providers, lookup, err := n.router.FindProviders(fctx, root)
-	res.ProviderWalk = lookup.Duration
-	res.LookupMsgs += routing.LookupMessages(lookup)
-	if err != nil {
-		if errors.Is(err, dht.ErrNoProviders) {
-			return wire.PeerInfo{}, fmt.Errorf("%w: no provider records for %s", ErrNotFound, root)
+	ps := n.startProviderStream(fctx, root)
+	lookupStart := time.Now()
+	select {
+	case p := <-ps.first:
+		// First provider in hand: Bitswap starts now, the stream keeps
+		// draining fail-over candidates in the background.
+		res.ProviderWalk = n.cfg.Base.SimSince(lookupStart)
+		return p, ps, nil
+	case <-ps.done:
+		res.ProviderWalk = n.cfg.Base.SimSince(lookupStart)
+		// A provider yielded right at stream end sits in the buffer.
+		select {
+		case p := <-ps.first:
+			return p, ps, nil
+		default:
 		}
-		return wire.PeerInfo{}, err
+		return wire.PeerInfo{}, ps, wrapDiscoveryErr(ps.st.Err(), root)
 	}
-	return providers[0], nil
 }
 
-// discoverParallel races the Bitswap ask against the router lookup —
-// the §6.2 optimization trading extra requests for latency.
-func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, error) {
-	type outcome struct {
-		info    wire.PeerInfo
-		bitswap bool
-		ask     bitswap.AskStats
-		dur     time.Duration
-		msgs    int
-		err     error
+// wrapDiscoveryErr maps an exhausted-lookup error to ErrNotFound.
+func wrapDiscoveryErr(err error, root cid.Cid) error {
+	if err == nil {
+		err = routing.ErrNoProviders
 	}
-	ch := make(chan outcome, 2)
-	pctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	if errors.Is(err, dht.ErrNoProviders) || errors.Is(err, bitswap.ErrTimeout) {
+		return fmt.Errorf("%w: no provider records for %s: %v", ErrNotFound, root, err)
+	}
+	return err
+}
 
+// discoverParallel races the Bitswap ask against the provider stream —
+// the §6.2 optimization trading extra requests for latency. Whichever
+// loses is cancelled and its RPCs are charged (the ask's here, the
+// stream's at Finish).
+func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, *providerStream, error) {
+	actx, acancel := context.WithCancel(ctx)
+	defer acancel()
+	type askOutcome struct {
+		info wire.PeerInfo
+		ask  bitswap.AskStats
+		err  error
+	}
+	askCh := make(chan askOutcome, 1)
 	go func() {
-		info, ask, err := n.bswap.AskConnected(pctx, root)
-		ch <- outcome{info: info, bitswap: true, ask: ask, dur: ask.Duration, err: err}
+		info, ask, err := n.bswap.AskConnected(actx, root)
+		askCh <- askOutcome{info: info, ask: ask, err: err}
 	}()
-	go func() {
-		providers, lookup, err := n.router.FindProviders(pctx, root)
-		o := outcome{dur: lookup.Duration, msgs: routing.LookupMessages(lookup), err: err}
-		if err == nil {
-			o.info = providers[0]
-		}
-		ch <- o
-	}()
+	ps := n.startProviderStream(ctx, root)
+	lookupStart := time.Now()
 
-	// charge adds an outcome's messages to the result whether it won or
-	// lost: the race trades extra requests for latency, and those extra
-	// requests must show up in the accounting.
-	charge := func(o outcome) {
-		if o.bitswap {
-			res.WantHaves += o.ask.WantHaves
-			res.SuppressedWants += o.ask.Suppressed
-			res.LookupMsgs += o.ask.RoutingMsgs
-		} else {
-			res.LookupMsgs += o.msgs
-		}
+	chargeAsk := func(o askOutcome) {
+		res.WantHaves += o.ask.WantHaves
+		res.SuppressedWants += o.ask.Suppressed
+		res.LookupMsgs += o.ask.RoutingMsgs
 	}
 	var firstErr error
-	for i := 0; i < 2; i++ {
-		o := <-ch
-		charge(o)
-		if o.err == nil {
-			if o.bitswap {
-				res.BitswapPhase = o.dur
+	askDone, streamDone := false, false
+	streamWin := func(p wire.PeerInfo) (wire.PeerInfo, *providerStream, error) {
+		res.ProviderWalk = n.cfg.Base.SimSince(lookupStart)
+		acancel()
+		if !askDone {
+			chargeAsk(<-askCh) // drain the cancelled ask and charge its RPCs
+		}
+		return p, ps, nil
+	}
+	doneCh := ps.done // nilled once drained: a closed channel is always ready
+	for !askDone || !streamDone {
+		select {
+		case o := <-askCh:
+			askDone = true
+			chargeAsk(o)
+			if o.err == nil {
+				res.BitswapPhase = o.ask.Duration
 				res.BitswapHit = !o.ask.Routed
 				res.RoutedSession = o.ask.Routed
-			} else {
-				res.ProviderWalk = o.dur
+				// The stream lost the race but keeps feeding fail-over
+				// candidates while the fetch runs; its RPCs are charged
+				// at Finish.
+				return o.info, ps, nil
 			}
-			// Cancel and drain the loser so the RPCs it launched before
-			// losing are charged too.
-			cancel()
-			for j := i + 1; j < 2; j++ {
-				charge(<-ch)
+			if firstErr == nil {
+				firstErr = o.err
 			}
-			return o.info, nil
-		}
-		if firstErr == nil {
-			firstErr = o.err
+		case p := <-ps.first:
+			return streamWin(p)
+		case <-doneCh:
+			select {
+			case p := <-ps.first:
+				return streamWin(p)
+			default:
+			}
+			doneCh = nil
+			streamDone = true
+			if err := ps.st.Err(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	if errors.Is(firstErr, bitswap.ErrTimeout) || errors.Is(firstErr, dht.ErrNoProviders) {
-		return wire.PeerInfo{}, fmt.Errorf("%w: %v", ErrNotFound, firstErr)
-	}
-	return wire.PeerInfo{}, firstErr
+	return wire.PeerInfo{}, ps, wrapDiscoveryErr(firstErr, root)
 }

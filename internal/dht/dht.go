@@ -122,6 +122,13 @@ func (d *DHT) Table() *kbucket.Table { return d.table }
 // Swarm returns the underlying swarm.
 func (d *DHT) Swarm() *swarm.Swarm { return d.sw }
 
+// Base returns the DHT's simulated-time base.
+func (d *DHT) Base() simtime.Base { return d.cfg.Base }
+
+// Clock returns the DHT's wall clock (the movable simulated clock in
+// scenario runs).
+func (d *DHT) Clock() func() time.Time { return d.cfg.Now }
+
 // SetIPNSValidator installs the validator for PUT_IPNS payloads.
 func (d *DHT) SetIPNSValidator(v IPNSValidator) { d.validator = v }
 
@@ -173,15 +180,24 @@ func (d *DHT) HandleMessage(ctx context.Context, from peer.ID, req wire.Message)
 		return wire.Message{Type: wire.TNodes, Peers: d.closestInfos(req.Key)}
 
 	case wire.TAddProvider:
+		// One RPC may carry a whole record batch (Key plus Keys) — the
+		// multi-record shape batched republish groups per target peer.
 		if len(req.Providers) == 0 {
 			return wire.ErrorMessage("no provider supplied")
 		}
-		c, err := cid.FromBytes(req.Key)
-		if err != nil {
-			return wire.ErrorMessage("bad cid: %v", err)
-		}
 		prov := req.Providers[0]
-		d.providers.Add(record.ProviderRecord{Cid: c, Provider: prov.ID, Published: d.cfg.Now()})
+		stored := 0
+		for _, key := range req.AllKeys() {
+			c, err := cid.FromBytes(key)
+			if err != nil {
+				return wire.ErrorMessage("bad cid: %v", err)
+			}
+			d.providers.Add(record.ProviderRecord{Cid: c, Provider: prov.ID, Published: d.cfg.Now()})
+			stored++
+		}
+		if stored == 0 {
+			return wire.ErrorMessage("no record keys supplied")
+		}
 		if len(prov.Addrs) > 0 {
 			d.sw.Book().Add(prov.ID, prov.Addrs)
 		}

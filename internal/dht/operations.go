@@ -35,6 +35,13 @@ type ProvideResult struct {
 	Walk          WalkInfo
 	StoreAttempts int
 	StoreOK       int
+	// StoreTargets is the batch's target set (the k closest peers, the
+	// snapshot neighbourhood, or the indexer set) and AckedTargets the
+	// subset that acknowledged the store — the per-target detail the
+	// republish ack ledger records so the next cycle can batch records
+	// per peer instead of re-walking per CID.
+	StoreTargets []wire.PeerInfo
+	AckedTargets []wire.PeerInfo
 }
 
 // Provide publishes a provider record for c: walk to the k closest
@@ -67,6 +74,7 @@ func (d *DHT) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
 	}
 
 	batchStart := time.Now()
+	res.StoreTargets = closest
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	for _, info := range closest {
@@ -83,6 +91,7 @@ func (d *DHT) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
 			if err == nil && resp.Type == wire.TAck {
 				mu.Lock()
 				res.StoreOK++
+				res.AckedTargets = append(res.AckedTargets, info)
 				mu.Unlock()
 			}
 		}()
@@ -119,6 +128,33 @@ func (d *DHT) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, Wa
 		providers = append(providers, p)
 	}
 	return providers, info, nil
+}
+
+// FindProvidersStream walks the DHT for provider records of c, calling
+// emit with each record-carrying response's providers as it arrives.
+// emit returning false stops the walk (returning false on the first
+// batch reproduces the §3.2 single-response termination exactly);
+// returning true keeps the walk going toward convergence, so later
+// responses become fail-over candidates instead of being discarded.
+func (d *DHT) FindProvidersStream(ctx context.Context, c cid.Cid, emit func([]wire.PeerInfo) bool) WalkInfo {
+	key := c.Bytes()
+	target := kbucket.KeyForBytes(key)
+	_, _, info := d.walk(ctx, target,
+		func() wire.Message { return wire.Message{Type: wire.TGetProviders, Key: key} },
+		func(resp wire.Message) bool {
+			if len(resp.Providers) == 0 {
+				return false
+			}
+			providers := make([]wire.PeerInfo, 0, len(resp.Providers))
+			for _, p := range resp.Providers {
+				if addrs, ok := d.sw.Book().Get(p.ID); ok && len(p.Addrs) == 0 {
+					p.Addrs = addrs
+				}
+				providers = append(providers, p)
+			}
+			return !emit(providers)
+		})
+	return info
 }
 
 // FindPeer resolves a PeerID to its signed peer record via a second DHT

@@ -120,6 +120,9 @@ type RouterPerf struct {
 	RoutedSessions int
 	// Failovers counts mid-session provider switches under churn.
 	Failovers int
+	// RepubCIDs is the CID count of the last republish cycle, the
+	// denominator for the batched RPCs-per-cycle comparison.
+	RepubCIDs int
 
 	// Ticks is the per-retrieval-tick time series.
 	Ticks []RouterTick
@@ -129,16 +132,30 @@ type RouterPerf struct {
 	RetrLatency   *stats.Sample // seconds per retrieval
 	RetrMsgs      *stats.Sample // routing RPCs per retrieval (discovery + session consults + fail-over)
 	RetrWantHaves *stats.Sample // Bitswap WANT-HAVE messages per retrieval
+	// RetrTTFP is the time-to-first-provider per retrieval: start to
+	// the first provider known (Bitswap hit or first streamed batch).
+	RetrTTFP *stats.Sample
+	// RetrLookupFull is the provider stream's full duration per
+	// retrieval — the wait the old blocking lookup would have put on
+	// the critical path; TTFP sitting below it is the streaming win.
+	RetrLookupFull *stats.Sample
+	// RepubRPCs is the routing RPCs per republish cycle: with batched
+	// ProvideMany this stays at or below the distinct target-peer
+	// count, instead of CIDs × (walk + store fan-out).
+	RepubRPCs *stats.Sample
 }
 
 func newRouterPerf(kind routing.Kind) *RouterPerf {
 	return &RouterPerf{
-		Kind:          kind,
-		PubLatency:    stats.NewSample(),
-		PubMsgs:       stats.NewSample(),
-		RetrLatency:   stats.NewSample(),
-		RetrMsgs:      stats.NewSample(),
-		RetrWantHaves: stats.NewSample(),
+		Kind:           kind,
+		PubLatency:     stats.NewSample(),
+		PubMsgs:        stats.NewSample(),
+		RetrLatency:    stats.NewSample(),
+		RetrMsgs:       stats.NewSample(),
+		RetrWantHaves:  stats.NewSample(),
+		RetrTTFP:       stats.NewSample(),
+		RetrLookupFull: stats.NewSample(),
+		RepubRPCs:      stats.NewSample(),
 	}
 }
 
@@ -282,10 +299,14 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 		sc.Schedule("republish", cfg.Window/2+time.Minute, func(ctx context.Context, _ PhaseInfo) PhaseOutcome {
 			var out PhaseOutcome
 			for _, p := range pairs {
-				ops := len(p.publisher.Provided()) + 1 // + the peer record
-				ok := p.publisher.Republish(ctx)
-				out.Ops += ops
-				out.Failures += ops - ok
+				st := p.publisher.Republish(ctx)
+				out.Ops += st.Batch.CIDs + 1 // + the peer record
+				out.Failures += st.Batch.CIDs - st.Batch.Provided
+				if !st.PeerRecordOK {
+					out.Failures++
+				}
+				p.rp.RepubCIDs = st.Batch.CIDs
+				p.rp.RepubRPCs.Add(float64(st.Batch.Msgs()))
 			}
 			return out
 		})
@@ -322,6 +343,10 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 					p.rp.RetrLatency.AddDuration(rres.Total)
 					p.rp.RetrMsgs.Add(float64(rres.LookupMsgs))
 					p.rp.RetrWantHaves.Add(float64(rres.WantHaves))
+					p.rp.RetrTTFP.AddDuration(rres.FirstProvider)
+					// The blocking-wait equivalent: Bitswap phase plus the
+					// full lookup (what retrieval used to wait on).
+					p.rp.RetrLookupFull.AddDuration(rres.BitswapPhase + rres.LookupFull)
 					if rres.RoutedSession {
 						p.rp.RoutedSessions++
 						tick.RoutedSessions++
@@ -341,17 +366,25 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 	return res
 }
 
-// Table renders the side-by-side router comparison.
+// Table renders the side-by-side router comparison: latency, message
+// counts, time-to-first-provider (the streaming-discovery metric), and
+// the batched republish cost per cycle.
 func (r *RoutingResults) Table() string {
-	t := stats.NewTable("Router", "Pub p50", "Pub msgs", "Retr p50", "Retr msgs", "WANT-HAVEs", "Routed", "OK", "Fail")
+	t := stats.NewTable("Router", "Pub p50", "Pub msgs", "Retr p50", "TTFP p50", "Retr msgs", "WANT-HAVEs", "Repub RPC/cyc", "Routed", "OK", "Fail")
 	for _, rp := range r.Routers {
 		ok := rp.Publications + rp.Retrievals - rp.Failures
+		repub := "-"
+		if rp.RepubRPCs.Len() > 0 {
+			repub = fmt.Sprintf("%.0f (%d cids)", rp.RepubRPCs.Mean(), rp.RepubCIDs)
+		}
 		t.AddRow(string(rp.Kind),
 			fmt.Sprintf("%.2fs", rp.PubLatency.Percentile(50)),
 			fmt.Sprintf("%.1f", rp.PubMsgs.Mean()),
 			fmt.Sprintf("%.2fs", rp.RetrLatency.Percentile(50)),
+			fmt.Sprintf("%.2fs", rp.RetrTTFP.Percentile(50)),
 			fmt.Sprintf("%.1f", rp.RetrMsgs.Mean()),
 			fmt.Sprintf("%.1f", rp.RetrWantHaves.Mean()),
+			repub,
 			fmt.Sprintf("%d/%d", rp.RoutedSessions, rp.Retrievals),
 			ok, rp.Failures)
 	}
@@ -432,6 +465,17 @@ func (r *RoutingResults) Summary() string {
 	fmt.Fprintf(&b, "dht baseline: %.1f routing msgs and %.1f WANT-HAVEs per retrieval, retr p50 %.2fs, pub p50 %.2fs\n",
 		base.RetrMsgs.Mean(), base.RetrWantHaves.Mean(),
 		base.RetrLatency.Percentile(50), base.PubLatency.Percentile(50))
+	if base.RetrTTFP.Len() > 0 {
+		fmt.Fprintf(&b, "dht streaming discovery: time-to-first-provider p50 %.2fs vs %.2fs blocking-lookup wait\n",
+			base.RetrTTFP.Percentile(50), base.RetrLookupFull.Percentile(50))
+	}
+	for _, rp := range r.Routers {
+		if rp.RepubRPCs.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s batched republish: %.0f RPCs/cycle for %d cids\n",
+			rp.Kind, rp.RepubRPCs.Mean(), rp.RepubCIDs)
+	}
 	for _, rp := range r.Routers {
 		if rp.Kind == routing.KindDHT || rp.RetrMsgs.Len() == 0 {
 			continue

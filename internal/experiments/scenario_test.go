@@ -269,16 +269,20 @@ func TestRoutingTimeSeriesFormatGolden(t *testing.T) {
 				PhaseOutcome: PhaseOutcome{Ops: 4, Failures: 1, Routed: 3},
 			},
 			{
+				// A batched republish cycle: 10 CIDs plus the peer record
+				// refreshed with fewer republish-category RPCs than CIDs —
+				// the per-target-peer grouping the budget columns must keep
+				// showing.
 				Phase: "republish", Offset: 6*time.Hour + time.Minute, Online: 41,
 				SnapshotStale: 0.3, IndexerHit: 0,
-				Budget: simnet.Budget{Requests: 97, Dials: 50, DialFailures: 11,
-					ByCategory: map[transport.RPCCategory]int64{transport.CatRepublish: 97}},
-				PhaseOutcome: PhaseOutcome{Ops: 6},
+				Budget: simnet.Budget{Requests: 9, Dials: 9, DialFailures: 2,
+					ByCategory: map[transport.RPCCategory]int64{transport.CatRepublish: 9}},
+				PhaseOutcome: PhaseOutcome{Ops: 11},
 			},
 		},
-		Budget: simnet.Budget{Requests: 544, Dials: 670, DialFailures: 134,
+		Budget: simnet.Budget{Requests: 456, Dials: 629, DialFailures: 125,
 			ByCategory: map[transport.RPCCategory]int64{
-				transport.CatLookup: 101, transport.CatPublish: 140, transport.CatRepublish: 97,
+				transport.CatLookup: 101, transport.CatPublish: 140, transport.CatRepublish: 9,
 				transport.CatRefresh: 180, transport.CatWant: 26,
 			}},
 	}

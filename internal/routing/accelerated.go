@@ -28,6 +28,9 @@ type AcceleratedConfig struct {
 	CrawlWorkers int
 	// Base compresses simulated time.
 	Base simtime.Base
+	// Now supplies the wall clock for the ack ledger (default time.Now;
+	// simulations pass their movable clock).
+	Now func() time.Time
 }
 
 func (c AcceleratedConfig) withDefaults() AcceleratedConfig {
@@ -45,6 +48,9 @@ func (c AcceleratedConfig) withDefaults() AcceleratedConfig {
 	}
 	if c.Base == (simtime.Base{}) {
 		c.Base = simtime.Realtime
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -67,6 +73,7 @@ type AcceleratedRouter struct {
 	cfg      AcceleratedConfig
 	sw       *swarm.Swarm
 	fallback Router // nil disables fallback (tests); usually a DHTRouter
+	ledger   *Ledger
 
 	mu   sync.RWMutex
 	snap []snapEntry
@@ -75,11 +82,15 @@ type AcceleratedRouter struct {
 // NewAccelerated creates an accelerated client over the swarm. fallback
 // handles keys the snapshot cannot serve; pass nil to fail instead.
 func NewAccelerated(sw *swarm.Swarm, fallback Router, cfg AcceleratedConfig) *AcceleratedRouter {
-	return &AcceleratedRouter{cfg: cfg.withDefaults(), sw: sw, fallback: fallback}
+	cfg = cfg.withDefaults()
+	return &AcceleratedRouter{cfg: cfg, sw: sw, fallback: fallback, ledger: NewLedger(cfg.Now)}
 }
 
 // Name implements Router.
 func (r *AcceleratedRouter) Name() string { return string(KindAccelerated) }
+
+// Ledger exposes the republish ack ledger.
+func (r *AcceleratedRouter) Ledger() *Ledger { return r.ledger }
 
 // Refresh crawls the network from the bootstrap peers and replaces the
 // snapshot with every dialable peer found. It returns the snapshot
@@ -115,12 +126,20 @@ func (r *AcceleratedRouter) Refresh(ctx context.Context, bootstrap []wire.PeerIn
 
 // StartRefresher re-crawls on the given simulated interval until ctx is
 // cancelled. bootstrap supplies fresh seeds per round (the caller's
-// routing table contents, typically).
+// routing table contents, typically). The first crawl is delayed by a
+// per-peer deterministic jitter so a fleet of clients started together
+// does not thundering-herd the network on the same ticks.
 func (r *AcceleratedRouter) StartRefresher(ctx context.Context, interval time.Duration, bootstrap func() []wire.PeerInfo) {
 	if interval <= 0 {
 		interval = time.Hour
 	}
 	go func() {
+		jitter := simtime.Jitter(string(r.sw.Local())+"#refresh", interval)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(r.cfg.Base.Real(jitter)):
+		}
 		t := time.NewTicker(r.cfg.Base.Real(interval))
 		defer t.Stop()
 		for {
@@ -223,7 +242,14 @@ func (r *AcceleratedRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResu
 		Key:       key,
 		Providers: []wire.PeerInfo{{ID: r.sw.Local(), Addrs: r.sw.Addrs()}},
 	}
-	res.StoreAttempts, res.StoreOK = storeBatch(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, closest, req)
+	var acked []wire.PeerInfo
+	res.StoreTargets = closest
+	res.StoreAttempts, acked = storeBatch(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, closest, req)
+	res.StoreOK = len(acked)
+	res.AckedTargets = acked
+	for _, t := range acked {
+		r.ledger.Confirm(t, c.Key())
+	}
 	res.BatchDuration = r.cfg.Base.SimSince(start)
 	res.TotalDuration = res.BatchDuration
 	if res.StoreOK == 0 {
@@ -233,12 +259,27 @@ func (r *AcceleratedRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResu
 	return res, nil
 }
 
-// FindProviders implements Router: query the K closest snapshot peers
-// directly in waves of Parallelism, returning on the first response
-// carrying provider records. Exhausting the snapshot neighbourhood
-// falls back to the iterative walk.
-func (r *AcceleratedRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
-	return findWithFallback(ctx, r.direct, r.fallback, c)
+// ProvideMany implements Router: batch the CIDs against the snapshot's
+// K-closest sets — group by target peer, one multi-record RPC per
+// distinct peer, ack-ledger skips — and retry CIDs the snapshot could
+// not land anywhere through the fallback walk.
+func (r *AcceleratedRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (ProvideManyResult, error) {
+	if r.SnapshotSize() == 0 {
+		if r.fallback != nil {
+			return r.fallback.ProvideMany(ctx, cids)
+		}
+		return ProvideManyResult{CIDs: len(cids)}, fmt.Errorf("routing: accelerated provide batch of %d: empty snapshot", len(cids))
+	}
+	res, provided := provideManyGrouped(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, r.ledger, cids,
+		func(c cid.Cid) []wire.PeerInfo { return r.closest(c.Bytes()) })
+	return provideManyFallback(ctx, r.fallback, res, unprovided(cids, provided))
+}
+
+// FindProvidersStream implements Router: the one-hop snapshot lookup,
+// yielding the winning response's providers, chained into the fallback
+// walk's stream when the snapshot neighbourhood is exhausted.
+func (r *AcceleratedRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (ProviderSeq, *StreamInfo) {
+	return streamWithFallback(ctx, r.direct, r.fallback, c)
 }
 
 // SessionPeers implements Router: the same one-hop snapshot lookup as

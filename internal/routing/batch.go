@@ -1,0 +1,296 @@
+package routing
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/peer"
+	"repro/internal/simtime"
+	"repro/internal/swarm"
+	"repro/internal/wire"
+)
+
+// DefaultAckFreshness bounds how old an ack may be and still suppress
+// a re-push — conservatively far below every record TTL in the system
+// (24 h provider records, shrunken test TTLs of a few hours), so a
+// skipped re-push can never let a record expire.
+const DefaultAckFreshness = time.Hour
+
+// Ledger is a router's republish ack ledger. It remembers, per target
+// peer, which CIDs the peer acknowledged — in which republish cycle
+// and when — plus each CID's last known target set. ProvideMany
+// consults it to (a) skip (target, CID) pairs already confirmed this
+// cycle — a record published minutes before the republish tick is not
+// pushed again — and (b) reuse the walk-derived target sets, so a
+// steady-state republish cycle costs one multi-record RPC per distinct
+// target peer and zero walks. An ack only counts as fresh while it is
+// both from the current cycle and younger than the freshness bound:
+// record TTLs must keep being reset, so a six-hour-old publish is
+// re-pushed even though no cycle boundary passed. core.Node.Republish
+// advances the cycle when it finishes, expiring the cycle's acks
+// together.
+type Ledger struct {
+	mu       sync.Mutex
+	cycle    uint64
+	now      func() time.Time
+	freshFor time.Duration
+	acks     map[string]ackStamp // target|cidKey -> last ack
+	targets  map[string][]wire.PeerInfo
+}
+
+type ackStamp struct {
+	cycle uint64 // cycle+1 at ack time; zero value means "never"
+	at    time.Time
+}
+
+// NewLedger creates an empty ack ledger. now supplies the clock for
+// ack freshness (nil selects time.Now; simulations pass their movable
+// clock).
+func NewLedger(now func() time.Time) *Ledger {
+	if now == nil {
+		now = time.Now
+	}
+	return &Ledger{
+		now:      now,
+		freshFor: DefaultAckFreshness,
+		acks:     make(map[string]ackStamp),
+		targets:  make(map[string][]wire.PeerInfo),
+	}
+}
+
+func ackKey(target peer.ID, cidKey string) string {
+	return string(target) + "|" + cidKey
+}
+
+// Advance starts a new republish cycle: every ack recorded so far
+// becomes stale, so the next ProvideMany re-pushes it. Stale acks are
+// dropped outright — they can never test fresh again — bounding the
+// ledger to one cycle's worth of acks plus the per-CID target sets.
+func (l *Ledger) Advance() {
+	l.mu.Lock()
+	l.cycle++
+	l.acks = make(map[string]ackStamp)
+	l.mu.Unlock()
+}
+
+// Confirm records that target acknowledged records for the given CID
+// keys in the current cycle, and remembers it in each CID's target set.
+func (l *Ledger) Confirm(target wire.PeerInfo, cidKeys ...string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	stamp := ackStamp{cycle: l.cycle + 1, at: l.now()}
+	for _, k := range cidKeys {
+		l.acks[ackKey(target.ID, k)] = stamp
+		found := false
+		for _, t := range l.targets[k] {
+			if t.ID == target.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			l.targets[k] = append(l.targets[k], target)
+		}
+	}
+}
+
+// Fresh reports whether target acknowledged cidKey in the current
+// cycle, recently enough that skipping the re-push cannot endanger the
+// record's TTL.
+func (l *Ledger) Fresh(target peer.ID, cidKey string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	stamp := l.acks[ackKey(target, cidKey)]
+	return stamp.cycle == l.cycle+1 && l.now().Sub(stamp.at) <= l.freshFor
+}
+
+// SetTargets remembers a CID's computed target set (a walk's k closest
+// peers), replacing any previous set.
+func (l *Ledger) SetTargets(cidKey string, targets []wire.PeerInfo) {
+	l.mu.Lock()
+	l.targets[cidKey] = append([]wire.PeerInfo(nil), targets...)
+	l.mu.Unlock()
+}
+
+// Targets returns a CID's last known target set (peers that acked a
+// store, or the last walk's closest set), or nil when unknown.
+func (l *Ledger) Targets(cidKey string) []wire.PeerInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]wire.PeerInfo(nil), l.targets[cidKey]...)
+}
+
+// ledgered is implemented by routers owning an ack ledger.
+type ledgered interface {
+	Ledger() *Ledger
+}
+
+// AdvanceCycle starts a new republish cycle on every ack ledger in the
+// router stack (a ParallelRouter's members each own one).
+// core.Node.Republish calls it after each cycle's ProvideMany, so acks
+// recorded during the cycle — including first-time publishes since the
+// previous cycle — expire together.
+func AdvanceCycle(r Router) {
+	switch v := r.(type) {
+	case ledgered:
+		v.Ledger().Advance()
+	case *ParallelRouter:
+		for _, m := range v.Members() {
+			AdvanceCycle(m)
+		}
+	}
+}
+
+// batchSend is one multi-record store RPC: every not-yet-confirmed CID
+// whose target set includes this peer.
+type batchSend struct {
+	target  wire.PeerInfo
+	keys    [][]byte
+	cidKeys []string
+}
+
+// batchPlan groups a CID batch by target peer.
+type batchPlan struct {
+	sends   []*batchSend
+	targets int // distinct target peers (including fully-skipped ones)
+	skipped int // targets skipped entirely: every record fresh this cycle
+	// fresh marks CIDs with at least one ledger-fresh record — already
+	// provided this cycle even if every send for them is skipped.
+	fresh map[string]bool
+}
+
+// planBatch groups (cid, target-set) pairs by target peer, dropping
+// pairs the ledger confirmed this cycle.
+func planBatch(ledger *Ledger, cids []cid.Cid, targetsOf func(c cid.Cid) []wire.PeerInfo) *batchPlan {
+	plan := &batchPlan{fresh: make(map[string]bool)}
+	byTarget := make(map[peer.ID]*batchSend)
+	touched := make(map[peer.ID]bool)
+	for _, c := range cids {
+		key := c.Key()
+		for _, t := range targetsOf(c) {
+			touched[t.ID] = true
+			if ledger.Fresh(t.ID, key) {
+				plan.fresh[key] = true
+				continue
+			}
+			bs := byTarget[t.ID]
+			if bs == nil {
+				bs = &batchSend{target: t}
+				byTarget[t.ID] = bs
+				plan.sends = append(plan.sends, bs)
+			}
+			bs.keys = append(bs.keys, c.Bytes())
+			bs.cidKeys = append(bs.cidKeys, key)
+		}
+	}
+	plan.targets = len(touched)
+	plan.skipped = plan.targets - len(plan.sends)
+	return plan
+}
+
+// runBatch executes a batch plan: one concurrent multi-record
+// ADD_PROVIDER RPC per target, recording acks in the ledger. It
+// returns the RPC/ack counts and the set of CID keys with at least one
+// acknowledged record.
+func runBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout time.Duration, ledger *Ledger, plan *batchPlan) (rpcs, acked int, provided map[string]bool) {
+	provided = make(map[string]bool)
+	self := wire.PeerInfo{ID: sw.Local(), Addrs: sw.Addrs()}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, bs := range plan.sends {
+		bs := bs
+		wg.Add(1)
+		rpcs++
+		go func() {
+			defer wg.Done()
+			req := wire.Message{
+				Type:      wire.TAddProvider,
+				Key:       bs.keys[0],
+				Keys:      bs.keys[1:],
+				Providers: []wire.PeerInfo{self},
+			}
+			rctx, cancel := base.WithTimeout(ctx, timeout)
+			defer cancel()
+			resp, err := sw.Request(rctx, bs.target.ID, bs.target.Addrs, req)
+			if err != nil || resp.Type != wire.TAck {
+				return
+			}
+			ledger.Confirm(bs.target, bs.cidKeys...)
+			mu.Lock()
+			acked++
+			for _, k := range bs.cidKeys {
+				provided[k] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return rpcs, acked, provided
+}
+
+// provideManyGrouped is the shared ProvideMany body: plan the batch
+// against the ledger, run it, and fold ledger-fresh CIDs into the
+// provided count. targetsOf supplies each CID's target set (walk
+// result, snapshot neighbourhood, or indexer set).
+func provideManyGrouped(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout time.Duration, ledger *Ledger, cids []cid.Cid, targetsOf func(c cid.Cid) []wire.PeerInfo) (ProvideManyResult, map[string]bool) {
+	start := time.Now()
+	var res ProvideManyResult
+	res.CIDs = len(cids)
+	plan := planBatch(ledger, cids, targetsOf)
+	rpcs, acked, provided := runBatch(ctx, sw, base, timeout, ledger, plan)
+	for k := range plan.fresh {
+		provided[k] = true
+	}
+	res.Targets = plan.targets
+	res.StoreRPCs = rpcs
+	res.SkippedTargets = plan.skipped
+	res.Acked = acked
+	for _, c := range cids {
+		if provided[c.Key()] {
+			res.Provided++
+		}
+	}
+	res.Duration = base.SimSince(start)
+	return res, provided
+}
+
+// unprovided returns the CIDs the batch failed to land a single record
+// for — the subset a fallback router retries.
+func unprovided(cids []cid.Cid, provided map[string]bool) []cid.Cid {
+	var out []cid.Cid
+	for _, c := range cids {
+		if !provided[c.Key()] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// provideManyFallback retries a batch's failed CIDs through the
+// fallback router, merging the fallback's cost into res. The provided
+// count stays consistent: the fallback's successes are added on top.
+func provideManyFallback(ctx context.Context, fallback Router, res ProvideManyResult, failed []cid.Cid) (ProvideManyResult, error) {
+	if len(failed) == 0 {
+		return res, nil
+	}
+	if fallback == nil || ctx.Err() != nil {
+		if res.Provided == 0 && res.CIDs > 0 {
+			err := ctx.Err()
+			if err == nil {
+				err = fmt.Errorf("routing: provide batch of %d: no records stored", res.CIDs)
+			}
+			return res, err
+		}
+		return res, nil
+	}
+	fres, err := fallback.ProvideMany(ctx, failed)
+	res = res.merge(fres)
+	res.Provided += fres.Provided
+	if res.Provided == 0 && res.CIDs > 0 && err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -91,15 +91,25 @@ func (ix *Indexer) handle(ctx context.Context, from peer.ID, req wire.Message) w
 		return wire.Message{Type: wire.TNodes, Peers: []wire.PeerInfo{ix.Info()}}
 
 	case wire.TAddProvider:
+		// A bulk announce carries a whole record batch (Key plus Keys) in
+		// one RPC — how ProvideMany refreshes every record at this
+		// indexer for the cost of a single request.
 		if len(req.Providers) == 0 {
 			return wire.ErrorMessage("no provider supplied")
 		}
-		c, err := cid.FromBytes(req.Key)
-		if err != nil {
-			return wire.ErrorMessage("bad cid: %v", err)
-		}
 		prov := req.Providers[0]
-		ix.providers.Add(record.ProviderRecord{Cid: c, Provider: prov.ID, Published: ix.now()})
+		stored := 0
+		for _, key := range req.AllKeys() {
+			c, err := cid.FromBytes(key)
+			if err != nil {
+				return wire.ErrorMessage("bad cid: %v", err)
+			}
+			ix.providers.Add(record.ProviderRecord{Cid: c, Provider: prov.ID, Published: ix.now()})
+			stored++
+		}
+		if stored == 0 {
+			return wire.ErrorMessage("no record keys supplied")
+		}
 		if len(prov.Addrs) > 0 {
 			ix.sw.Book().Add(prov.ID, prov.Addrs)
 		}
@@ -129,6 +139,9 @@ type IndexerRouterConfig struct {
 	RPCTimeout time.Duration
 	// Base compresses simulated time.
 	Base simtime.Base
+	// Now supplies the wall clock for the ack ledger (default time.Now;
+	// simulations pass their movable clock).
+	Now func() time.Time
 }
 
 func (c IndexerRouterConfig) withDefaults() IndexerRouterConfig {
@@ -137,6 +150,9 @@ func (c IndexerRouterConfig) withDefaults() IndexerRouterConfig {
 	}
 	if c.Base == (simtime.Base{}) {
 		c.Base = simtime.Realtime
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -150,6 +166,7 @@ type IndexerRouter struct {
 	cfg      IndexerRouterConfig
 	sw       *swarm.Swarm
 	fallback Router // nil disables fallback (tests)
+	ledger   *Ledger
 
 	mu       sync.RWMutex
 	indexers []wire.PeerInfo
@@ -157,16 +174,21 @@ type IndexerRouter struct {
 
 // NewIndexerRouter creates a client talking to the given indexers.
 func NewIndexerRouter(sw *swarm.Swarm, indexers []wire.PeerInfo, fallback Router, cfg IndexerRouterConfig) *IndexerRouter {
+	cfg = cfg.withDefaults()
 	return &IndexerRouter{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		sw:       sw,
 		fallback: fallback,
+		ledger:   NewLedger(cfg.Now),
 		indexers: append([]wire.PeerInfo(nil), indexers...),
 	}
 }
 
 // Name implements Router.
 func (r *IndexerRouter) Name() string { return string(KindIndexer) }
+
+// Ledger exposes the republish ack ledger.
+func (r *IndexerRouter) Ledger() *Ledger { return r.ledger }
 
 // SetIndexers replaces the indexer set (e.g. after discovery).
 func (r *IndexerRouter) SetIndexers(indexers []wire.PeerInfo) {
@@ -199,7 +221,14 @@ func (r *IndexerRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, 
 		Key:       c.Bytes(),
 		Providers: []wire.PeerInfo{{ID: r.sw.Local(), Addrs: r.sw.Addrs()}},
 	}
-	res.StoreAttempts, res.StoreOK = storeBatch(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, targets, req)
+	var acked []wire.PeerInfo
+	res.StoreTargets = targets
+	res.StoreAttempts, acked = storeBatch(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, targets, req)
+	res.StoreOK = len(acked)
+	res.AckedTargets = acked
+	for _, t := range acked {
+		r.ledger.Confirm(t, c.Key())
+	}
 	res.BatchDuration = r.cfg.Base.SimSince(start)
 	res.TotalDuration = res.BatchDuration
 	if res.StoreOK == 0 {
@@ -209,12 +238,29 @@ func (r *IndexerRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, 
 	return res, nil
 }
 
-// FindProviders implements Router: ask each indexer in turn; the first
-// non-empty answer wins. A miss (every indexer empty or unreachable)
-// falls back to the DHT walk, with the indexer RPCs included in the
-// reported message count.
-func (r *IndexerRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
-	return findWithFallback(ctx, r.direct, r.fallback, c)
+// ProvideMany implements Router: one bulk announce per configured
+// indexer — the whole batch's record keys ride a single multi-record
+// ADD_PROVIDER RPC — with ack-ledger skips, and a fallback retry for
+// the batch when no indexer accepted it.
+func (r *IndexerRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (ProvideManyResult, error) {
+	targets := r.targets()
+	if len(targets) == 0 {
+		if r.fallback != nil {
+			return r.fallback.ProvideMany(ctx, cids)
+		}
+		return ProvideManyResult{CIDs: len(cids)}, fmt.Errorf("routing: indexer provide batch of %d: no indexers configured", len(cids))
+	}
+	res, provided := provideManyGrouped(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, r.ledger, cids,
+		func(cid.Cid) []wire.PeerInfo { return targets })
+	return provideManyFallback(ctx, r.fallback, res, unprovided(cids, provided))
+}
+
+// FindProvidersStream implements Router: ask each indexer in turn and
+// yield the first non-empty answer, chaining into the DHT fallback's
+// stream on a miss with the indexer RPCs included in the reported
+// message count.
+func (r *IndexerRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (ProviderSeq, *StreamInfo) {
+	return streamWithFallback(ctx, r.direct, r.fallback, c)
 }
 
 // SessionPeers implements Router: one RPC to the first indexer that

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cid"
+	"repro/internal/peer"
 	"repro/internal/wire"
 )
 
@@ -43,7 +44,11 @@ func (r *ParallelRouter) Members() []Router { return r.members }
 // members push records to disjoint places (DHT neighbourhood, snapshot
 // neighbourhood, indexer store), the winner alone satisfies the §3.1
 // contract; the extra replicas the losers managed before cancellation
-// are a bonus, never a correctness requirement.
+// are a bonus, never a correctness requirement. Every member's RPCs —
+// winners, cancelled losers, and outright failures — are charged onto
+// the returned result so the race's extra-requests-for-latency
+// trade-off shows up in the message accounting even when the whole
+// race fails.
 func (r *ParallelRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
 	if len(r.members) == 0 {
 		return ProvideResult{}, fmt.Errorf("routing: parallel provide %s: no members", c)
@@ -69,9 +74,7 @@ func (r *ParallelRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult,
 		if o.err == nil {
 			cancel()
 			// Drain the cancelled losers (they return promptly once the
-			// context falls) and charge the RPCs they managed to launch,
-			// so the race's extra-requests-for-latency trade-off shows
-			// up in the message accounting.
+			// context falls) and charge the RPCs they managed to launch.
 			for j := i + 1; j < len(r.members); j++ {
 				lo := <-ch
 				loserMsgs += ProvideMessages(lo.res)
@@ -84,7 +87,53 @@ func (r *ParallelRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult,
 			firstErr = o.err
 		}
 	}
-	return ProvideResult{}, firstErr
+	// Every member failed: the race's RPCs still went out, so they are
+	// returned in the result rather than vanishing from the accounting.
+	return ProvideResult{Walk: LookupInfo{Launched: loserMsgs}}, firstErr
+}
+
+// ProvideMany implements Router: the batch fans out to every member
+// concurrently — records must be refreshed in each member's disjoint
+// record store (DHT neighbourhood, snapshot neighbourhood, indexer),
+// so a republish cannot race-and-cancel the way Provide does without
+// letting the losers' replicas decay. The aggregated result sums every
+// member's RPCs; Provided is the best member's count (a CID is
+// reachable if any member landed it).
+func (r *ParallelRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (ProvideManyResult, error) {
+	if len(r.members) == 0 {
+		return ProvideManyResult{}, fmt.Errorf("routing: parallel provide batch of %d: no members", len(cids))
+	}
+	type outcome struct {
+		res ProvideManyResult
+		err error
+	}
+	ch := make(chan outcome, len(r.members))
+	for _, m := range r.members {
+		m := m
+		go func() {
+			res, err := m.ProvideMany(ctx, cids)
+			ch <- outcome{res: res, err: err}
+		}()
+	}
+	res := ProvideManyResult{CIDs: len(cids)}
+	var firstErr error
+	ok := false
+	for i := 0; i < len(r.members); i++ {
+		o := <-ch
+		res = res.merge(o.res)
+		if o.res.Provided > res.Provided {
+			res.Provided = o.res.Provided
+		}
+		if o.err == nil {
+			ok = true
+		} else if firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	if !ok {
+		return res, firstErr
+	}
+	return res, nil
 }
 
 // SessionPeers implements Router: members race their cheap candidate
@@ -140,58 +189,79 @@ func (r *ParallelRouter) WantBroadcast() bool {
 	return false
 }
 
-// FindProviders implements Router: members race and the first
-// provider-carrying response wins; losers are cancelled.
-func (r *ParallelRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
-	if len(r.members) == 0 {
-		return nil, LookupInfo{}, fmt.Errorf("routing: parallel find %s: no members", c)
-	}
-	type outcome struct {
-		providers []wire.PeerInfo
-		info      LookupInfo
-		err       error
-	}
-	pctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	ch := make(chan outcome, len(r.members))
-	for _, m := range r.members {
-		m := m
-		go func() {
-			providers, info, err := m.FindProviders(pctx, c)
-			ch <- outcome{providers: providers, info: info, err: err}
-		}()
-	}
-	var firstErr error
-	var lastInfo LookupInfo
-	var maxDur time.Duration
-	for i := 0; i < len(r.members); i++ {
-		o := <-ch
-		if o.info.Duration > maxDur {
-			maxDur = o.info.Duration
+// FindProvidersStream implements Router by merging the member streams:
+// every member's lookup runs concurrently and each provider batch is
+// yielded (deduplicated) in arrival order — the first batch from any
+// member is the race winner, and slower members' partial results
+// become fail-over candidates instead of being discarded with the
+// losers. The aggregated statistics charge every member's RPCs,
+// cancelled losers included.
+func (r *ParallelRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (ProviderSeq, *StreamInfo) {
+	st := &StreamInfo{}
+	seq := func(yield func([]wire.PeerInfo) bool) {
+		if len(r.members) == 0 {
+			st.set(LookupInfo{}, fmt.Errorf("routing: parallel find %s: no members", c))
+			return
 		}
-		if o.err == nil && len(o.providers) > 0 {
-			cancel()
-			// Drain the cancelled losers and charge the RPCs they
-			// launched before losing; the winner's duration and depth
-			// are kept — the race costs messages, not time.
-			loserMsgs := LookupMessages(lastInfo)
-			for j := i + 1; j < len(r.members); j++ {
-				lo := <-ch
-				loserMsgs += LookupMessages(lo.info)
+		pctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		batches := make(chan []wire.PeerInfo)
+		done := make(chan *StreamInfo, len(r.members))
+		for _, m := range r.members {
+			mseq, mst := m.FindProvidersStream(pctx, c)
+			go func() {
+				mseq(func(batch []wire.PeerInfo) bool {
+					select {
+					case batches <- batch:
+						return true
+					case <-pctx.Done():
+						return false
+					}
+				})
+				done <- mst
+			}()
+		}
+		seen := make(map[peer.ID]bool)
+		emitted, stopped := false, false
+		finished := 0
+		var agg LookupInfo
+		var maxDur time.Duration
+		var firstErr error
+		for finished < len(r.members) {
+			select {
+			case b := <-batches:
+				b = dedupProviders(seen, b)
+				if len(b) == 0 || stopped {
+					continue
+				}
+				emitted = true
+				if !yield(b) {
+					stopped = true
+					cancel()
+				}
+			case mst := <-done:
+				finished++
+				info := mst.Info()
+				if info.Duration > maxDur {
+					maxDur = info.Duration
+				}
+				agg = mergeLookup(agg, info)
+				if err := mst.Err(); err != nil && firstErr == nil {
+					firstErr = err
+				}
 			}
-			o.info.Launched = LookupMessages(o.info) + loserMsgs
-			return o.providers, o.info, nil
 		}
-		lastInfo = mergeLookup(lastInfo, o.info)
-		if firstErr == nil && o.err != nil {
-			firstErr = o.err
+		// Members ran concurrently, so the combined duration is the
+		// slowest member's, not mergeLookup's sequential sum; the race
+		// costs messages, not time.
+		agg.Duration = maxDur
+		var err error
+		if !emitted {
+			if err = firstErr; err == nil {
+				err = ErrNoProviders
+			}
 		}
+		st.set(agg, err)
 	}
-	if firstErr == nil {
-		firstErr = ErrNoProviders
-	}
-	// Members raced concurrently, so the combined duration is the
-	// slowest member's, not mergeLookup's sequential sum.
-	lastInfo.Duration = maxDur
-	return nil, lastInfo, firstErr
+	return seq, st
 }

@@ -16,6 +16,16 @@
 //   - ParallelRouter: a composite racing member routers, returning the
 //     first success and cancelling the losers (§6.2's "parallel
 //     discovery" generalized beyond Bitswap).
+//
+// The Router API has two surfaces. Publication is batch-first:
+// Provide publishes one record, ProvideMany publishes a whole batch
+// grouped by target peer (one multi-record ADD_PROVIDER RPC per peer)
+// with a per-cycle ack Ledger, so a republish cycle costs O(distinct
+// target peers) instead of O(CIDs × walk). Discovery is stream-first:
+// FindProvidersStream yields providers as lookup responses arrive, so
+// a retrieval can hand the first provider to Bitswap immediately while
+// later ones become fail-over candidates; the package-level
+// FindProviders adapter keeps the legacy blocking slice shape.
 package routing
 
 import (
@@ -26,6 +36,7 @@ import (
 
 	"repro/internal/cid"
 	"repro/internal/dht"
+	"repro/internal/peer"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
 	"repro/internal/wire"
@@ -57,21 +68,111 @@ type ProvideResult = dht.ProvideResult
 // stays comparable across implementations.
 type LookupInfo = dht.WalkInfo
 
+// ProviderSeq is a push iterator over provider batches: one yield per
+// record-carrying lookup response, in arrival order. yield returning
+// false stops the underlying lookup. The sequence runs synchronously
+// inside the call — run it on its own goroutine to consume the first
+// batch while the lookup keeps producing fail-over candidates.
+type ProviderSeq func(yield func([]wire.PeerInfo) bool)
+
+// StreamInfo carries a streaming lookup's statistics and terminal
+// error; both are final once the ProviderSeq invocation returns (it is
+// safe to read them from another goroutine after that).
+type StreamInfo struct {
+	mu   sync.Mutex
+	info LookupInfo
+	err  error
+}
+
+func (s *StreamInfo) set(info LookupInfo, err error) {
+	s.mu.Lock()
+	s.info, s.err = info, err
+	s.mu.Unlock()
+}
+
+// Info returns the lookup statistics accumulated by the stream.
+func (s *StreamInfo) Info() LookupInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.info
+}
+
+// Err returns the lookup's terminal error: nil when at least one
+// provider batch was yielded, ErrNoProviders on an exhausted lookup, or
+// the context error.
+func (s *StreamInfo) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ProvideManyResult instruments one batched publication: a whole CID
+// batch grouped by target peer and pushed with one multi-record
+// ADD_PROVIDER RPC per distinct target, minus the targets the ack
+// ledger already confirmed this cycle.
+type ProvideManyResult struct {
+	CIDs     int // batch size
+	Provided int // CIDs with >= 1 record confirmed (acked or ledger-fresh) this cycle
+	Targets  int // distinct target peers the batch grouped onto
+	// StoreRPCs counts the multi-record store RPCs issued — at most one
+	// per distinct target, the bound that makes republish O(targets).
+	StoreRPCs int
+	// SkippedTargets counts targets skipped entirely because the ack
+	// ledger had every one of their records confirmed this cycle.
+	SkippedTargets int
+	Acked          int // store RPCs acknowledged
+	// Walks counts full WalkClosest lookups paid for CIDs with no
+	// remembered target set (first publication through this router).
+	Walks    int
+	Walk     LookupInfo // aggregate cost of those walks
+	Duration time.Duration
+}
+
+// Msgs counts the routing RPCs the batch issued: walk queries plus
+// store RPCs.
+func (r ProvideManyResult) Msgs() int {
+	return LookupMessages(r.Walk) + r.StoreRPCs
+}
+
+// merge folds another batch result (a fallback's, or a parallel
+// member's) into r.
+func (r ProvideManyResult) merge(o ProvideManyResult) ProvideManyResult {
+	r.Targets += o.Targets
+	r.StoreRPCs += o.StoreRPCs
+	r.SkippedTargets += o.SkippedTargets
+	r.Acked += o.Acked
+	r.Walks += o.Walks
+	r.Walk = mergeLookup(r.Walk, o.Walk)
+	if o.Duration > r.Duration {
+		r.Duration = o.Duration
+	}
+	return r
+}
+
 // Router is the content-routing abstraction core.Node publishes and
-// retrieves through. Besides the provider-record operations of §3.1–3.2
-// it carries the session-facing surface Bitswap consults: SessionPeers
-// supplies candidate holders without paying a multi-hop walk, and
-// WantBroadcast is the policy deciding whether the opportunistic
-// WANT-HAVE broadcast still runs for sessions routed through this
-// router.
+// retrieves through, in two surfaces. Publication: Provide pushes one
+// provider record, ProvideMany pushes a batch with per-target-peer
+// grouping and ack-ledger skips (the §3.1 fan-out amortized across a
+// republish cycle). Discovery: FindProvidersStream yields providers as
+// responses arrive (§3.2 without the wait for complete results), and
+// SessionPeers/WantBroadcast are the session surface Bitswap consults.
 type Router interface {
 	// Name identifies the implementation in experiment output.
 	Name() string
 	// Provide publishes a provider record for c.
 	Provide(ctx context.Context, c cid.Cid) (ProvideResult, error)
-	// FindProviders locates peers holding c. Implementations return as
-	// soon as one record-holding response arrives (§3.2).
-	FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error)
+	// ProvideMany publishes records for a whole CID batch, grouping the
+	// batch by target peer: one multi-record ADD_PROVIDER RPC per
+	// distinct target, skipping targets whose records the ack ledger
+	// already confirmed this cycle. It returns an error only when the
+	// whole batch failed to land a single record.
+	ProvideMany(ctx context.Context, cids []cid.Cid) (ProvideManyResult, error)
+	// FindProvidersStream starts a provider lookup for c and returns an
+	// iterator yielding provider batches as responses arrive, plus the
+	// accessor for the lookup's statistics and terminal error (valid
+	// once the iterator returns). Implementations end the stream when
+	// their lookup is exhausted or the consumer's yield returns false.
+	FindProvidersStream(ctx context.Context, c cid.Cid) (ProviderSeq, *StreamInfo)
 	// SessionPeers returns up to n candidate peers believed to hold c
 	// without paying a multi-hop walk, plus the routing RPCs spent
 	// learning them. Routers with no cheap provider knowledge (the
@@ -84,6 +185,47 @@ type Router interface {
 	// broadcast is pure waste (§3.2) — while the walk-based baseline
 	// and composites containing it answer true.
 	WantBroadcast() bool
+}
+
+// FindProviders adapts the streaming surface to the legacy blocking
+// shape: it stops the stream at the first provider-carrying response
+// and returns that batch — exactly the §3.2 "terminate on the first
+// record-hosting node" semantics (and message cost) the one-shot API
+// had.
+func FindProviders(ctx context.Context, r Router, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
+	seq, st := r.FindProvidersStream(ctx, c)
+	var out []wire.PeerInfo
+	seq(func(batch []wire.PeerInfo) bool {
+		out = append(out, batch...)
+		return false
+	})
+	if len(out) > 0 {
+		return out, st.Info(), nil
+	}
+	err := st.Err()
+	if err == nil {
+		err = ErrNoProviders
+	}
+	return nil, st.Info(), err
+}
+
+// LazyStream adapts a blocking slice-returning lookup to the streaming
+// surface: the lookup runs when the sequence is invoked and its result
+// is yielded as a single batch. Custom Router implementations built on
+// one-shot lookups use it to satisfy FindProvidersStream.
+func LazyStream(lookup func() ([]wire.PeerInfo, LookupInfo, error)) (ProviderSeq, *StreamInfo) {
+	st := &StreamInfo{}
+	seq := func(yield func([]wire.PeerInfo) bool) {
+		providers, info, err := lookup()
+		if err == nil && len(providers) == 0 {
+			err = ErrNoProviders
+		}
+		st.set(info, err)
+		if err == nil {
+			yield(providers)
+		}
+	}
+	return seq, st
 }
 
 // ErrNoProviders is returned when a lookup exhausts every path without
@@ -109,10 +251,10 @@ func capPeers(peers []wire.PeerInfo, n int) []wire.PeerInfo {
 type sessionMissKey struct{}
 
 // WithSessionMiss hands a SessionPeers consult miss forward: a
-// FindProviders call under the returned context skips the one-hop
-// direct probe for c — the consult moments earlier asked the same
-// snapshot/indexer neighbourhood and got nothing — and goes straight
-// to the fallback walk, saving a duplicate RPC wave per
+// FindProvidersStream call under the returned context skips the
+// one-hop direct probe for c — the consult moments earlier asked the
+// same snapshot/indexer neighbourhood and got nothing — and goes
+// straight to the fallback walk, saving a duplicate RPC wave per
 // unpublished-content retrieval.
 func WithSessionMiss(ctx context.Context, c cid.Cid) context.Context {
 	return context.WithValue(ctx, sessionMissKey{}, c.Key())
@@ -128,28 +270,49 @@ func sessionMissed(ctx context.Context, c cid.Cid) bool {
 // indexer query), returning ErrNoProviders on a miss.
 type directFn func(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error)
 
-// findWithFallback is the shared direct-then-fallback FindProviders
-// control flow of the one-hop routers: try the direct path, return on
-// success or context error, otherwise walk the fallback with the
-// wasted direct RPCs merged into the reported cost. A session-consult
-// miss recorded on the context skips the direct probe entirely — those
-// RPCs went out (and were charged) during the consult.
-func findWithFallback(ctx context.Context, direct directFn, fallback Router, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
-	if sessionMissed(ctx, c) {
-		if fallback != nil {
-			return fallback.FindProviders(ctx, c)
+// streamWithFallback is the shared direct-then-fallback streaming
+// control flow of the one-hop routers: yield the direct path's batch,
+// or chain into the fallback router's stream with the wasted direct
+// RPCs merged into the reported cost. A session-consult miss recorded
+// on the context skips the direct probe entirely — those RPCs went out
+// (and were charged) during the consult.
+func streamWithFallback(ctx context.Context, direct directFn, fallback Router, c cid.Cid) (ProviderSeq, *StreamInfo) {
+	st := &StreamInfo{}
+	seq := func(yield func([]wire.PeerInfo) bool) {
+		if sessionMissed(ctx, c) {
+			streamFallback(ctx, fallback, c, LookupInfo{}, yield, st)
+			return
 		}
-		return nil, LookupInfo{}, ErrNoProviders
+		providers, info, err := direct(ctx, c)
+		if err == nil {
+			st.set(info, nil)
+			yield(providers)
+			return
+		}
+		if ctx.Err() != nil {
+			st.set(info, err)
+			return
+		}
+		streamFallback(ctx, fallback, c, info, yield, st)
 	}
-	providers, info, err := direct(ctx, c)
-	if err == nil || ctx.Err() != nil {
-		return providers, info, err
+	return seq, st
+}
+
+// streamFallback runs the fallback router's provider stream, charging
+// the wasted direct-path cost onto the reported statistics. A nil
+// fallback ends the stream with ErrNoProviders.
+func streamFallback(ctx context.Context, fallback Router, c cid.Cid, direct LookupInfo, yield func([]wire.PeerInfo) bool, st *StreamInfo) {
+	if fallback == nil {
+		err := ctx.Err()
+		if err == nil {
+			err = ErrNoProviders
+		}
+		st.set(direct, err)
+		return
 	}
-	if fallback != nil {
-		providers, finfo, err := fallback.FindProviders(ctx, c)
-		return providers, mergeLookup(info, finfo), err
-	}
-	return nil, info, ErrNoProviders
+	seq, fst := fallback.FindProvidersStream(ctx, c)
+	seq(yield)
+	st.set(mergeLookup(direct, fst.Info()), fst.Err())
 }
 
 // sessionFromDirect is the shared SessionPeers body of the one-hop
@@ -197,8 +360,9 @@ func max(a, b int) int {
 }
 
 // storeBatch pushes req to every target with concurrent fire-and-forget
-// RPCs — the §3.1 record-store fan-out the one-hop routers share.
-func storeBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout time.Duration, targets []wire.PeerInfo, req wire.Message) (attempts, acked int) {
+// RPCs — the §3.1 record-store fan-out the one-hop routers share — and
+// returns the targets that acknowledged.
+func storeBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout time.Duration, targets []wire.PeerInfo, req wire.Message) (attempts int, ackedTargets []wire.PeerInfo) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	for _, info := range targets {
@@ -212,13 +376,13 @@ func storeBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout
 			resp, err := sw.Request(rctx, info.ID, info.Addrs, req)
 			if err == nil && resp.Type == wire.TAck {
 				mu.Lock()
-				acked++
+				ackedTargets = append(ackedTargets, info)
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	return attempts, acked
+	return attempts, ackedTargets
 }
 
 // provideFallback routes a fully-failed one-hop batch through the
@@ -242,6 +406,20 @@ func fillAddrs(sw *swarm.Swarm, providers []wire.PeerInfo) []wire.PeerInfo {
 		if addrs, ok := sw.Book().Get(p.ID); ok && len(p.Addrs) == 0 {
 			p.Addrs = addrs
 		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// dedupProviders filters a batch down to peers not yet seen this
+// stream, so merged or multi-response streams yield each provider once.
+func dedupProviders(seen map[peer.ID]bool, batch []wire.PeerInfo) []wire.PeerInfo {
+	out := batch[:0:len(batch)]
+	for _, p := range batch {
+		if seen[p.ID] {
+			continue
+		}
+		seen[p.ID] = true
 		out = append(out, p)
 	}
 	return out

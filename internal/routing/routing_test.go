@@ -28,9 +28,12 @@ type fakeRouter struct {
 	err       error
 	provider  peer.ID
 	broadcast bool
-	cancelled atomic.Bool
-	calls     atomic.Int32
-	sessions  atomic.Int32
+	// provideRes is what a failing Provide still spent — the accounting
+	// tests assert it survives an all-fail race.
+	provideRes routing.ProvideResult
+	cancelled  atomic.Bool
+	calls      atomic.Int32
+	sessions   atomic.Int32
 }
 
 func (f *fakeRouter) Name() string { return f.name }
@@ -48,16 +51,31 @@ func (f *fakeRouter) wait(ctx context.Context) error {
 
 func (f *fakeRouter) Provide(ctx context.Context, c cid.Cid) (routing.ProvideResult, error) {
 	if err := f.wait(ctx); err != nil {
-		return routing.ProvideResult{}, err
+		return f.provideRes, err
 	}
 	return routing.ProvideResult{StoreAttempts: 1, StoreOK: 1}, nil
 }
 
-func (f *fakeRouter) FindProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, routing.LookupInfo, error) {
+func (f *fakeRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (routing.ProvideManyResult, error) {
+	if err := f.wait(ctx); err != nil {
+		return routing.ProvideManyResult{CIDs: len(cids)}, err
+	}
+	return routing.ProvideManyResult{
+		CIDs: len(cids), Provided: len(cids), Targets: 1, StoreRPCs: 1, Acked: 1,
+	}, nil
+}
+
+func (f *fakeRouter) findProviders(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, routing.LookupInfo, error) {
 	if err := f.wait(ctx); err != nil {
 		return nil, routing.LookupInfo{}, err
 	}
 	return []wire.PeerInfo{{ID: f.provider}}, routing.LookupInfo{Queried: 1}, nil
+}
+
+func (f *fakeRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (routing.ProviderSeq, *routing.StreamInfo) {
+	return routing.LazyStream(func() ([]wire.PeerInfo, routing.LookupInfo, error) {
+		return f.findProviders(ctx, c)
+	})
 }
 
 func (f *fakeRouter) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error) {
@@ -80,7 +98,7 @@ func TestParallelFirstWinnerCancelsLosers(t *testing.T) {
 	slow := &fakeRouter{name: "slow", delay: time.Minute, provider: peer.ID("loser")}
 	r := routing.NewParallel(fast, slow)
 
-	providers, info, err := r.FindProviders(context.Background(), testCid("race"))
+	providers, info, err := routing.FindProviders(context.Background(), r, testCid("race"))
 	if err != nil {
 		t.Fatalf("FindProviders: %v", err)
 	}
@@ -122,7 +140,7 @@ func TestParallelAllFailReturnsFirstError(t *testing.T) {
 	if _, err := routing.NewParallel(a, b).Provide(context.Background(), testCid("x")); !errors.Is(err, e1) {
 		t.Errorf("err = %v, want first member's error", err)
 	}
-	if _, _, err := routing.NewParallel(a, b).FindProviders(context.Background(), testCid("x")); err == nil {
+	if _, _, err := routing.FindProviders(context.Background(), routing.NewParallel(a, b), testCid("x")); err == nil {
 		t.Error("FindProviders should fail when every member fails")
 	}
 }
@@ -143,9 +161,14 @@ func (c *countingRouter) Provide(ctx context.Context, id cid.Cid) (routing.Provi
 	return c.inner.Provide(ctx, id)
 }
 
-func (c *countingRouter) FindProviders(ctx context.Context, id cid.Cid) ([]wire.PeerInfo, routing.LookupInfo, error) {
+func (c *countingRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (routing.ProvideManyResult, error) {
+	c.provides.Add(1)
+	return c.inner.ProvideMany(ctx, cids)
+}
+
+func (c *countingRouter) FindProvidersStream(ctx context.Context, id cid.Cid) (routing.ProviderSeq, *routing.StreamInfo) {
 	c.finds.Add(1)
-	return c.inner.FindProviders(ctx, id)
+	return c.inner.FindProvidersStream(ctx, id)
 }
 
 func (c *countingRouter) SessionPeers(ctx context.Context, id cid.Cid, n int) ([]wire.PeerInfo, int, error) {
@@ -189,7 +212,7 @@ func TestIndexerRoundTrip(t *testing.T) {
 		t.Fatalf("indexer holds %d records, want 1", ix.Len())
 	}
 
-	providers, info, err := get.FindProviders(ctx, c)
+	providers, info, err := routing.FindProviders(ctx, get, c)
 	if err != nil {
 		t.Fatalf("FindProviders: %v", err)
 	}
@@ -233,7 +256,7 @@ func TestIndexerMissFallsBackToDHT(t *testing.T) {
 	r := routing.NewIndexerRouter(getter.Swarm(), []wire.PeerInfo{ix.Info()}, fb,
 		routing.IndexerRouterConfig{Base: tn.Base})
 
-	providers, info, err := r.FindProviders(ctx, pub.Cid)
+	providers, info, err := routing.FindProviders(ctx, r, pub.Cid)
 	if err != nil {
 		t.Fatalf("FindProviders after indexer miss: %v", err)
 	}
@@ -276,7 +299,7 @@ func TestAcceleratedOneHopLookup(t *testing.T) {
 		t.Fatal("no records stored")
 	}
 
-	providers, info, err := getter.Router().FindProviders(ctx, pub.Cid)
+	providers, info, err := routing.FindProviders(ctx, getter.Router(), pub.Cid)
 	if err != nil {
 		t.Fatalf("FindProviders: %v", err)
 	}
@@ -518,7 +541,7 @@ func TestSessionMissHandoffSkipsDirectProbe(t *testing.T) {
 	// Plain miss: the direct one-hop wave probes the K closest snapshot
 	// peers before the fallback runs.
 	before, _, _ := tn.Net.Stats()
-	if _, _, err := accel.FindProviders(ctx, c); !errors.Is(err, routing.ErrNoProviders) {
+	if _, _, err := routing.FindProviders(ctx, accel, c); !errors.Is(err, routing.ErrNoProviders) {
 		t.Fatalf("plain miss err = %v, want ErrNoProviders", err)
 	}
 	mid, _, _ := tn.Net.Stats()
@@ -532,7 +555,7 @@ func TestSessionMissHandoffSkipsDirectProbe(t *testing.T) {
 
 	// The same lookup under WithSessionMiss goes straight to the
 	// fallback: zero duplicate direct RPCs — the saved wave.
-	if _, _, err := accel.FindProviders(routing.WithSessionMiss(ctx, c), c); !errors.Is(err, routing.ErrNoProviders) {
+	if _, _, err := routing.FindProviders(routing.WithSessionMiss(ctx, c), accel, c); !errors.Is(err, routing.ErrNoProviders) {
 		t.Fatalf("handoff miss err = %v, want ErrNoProviders", err)
 	}
 	after, _, _ := tn.Net.Stats()
@@ -546,7 +569,7 @@ func TestSessionMissHandoffSkipsDirectProbe(t *testing.T) {
 	// The hint is keyed to the CID: lookups for other keys still probe
 	// the snapshot directly.
 	b3, _, _ := tn.Net.Stats()
-	accel.FindProviders(routing.WithSessionMiss(ctx, c), testCid("different key"))
+	routing.FindProviders(routing.WithSessionMiss(ctx, c), accel, testCid("different key"))
 	a3, _, _ := tn.Net.Stats()
 	if a3 == b3 {
 		t.Error("a hint for one CID suppressed the direct probe of another")
@@ -557,7 +580,7 @@ func TestSessionMissHandoffSkipsDirectProbe(t *testing.T) {
 	bare := routing.NewAccelerated(node.Swarm(), nil, routing.AcceleratedConfig{Base: tn.Base})
 	bare.SetSnapshot(infos)
 	b4, _, _ := tn.Net.Stats()
-	if _, _, err := bare.FindProviders(routing.WithSessionMiss(ctx, c), c); !errors.Is(err, routing.ErrNoProviders) {
+	if _, _, err := routing.FindProviders(routing.WithSessionMiss(ctx, c), bare, c); !errors.Is(err, routing.ErrNoProviders) {
 		t.Fatalf("bare handoff err = %v, want ErrNoProviders", err)
 	}
 	a4, _, _ := tn.Net.Stats()

@@ -1,0 +1,170 @@
+package routing_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/peer"
+	"repro/internal/routing"
+	"repro/internal/wire"
+)
+
+// detachedRouter shields its inner router from race cancellation
+// (context.WithoutCancel), so a "losing" member deterministically
+// completes its RPCs — the accounting tests need the loser's cost to
+// actually hit the network.
+type detachedRouter struct{ inner routing.Router }
+
+func (d detachedRouter) Name() string { return d.inner.Name() }
+
+func (d detachedRouter) Provide(ctx context.Context, c cid.Cid) (routing.ProvideResult, error) {
+	return d.inner.Provide(context.WithoutCancel(ctx), c)
+}
+
+func (d detachedRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (routing.ProvideManyResult, error) {
+	return d.inner.ProvideMany(context.WithoutCancel(ctx), cids)
+}
+
+func (d detachedRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (routing.ProviderSeq, *routing.StreamInfo) {
+	return d.inner.FindProvidersStream(context.WithoutCancel(ctx), c)
+}
+
+func (d detachedRouter) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]wire.PeerInfo, int, error) {
+	return d.inner.SessionPeers(context.WithoutCancel(ctx), c, n)
+}
+
+func (d detachedRouter) WantBroadcast() bool { return d.inner.WantBroadcast() }
+
+// TestParallelRaceChargesLosersAgainstBudget is the regression test
+// for raced-RPC under-counting: the message totals a ParallelRouter
+// reports — for the winner path and the all-fail path, lookup and
+// publication alike — must match what the simulated network actually
+// saw in simnet's budget.
+func TestParallelRaceChargesLosersAgainstBudget(t *testing.T) {
+	tn := buildCleanNet(t, 40, 81)
+	ctx := context.Background()
+
+	// Two single-indexer routers: every operation costs exactly one RPC
+	// per member, so the totals are deterministic. The second member is
+	// detached so losing the race cannot suppress its RPC.
+	ixHit := tn.AddIndexer("US", 810)
+	ixMiss := tn.AddIndexer("DE", 811)
+	node := tn.AddVantage("US", 812)
+	mkRouter := func(ix wire.PeerInfo) routing.Router {
+		return routing.NewIndexerRouter(node.Swarm(), []wire.PeerInfo{ix}, nil,
+			routing.IndexerRouterConfig{Base: tn.Base})
+	}
+	hit := mkRouter(ixHit.Info())
+	miss := detachedRouter{inner: mkRouter(ixMiss.Info())}
+
+	c := testCid("raced content")
+	publisher := tn.AddVantage("DE", 813)
+	pubR := routing.NewIndexerRouter(publisher.Swarm(), []wire.PeerInfo{ixHit.Info()}, nil,
+		routing.IndexerRouterConfig{Base: tn.Base})
+	if _, err := pubR.Provide(ctx, c); err != nil {
+		t.Fatalf("seed provide: %v", err)
+	}
+
+	r := routing.NewParallel(hit, miss)
+
+	// Winner path: the hit member answers in one RPC, the cancelled
+	// loser's RPC must still be charged and must equal the budget.
+	before := tn.Net.Budget()
+	_, info, err := routing.FindProviders(ctx, r, c)
+	if err != nil {
+		t.Fatalf("FindProviders: %v", err)
+	}
+	spent := tn.Net.Budget().Sub(before).Requests
+	if got := routing.LookupMessages(info); int64(got) != spent {
+		t.Errorf("race reported %d lookup msgs, network saw %d — losers under-counted", got, spent)
+	}
+	if spent != 2 {
+		t.Errorf("network saw %d requests, want 2 (winner + detached loser)", spent)
+	}
+
+	// All-fail path: both members miss; the reported cost must still
+	// cover every raced RPC instead of vanishing with the error.
+	missCid := testCid("never published")
+	before = tn.Net.Budget()
+	_, info, err = routing.FindProviders(ctx, r, missCid)
+	if !errors.Is(err, routing.ErrNoProviders) {
+		t.Fatalf("miss err = %v, want ErrNoProviders", err)
+	}
+	spent = tn.Net.Budget().Sub(before).Requests
+	if got := routing.LookupMessages(info); int64(got) != spent || spent != 2 {
+		t.Errorf("all-fail race reported %d msgs, network saw %d, want 2", got, spent)
+	}
+
+	// Provide winner path: both members store one record each; the
+	// drained loser's store is charged.
+	pc := testCid("raced publication")
+	before = tn.Net.Budget()
+	res, err := r.Provide(ctx, pc)
+	if err != nil {
+		t.Fatalf("Provide: %v", err)
+	}
+	spent = tn.Net.Budget().Sub(before).Requests
+	if got := routing.ProvideMessages(res); int64(got) != spent || spent != 2 {
+		t.Errorf("raced provide reported %d msgs, network saw %d, want 2", got, spent)
+	}
+}
+
+// TestParallelProvideAllFailKeepsCost pins the all-fail Provide
+// accounting fix: when every raced member fails, the RPCs they spent
+// still appear in the returned result.
+func TestParallelProvideAllFailKeepsCost(t *testing.T) {
+	failCost := routing.ProvideResult{StoreAttempts: 2, Walk: routing.LookupInfo{Queried: 3}}
+	a := &fakeRouter{name: "a", delay: time.Millisecond, err: errors.New("a down"), provideRes: failCost}
+	b := &fakeRouter{name: "b", delay: 2 * time.Millisecond, err: errors.New("b down"), provideRes: failCost}
+	res, err := routing.NewParallel(a, b).Provide(context.Background(), testCid("x"))
+	if err == nil {
+		t.Fatal("want error when every member fails")
+	}
+	if got := routing.ProvideMessages(res); got != 2*routing.ProvideMessages(failCost) {
+		t.Errorf("all-fail provide reports %d msgs, want %d (both members' spend)",
+			got, 2*routing.ProvideMessages(failCost))
+	}
+}
+
+// TestParallelStreamKeepsLosersPartialResults is the streaming-merge
+// contract: draining the composite stream past the winner's batch
+// yields the slower members' providers too, instead of discarding them
+// with the cancelled losers.
+func TestParallelStreamKeepsLosersPartialResults(t *testing.T) {
+	fast := &fakeRouter{name: "fast", delay: time.Millisecond, provider: peer.ID("winner")}
+	slow := &fakeRouter{name: "slow", delay: 20 * time.Millisecond, provider: peer.ID("straggler")}
+	r := routing.NewParallel(fast, slow)
+
+	seq, st := r.FindProvidersStream(context.Background(), testCid("merge"))
+	var got []peer.ID
+	seq(func(batch []wire.PeerInfo) bool {
+		for _, p := range batch {
+			got = append(got, p.ID)
+		}
+		return true // keep draining: the straggler's result must arrive
+	})
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream err = %v", err)
+	}
+	if len(got) != 2 || got[0] != peer.ID("winner") || got[1] != peer.ID("straggler") {
+		t.Fatalf("streamed providers = %v, want winner then straggler", got)
+	}
+	if msgs := routing.LookupMessages(st.Info()); msgs < 2 {
+		t.Errorf("aggregated stream reports %d msgs, want both members charged", msgs)
+	}
+
+	// Stopping at the first batch cancels the straggler instead.
+	slow2 := &fakeRouter{name: "slow2", delay: time.Minute, provider: peer.ID("late")}
+	seq, _ = routing.NewParallel(fast, slow2).FindProvidersStream(context.Background(), testCid("merge2"))
+	start := time.Now()
+	seq(func([]wire.PeerInfo) bool { return false })
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stopping the stream did not cancel the slow member")
+	}
+	if !slow2.cancelled.Load() {
+		t.Error("slow member not cancelled after the consumer stopped")
+	}
+}

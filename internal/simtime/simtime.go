@@ -134,3 +134,22 @@ func (c *Clock) Advance(d time.Duration) time.Time {
 	c.now = c.now.Add(d)
 	return c.now
 }
+
+// Jitter derives a deterministic offset in [0, interval) from seed —
+// typically a PeerID plus a cycle name. Periodic background cycles
+// (the 12 h republish, snapshot refresh crawls) delay their first tick
+// by it, so a fleet of nodes started together spreads its cycles
+// across the interval instead of thundering-herding the same ticks.
+func Jitter(seed string, interval time.Duration) time.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	// FNV-1a over the seed; no dependency on hash/fnv needed for the
+	// 64-bit variant.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(seed); i++ {
+		h ^= uint64(seed[i])
+		h *= 1099511628211
+	}
+	return time.Duration(h % uint64(interval))
+}

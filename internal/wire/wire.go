@@ -63,12 +63,30 @@ type PeerInfo struct {
 type Message struct {
 	Type      Type
 	Key       []byte             // DHT key / binary CID / PeerID
+	Keys      [][]byte           // additional record keys of a batched ADD_PROVIDER
 	Peers     []PeerInfo         // closer peers (TNodes) or identify addresses
 	Providers []PeerInfo         // provider peers (TProviders)
 	PeerRec   *record.PeerRecord // signed peer record payload
 	IPNSData  []byte             // opaque serialized IPNS record
 	BlockData []byte             // block payload (TBlock)
 	ErrMsg    string             // error detail (TError)
+}
+
+// AllKeys returns the primary key plus the batch tail, skipping empty
+// entries — the full record-key list of a (possibly batched)
+// ADD_PROVIDER.
+func (m Message) AllKeys() [][]byte {
+	if len(m.Keys) == 0 {
+		if len(m.Key) == 0 {
+			return nil
+		}
+		return [][]byte{m.Key}
+	}
+	out := make([][]byte, 0, 1+len(m.Keys))
+	if len(m.Key) > 0 {
+		out = append(out, m.Key)
+	}
+	return append(out, m.Keys...)
 }
 
 // Errors returned by the codec.
@@ -182,6 +200,10 @@ func (m Message) Marshal() []byte {
 	out = appendBytes(out, m.IPNSData)
 	out = appendBytes(out, m.BlockData)
 	out = appendBytes(out, []byte(m.ErrMsg))
+	out = varint.Append(out, uint64(len(m.Keys)))
+	for _, k := range m.Keys {
+		out = appendBytes(out, k)
+	}
 	return out
 }
 
@@ -349,6 +371,20 @@ func Unmarshal(buf []byte) (Message, error) {
 		return Message{}, fmt.Errorf("%w: err: %v", ErrMalformed, err)
 	}
 	m.ErrMsg = string(eb)
+	nk, err := r.uvarint()
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: keys: %v", ErrMalformed, err)
+	}
+	if nk > 4096 {
+		return Message{}, ErrMalformed
+	}
+	for i := uint64(0); i < nk; i++ {
+		kb, err := r.bytes()
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: keys: %v", ErrMalformed, err)
+		}
+		m.Keys = append(m.Keys, kb)
+	}
 	return m, nil
 }
 

@@ -27,6 +27,7 @@ func sampleMessage() Message {
 	return Message{
 		Type: TProviders,
 		Key:  []byte{0x01, 0x55, 0x12, 0x02, 0xaa, 0xbb},
+		Keys: [][]byte{{0x01, 0x55, 0x12, 0x02, 0xcc}, {0x01, 0x55, 0x12, 0x02, 0xdd}},
 		Peers: []PeerInfo{
 			{ID: p1.ID, Addrs: []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/1.2.3.4/tcp/4001")}},
 			{ID: p2.ID},
@@ -45,6 +46,14 @@ func messagesEqual(a, b Message) bool {
 	}
 	if !bytes.Equal(a.IPNSData, b.IPNSData) || !bytes.Equal(a.BlockData, b.BlockData) {
 		return false
+	}
+	if len(a.Keys) != len(b.Keys) {
+		return false
+	}
+	for i := range a.Keys {
+		if !bytes.Equal(a.Keys[i], b.Keys[i]) {
+			return false
+		}
 	}
 	if len(a.Peers) != len(b.Peers) || len(a.Providers) != len(b.Providers) {
 		return false
@@ -186,5 +195,31 @@ func TestQuickRoundTripKeyAndBlock(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBatchedKeysRoundTrip pins the multi-record ADD_PROVIDER shape:
+// the Keys batch survives the codec and AllKeys flattens the primary
+// key plus the tail.
+func TestBatchedKeysRoundTrip(t *testing.T) {
+	m := Message{
+		Type: TAddProvider,
+		Key:  []byte{0x01},
+		Keys: [][]byte{{0x02}, {0x03}},
+	}
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := back.AllKeys()
+	if len(all) != 3 || !bytes.Equal(all[0], []byte{0x01}) || !bytes.Equal(all[2], []byte{0x03}) {
+		t.Fatalf("AllKeys after round trip = %v", all)
+	}
+	// Keys without a primary key flatten to the tail alone.
+	if got := (Message{Keys: [][]byte{{0x07}}}).AllKeys(); len(got) != 1 || !bytes.Equal(got[0], []byte{0x07}) {
+		t.Errorf("tail-only AllKeys = %v", got)
+	}
+	if (Message{}).AllKeys() != nil {
+		t.Error("empty message should have no keys")
 	}
 }

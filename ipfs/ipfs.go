@@ -64,6 +64,15 @@ type (
 	Router = routing.Router
 	// RoutingKind selects a Router implementation in node configs.
 	RoutingKind = routing.Kind
+	// ProviderSeq is the streaming provider-discovery iterator
+	// Router.FindProvidersStream returns.
+	ProviderSeq = routing.ProviderSeq
+	// ProvideManyResult instruments a batched publication
+	// (Router.ProvideMany): the per-target-peer grouping and ack-ledger
+	// skips a republish cycle rides on.
+	ProvideManyResult = routing.ProvideManyResult
+	// RepublishStats summarizes one Node.Republish cycle.
+	RepublishStats = core.RepublishStats
 	// Indexer is the delegated-routing aggregator node role.
 	Indexer = routing.Indexer
 	// AcceleratedRouter is the one-hop full-routing-table client.
