@@ -384,12 +384,16 @@ func BenchmarkRoutingComparison(b *testing.B) {
 // how many sessions the router fed directly, the mid-session fail-overs
 // that replaced churned providers, and the network-wide RPC budget by
 // category (so background republish/refresh traffic lands in the
-// uploaded BENCH_PR.json next to the per-lookup metrics).
+// uploaded BENCH_PR.json next to the per-lookup metrics). The indexer
+// runs as a sharded 2×2 replica fleet, so the budget carries its
+// gossip traffic, and a second small run with each shard's primary
+// taken down mid-window reports the indexer-loss fail-over cost.
 func BenchmarkSessionRoutingUnderChurn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
 			NetworkSize: 200, Objects: 3, Ticks: 2, Window: 8 * time.Hour,
-			ChurnAmplitude: 3, Scale: 0.0005, Seed: 11,
+			ChurnAmplitude: 3, IndexerShards: 2, IndexerReplicas: 2,
+			Scale: 0.0005, Seed: 11,
 		})
 		dht := res.Router(routing.KindDHT)
 		accel := res.Router(routing.KindAccelerated)
@@ -413,6 +417,25 @@ func BenchmarkSessionRoutingUnderChurn(b *testing.B) {
 		b.ReportMetric(float64(res.Budget.Category(transport.CatRepublish)), "rpc-republish")
 		b.ReportMetric(float64(res.Budget.Category(transport.CatRefresh)), "rpc-refresh")
 		b.ReportMetric(float64(res.Budget.Category(transport.CatWant)), "rpc-want")
+		b.ReportMetric(float64(res.Budget.Category(transport.CatGossip)), "rpc-gossip")
+
+		// Indexer-loss fail-over cost: same churn amplitude, each shard's
+		// primary replica offline from mid-window — the replica groups
+		// must keep the hit rate up, at the price of one extra (failed)
+		// hop per lookup that lands on a dead primary.
+		fo := experiments.RunRoutingComparison(experiments.RoutingConfig{
+			NetworkSize: 150, Objects: 3, Ticks: 2, Window: 8 * time.Hour,
+			ChurnAmplitude: 3, IndexerShards: 2, IndexerReplicas: 2,
+			IndexerOutageAt: 2 * time.Hour,
+			Kinds:           []routing.Kind{routing.KindIndexer},
+			NoRepublish:     true, NoRefresh: true,
+			Scale: 0.0005, Seed: 11,
+		})
+		foIx := fo.Router(routing.KindIndexer)
+		foLast := foIx.Ticks[len(foIx.Ticks)-1]
+		b.ReportMetric(foLast.IndexerHit, "ix-hit-after-outage")
+		b.ReportMetric(foIx.RetrMsgs.Mean(), "ix-failover-retr-msgs")
+		b.ReportMetric(float64(foIx.Failures), "ix-failover-failures")
 	}
 }
 

@@ -1,0 +1,216 @@
+// Command benchdiff is the CI bench regression gate: it compares the
+// headline simulated metrics of a `go test -json -bench` run against a
+// committed baseline and exits non-zero when a metric regressed beyond
+// the tolerance.
+//
+//	benchdiff [-tol 0.35] [-abs 2] BENCH_BASELINE.json BENCH_PR.json
+//
+// Only metrics the simulator fully determines (RPC budgets, simulated
+// seconds) are gated — wall-clock ns/op is machine noise and ignored.
+// All gated metrics are lower-is-better; small seeded scheduling drift
+// is absorbed by the relative tolerance plus an absolute slack, so the
+// gate trips on real cost growth, not on walk-goroutine jitter.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// headline lists the gated benchmark/metric pairs: the network-wide
+// RPC total, the batched-republish cost per cycle, and the streaming
+// time-to-first-provider — the headline fields the bench job uploads.
+var headline = []metricKey{
+	{"BenchmarkSessionRoutingUnderChurn", "rpc-total"},
+	{"BenchmarkSessionRoutingUnderChurn", "dht-republish-rpcs-per-cycle"},
+	{"BenchmarkSessionRoutingUnderChurn", "indexer-republish-rpcs-per-cycle"},
+	{"BenchmarkSessionRoutingUnderChurn", "dht-time-to-first-provider-s"},
+}
+
+type metricKey struct {
+	Bench string
+	Unit  string
+}
+
+func (k metricKey) String() string { return k.Bench + "/" + k.Unit }
+
+// parseBenchJSON extracts per-benchmark metrics from a `go test -json`
+// stream. The stream fragments one benchmark's result across several
+// output events (the name announcement, then the counts-and-metrics
+// tail) with the benchmark named by the event's Test field, so output
+// is accumulated per Test and tokenized at the end; plain-text result
+// lines (`BenchmarkName-8  N  <value unit>...`) are parsed directly.
+func parseBenchJSON(r io.Reader) (map[metricKey]float64, error) {
+	metrics := make(map[metricKey]float64)
+	perTest := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Action string
+			Test   string
+			Output string
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate plain-text bench output interleaved in the file.
+			ev.Output = string(line)
+		}
+		if ev.Action != "" && ev.Action != "output" {
+			continue
+		}
+		if strings.HasPrefix(ev.Test, "Benchmark") {
+			b := perTest[ev.Test]
+			if b == nil {
+				b = &strings.Builder{}
+				perTest[ev.Test] = b
+			}
+			b.WriteString(ev.Output)
+			b.WriteByte(' ')
+			continue
+		}
+		if out := strings.TrimSpace(ev.Output); strings.HasPrefix(out, "Benchmark") {
+			fields := strings.Fields(out)
+			parseMetricTokens(fields[0], fields[1:], metrics)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for test, b := range perTest {
+		parseMetricTokens(test, strings.Fields(b.String()), metrics)
+	}
+	return metrics, nil
+}
+
+// parseMetricTokens folds a tokenized benchmark result into metrics:
+// every (number, unit) token pair is one metric; lone numbers (the
+// iteration count) and words (the echoed name) are skipped. The -cpus
+// suffix is stripped from the benchmark name.
+func parseMetricTokens(name string, tokens []string, metrics map[metricKey]float64) {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 0; i+1 < len(tokens); {
+		v, err := strconv.ParseFloat(tokens[i], 64)
+		if err != nil {
+			i++
+			continue
+		}
+		if _, err := strconv.ParseFloat(tokens[i+1], 64); err == nil {
+			i++ // two numbers in a row: the first is an iteration count
+			continue
+		}
+		metrics[metricKey{name, tokens[i+1]}] = v
+		i += 2
+	}
+}
+
+// verdict is one gated metric's comparison outcome.
+type verdict struct {
+	Key        metricKey
+	Base, Cur  float64
+	Missing    bool
+	Regression bool
+}
+
+// compare gates the headline metrics: a regression is a current value
+// above base*(1+tol) AND above base+abs — the double bound keeps tiny
+// absolute drifts on near-zero metrics from tripping the relative
+// check. A headline metric present in the baseline but missing from
+// the current run also fails (a silently-deleted metric must not
+// disable its own gate).
+func compare(base, cur map[metricKey]float64, tol, abs float64) (verdicts []verdict, ok bool) {
+	ok = true
+	for _, k := range headline {
+		b, inBase := base[k]
+		if !inBase {
+			continue // baseline predates the metric; nothing to gate yet
+		}
+		c, inCur := cur[k]
+		v := verdict{Key: k, Base: b, Cur: c}
+		if !inCur {
+			v.Missing = true
+			ok = false
+		} else if c > b*(1+tol) && c > b+abs {
+			v.Regression = true
+			ok = false
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, ok
+}
+
+func report(w io.Writer, verdicts []verdict, tol float64) {
+	for _, v := range verdicts {
+		switch {
+		case v.Missing:
+			fmt.Fprintf(w, "FAIL %-70s baseline %.3f, metric missing from current run\n", v.Key, v.Base)
+		case v.Regression:
+			fmt.Fprintf(w, "FAIL %-70s %.3f -> %.3f (%+.1f%%, tolerance %.0f%%)\n",
+				v.Key, v.Base, v.Cur, 100*(v.Cur-v.Base)/v.Base, 100*tol)
+		default:
+			fmt.Fprintf(w, "ok   %-70s %.3f -> %.3f\n", v.Key, v.Base, v.Cur)
+		}
+	}
+}
+
+func run(baselinePath, currentPath string, tol, abs float64, w io.Writer) (bool, error) {
+	parse := func(path string) (map[metricKey]float64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseBenchJSON(f)
+	}
+	base, err := parse(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := parse(currentPath)
+	if err != nil {
+		return false, err
+	}
+	if len(base) == 0 {
+		return false, fmt.Errorf("no benchmark metrics in baseline %s", baselinePath)
+	}
+	verdicts, ok := compare(base, cur, tol, abs)
+	if len(verdicts) == 0 {
+		// A benchmark/metric rename plus a baseline refresh would
+		// otherwise leave the gate green while gating nothing.
+		return false, fmt.Errorf("none of the headline metrics exist in baseline %s — update the headline list in cmd/benchdiff", baselinePath)
+	}
+	report(w, verdicts, tol)
+	return ok, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.35, "relative regression tolerance (0.35 = +35%)")
+	abs := flag.Float64("abs", 2, "absolute slack added on top of the relative bound")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol f] [-abs f] BASELINE.json CURRENT.json")
+		os.Exit(2)
+	}
+	ok, err := run(flag.Arg(0), flag.Arg(1), *tol, *abs, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchdiff: headline metrics regressed against the baseline")
+		os.Exit(1)
+	}
+}

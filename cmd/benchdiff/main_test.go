@@ -1,0 +1,181 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchEvent renders one `go test -json` output event carrying a
+// benchmark result line.
+func benchEvent(line string) string {
+	return `{"Time":"2026-01-01T00:00:00Z","Action":"output","Package":"repro","Output":"` + line + `\n"}`
+}
+
+func resultLine(total, dhtRepub, ixRepub, ttfp float64) string {
+	n := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	return strings.Join([]string{
+		"BenchmarkSessionRoutingUnderChurn-8", "1", "1031247604", "ns/op",
+		n(total), "rpc-total",
+		n(dhtRepub), "dht-republish-rpcs-per-cycle",
+		n(ixRepub), "indexer-republish-rpcs-per-cycle",
+		n(ttfp), "dht-time-to-first-provider-s",
+	}, " \\t ")
+}
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchJSON(t *testing.T) {
+	input := strings.Join([]string{
+		`{"Action":"start","Package":"repro"}`,
+		benchEvent("goos: linux"),
+		benchEvent(resultLine(1084, 60, 4, 7.369)),
+		benchEvent("BenchmarkCidSum-8 \\t 4096 \\t 284559 ns/op \\t 921.18 MB/s"),
+		`{"Action":"pass","Package":"repro"}`,
+	}, "\n")
+	got, err := parseBenchJSON(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got[metricKey{"BenchmarkSessionRoutingUnderChurn", "rpc-total"}]; v != 1084 {
+		t.Errorf("rpc-total = %v, want 1084", v)
+	}
+	if v := got[metricKey{"BenchmarkSessionRoutingUnderChurn", "dht-time-to-first-provider-s"}]; v != 7.369 {
+		t.Errorf("ttfp = %v, want 7.369", v)
+	}
+	// The -cpus suffix must be stripped, wall-clock ns/op kept but
+	// keyed so the gate never selects it.
+	if v := got[metricKey{"BenchmarkCidSum", "MB/s"}]; v != 921.18 {
+		t.Errorf("MB/s = %v, want 921.18", v)
+	}
+}
+
+// TestParseFragmentedJSONEvents pins the shape `go test -json` really
+// emits: the benchmark result split across output events, the name in
+// the Test field and never at the start of the metric line.
+func TestParseFragmentedJSONEvents(t *testing.T) {
+	input := strings.Join([]string{
+		`{"Action":"output","Test":"BenchmarkSessionRoutingUnderChurn","Output":"BenchmarkSessionRoutingUnderChurn\n"}`,
+		`{"Action":"output","Test":"BenchmarkSessionRoutingUnderChurn","Output":"BenchmarkSessionRoutingUnderChurn  \t"}`,
+		`{"Action":"output","Test":"BenchmarkSessionRoutingUnderChurn","Output":"       1\t1010333483 ns/op\t        60.00 dht-republish-rpcs-per-cycle\t         7.640 dht-time-to-first-provider-s\t      1084 rpc-total\n"}`,
+		`{"Action":"pass","Test":"BenchmarkSessionRoutingUnderChurn"}`,
+	}, "\n")
+	got, err := parseBenchJSON(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got[metricKey{"BenchmarkSessionRoutingUnderChurn", "rpc-total"}]; v != 1084 {
+		t.Errorf("rpc-total = %v, want 1084", v)
+	}
+	if v := got[metricKey{"BenchmarkSessionRoutingUnderChurn", "dht-republish-rpcs-per-cycle"}]; v != 60 {
+		t.Errorf("dht-republish-rpcs-per-cycle = %v, want 60", v)
+	}
+}
+
+// TestGatePassesOnRealBranch is the no-regression path: a current run
+// within tolerance of the baseline (including small seeded drift in
+// both directions) passes.
+func TestGatePassesOnRealBranch(t *testing.T) {
+	base := writeBench(t, "base.json", benchEvent(resultLine(1084, 60, 4, 7.369)))
+	cur := writeBench(t, "cur.json", benchEvent(resultLine(1150, 58, 5, 7.9)))
+	var out strings.Builder
+	ok, err := run(base, cur, 0.35, 2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("gate failed without a regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "rpc-total") {
+		t.Errorf("report does not list the gated metrics:\n%s", out.String())
+	}
+}
+
+// TestGateFailsOnInjectedRegression injects a +50% rpc-total blowup
+// and a doubled time-to-first-provider: the gate must fail and name
+// the regressed metrics.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	base := writeBench(t, "base.json", benchEvent(resultLine(1084, 60, 4, 7.369)))
+	cur := writeBench(t, "cur.json", benchEvent(resultLine(1626, 60, 4, 15.2)))
+	var out strings.Builder
+	ok, err := run(base, cur, 0.35, 2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("gate passed an injected regression:\n%s", out.String())
+	}
+	for _, want := range []string{"FAIL", "rpc-total", "dht-time-to-first-provider-s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	// The untouched metrics still report ok.
+	if !strings.Contains(out.String(), "ok   BenchmarkSessionRoutingUnderChurn/dht-republish-rpcs-per-cycle") {
+		t.Errorf("non-regressed metric not reported ok:\n%s", out.String())
+	}
+}
+
+// TestGateFailsOnMissingHeadlineMetric: deleting a gated metric from
+// the bench output must not silently disable its gate.
+func TestGateFailsOnMissingHeadlineMetric(t *testing.T) {
+	base := writeBench(t, "base.json", benchEvent(resultLine(1084, 60, 4, 7.369)))
+	cur := writeBench(t, "cur.json",
+		benchEvent("BenchmarkSessionRoutingUnderChurn-8 \\t 1 \\t 1031247604 ns/op \\t 1084 rpc-total"))
+	var out strings.Builder
+	ok, err := run(base, cur, 0.35, 2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("gate passed with headline metrics missing from the current run")
+	}
+	if !strings.Contains(out.String(), "metric missing") {
+		t.Errorf("report does not call out the missing metric:\n%s", out.String())
+	}
+}
+
+// TestErrorWhenNoHeadlineMetricInBaseline: a benchmark rename plus a
+// baseline refresh must not leave the gate green while gating nothing.
+func TestErrorWhenNoHeadlineMetricInBaseline(t *testing.T) {
+	base := writeBench(t, "base.json",
+		benchEvent("BenchmarkRenamedEverything-8 \\t 1 \\t 1031247604 ns/op \\t 1084 rpc-total"))
+	cur := writeBench(t, "cur.json",
+		benchEvent("BenchmarkRenamedEverything-8 \\t 1 \\t 1031247604 ns/op \\t 1084 rpc-total"))
+	var out strings.Builder
+	if _, err := run(base, cur, 0.35, 2, &out); err == nil {
+		t.Fatal("gate accepted a baseline with none of the headline metrics")
+	}
+}
+
+// TestAbsoluteSlackOnTinyMetrics: near-zero metrics (4 republish RPCs
+// per cycle) may drift by a request or two without tripping the
+// relative bound.
+func TestAbsoluteSlackOnTinyMetrics(t *testing.T) {
+	base := writeBench(t, "base.json", benchEvent(resultLine(1084, 60, 2, 7.369)))
+	// +100% relative on the indexer republish cost, but only +2 absolute.
+	cur := writeBench(t, "cur.json", benchEvent(resultLine(1084, 60, 4, 7.369)))
+	var out strings.Builder
+	ok, err := run(base, cur, 0.35, 2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("absolute slack did not absorb a 2-RPC drift:\n%s", out.String())
+	}
+	// One more request and it is a real regression.
+	cur2 := writeBench(t, "cur2.json", benchEvent(resultLine(1084, 60, 5, 7.369)))
+	out.Reset()
+	if ok, _ = run(base, cur2, 0.35, 2, &out); ok {
+		t.Fatalf("gate passed a tiny-metric regression beyond both bounds:\n%s", out.String())
+	}
+}

@@ -28,6 +28,9 @@ func main() {
 		churn   = flag.Float64("churn-amplitude", 1, "churn-timeline amplitude for the routing comparison (1 = the paper's Fig 8 model, >1 churns harder, e.g. 0.01 for effectively none)")
 		window  = flag.Duration("window", 0, "simulated window the routing churn timeline covers (0 selects the 24h default)")
 		ticks   = flag.Int("ticks", 0, "retrieval ticks across the routing window (0 selects the default)")
+		shards  = flag.Int("indexer-shards", 1, "indexer keyspace shards for the routing comparison (>1 with -indexer-replicas builds a gossiping fleet)")
+		reps    = flag.Int("indexer-replicas", 1, "replicas per indexer shard")
+		outage  = flag.Duration("indexer-outage-at", 0, "offset at which each shard's primary indexer goes offline for the rest of the window (0 = no outage)")
 		network = flag.Int("network", 600, "simulated network size for performance runs")
 		iters   = flag.Int("iters", 8, "publications per region")
 		pop     = flag.Int("population", 20000, "population size for deployment analyses")
@@ -150,6 +153,7 @@ func main() {
 		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
 			NetworkSize: *network, Objects: *iters, ChurnAmplitude: *churn,
 			Window: *window, Ticks: *ticks,
+			IndexerShards: *shards, IndexerReplicas: *reps, IndexerOutageAt: *outage,
 			Scale: *scale, Seed: *seed,
 		})
 		fmt.Println(res.Table())

@@ -61,6 +61,10 @@ type Config struct {
 	// Indexers are the delegated-routing indexer nodes the indexer and
 	// parallel routers publish to and query.
 	Indexers []wire.PeerInfo
+	// IndexerSet, when non-nil, installs a sharded indexer topology on
+	// the indexer router: each CID routes to its shard's replica group
+	// instead of the flat Indexers list.
+	IndexerSet *routing.IndexerSet
 	// Base compresses simulated time.
 	Base simtime.Base
 	// Now supplies the clock for record expiry.
@@ -152,11 +156,15 @@ func (n *Node) buildRouter() routing.Router {
 		return n.accel
 	}
 	newIndexer := func(fallback routing.Router) *routing.IndexerRouter {
-		return routing.NewIndexerRouter(n.sw, n.cfg.Indexers, fallback, routing.IndexerRouterConfig{
+		r := routing.NewIndexerRouter(n.sw, n.cfg.Indexers, fallback, routing.IndexerRouterConfig{
 			RPCTimeout: n.cfg.QueryTimeout,
 			Base:       n.cfg.Base,
 			Now:        n.cfg.Now,
 		})
+		if n.cfg.IndexerSet != nil {
+			r.SetIndexerSet(n.cfg.IndexerSet)
+		}
+		return r
 	}
 	switch n.cfg.Routing {
 	case routing.KindAccelerated:
@@ -167,7 +175,7 @@ func (n *Node) buildRouter() routing.Router {
 		// Members race without their own DHT fallbacks: the base member
 		// already walks, and a doubled walk would waste RPCs.
 		members := []routing.Router{base, newAccel(nil)}
-		if len(n.cfg.Indexers) > 0 {
+		if len(n.cfg.Indexers) > 0 || n.cfg.IndexerSet != nil {
 			members = append(members, newIndexer(nil))
 		}
 		return routing.NewParallel(members...)

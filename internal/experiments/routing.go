@@ -17,7 +17,6 @@ import (
 	"repro/internal/stats"
 	"repro/internal/testnet"
 	"repro/internal/transport"
-	"repro/internal/wire"
 )
 
 // RoutingConfig tunes the content-routing comparison: the same
@@ -48,6 +47,17 @@ type RoutingConfig struct {
 	// IndexerTTL overrides the indexer's record TTL (default 24 h);
 	// staleness tests shrink it so expiry crosses the window.
 	IndexerTTL time.Duration
+	// IndexerShards / IndexerReplicas select the sharded indexer
+	// topology: R shards partitioning the CID keyspace by XOR distance,
+	// each served by a gossiping replica group. Defaults of 1/1 keep
+	// the single-indexer deployment.
+	IndexerShards   int
+	IndexerReplicas int
+	// IndexerOutageAt, when > 0, schedules an "ix-outage" phase at that
+	// offset taking each shard's primary replica offline for the rest
+	// of the window — the availability stress the replica groups exist
+	// to absorb.
+	IndexerOutageAt time.Duration
 	// NoRepublish / NoRefresh drop the background phases scheduled at
 	// mid-window, isolating pure decay for the monotonicity tests.
 	NoRepublish bool
@@ -85,6 +95,12 @@ func (c RoutingConfig) withDefaults() RoutingConfig {
 	}
 	if len(c.Kinds) == 0 {
 		c.Kinds = []routing.Kind{routing.KindDHT, routing.KindAccelerated, routing.KindIndexer, routing.KindParallel}
+	}
+	if c.IndexerShards <= 0 {
+		c.IndexerShards = 1
+	}
+	if c.IndexerReplicas <= 0 {
+		c.IndexerReplicas = 1
 	}
 	if c.Scale <= 0 {
 		c.Scale = 0.001
@@ -215,15 +231,27 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 		// near zero so stale entries come from real departures.
 		FracDead: 1e-9, FracSlow: 1e-9, FracWSBroken: 1e-9,
 	})
-	ix := tn.AddIndexerTTL(geo.EuCentral1, cfg.Seed+7, cfg.IndexerTTL)
-	indexers := []wire.PeerInfo{ix.Info()}
+	// One indexer keeps the classic deployment; shards/replicas > 1
+	// build a gossiping fleet the scenario engine observes per shard.
+	fleet := tn.AddIndexerSet(cfg.Seed+7, cfg.IndexerShards, cfg.IndexerReplicas, cfg.IndexerTTL)
+	sharded := cfg.IndexerShards > 1 || cfg.IndexerReplicas > 1
 
 	sc := NewScenarioRunner(tn, ScenarioConfig{
 		Window:    cfg.Window,
 		Amplitude: cfg.ChurnAmplitude,
 		Seed:      cfg.Seed + 13,
 	})
-	sc.ObserveIndexer(ix)
+	if sharded {
+		sc.ObserveIndexerFleet(fleet.Set, fleet.Nodes()...)
+	} else {
+		sc.ObserveIndexer(fleet.Replica(0, 0))
+	}
+	addVantage := func(region geo.Region, seed int64, kind routing.Kind) *core.Node {
+		if sharded {
+			return tn.AddVantageSharded(region, seed, kind, fleet.Set)
+		}
+		return tn.AddVantageRouting(region, seed, kind, fleet.Set.All())
+	}
 
 	res := &RoutingResults{Cfg: cfg}
 	var pairs []*routerPair
@@ -233,13 +261,26 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 		p := &routerPair{
 			rp:        rp,
 			kind:      kind,
-			publisher: tn.AddVantageRouting(geo.EuCentral1, cfg.Seed+int64(100+i), kind, indexers),
-			getter:    tn.AddVantageRouting(geo.UsWest1, cfg.Seed+int64(200+i), kind, indexers),
+			publisher: addVantage(geo.EuCentral1, cfg.Seed+int64(100+i), kind),
+			getter:    addVantage(geo.UsWest1, cfg.Seed+int64(200+i), kind),
 			prng:      rand.New(rand.NewSource(cfg.Seed + int64(1000*i))),
 		}
 		rp.Name = p.publisher.Router().Name()
 		sc.ObserveAccelerated(p.publisher.Accelerated(), p.getter.Accelerated())
 		pairs = append(pairs, p)
+	}
+
+	// The outage lever: each shard's primary replica goes dark at the
+	// scheduled offset and stays dark — lookups must fail over to the
+	// surviving replicas, and gossip must have already replicated the
+	// primary's records for them to answer.
+	if cfg.IndexerOutageAt > 0 {
+		sc.Schedule("ix-outage", cfg.IndexerOutageAt, func(ctx context.Context, _ PhaseInfo) PhaseOutcome {
+			for _, group := range fleet.Groups {
+				tn.Net.SetOnline(group[0].ID(), false)
+			}
+			return PhaseOutcome{}
+		})
 	}
 
 	// Phase 1, tick 0: snapshot crawls and publications against
@@ -416,7 +457,7 @@ func (r *RoutingResults) StableTimeSeries() string {
 func (r *RoutingResults) timeSeries(includeBudget bool) string {
 	head := fmt.Sprintf("Churn-scenario time series: %d peers, %d routers, window %s, amplitude %.1f\n",
 		r.Cfg.NetworkSize, len(r.Routers), r.Cfg.Window, r.Cfg.ChurnAmplitude)
-	cols := []string{"Phase", "At", "Online", "SnapStale", "IxHit", "Ops", "Fail", "Routed"}
+	cols := []string{"Phase", "At", "Online", "SnapStale", "IxHit", "ShardHit", "IxUp", "Ops", "Fail", "Routed"}
 	if includeBudget {
 		cols = append(cols, "RPCs")
 		for _, cat := range simnet.BudgetCategories {
@@ -427,6 +468,7 @@ func (r *RoutingResults) timeSeries(includeBudget bool) string {
 	for _, ps := range r.Phases {
 		row := []interface{}{ps.Phase, fmtOffset(ps.Offset), ps.Online,
 			fmtHealth(ps.SnapshotStale), fmtHealth(ps.IndexerHit),
+			fmtHealth(ps.ShardHitMean()), fmtHealth(ps.ReplicaUp),
 			ps.Ops, ps.Failures, ps.Routed}
 		if includeBudget {
 			row = append(row, ps.Budget.Requests)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/churn"
 	"repro/internal/cid"
+	"repro/internal/peer"
 	"repro/internal/routing"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
@@ -55,15 +56,41 @@ type PhaseSample struct {
 	// SnapshotStale is the fraction of observed accelerated-router
 	// snapshot entries currently offline (NaN when none registered).
 	SnapshotStale float64
-	// IndexerHit is the fraction of tracked roots the observed indexer
-	// still holds an unexpired record for (NaN when none registered).
+	// IndexerHit is the fraction of tracked roots some online observed
+	// indexer responsible for the root's shard still holds an unexpired
+	// record for (NaN when none registered).
 	IndexerHit float64
+	// ShardHits is the per-shard indexer hit rate at the tick: for each
+	// shard, the fraction of its tracked roots covered by an online
+	// replica. Nil when no sharded fleet is observed; NaN entries mark
+	// shards with no tracked roots.
+	ShardHits []float64
+	// ReplicaUp is the fraction of observed indexer replicas currently
+	// online — the availability lever indexer-outage scenarios pull
+	// (NaN when no indexers are observed).
+	ReplicaUp float64
 
 	// Budget is the network-wide RPC spend during this phase, by
 	// category.
 	Budget simnet.Budget
 
 	PhaseOutcome
+}
+
+// ShardHitMean averages the per-shard hit rates, skipping shards with
+// no tracked roots; NaN when no sharded fleet is observed.
+func (ps PhaseSample) ShardHitMean() float64 {
+	sum, n := 0.0, 0
+	for _, h := range ps.ShardHits {
+		if !math.IsNaN(h) {
+			sum += h
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // scheduledPhase is one workload phase awaiting its tick.
@@ -85,9 +112,11 @@ type ScenarioRunner struct {
 	Clock *simtime.Clock
 	Start time.Time
 
-	accels  []*routing.AcceleratedRouter
-	indexer *routing.Indexer
-	roots   []cid.Cid
+	accels   []*routing.AcceleratedRouter
+	ixSet    *routing.IndexerSet
+	indexers []*routing.Indexer
+	ixShard  map[peer.ID]int // observed indexer -> shard it serves
+	roots    []cid.Cid
 
 	phases  []scheduledPhase
 	samples []PhaseSample
@@ -126,9 +155,32 @@ func (s *ScenarioRunner) ObserveAccelerated(rs ...*routing.AcceleratedRouter) {
 	}
 }
 
-// ObserveIndexer registers the indexer whose record coverage the
-// per-tick health sample reports.
-func (s *ScenarioRunner) ObserveIndexer(ix *routing.Indexer) { s.indexer = ix }
+// ObserveIndexer registers an indexer whose record coverage the
+// per-tick health sample reports, and which the runner GCs and
+// gossips every tick while it is online.
+func (s *ScenarioRunner) ObserveIndexer(ix *routing.Indexer) {
+	if ix != nil {
+		s.indexers = append(s.indexers, ix)
+	}
+}
+
+// ObserveIndexerFleet registers a sharded indexer deployment: the
+// topology clients route by plus its indexer nodes. Health samples
+// then report per-shard hit rates and replica availability, and a
+// root only counts as covered when an online replica of its own shard
+// holds the record.
+func (s *ScenarioRunner) ObserveIndexerFleet(set *routing.IndexerSet, nodes ...*routing.Indexer) {
+	s.ixSet = set
+	s.ixShard = make(map[peer.ID]int)
+	for sh := 0; sh < set.Shards(); sh++ {
+		for _, pi := range set.Replicas(sh) {
+			s.ixShard[pi.ID] = sh
+		}
+	}
+	for _, ix := range nodes {
+		s.ObserveIndexer(ix)
+	}
+}
 
 // TrackRoots adds published roots to the indexer hit-rate denominator.
 func (s *ScenarioRunner) TrackRoots(cs ...cid.Cid) { s.roots = append(s.roots, cs...) }
@@ -152,6 +204,11 @@ func (s *ScenarioRunner) Run(ctx context.Context) []PhaseSample {
 		now := s.Start.Add(ph.offset)
 		s.Clock.Set(now)
 		online := s.TN.ApplyTimeline(s.TL, now)
+		before := s.TN.Net.Budget()
+		// Indexer background duties run between liveness and health
+		// sampling, so a replica repaired by gossip counts as covered at
+		// this tick and the gossip RPCs land in this phase's budget row.
+		s.maintainIndexers(ctx)
 
 		sample := PhaseSample{
 			Phase:         ph.name,
@@ -159,8 +216,9 @@ func (s *ScenarioRunner) Run(ctx context.Context) []PhaseSample {
 			Online:        online,
 			SnapshotStale: s.SnapshotStaleness(),
 			IndexerHit:    s.IndexerHitRate(),
+			ShardHits:     s.ShardHitRates(),
+			ReplicaUp:     s.ReplicaAvailability(),
 		}
-		before := s.TN.Net.Budget()
 		if ph.run != nil {
 			sample.PhaseOutcome = ph.run(ctx, PhaseInfo{
 				Now:           now,
@@ -174,6 +232,22 @@ func (s *ScenarioRunner) Run(ctx context.Context) []PhaseSample {
 		s.samples = append(s.samples, sample)
 	}
 	return s.samples
+}
+
+// maintainIndexers runs the indexer background duties at a tick: every
+// online observed indexer drops its expired records (so ProviderStore
+// stays bounded by one TTL window of publishes) and pushes one
+// anti-entropy gossip round to its replica group (so a replica that
+// was offline for a publish window converges back to its shard).
+// Offline indexers do neither — they are gone until the outage lifts.
+func (s *ScenarioRunner) maintainIndexers(ctx context.Context) {
+	for _, ix := range s.indexers {
+		if !s.TN.Net.Online(ix.ID()) {
+			continue
+		}
+		ix.GC()
+		ix.Gossip(ctx)
+	}
 }
 
 // Samples returns the time series collected so far.
@@ -198,22 +272,87 @@ func (s *ScenarioRunner) SnapshotStaleness() float64 {
 	return float64(stale) / float64(total)
 }
 
-// IndexerHitRate returns the fraction of tracked roots the observed
-// indexer still holds an unexpired provider record for, or NaN when no
-// indexer or no roots are registered. Expiry follows the scenario
-// clock, so the rate decays as the staleness window outgrows the
-// record TTL without a republish.
+// IndexerHitRate returns the fraction of tracked roots covered by the
+// observed indexers — an online indexer responsible for the root's
+// shard holding an unexpired record — or NaN when no indexer or no
+// roots are registered. Expiry follows the scenario clock, so the rate
+// decays as the staleness window outgrows the record TTL without a
+// republish; availability follows the outage levers, so it also drops
+// when a shard loses all its replicas.
 func (s *ScenarioRunner) IndexerHitRate() float64 {
-	if s.indexer == nil || len(s.roots) == 0 {
+	if len(s.indexers) == 0 || len(s.roots) == 0 {
 		return math.NaN()
 	}
 	hits := 0
 	for _, c := range s.roots {
-		if s.indexer.HasProvider(c) {
+		if s.rootCovered(c) {
 			hits++
 		}
 	}
 	return float64(hits) / float64(len(s.roots))
+}
+
+// rootCovered reports whether some online observed indexer responsible
+// for c's shard holds an unexpired record for it. Without a sharded
+// fleet every observed indexer is responsible for every root.
+func (s *ScenarioRunner) rootCovered(c cid.Cid) bool {
+	shard := -1
+	if s.ixSet != nil {
+		shard = s.ixSet.ShardOf(c)
+	}
+	for _, ix := range s.indexers {
+		if shard >= 0 {
+			if sh, ok := s.ixShard[ix.ID()]; !ok || sh != shard {
+				continue
+			}
+		}
+		if s.TN.Net.Online(ix.ID()) && ix.HasProvider(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardHitRates returns the per-shard hit rate over tracked roots, or
+// nil when no sharded fleet is observed. Shards with no tracked roots
+// report NaN.
+func (s *ScenarioRunner) ShardHitRates() []float64 {
+	if s.ixSet == nil || s.ixSet.Shards() == 0 || len(s.roots) == 0 || len(s.indexers) == 0 {
+		return nil
+	}
+	hits := make([]int, s.ixSet.Shards())
+	counts := make([]int, s.ixSet.Shards())
+	for _, c := range s.roots {
+		sh := s.ixSet.ShardOf(c)
+		counts[sh]++
+		if s.rootCovered(c) {
+			hits[sh]++
+		}
+	}
+	out := make([]float64, s.ixSet.Shards())
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = float64(hits[i]) / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// ReplicaAvailability returns the fraction of observed indexer
+// replicas currently online, or NaN when none are observed.
+func (s *ScenarioRunner) ReplicaAvailability() float64 {
+	if len(s.indexers) == 0 {
+		return math.NaN()
+	}
+	up := 0
+	for _, ix := range s.indexers {
+		if s.TN.Net.Online(ix.ID()) {
+			up++
+		}
+	}
+	return float64(up) / float64(len(s.indexers))
 }
 
 // fmtOffset renders a phase offset compactly ("+6h", "+90m", "+12h30m").

@@ -219,14 +219,17 @@ func goldenCompare(t *testing.T, name, got string) {
 }
 
 // goldenScenarioResults is the seeded run the golden test renders: two
-// one-hop routers, a record TTL crossed mid-window, and the default
-// mid-window refresh/republish phases — expiry at +6h, republish
-// recovery at +8h, re-expiry at +12h.
+// one-hop routers over a sharded two-by-two indexer fleet, a record
+// TTL crossed mid-window, and the default mid-window refresh/republish
+// phases — expiry at +6h, republish recovery at +8h, re-expiry at
+// +12h — so the per-shard hit-rate and replica-availability columns
+// carry real data.
 func goldenScenarioResults() *RoutingResults {
 	return RunRoutingComparison(RoutingConfig{
 		NetworkSize: 90, Objects: 2, Ticks: 3, Window: 12 * time.Hour,
-		IndexerTTL: 5 * time.Hour,
-		Kinds:      []routing.Kind{routing.KindAccelerated, routing.KindIndexer},
+		IndexerTTL:    5 * time.Hour,
+		IndexerShards: 2, IndexerReplicas: 2,
+		Kinds: []routing.Kind{routing.KindAccelerated, routing.KindIndexer},
 		// Generous sim-time windows keep the rendered columns identical
 		// under race-detector and CI-load scheduling noise.
 		BitswapTimeout: 30 * time.Second, QueryTimeout: 30 * time.Second,
@@ -252,7 +255,7 @@ func TestRoutingTimeSeriesFormatGolden(t *testing.T) {
 		Phases: []PhaseSample{
 			{
 				Phase: "publish", Offset: 0, Online: 47,
-				SnapshotStale: math.NaN(), IndexerHit: math.NaN(),
+				SnapshotStale: math.NaN(), IndexerHit: math.NaN(), ReplicaUp: 1,
 				Budget: simnet.Budget{Requests: 410, Dials: 600, DialFailures: 120,
 					ByCategory: map[transport.RPCCategory]int64{
 						transport.CatLookup: 90, transport.CatPublish: 140, transport.CatRefresh: 180,
@@ -260,11 +263,15 @@ func TestRoutingTimeSeriesFormatGolden(t *testing.T) {
 				PhaseOutcome: PhaseOutcome{Ops: 4},
 			},
 			{
+				// A tick during a one-replica-per-shard outage: shard 1 lost
+				// its primary's records, availability sits at half, and the
+				// surviving replicas' gossip shows in the budget breakdown.
 				Phase: "retrieve+6h", Offset: 6 * time.Hour, Online: 42,
 				SnapshotStale: 0.25, IndexerHit: 1,
-				Budget: simnet.Budget{Requests: 37, Dials: 20, DialFailures: 3,
+				ShardHits: []float64{1, 0.5}, ReplicaUp: 0.5,
+				Budget: simnet.Budget{Requests: 41, Dials: 24, DialFailures: 5,
 					ByCategory: map[transport.RPCCategory]int64{
-						transport.CatLookup: 11, transport.CatWant: 26,
+						transport.CatLookup: 11, transport.CatWant: 26, transport.CatGossip: 4,
 					}},
 				PhaseOutcome: PhaseOutcome{Ops: 4, Failures: 1, Routed: 3},
 			},
@@ -275,15 +282,16 @@ func TestRoutingTimeSeriesFormatGolden(t *testing.T) {
 				// showing.
 				Phase: "republish", Offset: 6*time.Hour + time.Minute, Online: 41,
 				SnapshotStale: 0.3, IndexerHit: 0,
+				ShardHits: []float64{0, 0}, ReplicaUp: 0.5,
 				Budget: simnet.Budget{Requests: 9, Dials: 9, DialFailures: 2,
 					ByCategory: map[transport.RPCCategory]int64{transport.CatRepublish: 9}},
 				PhaseOutcome: PhaseOutcome{Ops: 11},
 			},
 		},
-		Budget: simnet.Budget{Requests: 456, Dials: 629, DialFailures: 125,
+		Budget: simnet.Budget{Requests: 460, Dials: 633, DialFailures: 127,
 			ByCategory: map[transport.RPCCategory]int64{
 				transport.CatLookup: 101, transport.CatPublish: 140, transport.CatRepublish: 9,
-				transport.CatRefresh: 180, transport.CatWant: 26,
+				transport.CatRefresh: 180, transport.CatWant: 26, transport.CatGossip: 4,
 			}},
 	}
 	goldenCompare(t, "routing_timeseries_format.golden", res.TimeSeries()+"\n"+res.BudgetReport())
@@ -313,9 +321,23 @@ func TestRoutingTimeSeriesStructure(t *testing.T) {
 		t.Errorf("category counts sum to %d, total is %d", catSum, res.Budget.Requests)
 	}
 	ts := res.TimeSeries()
-	for _, want := range []string{"publish", "refresh", "republish", "retrieve+4h", "retrieve+8h", "retrieve+12h", "lookup", "want"} {
+	for _, want := range []string{"publish", "refresh", "republish", "retrieve+4h", "retrieve+8h", "retrieve+12h", "lookup", "want", "ShardHit", "IxUp", "gossip"} {
 		if !strings.Contains(ts, want) {
 			t.Errorf("time series missing %q:\n%s", want, ts)
+		}
+	}
+	// The golden run observes a 2×2 fleet: replica gossip must show up
+	// in the budget and every post-publish sample must carry per-shard
+	// hit rates.
+	if res.Budget.Category(transport.CatGossip) == 0 {
+		t.Error("no gossip traffic in the sharded golden run")
+	}
+	for _, ps := range res.Phases[1:] {
+		if len(ps.ShardHits) != 2 {
+			t.Errorf("phase %s: per-shard hit rates = %v, want 2 shards", ps.Phase, ps.ShardHits)
+		}
+		if math.IsNaN(ps.ReplicaUp) {
+			t.Errorf("phase %s: replica availability not sampled", ps.Phase)
 		}
 	}
 	if br := res.BudgetReport(); !strings.Contains(br, "requests") || !strings.Contains(br, "refresh") {

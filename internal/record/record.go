@@ -148,6 +148,24 @@ func (s *ProviderStore) Get(c cid.Cid) []ProviderRecord {
 	return out
 }
 
+// Records returns a snapshot of every unexpired provider record — the
+// enumeration an indexer's anti-entropy gossip round pushes to its
+// replica group.
+func (s *ProviderStore) Records() []ProviderRecord {
+	now := s.now()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ProviderRecord
+	for _, m := range s.records {
+		for _, r := range m {
+			if !r.Expired(now, s.ttl) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
 // GC removes expired records and returns how many were dropped.
 func (s *ProviderStore) GC() int {
 	now := s.now()

@@ -37,6 +37,7 @@ type Ledger struct {
 	cycle    uint64
 	now      func() time.Time
 	freshFor time.Duration
+	acksOnly bool                // skip target-set bookkeeping (gossip dedup ledgers)
 	acks     map[string]ackStamp // target|cidKey -> last ack
 	targets  map[string][]wire.PeerInfo
 }
@@ -58,6 +59,32 @@ func NewLedger(now func() time.Time) *Ledger {
 		freshFor: DefaultAckFreshness,
 		acks:     make(map[string]ackStamp),
 		targets:  make(map[string][]wire.PeerInfo),
+	}
+}
+
+// NewAckLedger creates a ledger that records acks only — no per-CID
+// target sets. The gossip dedup path never replays target sets, and
+// without Advance calls the targets map would otherwise grow with
+// every CID ever gossiped; pair it with PruneStale to keep the acks
+// bounded by one freshness window.
+func NewAckLedger(now func() time.Time) *Ledger {
+	l := NewLedger(now)
+	l.acksOnly = true
+	return l
+}
+
+// PruneStale drops acks older than the freshness bound — they can
+// never test Fresh again on the clock axis, so holding them only
+// leaks memory. Cycle-expired acks are left for Advance, which
+// resets the whole map.
+func (l *Ledger) PruneStale() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	for k, stamp := range l.acks {
+		if now.Sub(stamp.at) > l.freshFor {
+			delete(l.acks, k)
+		}
 	}
 }
 
@@ -84,6 +111,9 @@ func (l *Ledger) Confirm(target wire.PeerInfo, cidKeys ...string) {
 	stamp := ackStamp{cycle: l.cycle + 1, at: l.now()}
 	for _, k := range cidKeys {
 		l.acks[ackKey(target.ID, k)] = stamp
+		if l.acksOnly {
+			continue
+		}
 		found := false
 		for _, t := range l.targets[k] {
 			if t.ID == target.ID {
@@ -105,6 +135,14 @@ func (l *Ledger) Fresh(target peer.ID, cidKey string) bool {
 	defer l.mu.Unlock()
 	stamp := l.acks[ackKey(target, cidKey)]
 	return stamp.cycle == l.cycle+1 && l.now().Sub(stamp.at) <= l.freshFor
+}
+
+// Len returns how many acks the ledger currently holds (bounded-memory
+// tests).
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.acks)
 }
 
 // SetTargets remembers a CID's computed target set (a walk's k closest

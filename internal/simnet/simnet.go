@@ -207,7 +207,8 @@ func (n *Network) Stats() (requests, dials, failures int64) {
 // BudgetCategories is the render order of the budget breakdown.
 var BudgetCategories = []transport.RPCCategory{
 	transport.CatLookup, transport.CatPublish, transport.CatRepublish,
-	transport.CatRefresh, transport.CatWant, transport.CatOther,
+	transport.CatRefresh, transport.CatWant, transport.CatGossip,
+	transport.CatOther,
 }
 
 // Budget is the simulator's network-wide RPC budget: every request any
@@ -296,6 +297,8 @@ func categorize(ctx context.Context, t wire.Type) transport.RPCCategory {
 		return transport.CatLookup
 	case wire.TCrawl:
 		return transport.CatRefresh
+	case wire.TGossip:
+		return transport.CatGossip
 	}
 	return transport.CatOther
 }

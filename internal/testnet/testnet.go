@@ -58,6 +58,10 @@ type Config struct {
 	// Indexers configures the delegated-routing indexer set, typically
 	// from AddIndexer.
 	Indexers []wire.PeerInfo
+	// IndexerSet, when non-nil, installs a sharded indexer topology
+	// (typically from AddIndexerSet) on every built node's indexer
+	// router.
+	IndexerSet *routing.IndexerSet
 
 	// Now anchors record timestamps.
 	Now func() time.Time
@@ -151,6 +155,7 @@ func Build(cfg Config) *Testnet {
 			ParallelDiscovery: cfg.ParallelDiscovery,
 			Routing:           cfg.Routing,
 			Indexers:          cfg.Indexers,
+			IndexerSet:        cfg.IndexerSet,
 			Base:              base,
 			Now:               cfg.Now,
 		})
@@ -227,13 +232,23 @@ func (tn *Testnet) OnlineNodes() []*core.Node {
 // AddVantage attaches an instrumented measurement node in the given
 // region (one of the §4.3 AWS VMs) with a seeded routing table.
 func (tn *Testnet) AddVantage(region geo.Region, seed int64) *core.Node {
-	return tn.AddVantageRouting(region, seed, tn.Cfg.Routing, tn.Cfg.Indexers)
+	return tn.addVantage(region, seed, tn.Cfg.Routing, tn.Cfg.Indexers, tn.Cfg.IndexerSet)
 }
 
 // AddVantageRouting attaches a vantage node using a specific content
 // router — the routing-comparison experiment puts vantages with
 // different routers on the same network.
 func (tn *Testnet) AddVantageRouting(region geo.Region, seed int64, kind routing.Kind, indexers []wire.PeerInfo) *core.Node {
+	return tn.addVantage(region, seed, kind, indexers, nil)
+}
+
+// AddVantageSharded attaches a vantage node whose indexer router
+// routes through a sharded indexer topology (from AddIndexerSet).
+func (tn *Testnet) AddVantageSharded(region geo.Region, seed int64, kind routing.Kind, set *routing.IndexerSet) *core.Node {
+	return tn.addVantage(region, seed, kind, set.All(), set)
+}
+
+func (tn *Testnet) addVantage(region geo.Region, seed int64, kind routing.Kind, indexers []wire.PeerInfo, set *routing.IndexerSet) *core.Node {
 	rng := rand.New(rand.NewSource(seed))
 	ident := peer.MustNewIdentity(rng)
 	ep := tn.Net.AddNode(ident.ID, simnet.NodeOpts{
@@ -252,6 +267,7 @@ func (tn *Testnet) AddVantageRouting(region geo.Region, seed int64, kind routing
 		ParallelDiscovery: tn.Cfg.ParallelDiscovery,
 		Routing:           kind,
 		Indexers:          indexers,
+		IndexerSet:        set,
 		Base:              tn.Base,
 		Now:               tn.Cfg.Now,
 	})
@@ -284,6 +300,64 @@ func (tn *Testnet) AddIndexerTTL(region geo.Region, seed int64, ttl time.Duratio
 		Base:      tn.Base,
 		Now:       tn.Cfg.Now,
 	})
+}
+
+// IndexerFleet is a built sharded indexer deployment: the shard
+// topology clients route by, plus the live indexer nodes grouped per
+// shard (replica order matches the topology's).
+type IndexerFleet struct {
+	Set    *routing.IndexerSet
+	Groups [][]*routing.Indexer // one replica group per shard
+}
+
+// Nodes returns every indexer in the fleet, shard-major.
+func (f *IndexerFleet) Nodes() []*routing.Indexer {
+	var out []*routing.Indexer
+	for _, g := range f.Groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// Replica returns shard s's i-th replica (0 = the primary lookups try
+// first).
+func (f *IndexerFleet) Replica(s, i int) *routing.Indexer { return f.Groups[s][i] }
+
+// AddIndexerSet attaches shards×replicas indexer nodes spread across
+// the AWS regions, wires each shard's replica group for gossip, and
+// returns the fleet. ttl <= 0 selects the 24 h record TTL default.
+// Pass fleet.Set into Config.IndexerSet / AddVantageSharded so clients
+// route by the same shard map the indexers replicate within. The
+// builder consumes seeds seed..seed+shards×replicas-1 (identities
+// derive from the seed, and a reused seed silently replaces the
+// earlier peer on the simulator) — keep later vantage seeds outside
+// that range.
+func (tn *Testnet) AddIndexerSet(seed int64, shards, replicas int, ttl time.Duration) *IndexerFleet {
+	if shards <= 0 {
+		shards = 1
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	fleet := &IndexerFleet{}
+	groups := make([][]wire.PeerInfo, shards)
+	for s := 0; s < shards; s++ {
+		var group []*routing.Indexer
+		for i := 0; i < replicas; i++ {
+			region := geo.AWSRegions[(s*replicas+i)%len(geo.AWSRegions)]
+			ix := tn.AddIndexerTTL(region, seed+int64(s*replicas+i), ttl)
+			group = append(group, ix)
+			groups[s] = append(groups[s], ix.Info())
+		}
+		fleet.Groups = append(fleet.Groups, group)
+	}
+	fleet.Set = routing.NewIndexerSet(groups)
+	for s, group := range fleet.Groups {
+		for _, ix := range group {
+			ix.SetReplicaGroup(groups[s])
+		}
+	}
+	return fleet
 }
 
 // SetOnline toggles node i's simulated liveness — the one-shot churn

@@ -162,3 +162,48 @@ func TestClockDrivesNow(t *testing.T) {
 		t.Error("testnet did not retain its clock")
 	}
 }
+
+// TestAddIndexerSetWiring checks the fleet builder: shards×replicas
+// indexers attached, one replica group per shard with gossip
+// neighbours wired (self excluded), and a topology whose flattened
+// membership matches the built nodes.
+func TestAddIndexerSetWiring(t *testing.T) {
+	tn := Build(Config{N: 10, Seed: 4, Scale: 0.0005})
+	fleet := tn.AddIndexerSet(700, 3, 2, time.Hour)
+	if fleet.Set.Shards() != 3 || len(fleet.Groups) != 3 {
+		t.Fatalf("shards = %d/%d, want 3", fleet.Set.Shards(), len(fleet.Groups))
+	}
+	if got := len(fleet.Nodes()); got != 6 {
+		t.Fatalf("fleet has %d nodes, want 6", got)
+	}
+	all := fleet.Set.All()
+	if len(all) != 6 {
+		t.Fatalf("topology lists %d indexers, want 6", len(all))
+	}
+	for s, group := range fleet.Groups {
+		if len(group) != 2 {
+			t.Fatalf("shard %d has %d replicas, want 2", s, len(group))
+		}
+		for i, ix := range group {
+			if fleet.Replica(s, i) != ix {
+				t.Errorf("Replica(%d,%d) mismatch", s, i)
+			}
+			neighbours := ix.ReplicaGroup()
+			if len(neighbours) != 1 {
+				t.Fatalf("replica %d/%d has %d gossip neighbours, want 1", s, i, len(neighbours))
+			}
+			if neighbours[0].ID != group[1-i].ID() {
+				t.Errorf("replica %d/%d gossips to %s, want its group peer", s, i, neighbours[0].ID.Short())
+			}
+		}
+	}
+	// The replicas of one shard own the same CIDs: the set's partition
+	// maps each indexer to exactly one shard.
+	for s := range fleet.Groups {
+		for _, pi := range fleet.Set.Replicas(s) {
+			if got := fleet.Set.Group(pi.ID); len(got) != 1 {
+				t.Errorf("Group(%s) = %d peers, want 1", pi.ID.Short(), len(got))
+			}
+		}
+	}
+}

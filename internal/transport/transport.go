@@ -61,6 +61,7 @@ const (
 	CatRepublish RPCCategory = "republish" // the 12 h record refresh cycle
 	CatRefresh   RPCCategory = "refresh"   // snapshot / routing-table refresh crawls
 	CatWant      RPCCategory = "want"      // Bitswap WANT-HAVE / WANT-BLOCK traffic
+	CatGossip    RPCCategory = "gossip"    // inter-indexer anti-entropy replication
 	CatOther     RPCCategory = "other"     // identify, NAT, relay, ...
 )
 

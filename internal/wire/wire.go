@@ -37,6 +37,7 @@ const (
 	TDialBack           // AutoNAT: ask the peer to dial us back (§2.3)
 	TRelayReserve       // circuit relay: reserve a forwarding slot at the relay
 	TRelay              // circuit relay: forward the inner message (BlockData) to Key's peer
+	TGossip             // indexer: anti-entropy push of provider records inside a replica group
 )
 
 // Responses.
@@ -70,6 +71,17 @@ type Message struct {
 	IPNSData  []byte             // opaque serialized IPNS record
 	BlockData []byte             // block payload (TBlock)
 	ErrMsg    string             // error detail (TError)
+	Records   []ProviderEntry    // replicated provider records (TGossip)
+}
+
+// ProviderEntry is one replicated provider record inside a TGossip
+// push: the binary CID, the provider, and the record's original publish
+// instant — carried so a replicated copy expires exactly when the
+// original does instead of restarting its TTL at the receiving replica.
+type ProviderEntry struct {
+	Key       []byte // binary CID
+	Provider  PeerInfo
+	Published time.Time
 }
 
 // AllKeys returns the primary key plus the batch tail, skipping empty
@@ -132,6 +144,8 @@ func (t Type) String() string {
 		return "RELAY_RESERVE"
 	case TRelay:
 		return "RELAY"
+	case TGossip:
+		return "GOSSIP"
 	case TAck:
 		return "ACK"
 	case TNodes:
@@ -203,6 +217,12 @@ func (m Message) Marshal() []byte {
 	out = varint.Append(out, uint64(len(m.Keys)))
 	for _, k := range m.Keys {
 		out = appendBytes(out, k)
+	}
+	out = varint.Append(out, uint64(len(m.Records)))
+	for _, r := range m.Records {
+		out = appendBytes(out, r.Key)
+		out = appendPeerInfos(out, []PeerInfo{r.Provider})
+		out = varint.Append(out, uint64(r.Published.UnixNano()))
 	}
 	return out
 }
@@ -384,6 +404,30 @@ func Unmarshal(buf []byte) (Message, error) {
 			return Message{}, fmt.Errorf("%w: keys: %v", ErrMalformed, err)
 		}
 		m.Keys = append(m.Keys, kb)
+	}
+	nr, err := r.uvarint()
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: records: %v", ErrMalformed, err)
+	}
+	if nr > 4096 {
+		return Message{}, ErrMalformed
+	}
+	for i := uint64(0); i < nr; i++ {
+		var e ProviderEntry
+		if e.Key, err = r.bytes(); err != nil {
+			return Message{}, fmt.Errorf("%w: record key: %v", ErrMalformed, err)
+		}
+		infos, err := r.peerInfos()
+		if err != nil || len(infos) != 1 {
+			return Message{}, fmt.Errorf("%w: record provider: %v", ErrMalformed, err)
+		}
+		e.Provider = infos[0]
+		ns, err := r.uvarint()
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: record published: %v", ErrMalformed, err)
+		}
+		e.Published = time.Unix(0, int64(ns))
+		m.Records = append(m.Records, e)
 	}
 	return m, nil
 }

@@ -37,6 +37,10 @@ func sampleMessage() Message {
 		IPNSData:  []byte("ipns-bytes"),
 		BlockData: []byte("block-bytes"),
 		ErrMsg:    "",
+		Records: []ProviderEntry{
+			{Key: []byte{0x01, 0x55, 0x12, 0x02, 0xee}, Provider: PeerInfo{ID: p1.ID},
+				Published: time.Unix(0, 1_600_000_100_000_000_000)},
+		},
 	}
 }
 
@@ -73,6 +77,18 @@ func messagesEqual(a, b Message) bool {
 	}
 	if !eqInfos(a.Peers, b.Peers) || !eqInfos(a.Providers, b.Providers) {
 		return false
+	}
+	if len(a.Records) != len(b.Records) {
+		return false
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if !bytes.Equal(ra.Key, rb.Key) || !ra.Published.Equal(rb.Published) {
+			return false
+		}
+		if !eqInfos([]PeerInfo{ra.Provider}, []PeerInfo{rb.Provider}) {
+			return false
+		}
 	}
 	if (a.PeerRec == nil) != (b.PeerRec == nil) {
 		return false
@@ -221,5 +237,37 @@ func TestBatchedKeysRoundTrip(t *testing.T) {
 	}
 	if (Message{}).AllKeys() != nil {
 		t.Error("empty message should have no keys")
+	}
+}
+
+// TestGossipRecordsRoundTrip pins the anti-entropy push shape: a
+// TGossip record batch survives the codec with provider addresses and
+// the original publish instants intact (TTL agreement between replicas
+// depends on the timestamp riding along).
+func TestGossipRecordsRoundTrip(t *testing.T) {
+	p := testIdentity(4)
+	m := Message{
+		Type: TGossip,
+		Records: []ProviderEntry{
+			{Key: []byte{0x01, 0x55, 0x12, 0x02, 0x01},
+				Provider:  PeerInfo{ID: p.ID, Addrs: []multiaddr.Multiaddr{multiaddr.MustParse("/ip4/9.9.9.9/tcp/4001")}},
+				Published: time.Unix(0, 1_700_000_000_000_000_000)},
+			{Key: []byte{0x01, 0x55, 0x12, 0x02, 0x02},
+				Provider:  PeerInfo{ID: p.ID},
+				Published: time.Unix(0, 1_700_000_001_000_000_000)},
+		},
+	}
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !messagesEqual(m, back) {
+		t.Errorf("gossip round trip mismatch:\n  in:  %+v\n  out: %+v", m, back)
+	}
+	if len(back.Records) != 2 || !back.Records[0].Published.Equal(m.Records[0].Published) {
+		t.Errorf("record timestamps not preserved: %+v", back.Records)
+	}
+	if len(back.Records[0].Provider.Addrs) != 1 {
+		t.Error("provider addresses dropped by codec")
 	}
 }

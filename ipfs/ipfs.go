@@ -75,6 +75,10 @@ type (
 	RepublishStats = core.RepublishStats
 	// Indexer is the delegated-routing aggregator node role.
 	Indexer = routing.Indexer
+	// IndexerSet is the shard topology of a sharded indexer fleet.
+	IndexerSet = routing.IndexerSet
+	// IndexerFleet couples built indexer nodes with their topology.
+	IndexerFleet = testnet.IndexerFleet
 	// AcceleratedRouter is the one-hop full-routing-table client.
 	AcceleratedRouter = routing.AcceleratedRouter
 )
@@ -157,6 +161,20 @@ func (s *SimNetwork) AddNodeRouting(region Region, seed int64, kind RoutingKind,
 // to nodes created with RoutingIndexer or RoutingParallel.
 func (s *SimNetwork) AddIndexer(region Region, seed int64) *Indexer {
 	return s.tn.AddIndexer(region, seed)
+}
+
+// AddIndexerSet attaches a sharded indexer fleet — shards × replicas
+// indexer nodes with gossip-wired replica groups — and returns it.
+// Wire nodes to it with AddNodeSharded. The fleet consumes seeds
+// seed..seed+shards×replicas-1; pick node seeds outside that range.
+func (s *SimNetwork) AddIndexerSet(seed int64, shards, replicas int) *IndexerFleet {
+	return s.tn.AddIndexerSet(seed, shards, replicas, 0)
+}
+
+// AddNodeSharded attaches a fresh node whose indexer router routes
+// through the fleet's shard topology.
+func (s *SimNetwork) AddNodeSharded(region Region, seed int64, kind RoutingKind, fleet *IndexerFleet) *Node {
+	return s.tn.AddVantageSharded(region, seed, kind, fleet.Set)
 }
 
 // Testnet exposes the underlying builder for advanced use.
