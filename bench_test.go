@@ -24,6 +24,7 @@ import (
 	"repro/internal/peer"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -411,6 +412,10 @@ func BenchmarkSessionRoutingUnderChurn(b *testing.B) {
 		// vs the full-lookup wait retrieval used to block on.
 		b.ReportMetric(dht.RetrTTFP.Percentile(50), "dht-time-to-first-provider-s")
 		b.ReportMetric(dht.RetrLookupFull.Percentile(50), "dht-blocking-lookup-s")
+		// Span-derived discovery tail across every router's traced
+		// retrievals — the delay-decomposition headline the telemetry
+		// subsystem adds, gated by benchdiff against the baseline.
+		b.ReportMetric(telemetry.DiscoverP99(res.Traces).Seconds(), "discover-p99-s")
 		b.ReportMetric(float64(res.Budget.Requests), "rpc-total")
 		b.ReportMetric(float64(res.Budget.Category(transport.CatLookup)), "rpc-lookup")
 		b.ReportMetric(float64(res.Budget.Category(transport.CatPublish)), "rpc-publish")

@@ -31,6 +31,7 @@ var headline = []metricKey{
 	{"BenchmarkSessionRoutingUnderChurn", "dht-republish-rpcs-per-cycle"},
 	{"BenchmarkSessionRoutingUnderChurn", "indexer-republish-rpcs-per-cycle"},
 	{"BenchmarkSessionRoutingUnderChurn", "dht-time-to-first-provider-s"},
+	{"BenchmarkSessionRoutingUnderChurn", "discover-p99-s"},
 }
 
 type metricKey struct {

@@ -25,18 +25,19 @@ func main() {
 		// Deliberately not named -churn: that flag used to mean
 		// "offline fraction", and a stale invocation must fail loudly
 		// rather than silently select a different churn intensity.
-		churn   = flag.Float64("churn-amplitude", 1, "churn-timeline amplitude for the routing comparison (1 = the paper's Fig 8 model, >1 churns harder, e.g. 0.01 for effectively none)")
-		window  = flag.Duration("window", 0, "simulated window the routing churn timeline covers (0 selects the 24h default)")
-		ticks   = flag.Int("ticks", 0, "retrieval ticks across the routing window (0 selects the default)")
-		shards  = flag.Int("indexer-shards", 1, "indexer keyspace shards for the routing comparison (>1 with -indexer-replicas builds a gossiping fleet)")
-		reps    = flag.Int("indexer-replicas", 1, "replicas per indexer shard")
-		outage  = flag.Duration("indexer-outage-at", 0, "offset at which each shard's primary indexer goes offline for the rest of the window (0 = no outage)")
-		network = flag.Int("network", 600, "simulated network size for performance runs")
-		iters   = flag.Int("iters", 8, "publications per region")
-		pop     = flag.Int("population", 20000, "population size for deployment analyses")
-		scale   = flag.Float64("scale", 0.002, "time compression (real seconds per simulated second)")
-		seed    = flag.Int64("seed", 42, "random seed")
-		points  = flag.Int("points", 20, "CDF points per series")
+		churn    = flag.Float64("churn-amplitude", 1, "churn-timeline amplitude for the routing comparison (1 = the paper's Fig 8 model, >1 churns harder, e.g. 0.01 for effectively none)")
+		window   = flag.Duration("window", 0, "simulated window the routing churn timeline covers (0 selects the 24h default)")
+		ticks    = flag.Int("ticks", 0, "retrieval ticks across the routing window (0 selects the default)")
+		shards   = flag.Int("indexer-shards", 1, "indexer keyspace shards for the routing comparison (>1 with -indexer-replicas builds a gossiping fleet)")
+		reps     = flag.Int("indexer-replicas", 1, "replicas per indexer shard")
+		outage   = flag.Duration("indexer-outage-at", 0, "offset at which each shard's primary indexer goes offline for the rest of the window (0 = no outage)")
+		network  = flag.Int("network", 600, "simulated network size for performance runs")
+		iters    = flag.Int("iters", 8, "publications per region")
+		pop      = flag.Int("population", 20000, "population size for deployment analyses")
+		scale    = flag.Float64("scale", 0.002, "time compression (real seconds per simulated second)")
+		seed     = flag.Int64("seed", 42, "random seed")
+		points   = flag.Int("points", 20, "CDF points per series")
+		traceOut = flag.String("trace-out", "", "write the routing comparison's retrieval trace spans as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -156,6 +157,24 @@ func main() {
 			IndexerShards: *shards, IndexerReplicas: *reps, IndexerOutageAt: *outage,
 			Scale: *scale, Seed: *seed,
 		})
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+				os.Exit(1)
+			}
+			for _, tr := range res.Traces {
+				if err := tr.WriteJSONL(f); err != nil {
+					fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d trace span trees to %s\n", len(res.Traces), *traceOut)
+		}
 		fmt.Println(res.Table())
 		fmt.Println()
 		fmt.Println(res.TimeSeries())

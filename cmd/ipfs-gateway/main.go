@@ -13,13 +13,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 )
 
-import "repro/ipfs"
+import (
+	"repro/internal/telemetry"
+	"repro/ipfs"
+)
 
 func main() {
 	var (
@@ -74,7 +80,36 @@ func main() {
 		fmt.Println("P2P listening:", a)
 	}
 	fmt.Printf("HTTP gateway on http://%s/ipfs/{CID}\n", *httpAddr)
-	if err := http.ListenAndServe(*httpAddr, gw); err != nil {
+	fmt.Printf("introspection on http://%s/debug/metrics and /debug/trace/last\n", *httpAddr)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", gw)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.Handle("/debug/", telemetry.Handler(node.Telemetry()))
+
+	srv := &http.Server{Addr: *httpAddr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	sctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-sctx.Done():
+	}
+	// In-flight gateway requests get a grace window to finish; the node
+	// closes afterwards via the deferred Close.
+	fmt.Println("shutting down...")
+	shctx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shctx); err != nil {
 		fatal(err)
 	}
 }

@@ -21,11 +21,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/ipfs"
 )
 
@@ -36,6 +40,7 @@ func main() {
 		bootstrap = flag.String("bootstrap", "", "comma-separated bootstrap multiaddrs (/ip4/../tcp/../p2p/..)")
 		client    = flag.Bool("client", false, "join as a DHT client (unreachable peers)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "operation timeout")
+		debugHTTP = flag.String("debug-http", "", "daemon-mode introspection listen address (/healthz, /debug/metrics, /debug/trace/last)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -82,10 +87,30 @@ func main() {
 		for _, a := range node.Addrs() {
 			fmt.Println("Listening:", a)
 		}
+		var srv *http.Server
+		if *debugHTTP != "" {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+				io.WriteString(w, "ok\n")
+			})
+			mux.Handle("/debug/", telemetry.Handler(node.Telemetry()))
+			srv = &http.Server{Addr: *debugHTTP, Handler: mux}
+			go func() {
+				if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintf(os.Stderr, "debug http: %v\n", err)
+				}
+			}()
+			fmt.Printf("introspection on http://%s/debug/metrics\n", *debugHTTP)
+		}
 		fmt.Println("daemon running; ^C to stop")
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		sctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-sctx.Done()
+		if srv != nil {
+			shctx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancelShutdown()
+			srv.Shutdown(shctx)
+		}
 
 	case "add":
 		if len(args) < 2 {

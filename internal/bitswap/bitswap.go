@@ -21,6 +21,7 @@ import (
 	"repro/internal/peer"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -301,6 +302,12 @@ func (b *Bitswap) joinAsk(ctx context.Context, c cid.Cid, fl *askFlight, start t
 func (b *Bitswap) ask(ctx context.Context, c cid.Cid) (wire.PeerInfo, AskStats, error) {
 	start := time.Now()
 	var st AskStats
+	ctx, asp := telemetry.StartSpan(ctx, "bitswap-ask")
+	defer func() {
+		asp.Annotate("routed", fmt.Sprint(st.Routed))
+		asp.Annotate("consult-miss", fmt.Sprint(st.ConsultMiss))
+		asp.End()
+	}()
 
 	var routed []wire.PeerInfo
 	broadcast := true
@@ -374,7 +381,13 @@ func (b *Bitswap) askWave(ctx context.Context, c cid.Cid, routed []wire.PeerInfo
 	st.WantHaves += len(targets)
 	b.countWantHaves(len(targets))
 
-	actx, cancel := b.cfg.Base.WithTimeout(ctx, b.cfg.OpportunisticTimeout)
+	// The wave is one trace phase; the per-target WANT-HAVE RPCs attach
+	// as events through the derived contexts.
+	wctx, wsp := telemetry.StartSpan(ctx, "want-wave",
+		telemetry.A("targets", fmt.Sprint(len(targets))),
+		telemetry.A("broadcast", fmt.Sprint(broadcastRan)))
+	defer wsp.End()
+	actx, cancel := b.cfg.Base.WithTimeout(wctx, b.cfg.OpportunisticTimeout)
 	defer cancel()
 	found := make(chan wire.PeerInfo, len(targets))
 	var wg sync.WaitGroup
@@ -394,6 +407,8 @@ func (b *Bitswap) askWave(ctx context.Context, c cid.Cid, routed []wire.PeerInfo
 
 	win := func(pi wire.PeerInfo) (wire.PeerInfo, map[peer.ID]bool, bool) {
 		st.Routed = fromRouter[pi.ID]
+		wsp.Event("have", telemetry.A("peer", pi.ID.String()),
+			telemetry.A("routed", fmt.Sprint(fromRouter[pi.ID])))
 		return pi, seen, true
 	}
 	select {
@@ -589,7 +604,7 @@ func (s *Session) Get(c cid.Cid) (block.Block, error) {
 	s.started = true
 	s.mu.Unlock()
 
-	blk, err := s.fetch(from, c, handshake)
+	blk, err := s.fetch(s.ctx, from, c, handshake)
 	if err == nil {
 		return blk, nil
 	}
@@ -598,15 +613,15 @@ func (s *Session) Get(c cid.Cid) (block.Block, error) {
 
 // fetch runs one block exchange against a specific provider, counting
 // the session's messages.
-func (s *Session) fetch(from wire.PeerInfo, c cid.Cid, handshake bool) (block.Block, error) {
+func (s *Session) fetch(ctx context.Context, from wire.PeerInfo, c cid.Cid, handshake bool) (block.Block, error) {
 	if handshake {
 		s.addStats(SessionStats{WantHaves: 1})
-		if err := s.bs.wantHave(s.ctx, from, c); err != nil {
+		if err := s.bs.wantHave(ctx, from, c); err != nil {
 			return block.Block{}, err
 		}
 	}
 	s.addStats(SessionStats{WantBlocks: 1})
-	return s.bs.fetchDirect(s.ctx, from, c)
+	return s.bs.fetchDirect(ctx, from, c)
 }
 
 // failover retries a block against an alternate provider after a
@@ -622,6 +637,9 @@ func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.
 	}
 	s.foMu.Lock()
 	defer s.foMu.Unlock()
+	fctx, fsp := telemetry.StartSpan(s.ctx, "session-failover",
+		telemetry.A("failed", failed.ID.String()))
+	defer fsp.End()
 
 	s.mu.Lock()
 	s.tried[failed.ID] = true
@@ -632,7 +650,7 @@ func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.
 	// Another goroutine may have already switched providers; retry the
 	// block against the new binding before spending routing RPCs.
 	if cur.ID != failed.ID {
-		if blk, err := s.fetch(cur, c, false); err == nil {
+		if blk, err := s.fetch(fctx, cur, c, false); err == nil {
 			return blk, nil
 		}
 		s.mu.Lock()
@@ -643,7 +661,7 @@ func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.
 	// Streamed candidates first: providers the lookup yielded after the
 	// winner, already paid for.
 	if candFn != nil {
-		if blk, err := s.tryAlternates(c, candFn()); err == nil {
+		if blk, err := s.tryAlternates(fctx, c, candFn()); err == nil {
 			return blk, nil
 		}
 	}
@@ -652,12 +670,12 @@ func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.
 	if r == nil {
 		return block.Block{}, cause
 	}
-	peers, msgs, err := r.SessionPeers(s.ctx, anchor, s.bs.cfg.SessionPeerTarget)
+	peers, msgs, err := r.SessionPeers(fctx, anchor, s.bs.cfg.SessionPeerTarget)
 	s.addStats(SessionStats{RoutingMsgs: msgs})
 	if err != nil {
 		return block.Block{}, cause
 	}
-	if blk, err := s.tryAlternates(c, peers); err == nil {
+	if blk, err := s.tryAlternates(fctx, c, peers); err == nil {
 		return blk, nil
 	}
 	return block.Block{}, cause
@@ -665,7 +683,7 @@ func (s *Session) failover(c cid.Cid, failed wire.PeerInfo, cause error) (block.
 
 // tryAlternates fetches c from the first not-yet-tried peer that
 // serves it, rebinding the session on success.
-func (s *Session) tryAlternates(c cid.Cid, peers []wire.PeerInfo) (block.Block, error) {
+func (s *Session) tryAlternates(ctx context.Context, c cid.Cid, peers []wire.PeerInfo) (block.Block, error) {
 	for _, pi := range peers {
 		s.mu.Lock()
 		dup := s.tried[pi.ID]
@@ -673,7 +691,7 @@ func (s *Session) tryAlternates(c cid.Cid, peers []wire.PeerInfo) (block.Block, 
 		if dup || pi.ID == s.bs.sw.Local() {
 			continue
 		}
-		blk, err := s.fetch(pi, c, true)
+		blk, err := s.fetch(ctx, pi, c, true)
 		if err != nil {
 			s.mu.Lock()
 			s.tried[pi.ID] = true

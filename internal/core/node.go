@@ -21,6 +21,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/unixfs"
 	"repro/internal/wire"
@@ -97,6 +98,7 @@ type Node struct {
 
 	router routing.Router
 	accel  *routing.AcceleratedRouter // non-nil when the accelerated client is in play
+	tel    *telemetry.Recorder
 
 	ipnsSeq uint64
 }
@@ -129,6 +131,7 @@ func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 		bswap:   bs,
 		store:   store,
 		builder: merkledag.NewBuilder(store, cfg.ChunkSize, cfg.Fanout),
+		tel:     telemetry.NewRecorder(cfg.Base, cfg.Now),
 	}
 	n.router = n.buildRouter()
 	// Bitswap session peer selection and the want-broadcast policy go
@@ -215,6 +218,9 @@ func findAccelerated(r routing.Router) *routing.AcceleratedRouter {
 // else nil.
 func (n *Node) Accelerated() *routing.AcceleratedRouter { return n.accel }
 
+// Telemetry exposes the node's trace recorder and metrics registry.
+func (n *Node) Telemetry() *telemetry.Recorder { return n.tel }
+
 // RefreshRoutingSnapshot crawls the network into the accelerated
 // client's snapshot, seeding the crawl from the node's routing table.
 // It is a no-op for nodes without an accelerated client.
@@ -230,7 +236,11 @@ func (n *Node) RefreshRoutingSnapshot(ctx context.Context) (int, error) {
 		}
 		bootstrap = append(bootstrap, info)
 	}
-	return n.accel.Refresh(ctx, bootstrap)
+	size, err := n.accel.Refresh(ctx, bootstrap)
+	if err == nil {
+		n.tel.Registry().Gauge("snapshot_peers").Set(float64(size))
+	}
+	return size, err
 }
 
 // handle dispatches inbound requests to the owning subsystem.
@@ -331,11 +341,20 @@ func (n *Node) Publish(ctx context.Context, root cid.Cid) (PublishResult, error)
 	if !n.store.Has(root) {
 		return PublishResult{}, fmt.Errorf("core: publish: %s not in local store", root)
 	}
+	ctx, sp := n.tel.StartTrace(ctx, "publish",
+		telemetry.A("cid", root.String()), telemetry.A("router", n.router.Name()))
+	defer sp.End()
 	// The whole provide tree — walk queries included — is attributed to
 	// the publish budget category.
 	res, err := n.router.Provide(transport.WithRPCCategory(ctx, transport.CatPublish), root)
+	reg := n.tel.Registry()
+	reg.Counter("publishes_total", "router", n.router.Name()).Inc()
 	if err == nil {
 		n.repub.track(root)
+		sp.Annotate("stores", fmt.Sprint(res.StoreOK))
+	} else {
+		reg.Counter("publish_failures", "router", n.router.Name()).Inc()
+		sp.Annotate("err", err.Error())
 	}
 	return PublishResult{Cid: root, ProvideResult: res}, err
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/routing"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -69,8 +71,13 @@ func (n *Node) RepublishRecords(ctx context.Context) routing.ProvideManyResult {
 	if len(cids) == 0 {
 		return routing.ProvideManyResult{}
 	}
+	ctx, sp := telemetry.StartSpan(ctx, "provide-many",
+		telemetry.A("cids", fmt.Sprint(len(cids))))
+	defer sp.End()
 	ctx = transport.WithRPCCategory(ctx, transport.CatRepublish)
 	res, _ := n.router.ProvideMany(ctx, cids)
+	sp.Annotate("provided", fmt.Sprint(res.Provided))
+	sp.Annotate("skipped-targets", fmt.Sprint(res.SkippedTargets))
 	return res
 }
 
@@ -79,6 +86,8 @@ func (n *Node) RepublishRecords(ctx context.Context) routing.ProvideManyResult {
 // everything confirmed during this cycle goes stale together and the
 // next cycle re-pushes it.
 func (n *Node) Republish(ctx context.Context) RepublishStats {
+	ctx, sp := n.tel.StartTrace(ctx, "republish", telemetry.A("router", n.router.Name()))
+	defer sp.End()
 	ctx = transport.WithRPCCategory(ctx, transport.CatRepublish)
 	var st RepublishStats
 	st.Batch = n.RepublishRecords(ctx)
@@ -88,6 +97,11 @@ func (n *Node) Republish(ctx context.Context) RepublishStats {
 		st.OK++
 	}
 	routing.AdvanceCycle(n.router)
+	reg := n.tel.Registry()
+	reg.Counter("republish_cycles").Inc()
+	reg.Counter("republish_targets").Add(float64(st.Batch.Targets))
+	reg.Counter("republish_skipped_targets").Add(float64(st.Batch.SkippedTargets))
+	reg.Counter("republish_store_rpcs").Add(float64(st.Batch.StoreRPCs))
 	return st
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/merkledag"
 	"repro/internal/peer"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -172,18 +173,33 @@ func (ps *providerStream) Finish() routing.LookupInfo {
 // candidates in the background — (iii) peer discovery via the address
 // book or a second walk, (iv) peer routing (connect), and (v) content
 // exchange over Bitswap.
-func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResult, error) {
-	res := RetrieveResult{Cid: root}
+func (n *Node) Retrieve(ctx context.Context, root cid.Cid) (data []byte, res RetrieveResult, err error) {
+	res = RetrieveResult{Cid: root}
 	start := time.Now()
+	ctx, trsp := n.tel.StartTrace(ctx, "retrieve",
+		telemetry.A("cid", root.String()), telemetry.A("router", n.router.Name()))
+	defer func() {
+		trsp.Annotate("ok", fmt.Sprint(err == nil))
+		trsp.Annotate("bytes", fmt.Sprint(res.Bytes))
+		trsp.End()
+		n.recordRetrieve(res, err)
+	}()
 
 	// Already local? Serve without network interaction.
 	if data, err := merkledag.Assemble(n.store, root); err == nil {
 		res.Total = n.cfg.Base.SimSince(start)
 		res.Bytes = len(data)
+		trsp.Annotate("local", "true")
 		return data, res, nil
 	}
 
-	provider, ps, err := n.discover(ctx, root, &res)
+	// Content discovery (§3.2 steps i–ii): the routed/opportunistic
+	// Bitswap ask plus the provider stream, as one trace phase.
+	dctx, dsp := telemetry.StartSpan(ctx, "discover")
+	provider, ps, err := n.discover(dctx, root, &res)
+	dsp.Annotate("routed", fmt.Sprint(res.RoutedSession))
+	dsp.Annotate("bitswap-hit", fmt.Sprint(res.BitswapHit))
+	dsp.End()
 	// finish collects the stream's cost exactly once, whatever exit
 	// path the retrieval takes: the lookup RPCs (background draining
 	// included), the full lookup duration, and the candidate count.
@@ -206,6 +222,11 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	res.Provider = provider.ID
 	res.FirstProvider = n.cfg.Base.SimSince(start)
 
+	// Peer discovery + peer routing (§3.2 steps iii–iv): resolve the
+	// first provider's addresses and connect to it, as one trace phase.
+	fpctx, fpsp := telemetry.StartSpan(ctx, "first-provider",
+		telemetry.A("provider", provider.ID.String()))
+
 	// Peer discovery: map the PeerID to addresses via the address book
 	// (§3.2's shortcut) or a second DHT walk.
 	if len(provider.Addrs) == 0 && !n.sw.Connected(provider.ID) {
@@ -213,25 +234,29 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 			provider.Addrs = addrs
 			res.UsedBook = true
 		} else {
-			info, walk, err := n.dht.FindPeer(ctx, provider.ID)
+			info, walk, err := n.dht.FindPeer(fpctx, provider.ID)
 			res.PeerWalk = walk.Duration
 			if err != nil {
 				res.Total = n.cfg.Base.SimSince(start)
+				fpsp.End()
 				finish()
 				return nil, res, fmt.Errorf("%w: provider %s unresolvable: %v", ErrNotFound, provider.ID.Short(), err)
 			}
 			provider.Addrs = info.Addrs
 		}
 	}
+	fpsp.Annotate("book", fmt.Sprint(res.UsedBook))
 
 	// Peer routing: connect to the provider.
-	_, dialDur, err := n.sw.Connect(ctx, provider.ID, provider.Addrs)
+	_, dialDur, err := n.sw.Connect(fpctx, provider.ID, provider.Addrs)
 	if err != nil {
 		res.Total = n.cfg.Base.SimSince(start)
+		fpsp.End()
 		finish()
 		return nil, res, fmt.Errorf("%w: cannot connect to provider: %v", ErrNotFound, err)
 	}
 	res.Dial = dialDur
+	fpsp.End()
 
 	// Content exchange: fetch and verify the DAG via Bitswap, with
 	// sibling blocks requested concurrently as real sessions do. A
@@ -240,14 +265,15 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	// first from the stream's fail-over candidates (already paid for),
 	// then through the router.
 	fetchStart := time.Now()
-	session := n.bswap.NewSession(ctx, provider).ForRoot(root)
+	fctx, fsp := telemetry.StartSpan(ctx, "fetch")
+	session := n.bswap.NewSession(fctx, provider).ForRoot(root)
 	if ps != nil {
 		session.WithCandidates(ps.Candidates)
 	}
 	if res.BitswapHit || res.RoutedSession {
 		session.Confirm()
 	}
-	data, err := merkledag.AssembleConcurrent(session, root, 8)
+	data, err = merkledag.AssembleConcurrent(session, root, 8)
 	ss := session.Stats()
 	res.WantHaves += ss.WantHaves
 	res.WantBlocks += ss.WantBlocks
@@ -255,6 +281,9 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 	res.SessionFailovers += ss.Failovers
 	res.Fetch = n.cfg.Base.SimSince(fetchStart)
 	res.Total = n.cfg.Base.SimSince(start)
+	fsp.Annotate("blocks", fmt.Sprint(ss.WantBlocks))
+	fsp.Annotate("failovers", fmt.Sprint(ss.Failovers))
+	fsp.End()
 	finish()
 	if err != nil {
 		return nil, res, fmt.Errorf("%w: fetch failed: %v", ErrNotFound, err)
@@ -270,6 +299,28 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) ([]byte, RetrieveResu
 		}
 	}
 	return data, res, nil
+}
+
+// recordRetrieve folds one retrieval's instrumentation into the node's
+// metrics registry: per-router counters, the §6.2 latency histograms
+// and the walk/stream message accounting.
+func (n *Node) recordRetrieve(res RetrieveResult, err error) {
+	reg := n.tel.Registry()
+	router := n.router.Name()
+	reg.Counter("retrieves_total", "router", router).Inc()
+	if err != nil {
+		reg.Counter("retrieve_failures", "router", router).Inc()
+	}
+	if res.RoutedSession {
+		reg.Counter("routed_sessions", "router", router).Inc()
+	}
+	reg.Counter("want_haves").Add(float64(res.WantHaves))
+	reg.Counter("suppressed_wants").Add(float64(res.SuppressedWants))
+	reg.Counter("stream_candidates_drained").Add(float64(res.StreamCandidates))
+	reg.Counter("session_failovers").Add(float64(res.SessionFailovers))
+	reg.Histogram("retrieve_seconds", 0.25, "router", router).ObserveDuration(res.Total)
+	reg.Histogram("discover_seconds", 0.25, "router", router).ObserveDuration(res.Discover())
+	reg.Histogram("lookup_msgs", 5, "router", router).Observe(float64(res.LookupMsgs))
 }
 
 // discover locates a provider for root: the session-routed (or

@@ -3,10 +3,12 @@ package dht
 import (
 	"context"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/kbucket"
 	"repro/internal/peer"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -51,6 +53,9 @@ const maxWalkQueries = 128
 // which is what makes the publication RPC batch hit dial timeouts
 // (Fig 9c) — the stopping response if any, and walk statistics.
 func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Message, stop func(wire.Message) bool) ([]wire.PeerInfo, *wire.Message, WalkInfo) {
+	// The walk is one trace phase: query RPCs attach as events via the
+	// derived contexts, and every completed query adds a "hop" event.
+	ctx, wsp := telemetry.StartSpan(ctx, "dht-walk")
 	start := time.Now()
 	cands := make(map[peer.ID]*candidate)
 
@@ -123,6 +128,12 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 	defer cancel()
 
 	var info WalkInfo
+	defer func() {
+		wsp.Annotate("queried", strconv.Itoa(info.Queried))
+		wsp.Annotate("failed", strconv.Itoa(info.Failed))
+		wsp.Annotate("depth", strconv.Itoa(info.Depth))
+		wsp.End()
+	}()
 	inflight := 0
 	launched := 0
 
@@ -170,10 +181,13 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 			c.state = stateFailed
 			info.Failed++
 			d.table.Remove(res.id)
+			wsp.Event("hop", telemetry.A("peer", res.id.String()), telemetry.A("ok", "false"))
 		} else {
 			c.state = stateDone
 			info.Queried++
 			d.table.Add(res.id)
+			wsp.Event("hop", telemetry.A("peer", res.id.String()), telemetry.A("ok", "true"),
+				telemetry.A("depth", strconv.Itoa(c.depth+1)))
 			if c.depth+1 > info.Depth {
 				info.Depth = c.depth + 1
 			}

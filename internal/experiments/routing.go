@@ -15,6 +15,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/testnet"
 	"repro/internal/transport"
 )
@@ -196,6 +197,13 @@ type RoutingResults struct {
 	// Budget is the cumulative network-wide RPC budget of the whole
 	// experiment, by category.
 	Budget simnet.Budget
+	// Traces is every span tree the vantage nodes recorded during the
+	// scheduled phases, in phase order — the raw material for the delay
+	// decomposition and for -trace-out JSONL export.
+	Traces []*telemetry.Trace
+	// Metrics aggregates the vantage nodes' labeled metric registries
+	// network-wide (raw samples merged, so percentiles are exact).
+	Metrics telemetry.MetricsSnapshot
 }
 
 // routerPair is one router's publisher/getter vantage pair plus its
@@ -267,6 +275,7 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 		}
 		rp.Name = p.publisher.Router().Name()
 		sc.ObserveAccelerated(p.publisher.Accelerated(), p.getter.Accelerated())
+		sc.ObserveTelemetry(p.publisher.Telemetry(), p.getter.Telemetry())
 		pairs = append(pairs, p)
 	}
 
@@ -404,6 +413,12 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 
 	res.Phases = sc.Run(context.Background())
 	res.Budget = tn.Net.Budget()
+	res.Traces = sc.Traces()
+	var regs []*telemetry.Registry
+	for _, p := range pairs {
+		regs = append(regs, p.publisher.Telemetry().Registry(), p.getter.Telemetry().Registry())
+	}
+	res.Metrics = telemetry.AggregateRegistries(regs...)
 	return res
 }
 
@@ -459,7 +474,10 @@ func (r *RoutingResults) timeSeries(includeBudget bool) string {
 		r.Cfg.NetworkSize, len(r.Routers), r.Cfg.Window, r.Cfg.ChurnAmplitude)
 	cols := []string{"Phase", "At", "Online", "SnapStale", "IxHit", "ShardHit", "IxUp", "Ops", "Fail", "Routed"}
 	if includeBudget {
-		cols = append(cols, "RPCs")
+		// The span-derived columns ride with the budget variant: they
+		// carry measured sim-time, which drifts with scheduling the same
+		// way exact RPC counts do, so the stable golden omits both.
+		cols = append(cols, "Disc99", "FirstHop", "RPCs")
 		for _, cat := range simnet.BudgetCategories {
 			cols = append(cols, string(cat))
 		}
@@ -471,7 +489,7 @@ func (r *RoutingResults) timeSeries(includeBudget bool) string {
 			fmtHealth(ps.ShardHitMean()), fmtHealth(ps.ReplicaUp),
 			ps.Ops, ps.Failures, ps.Routed}
 		if includeBudget {
-			row = append(row, ps.Budget.Requests)
+			row = append(row, fmtSecs(ps.DiscoverP99), fmtHealth(ps.FirstHopShare), ps.Budget.Requests)
 			for _, cat := range simnet.BudgetCategories {
 				row = append(row, ps.Budget.Category(cat))
 			}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/simnet"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/testnet"
 )
 
@@ -70,6 +71,18 @@ type PhaseSample struct {
 	// (NaN when no indexers are observed).
 	ReplicaUp float64
 
+	// DiscoverP99 is the 99th-percentile sim-accurate duration of the
+	// "discover" trace span across the retrievals traced in this phase,
+	// in seconds (NaN when no observed recorder traced a retrieval).
+	DiscoverP99 float64
+	// FirstHopShare is the fraction of traced retrievals whose discover
+	// phase resolved a provider within at most one lookup RPC (NaN when
+	// none were traced).
+	FirstHopShare float64
+	// TracedOps is how many traces the observed recorders produced
+	// during the phase (all root operations, not just retrievals).
+	TracedOps int
+
 	// Budget is the network-wide RPC spend during this phase, by
 	// category.
 	Budget simnet.Budget
@@ -117,6 +130,8 @@ type ScenarioRunner struct {
 	indexers []*routing.Indexer
 	ixShard  map[peer.ID]int // observed indexer -> shard it serves
 	roots    []cid.Cid
+	recs     []*telemetry.Recorder
+	traces   []*telemetry.Trace
 
 	phases  []scheduledPhase
 	samples []PhaseSample
@@ -185,6 +200,31 @@ func (s *ScenarioRunner) ObserveIndexerFleet(set *routing.IndexerSet, nodes ...*
 // TrackRoots adds published roots to the indexer hit-rate denominator.
 func (s *ScenarioRunner) TrackRoots(cs ...cid.Cid) { s.roots = append(s.roots, cs...) }
 
+// ObserveTelemetry registers node recorders whose traces the runner
+// drains at every tick: each phase sample reports span-derived columns
+// (discover p99, first-hop share) over exactly the traces that phase
+// produced, and the full set accumulates for Traces.
+func (s *ScenarioRunner) ObserveTelemetry(recs ...*telemetry.Recorder) {
+	for _, r := range recs {
+		if r != nil {
+			s.recs = append(s.recs, r)
+		}
+	}
+}
+
+// drainTraces empties every observed recorder's trace ring.
+func (s *ScenarioRunner) drainTraces() []*telemetry.Trace {
+	var out []*telemetry.Trace
+	for _, r := range s.recs {
+		out = append(out, r.Drain()...)
+	}
+	return out
+}
+
+// Traces returns every trace the observed recorders produced during
+// the scheduled phases, in phase order.
+func (s *ScenarioRunner) Traces() []*telemetry.Trace { return s.traces }
+
 // Schedule adds a workload phase at the given offset into the window.
 // Phases run in offset order (insertion order on ties) when Run is
 // called; run may be nil for a pure sampling tick.
@@ -200,6 +240,10 @@ func (s *ScenarioRunner) Run(ctx context.Context) []PhaseSample {
 	sort.SliceStable(s.phases, func(a, b int) bool {
 		return s.phases[a].offset < s.phases[b].offset
 	})
+	// Traces from setup work before the schedule (bootstrap publishes,
+	// warm-up crawls) are not any phase's: drop them so the first
+	// phase's span columns cover only its own operations.
+	s.drainTraces()
 	for _, ph := range s.phases {
 		now := s.Start.Add(ph.offset)
 		s.Clock.Set(now)
@@ -227,6 +271,17 @@ func (s *ScenarioRunner) Run(ctx context.Context) []PhaseSample {
 				SnapshotStale: sample.SnapshotStale,
 				IndexerHit:    sample.IndexerHit,
 			})
+		}
+		phaseTraces := s.drainTraces()
+		s.traces = append(s.traces, phaseTraces...)
+		sample.TracedOps = len(phaseTraces)
+		sample.FirstHopShare = telemetry.FirstHopShare(phaseTraces)
+		if math.IsNaN(sample.FirstHopShare) {
+			// No traced retrieval carried a discover span this phase; a
+			// 0.00s p99 would read as a measurement, not an absence.
+			sample.DiscoverP99 = math.NaN()
+		} else {
+			sample.DiscoverP99 = telemetry.DiscoverP99(phaseTraces).Seconds()
 		}
 		sample.Budget = s.TN.Net.Budget().Sub(before)
 		s.samples = append(s.samples, sample)
@@ -368,6 +423,14 @@ func fmtOffset(d time.Duration) string {
 	default:
 		return fmt.Sprintf("+%dh%02dm", h, m)
 	}
+}
+
+// fmtSecs renders a span-derived duration in seconds, "-" for NaN.
+func fmtSecs(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fs", v)
 }
 
 // fmtHealth renders a health fraction as a percentage, "-" for NaN.

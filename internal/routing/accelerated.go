@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/kbucket"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -299,6 +301,12 @@ func (r *AcceleratedRouter) WantBroadcast() bool { return false }
 // a provider-carrying response.
 func (r *AcceleratedRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
 	var info LookupInfo
+	ctx, sp := telemetry.StartSpan(ctx, "accel-direct")
+	defer func() {
+		sp.Annotate("queried", strconv.Itoa(info.Queried))
+		sp.Annotate("failed", strconv.Itoa(info.Failed))
+		sp.End()
+	}()
 	start := time.Now()
 	key := c.Bytes()
 	closest := r.closest(key)

@@ -3,6 +3,7 @@ package routing
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -32,6 +34,7 @@ type Indexer struct {
 	ttl       time.Duration
 	timeout   time.Duration
 	gossip    *Ledger // per-group-peer ack dedup for anti-entropy rounds
+	tel       *telemetry.Recorder
 
 	mu    sync.RWMutex
 	group []wire.PeerInfo // replica-group neighbours (self excluded)
@@ -73,6 +76,7 @@ func NewIndexer(ident peer.Identity, ep transport.Endpoint, cfg IndexerConfig) *
 		ttl:       cfg.RecordTTL,
 		timeout:   cfg.RPCTimeout,
 		gossip:    NewAckLedger(cfg.Now),
+		tel:       telemetry.NewRecorder(cfg.Base, cfg.Now),
 	}
 	ep.SetHandler(ix.handle)
 	return ix
@@ -128,6 +132,9 @@ func (ix *Indexer) ReplicaGroup() []wire.PeerInfo {
 // GossipLedgerLen returns how many acks the gossip dedup ledger holds
 // (bounded-memory tests).
 func (ix *Indexer) GossipLedgerLen() int { return ix.gossip.Len() }
+
+// Telemetry exposes the indexer's recorder (gossip round counters).
+func (ix *Indexer) Telemetry() *telemetry.Recorder { return ix.tel }
 
 // GossipStats instruments one anti-entropy round.
 type GossipStats struct {
@@ -197,6 +204,11 @@ func (ix *Indexer) Gossip(ctx context.Context) GossipStats {
 			ix.gossip.Confirm(target, keys[off:end]...)
 		}
 	}
+	reg := ix.tel.Registry()
+	reg.Counter("gossip_rounds").Inc()
+	reg.Counter("gossip_rpcs").Add(float64(st.RPCs))
+	reg.Counter("gossip_acked").Add(float64(st.Acked))
+	reg.Counter("gossip_records").Add(float64(st.Records))
 	return st
 }
 
@@ -478,6 +490,7 @@ func (r *IndexerRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (Pro
 			cancel()
 			if err != nil || resp.Type != wire.TProviders {
 				info.Failed++
+				telemetry.SpanFrom(ctx).Event("replica-failover", telemetry.A("indexer", ix.ID.String()))
 				continue
 			}
 			info.Queried++
@@ -522,6 +535,12 @@ func (r *IndexerRouter) WantBroadcast() bool { return false }
 // every responsible indexer misses or is unreachable.
 func (r *IndexerRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerInfo, LookupInfo, error) {
 	var info LookupInfo
+	ctx, sp := telemetry.StartSpan(ctx, "indexer-direct")
+	defer func() {
+		sp.Annotate("queried", strconv.Itoa(info.Queried))
+		sp.Annotate("failed", strconv.Itoa(info.Failed))
+		sp.End()
+	}()
 	start := time.Now()
 	key := c.Bytes()
 	for _, ix := range r.targetsFor(c) {
@@ -533,6 +552,7 @@ func (r *IndexerRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerInfo,
 		cancel()
 		if err != nil || resp.Type != wire.TProviders {
 			info.Failed++
+			sp.Event("replica-failover", telemetry.A("indexer", ix.ID.String()))
 			continue
 		}
 		info.Queried++

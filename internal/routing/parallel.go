@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cid"
 	"repro/internal/peer"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -61,9 +62,13 @@ func (r *ParallelRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult,
 	defer cancel()
 	ch := make(chan outcome, len(r.members))
 	for _, m := range r.members {
+		// The race spans open serially here (deterministic IDs) and are
+		// closed by the racers themselves — cancelled losers included.
+		mctx, sp := telemetry.StartSpan(pctx, "race:"+m.Name())
 		m := m
 		go func() {
-			res, err := m.Provide(pctx, c)
+			defer sp.End()
+			res, err := m.Provide(mctx, c)
 			ch <- outcome{res: res, err: err}
 		}()
 	}
@@ -109,9 +114,11 @@ func (r *ParallelRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (Provi
 	}
 	ch := make(chan outcome, len(r.members))
 	for _, m := range r.members {
+		mctx, sp := telemetry.StartSpan(ctx, "race:"+m.Name())
 		m := m
 		go func() {
-			res, err := m.ProvideMany(ctx, cids)
+			defer sp.End()
+			res, err := m.ProvideMany(mctx, cids)
 			ch <- outcome{res: res, err: err}
 		}()
 	}
@@ -154,9 +161,11 @@ func (r *ParallelRouter) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]
 	defer cancel()
 	ch := make(chan outcome, len(r.members))
 	for _, m := range r.members {
+		mctx, sp := telemetry.StartSpan(pctx, "race:"+m.Name())
 		m := m
 		go func() {
-			peers, msgs, err := m.SessionPeers(pctx, c, n)
+			defer sp.End()
+			peers, msgs, err := m.SessionPeers(mctx, c, n)
 			ch <- outcome{peers: peers, msgs: msgs, err: err}
 		}()
 	}
@@ -208,8 +217,10 @@ func (r *ParallelRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (Pr
 		batches := make(chan []wire.PeerInfo)
 		done := make(chan *StreamInfo, len(r.members))
 		for _, m := range r.members {
-			mseq, mst := m.FindProvidersStream(pctx, c)
+			mctx, sp := telemetry.StartSpan(pctx, "race:"+m.Name())
+			mseq, mst := m.FindProvidersStream(mctx, c)
 			go func() {
+				defer sp.End()
 				mseq(func(batch []wire.PeerInfo) bool {
 					select {
 					case batches <- batch:

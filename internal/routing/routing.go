@@ -39,6 +39,7 @@ import (
 	"repro/internal/peer"
 	"repro/internal/simtime"
 	"repro/internal/swarm"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -310,6 +311,9 @@ func streamFallback(ctx context.Context, fallback Router, c cid.Cid, direct Look
 		st.set(direct, err)
 		return
 	}
+	// Mark the hand-off on the trace: everything the fallback does from
+	// here attributes to the same parent span.
+	telemetry.SpanFrom(ctx).Event("fallback", telemetry.A("to", fallback.Name()))
 	seq, fst := fallback.FindProvidersStream(ctx, c)
 	seq(yield)
 	st.set(mergeLookup(direct, fst.Info()), fst.Err())

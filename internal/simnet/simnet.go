@@ -23,6 +23,7 @@ import (
 	"repro/internal/multiaddr"
 	"repro/internal/peer"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -280,27 +281,12 @@ func (n *Network) Budget() Budget {
 	return b
 }
 
-// categorize attributes one request: an explicit context tag wins (so a
-// republish cycle's walk and store RPCs all land under "republish"),
-// untagged requests classify by message type.
+// categorize attributes one request: an explicit context tag wins (so
+// a republish cycle's walk and store RPCs all land under "republish"),
+// untagged requests classify by message type. The mapping itself lives
+// in transport so the TCP path and the attribution tests share it.
 func categorize(ctx context.Context, t wire.Type) transport.RPCCategory {
-	if cat := transport.RPCCategoryOf(ctx); cat != "" {
-		return cat
-	}
-	switch t {
-	case wire.TWantHave, wire.TWantBlock:
-		return transport.CatWant
-	case wire.TAddProvider:
-		return transport.CatPublish
-	case wire.TFindNode, wire.TGetProviders, wire.TGetPeerRecord,
-		wire.TPutPeerRecord, wire.TGetIPNS, wire.TPutIPNS:
-		return transport.CatLookup
-	case wire.TCrawl:
-		return transport.CatRefresh
-	case wire.TGossip:
-		return transport.CatGossip
-	}
-	return transport.CatOther
+	return transport.CategorizeRPC(ctx, t)
 }
 
 func (n *Network) countRequest(cat transport.RPCCategory) {
@@ -453,7 +439,8 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 		return wire.Message{}, transport.ErrClosed
 	}
 	base := c.net.cfg.Base
-	c.net.countRequest(categorize(ctx, req.Type))
+	cat := categorize(ctx, req.Type)
+	c.net.countRequest(cat)
 
 	c.remote.mu.RLock()
 	online, handler, class := c.remote.online, c.remote.handler, c.remote.class
@@ -462,8 +449,10 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 		// The peer vanished mid-connection: the request hangs until the
 		// dial timeout.
 		if err := base.Sleep(ctx, c.net.cfg.DialTimeout); err != nil {
+			telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), 0, err.Error())
 			return wire.Message{}, err
 		}
+		telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), c.net.cfg.DialTimeout, transport.ErrPeerUnreachable.Error())
 		return wire.Message{}, transport.ErrPeerUnreachable
 	}
 
@@ -479,7 +468,11 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 	// scheduler-granularity error per RPC minimal.
 	transfer := time.Duration(float64(len(resp.BlockData)+256) / c.remote.bwBps * float64(time.Second))
 	if err := base.Sleep(ctx, c.rtt+proc+transfer); err != nil {
+		telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), 0, err.Error())
 		return wire.Message{}, err
 	}
+	// The simulated latency is exact: the RTT, the processing delay and
+	// the bandwidth term the single sleep just charged.
+	telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), c.rtt+proc+transfer, "")
 	return resp, nil
 }

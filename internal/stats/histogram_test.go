@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserveAndBins(t *testing.T) {
+	h := NewHistogram(0.5)
+	h.Observe(0.1, 1)
+	h.Observe(0.4, 2)
+	h.Observe(1.2, 1)
+	h.Observe(-0.3, 1) // negative values land in bin -1
+
+	if got := h.Total(); got != 5 {
+		t.Errorf("Total = %v, want 5", got)
+	}
+	if got := h.Bins(); len(got) != 3 || got[0] != -1 || got[1] != 0 || got[2] != 2 {
+		t.Errorf("Bins = %v, want [-1 0 2]", got)
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("bin 0 weight = %v, want 3", h.Counts[0])
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(0.5, 4)
+	h.Observe(2.5, 2)
+
+	out := h.Render(8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render spans %d lines, want 3 (bin 1 renders empty):\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "[   0.000,    1.000)") || !strings.Contains(lines[0], "########") {
+		t.Errorf("fullest bin line = %q, want full-width bar", lines[0])
+	}
+	if !strings.Contains(lines[1], "0 ") && !strings.HasSuffix(lines[1], "0") {
+		t.Errorf("empty middle bin line = %q, want zero count", lines[1])
+	}
+	if !strings.Contains(lines[2], "####") || strings.Contains(lines[2], "#####") {
+		t.Errorf("half-weight bin line = %q, want a half-width bar", lines[2])
+	}
+
+	if got := NewHistogram(1).Render(8); got != "(empty)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+}

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the live introspection endpoints over a recorder:
+//
+//	/debug/metrics    — the metrics registry as a JSON MetricsSnapshot
+//	/debug/trace/last — the most recent trace as JSONL span records
+//
+// Mount it on the same mux as the application handlers; both cmd
+// binaries do.
+func Handler(rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rec.Registry().Snapshot())
+	})
+	mux.HandleFunc("/debug/trace/last", func(w http.ResponseWriter, _ *http.Request) {
+		tr := rec.Last()
+		if tr == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte("{}\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteJSONL(w)
+	})
+	return mux
+}

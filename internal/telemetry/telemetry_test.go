@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// frozenClock returns a clock pinned to a fixed instant, the
+// deterministic timestamp source scenario runs use.
+func frozenClock() func() time.Time {
+	at := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time { return at }
+}
+
+func TestTraceSpanTreeAndContext(t *testing.T) {
+	rec := NewRecorder(simtime.Realtime, frozenClock())
+	ctx, root := rec.StartTrace(context.Background(), "retrieve", A("cid", "bafy1"))
+	if root == nil {
+		t.Fatal("StartTrace returned a nil root span")
+	}
+	tr := TraceFrom(ctx)
+	if tr == nil || tr.Op != "retrieve" || tr.ID != 1 {
+		t.Fatalf("TraceFrom = %+v, want retrieve trace #1", tr)
+	}
+
+	dctx, discover := StartSpan(ctx, "discover")
+	RPC(dctx, "GET_PROVIDERS", "lookup", "peerA", 40*time.Millisecond, "")
+	_, wave := StartSpan(dctx, "want-wave")
+	wave.Event("have", A("peer", "peerB"))
+	wave.End()
+	discover.End()
+
+	_, fetch := StartSpan(ctx, "fetch")
+	RPC(ctx, "WANT_BLOCK", "want", "peerB", 90*time.Millisecond, "")
+	fetch.End()
+	root.End()
+
+	if got := tr.OpenSpans(); got != 0 {
+		t.Errorf("OpenSpans = %d after ending every span, want 0", got)
+	}
+	// Span IDs are the per-trace sequence: root=1, discover=2 (an RPC
+	// event takes seq 3), want-wave=4 ...
+	if discover.ID != 2 || discover.Parent != 1 {
+		t.Errorf("discover span ID/Parent = %d/%d, want 2/1", discover.ID, discover.Parent)
+	}
+	if wave.Parent != discover.ID {
+		t.Errorf("want-wave parent = %d, want %d", wave.Parent, discover.ID)
+	}
+	if sp := tr.FindSpan("want-wave"); sp != wave {
+		t.Error("FindSpan(want-wave) did not return the span")
+	}
+
+	tree := tr.StableTree()
+	for _, want := range []string{"retrieve #1 cid=bafy1", "  discover #2", "· rpc type=GET_PROVIDERS cat=lookup peer=peerA", "    · have peer=peerB", "  fetch #"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("stable tree missing %q:\n%s", want, tree)
+		}
+	}
+	if strings.Contains(tree, "ms") || strings.Contains(tree, "[") {
+		t.Errorf("stable tree leaks measured durations:\n%s", tree)
+	}
+	if !strings.Contains(tr.Tree(), "[") {
+		t.Error("human tree should carry measured durations")
+	}
+}
+
+func TestStableRendersAreDeterministic(t *testing.T) {
+	build := func() *Trace {
+		rec := NewRecorder(simtime.Realtime, frozenClock())
+		ctx, root := rec.StartTrace(context.Background(), "retrieve")
+		dctx, discover := StartSpan(ctx, "discover")
+		// Concurrent-looking arrival order: append events in a different
+		// order per build; the stable renders must sort them away.
+		if time.Now().UnixNano()%2 == 0 {
+			RPC(dctx, "GET_PROVIDERS", "lookup", "peerB", 10*time.Millisecond, "")
+			RPC(dctx, "GET_PROVIDERS", "lookup", "peerA", 99*time.Millisecond, "")
+		} else {
+			RPC(dctx, "GET_PROVIDERS", "lookup", "peerA", 5*time.Millisecond, "")
+			RPC(dctx, "GET_PROVIDERS", "lookup", "peerB", 7*time.Millisecond, "")
+		}
+		discover.End()
+		root.End()
+		return TraceFrom(ctx)
+	}
+	a, b := build(), build()
+	if a.StableTree() != b.StableTree() {
+		t.Errorf("stable trees differ:\n%s\nvs\n%s", a.StableTree(), b.StableTree())
+	}
+	if a.StableJSONL() != b.StableJSONL() {
+		t.Errorf("stable JSONL differs:\n%s\nvs\n%s", a.StableJSONL(), b.StableJSONL())
+	}
+	// Every stable JSONL line must be valid JSON with the trace ID.
+	for _, line := range strings.Split(strings.TrimSpace(a.StableJSONL()), "\n") {
+		var rec spanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("stable JSONL line is not JSON: %v\n%s", err, line)
+		}
+		if rec.Trace != 1 || rec.Op != "retrieve" {
+			t.Errorf("span record = %+v, want trace 1 op retrieve", rec)
+		}
+	}
+}
+
+func TestUntracedContextIsNoop(t *testing.T) {
+	ctx := context.Background()
+	sctx, sp := StartSpan(ctx, "discover")
+	if sp != nil || sctx != ctx {
+		t.Error("StartSpan on an untraced context must return (ctx, nil)")
+	}
+	// All of these must be safe no-ops.
+	sp.End()
+	sp.Annotate("k", "v")
+	sp.Event("ev")
+	RPC(ctx, "PING", "other", "p", time.Millisecond, "")
+	var rec *Recorder
+	rctx, rsp := rec.StartTrace(ctx, "retrieve")
+	if rsp != nil || rctx != ctx {
+		t.Error("nil recorder StartTrace must return (ctx, nil)")
+	}
+	if rec.Last() != nil || rec.Drain() != nil || rec.Registry() != nil {
+		t.Error("nil recorder accessors must return zero values")
+	}
+}
+
+func TestRecorderDrainAndNestedTrace(t *testing.T) {
+	rec := NewRecorder(simtime.Realtime, frozenClock())
+	ctx, root := rec.StartTrace(context.Background(), "retrieve")
+	// A publish nested under the retrieve joins the same trace.
+	_, nested := rec.StartTrace(ctx, "publish")
+	if got := TraceFrom(ctx); nested == nil || nested.tr != got {
+		t.Error("nested StartTrace must open a child span on the same trace")
+	}
+	nested.End()
+	root.End()
+	rec.StartTrace(context.Background(), "republish")
+
+	if rec.Last().Op != "republish" {
+		t.Errorf("Last().Op = %q, want republish", rec.Last().Op)
+	}
+	drained := rec.Drain()
+	if len(drained) != 2 {
+		t.Fatalf("Drain returned %d traces, want 2", len(drained))
+	}
+	if drained[0].ID != 1 || drained[1].ID != 2 {
+		t.Errorf("trace IDs = %d,%d, want 1,2", drained[0].ID, drained[1].ID)
+	}
+	if rec.Last() != nil || len(rec.Traces()) != 0 {
+		t.Error("Drain must clear the ring")
+	}
+}
+
+func TestRegistrySnapshotAndAggregate(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("rpc_total", "cat", "lookup").Add(3)
+	a.Counter("rpc_total", "cat", "lookup").Inc() // same handle by key
+	b.Counter("rpc_total", "cat", "lookup").Add(6)
+	a.Gauge("snapshot_peers").Set(40)
+	b.Gauge("snapshot_peers").Set(2)
+	for _, v := range []float64{0.1, 0.2, 0.3} {
+		a.Histogram("retrieve_seconds", 0.5).Observe(v)
+	}
+	b.Histogram("retrieve_seconds", 0.5).ObserveDuration(900 * time.Millisecond)
+
+	snap := a.Snapshot()
+	if got := snap.Counters["rpc_total{cat=lookup}"]; got != 4 {
+		t.Errorf("counter = %v, want 4", got)
+	}
+	if got := snap.Latencies["retrieve_seconds"]; got.Count != 3 || got.P50 != 0.2 {
+		t.Errorf("latency snapshot = %+v, want count 3 p50 0.2", got)
+	}
+	if got := snap.Latencies["retrieve_seconds"].Buckets["[0,0.5)"]; got != 3 {
+		t.Errorf("bucket [0,0.5) = %v, want 3", got)
+	}
+
+	agg := AggregateRegistries(a, b, nil)
+	if got := agg.Counters["rpc_total{cat=lookup}"]; got != 10 {
+		t.Errorf("aggregated counter = %v, want 10", got)
+	}
+	if got := agg.Gauges["snapshot_peers"]; got != 42 {
+		t.Errorf("aggregated gauge = %v, want 42", got)
+	}
+	lat := agg.Latencies["retrieve_seconds"]
+	if lat.Count != 4 || lat.P99 < 0.3 {
+		t.Errorf("aggregated latency = %+v, want count 4 with the 0.9s tail", lat)
+	}
+	if lat.Buckets["[0.5,1)"] != 1 {
+		t.Errorf("aggregated buckets = %v, want one observation in [0.5,1)", lat.Buckets)
+	}
+	if r := agg.Render(); !strings.Contains(r, "rpc_total{cat=lookup}") || !strings.Contains(r, "retrieve_seconds") {
+		t.Errorf("render missing series:\n%s", r)
+	}
+}
+
+func TestDiscoverAnalytics(t *testing.T) {
+	rec := NewRecorder(simtime.Realtime, frozenClock())
+	mk := func(lookups int, wall time.Duration) *Trace {
+		ctx, root := rec.StartTrace(context.Background(), "retrieve")
+		dctx, discover := StartSpan(ctx, "discover")
+		for i := 0; i < lookups; i++ {
+			RPC(dctx, "GET_PROVIDERS", "lookup", "p", time.Millisecond, "")
+		}
+		discover.End()
+		root.End()
+		tr := TraceFrom(ctx)
+		// Pin the measured duration for the test; live spans fill it from
+		// simtime.
+		tr.mu.Lock()
+		discover.Wall = wall
+		tr.mu.Unlock()
+		return tr
+	}
+	traces := []*Trace{mk(1, 100*time.Millisecond), mk(1, 200*time.Millisecond), mk(7, 2*time.Second)}
+	if p99 := DiscoverP99(traces); p99 < 1500*time.Millisecond || p99 > 2*time.Second {
+		t.Errorf("DiscoverP99 = %v, want near the 2s tail", p99)
+	}
+	if share := FirstHopShare(traces); math.Abs(share-2.0/3) > 1e-9 {
+		t.Errorf("FirstHopShare = %v, want 2/3", share)
+	}
+	if !math.IsNaN(FirstHopShare(nil)) || DiscoverP99(nil) != 0 {
+		t.Error("empty trace sets must return NaN share and zero p99")
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	rec := NewRecorder(simtime.Realtime, frozenClock())
+	rec.Registry().Counter("walk_hops").Add(12)
+	ctx, root := rec.StartTrace(context.Background(), "retrieve")
+	RPC(ctx, "FIND_NODE", "lookup", "peerA", time.Millisecond, "")
+	root.End()
+
+	h := Handler(rec)
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("/debug/metrics status = %d", w.Code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/debug/metrics is not JSON: %v", err)
+	}
+	if snap.Counters["walk_hops"] != 12 {
+		t.Errorf("metrics snapshot = %+v, want walk_hops 12", snap.Counters)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/trace/last", nil))
+	var span spanRecord
+	first := strings.SplitN(w.Body.String(), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(first), &span); err != nil {
+		t.Fatalf("/debug/trace/last line is not JSON: %v\n%s", err, first)
+	}
+	if span.Op != "retrieve" || len(span.Events) != 1 {
+		t.Errorf("last-trace record = %+v, want the retrieve root with its RPC event", span)
+	}
+}

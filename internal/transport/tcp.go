@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/multiaddr"
 	"repro/internal/peer"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -302,19 +303,34 @@ func (c *tcpConn) Request(ctx context.Context, req wire.Message) (wire.Message, 
 	if c.closed {
 		return wire.Message{}, ErrClosed
 	}
+	// On the real transport the measured wall latency IS the simulated
+	// latency (the TCP path runs at simtime.Realtime).
+	start := time.Now()
+	cat := CategorizeRPC(ctx, req.Type)
+	record := func(err error) {
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.String(), time.Since(start), errStr)
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		c.nc.SetDeadline(dl)
 		defer c.nc.SetDeadline(time.Time{})
 	}
 	if err := wire.WriteFrame(c.w, req); err != nil {
+		record(err)
 		return wire.Message{}, err
 	}
 	if err := c.w.Flush(); err != nil {
+		record(err)
 		return wire.Message{}, err
 	}
 	resp, err := wire.ReadFrame(c.r)
 	if err != nil {
+		record(err)
 		return wire.Message{}, err
 	}
+	record(nil)
 	return resp, nil
 }

@@ -65,6 +65,40 @@ const (
 	CatOther     RPCCategory = "other"     // identify, NAT, relay, ...
 )
 
+// CategoryForType classifies an untagged request by message type:
+// Bitswap wants, provider-record stores, routing queries, crawls and
+// indexer gossip each map to their duty's category; the connection
+// machinery (identify, NAT dial-backs, relays) stays CatOther. Both
+// transports and the telemetry attribution tests share this single
+// mapping, so a new message type that should not pollute CatOther has
+// exactly one place to be added.
+func CategoryForType(t wire.Type) RPCCategory {
+	switch t {
+	case wire.TWantHave, wire.TWantBlock:
+		return CatWant
+	case wire.TAddProvider:
+		return CatPublish
+	case wire.TFindNode, wire.TGetProviders, wire.TGetPeerRecord,
+		wire.TPutPeerRecord, wire.TGetIPNS, wire.TPutIPNS:
+		return CatLookup
+	case wire.TCrawl:
+		return CatRefresh
+	case wire.TGossip:
+		return CatGossip
+	}
+	return CatOther
+}
+
+// CategorizeRPC attributes one request: an explicit context tag wins
+// (so a republish cycle's walk and store RPCs all land under
+// "republish"), untagged requests classify by message type.
+func CategorizeRPC(ctx context.Context, t wire.Type) RPCCategory {
+	if cat := RPCCategoryOf(ctx); cat != "" {
+		return cat
+	}
+	return CategoryForType(t)
+}
+
 // rpcCategoryKey carries an RPCCategory on the context.
 type rpcCategoryKey struct{}
 
