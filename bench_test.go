@@ -444,6 +444,36 @@ func BenchmarkSessionRoutingUnderChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkScenario20kChurnEventDriven replays a paper-scale churn
+// scenario — 20k DHT servers, an 8 h simulated window, per-peer session
+// transitions — on the discrete-event scheduler, and reports the wall
+// clock one scenario costs as scenario-wall-ms: the headline metric
+// benchdiff gates so the engine cannot quietly regress back toward
+// per-tick sweep costs. Stalls must report zero (every wait on the
+// workload path instrumented) for the run to be trustworthy; -short
+// shrinks the population for quick local sweeps.
+func BenchmarkScenario20kChurnEventDriven(b *testing.B) {
+	n := 20000
+	if testing.Short() {
+		n = 2000
+	}
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
+			NetworkSize: n, Objects: 2, Ticks: 2, Window: 8 * time.Hour,
+			ChurnAmplitude: 2,
+			Kinds:          []routing.Kind{routing.KindDHT, routing.KindIndexer},
+			NoRefresh:      true,
+			EventDriven:    true,
+			Seed:           77,
+		})
+		b.ReportMetric(float64(time.Since(start).Milliseconds()), "scenario-wall-ms")
+		b.ReportMetric(float64(res.SchedEvents), "sched-events")
+		b.ReportMetric(float64(res.SchedStalls), "sched-stalls")
+		b.ReportMetric(float64(res.Budget.Requests), "rpc-total-20k")
+	}
+}
+
 // BenchmarkAcceleratedLookup measures one-hop lookups against a
 // converged snapshot (near-zero churn amplitude): the best case the
 // accelerated client buys. The reported metric comes from the same

@@ -31,6 +31,8 @@ func main() {
 		shards   = flag.Int("indexer-shards", 1, "indexer keyspace shards for the routing comparison (>1 with -indexer-replicas builds a gossiping fleet)")
 		reps     = flag.Int("indexer-replicas", 1, "replicas per indexer shard")
 		outage   = flag.Duration("indexer-outage-at", 0, "offset at which each shard's primary indexer goes offline for the rest of the window (0 = no outage)")
+		eventDrv = flag.Bool("event-driven", false, "run the routing comparison on the discrete-event scheduler: virtual time jumps between events, so paper-scale populations (-network 20000) replay a full churn window in seconds")
+		workers  = flag.Int("workers", 1, "concurrent event dispatch in -event-driven mode (1 = deterministic lockstep)")
 		network  = flag.Int("network", 600, "simulated network size for performance runs")
 		iters    = flag.Int("iters", 8, "publications per region")
 		pop      = flag.Int("population", 20000, "population size for deployment analyses")
@@ -155,8 +157,12 @@ func main() {
 			NetworkSize: *network, Objects: *iters, ChurnAmplitude: *churn,
 			Window: *window, Ticks: *ticks,
 			IndexerShards: *shards, IndexerReplicas: *reps, IndexerOutageAt: *outage,
+			EventDriven: *eventDrv, Workers: *workers,
 			Scale: *scale, Seed: *seed,
 		})
+		if *eventDrv {
+			fmt.Fprintf(os.Stderr, "event-driven run: %d events dispatched, %d stalls\n", res.SchedEvents, res.SchedStalls)
+		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {

@@ -50,8 +50,11 @@ type Config struct {
 	OpportunisticTimeout time.Duration
 	// SessionPeerTarget bounds routed candidates per consult (default 3).
 	SessionPeerTarget int
-	// Base compresses simulated time.
+	// Base compresses simulated time (legacy; folded into Time).
 	Base simtime.Base
+	// Time is the unified time surface the ask waves run on; nil
+	// derives it from Base.
+	Time simtime.Source
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Base == (simtime.Base{}) {
 		c.Base = simtime.Realtime
+	}
+	if c.Time == nil {
+		c.Time = simtime.NewBaseSource(c.Base, nil)
 	}
 	return c
 }
@@ -245,7 +251,7 @@ type askFlight struct {
 // deployed. Concurrent asks for the same CID join the in-flight
 // discovery instead of broadcasting twice.
 func (b *Bitswap) AskConnected(ctx context.Context, c cid.Cid) (wire.PeerInfo, AskStats, error) {
-	start := time.Now()
+	start := b.cfg.Time.Stamp()
 	key := c.Key()
 	b.askMu.Lock()
 	if fl, ok := b.asks[key]; ok {
@@ -270,37 +276,36 @@ func (b *Bitswap) AskConnected(ctx context.Context, c cid.Cid) (wire.PeerInfo, A
 // duplicate would have sent — what the leader actually sent, targeted
 // or broadcast — so the accounting stays honest in routed setups.
 func (b *Bitswap) joinAsk(ctx context.Context, c cid.Cid, fl *askFlight, start time.Time) (wire.PeerInfo, AskStats, error) {
-	select {
-	case <-fl.done:
-		if fl.cancelled && ctx.Err() == nil {
-			// The leader's caller cancelled mid-flight; this caller is
-			// still live, so rerun the discovery rather than inheriting
-			// the cancellation.
-			return b.AskConnected(ctx, c)
-		}
-		suppressed := fl.st.WantHaves
-		if suppressed == 0 {
-			suppressed = 1 // at minimum the duplicate ask itself
-		}
-		b.statsMu.Lock()
-		b.dupsSuppressed += suppressed
-		b.statsMu.Unlock()
-		st := AskStats{
-			Duration:    b.cfg.Base.SimSince(start),
-			Routed:      fl.st.Routed,
-			Broadcast:   fl.st.Broadcast,
-			Suppressed:  suppressed,
-			ConsultMiss: fl.st.ConsultMiss,
-		}
-		return fl.info, st, fl.err
-	case <-ctx.Done():
-		return wire.PeerInfo{}, AskStats{Duration: b.cfg.Base.SimSince(start)}, ctx.Err()
+	src := b.cfg.Time
+	if err := simtime.AwaitClosed(ctx, src, fl.done); err != nil {
+		return wire.PeerInfo{}, AskStats{Duration: src.Since(start)}, err
 	}
+	if fl.cancelled && ctx.Err() == nil {
+		// The leader's caller cancelled mid-flight; this caller is
+		// still live, so rerun the discovery rather than inheriting
+		// the cancellation.
+		return b.AskConnected(ctx, c)
+	}
+	suppressed := fl.st.WantHaves
+	if suppressed == 0 {
+		suppressed = 1 // at minimum the duplicate ask itself
+	}
+	b.statsMu.Lock()
+	b.dupsSuppressed += suppressed
+	b.statsMu.Unlock()
+	st := AskStats{
+		Duration:    src.Since(start),
+		Routed:      fl.st.Routed,
+		Broadcast:   fl.st.Broadcast,
+		Suppressed:  suppressed,
+		ConsultMiss: fl.st.ConsultMiss,
+	}
+	return fl.info, st, fl.err
 }
 
 // ask runs one deduplicated session-peer discovery.
 func (b *Bitswap) ask(ctx context.Context, c cid.Cid) (wire.PeerInfo, AskStats, error) {
-	start := time.Now()
+	start := b.cfg.Time.Stamp()
 	var st AskStats
 	ctx, asp := telemetry.StartSpan(ctx, "bitswap-ask")
 	defer func() {
@@ -324,7 +329,7 @@ func (b *Bitswap) ask(ctx context.Context, c cid.Cid) (wire.PeerInfo, AskStats, 
 
 	info, asked, ok := b.askWave(ctx, c, routed, broadcast, nil, &st)
 	if ok {
-		st.Duration = b.cfg.Base.SimSince(start)
+		st.Duration = b.cfg.Time.Since(start)
 		return info, st, nil
 	}
 	// Routed candidates all stale and the broadcast was skipped: fail
@@ -334,11 +339,11 @@ func (b *Bitswap) ask(ctx context.Context, c cid.Cid) (wire.PeerInfo, AskStats, 
 	// asked are excluded — they answered once.
 	if len(routed) > 0 && !broadcast {
 		if info, _, ok := b.askWave(ctx, c, nil, true, asked, &st); ok {
-			st.Duration = b.cfg.Base.SimSince(start)
+			st.Duration = b.cfg.Time.Since(start)
 			return info, st, nil
 		}
 	}
-	st.Duration = b.cfg.Base.SimSince(start)
+	st.Duration = b.cfg.Time.Since(start)
 	return wire.PeerInfo{}, st, ErrTimeout
 }
 
@@ -387,23 +392,20 @@ func (b *Bitswap) askWave(ctx context.Context, c cid.Cid, routed []wire.PeerInfo
 		telemetry.A("targets", fmt.Sprint(len(targets))),
 		telemetry.A("broadcast", fmt.Sprint(broadcastRan)))
 	defer wsp.End()
-	actx, cancel := b.cfg.Base.WithTimeout(wctx, b.cfg.OpportunisticTimeout)
+	src := b.cfg.Time
+	actx, cancel := src.WithTimeout(wctx, b.cfg.OpportunisticTimeout)
 	defer cancel()
 	found := make(chan wire.PeerInfo, len(targets))
-	var wg sync.WaitGroup
+	g := simtime.NewGroup(src)
 	for _, pi := range targets {
 		pi := pi
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			resp, err := b.sw.Request(actx, pi.ID, pi.Addrs, wire.Message{Type: wire.TWantHave, Key: c.Bytes()})
+		g.Go(actx, func(gctx context.Context) {
+			resp, err := b.sw.Request(gctx, pi.ID, pi.Addrs, wire.Message{Type: wire.TWantHave, Key: c.Bytes()})
 			if err == nil && resp.Type == wire.THave {
 				found <- pi
 			}
-		}()
+		})
 	}
-	allDone := make(chan struct{})
-	go func() { wg.Wait(); close(allDone) }()
 
 	win := func(pi wire.PeerInfo) (wire.PeerInfo, map[peer.ID]bool, bool) {
 		st.Routed = fromRouter[pi.ID]
@@ -411,6 +413,25 @@ func (b *Bitswap) askWave(ctx context.Context, c cid.Cid, routed []wire.PeerInfo
 			telemetry.A("routed", fmt.Sprint(fromRouter[pi.ID])))
 		return pi, seen, true
 	}
+	if s := simtime.SchedulerOf(src); s != nil {
+		// Event-driven wait: wake on the first HAVE, on every target
+		// having answered, or on the opportunistic timeout.
+		err := s.Await(actx, func() bool { return len(found) > 0 || g.Idle() })
+		select {
+		case pi := <-found:
+			return win(pi)
+		default:
+		}
+		if err == nil && broadcastRan && ctx.Err() == nil {
+			// The deployed client has no all-answered signal: a
+			// broadcast miss pays the full opportunistic timeout
+			// before the DHT fallback (§3.2, §6.2).
+			s.Await(actx, func() bool { return false })
+		}
+		return wire.PeerInfo{}, seen, false
+	}
+	allDone := make(chan struct{})
+	go func() { g.Wait(context.Background()); close(allDone) }()
 	select {
 	case pi := <-found:
 		return win(pi)

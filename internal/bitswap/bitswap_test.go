@@ -39,7 +39,7 @@ func buildPeers(t *testing.T, n int) (*simnet.Network, []*testPeer) {
 	for i := range peers {
 		ident := peer.MustNewIdentity(rng)
 		ep := net.AddNode(ident.ID, simnet.NodeOpts{Region: "US", Dialable: true})
-		sw := swarm.New(ident, ep, base)
+		sw := swarm.New(ident, ep, simtime.NewBaseSource(base, nil))
 		store := block.NewMemStore()
 		bs := New(sw, store, Config{Base: base})
 		ep.SetHandler(bs.HandleMessage)
@@ -205,7 +205,7 @@ func TestCorruptBlockRejected(t *testing.T) {
 	})
 
 	vEp := net.AddNode(victim.ID, simnet.NodeOpts{Region: geo.Region("US"), Dialable: true})
-	vSw := swarm.New(victim, vEp, base)
+	vSw := swarm.New(victim, vEp, simtime.NewBaseSource(base, nil))
 	vBs := New(vSw, block.NewMemStore(), Config{Base: base})
 
 	want := cid.Sum(multicodec.Raw, []byte("the real content"))

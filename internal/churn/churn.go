@@ -140,6 +140,25 @@ func (pt *PeerTimeline) OnlineAt(t time.Time) bool {
 	return i < len(pt.Sessions) && pt.Sessions[i].Contains(t)
 }
 
+// NextTransition returns the peer's next online/offline boundary
+// strictly after t — a session start if the peer is offline at t, its
+// current session's end otherwise — or ok=false when the timeline holds
+// no further transitions. The event-driven scenario engine chains one
+// scheduler event per transition off this instead of polling OnlineAt
+// every tick.
+func (pt *PeerTimeline) NextTransition(t time.Time) (next time.Time, ok bool) {
+	i := sort.Search(len(pt.Sessions), func(i int) bool {
+		return pt.Sessions[i].End.After(t)
+	})
+	if i >= len(pt.Sessions) {
+		return time.Time{}, false
+	}
+	if pt.Sessions[i].Start.After(t) {
+		return pt.Sessions[i].Start, true
+	}
+	return pt.Sessions[i].End, true
+}
+
 // Timeline holds the histories of a whole population.
 type Timeline struct {
 	Start, End time.Time

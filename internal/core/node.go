@@ -66,10 +66,16 @@ type Config struct {
 	// the indexer router: each CID routes to its shard's replica group
 	// instead of the flat Indexers list.
 	IndexerSet *routing.IndexerSet
-	// Base compresses simulated time.
+	// Base compresses simulated time (legacy; folded into Time).
 	Base simtime.Base
-	// Now supplies the clock for record expiry.
+	// Now supplies the clock for record expiry (legacy; folded into
+	// Time).
 	Now func() time.Time
+	// Time is the unified time surface every subsystem of the node
+	// (swarm, DHT, Bitswap, routing, telemetry) runs on. When nil it is
+	// derived from Base/Now; scenario runs pass the event scheduler so
+	// the whole node sleeps on the event queue.
+	Time simtime.Source
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.Time == nil {
+		c.Time = simtime.NewBaseSource(c.Base, c.Now)
 	}
 	return c
 }
@@ -107,7 +116,7 @@ type Node struct {
 // its message dispatcher.
 func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 	cfg = cfg.withDefaults()
-	sw := swarm.New(ident, ep, cfg.Base)
+	sw := swarm.New(ident, ep, cfg.Time)
 	store := block.NewMemStore()
 	d := dht.New(ident, sw, cfg.Mode, dht.Config{
 		K:                 cfg.K,
@@ -115,6 +124,7 @@ func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 		QueryTimeout:      cfg.QueryTimeout,
 		Base:              cfg.Base,
 		Now:               cfg.Now,
+		Time:              cfg.Time,
 		OmitProviderAddrs: cfg.OmitProviderAddrs,
 	})
 	d.SetIPNSValidator(ipns.ValidatorFor(cfg.Now))
@@ -122,6 +132,7 @@ func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 		OpportunisticTimeout: cfg.BitswapTimeout,
 		SessionPeerTarget:    cfg.Alpha,
 		Base:                 cfg.Base,
+		Time:                 cfg.Time,
 	})
 	n := &Node{
 		cfg:     cfg,
@@ -131,7 +142,7 @@ func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 		bswap:   bs,
 		store:   store,
 		builder: merkledag.NewBuilder(store, cfg.ChunkSize, cfg.Fanout),
-		tel:     telemetry.NewRecorder(cfg.Base, cfg.Now),
+		tel:     telemetry.NewRecorder(cfg.Time),
 	}
 	n.router = n.buildRouter()
 	// Bitswap session peer selection and the want-broadcast policy go
@@ -155,6 +166,7 @@ func (n *Node) buildRouter() routing.Router {
 			RPCTimeout:  n.cfg.QueryTimeout,
 			Base:        n.cfg.Base,
 			Now:         n.cfg.Now,
+			Time:        n.cfg.Time,
 		})
 		return n.accel
 	}
@@ -163,6 +175,7 @@ func (n *Node) buildRouter() routing.Router {
 			RPCTimeout: n.cfg.QueryTimeout,
 			Base:       n.cfg.Base,
 			Now:        n.cfg.Now,
+			Time:       n.cfg.Time,
 		})
 		if n.cfg.IndexerSet != nil {
 			r.SetIndexerSet(n.cfg.IndexerSet)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/merkledag"
 	"repro/internal/peer"
 	"repro/internal/routing"
+	"repro/internal/simtime"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -97,6 +98,8 @@ var ErrNotFound = errors.New("core: content not found")
 // cost is collected once at Finish.
 type providerStream struct {
 	cancel context.CancelFunc
+	src    simtime.Source
+	sctx   context.Context // the stream's context; carries the scheduler lease
 	first  chan wire.PeerInfo
 	done   chan struct{}
 	st     *routing.StreamInfo
@@ -114,12 +117,14 @@ func (n *Node) startProviderStream(ctx context.Context, root cid.Cid) *providerS
 	seq, st := n.router.FindProvidersStream(sctx, root)
 	ps := &providerStream{
 		cancel: cancel,
+		src:    n.cfg.Time,
+		sctx:   sctx,
 		first:  make(chan wire.PeerInfo, 1),
 		done:   make(chan struct{}),
 		st:     st,
 	}
 	total := 1 + n.bswap.SessionPeerTarget() // the session provider plus fail-over candidates
-	go func() {
+	n.cfg.Time.Go(sctx, func(context.Context) {
 		defer close(ps.done)
 		count := 0
 		seq(func(batch []wire.PeerInfo) bool {
@@ -135,7 +140,7 @@ func (n *Node) startProviderStream(ctx context.Context, root cid.Cid) *providerS
 			}
 			return count < total
 		})
-	}()
+	})
 	return ps
 }
 
@@ -159,11 +164,46 @@ func (ps *providerStream) Candidates() []wire.PeerInfo {
 }
 
 // Finish cancels any remaining lookup work, waits for the stream to
-// wind down, and returns its accumulated statistics.
+// wind down, and returns its accumulated statistics. The join is
+// instrumented under the scheduler (the cancelled stream unwinds on
+// virtual time) via the stream context's lease, detached so the
+// already-fallen cancellation cannot cut the join short.
 func (ps *providerStream) Finish() routing.LookupInfo {
 	ps.cancel()
-	<-ps.done
+	simtime.AwaitClosed(simtime.Detach(ps.sctx), ps.src, ps.done)
 	return ps.st.Info()
+}
+
+// awaitFirst blocks until the stream hands over its first provider or
+// winds down dry, returning ok=false in the latter case. A provider
+// yielded right at stream end sits in the hand-off buffer, so the
+// wound-down path re-checks it before giving up.
+func (ps *providerStream) awaitFirst(ctx context.Context) (wire.PeerInfo, bool) {
+	closed := func() bool {
+		select {
+		case <-ps.done:
+			return true
+		default:
+			return false
+		}
+	}
+	if s := simtime.SchedulerOf(ps.src); s != nil {
+		// Cancellation reaches the stream through its own context and
+		// closes done, so the wait itself runs detached.
+		s.Await(simtime.Detach(ctx), func() bool { return len(ps.first) > 0 || closed() })
+	} else {
+		select {
+		case p := <-ps.first:
+			return p, true
+		case <-ps.done:
+		}
+	}
+	select {
+	case p := <-ps.first:
+		return p, true
+	default:
+	}
+	return wire.PeerInfo{}, false
 }
 
 // Retrieve fetches the content behind root from the network, following
@@ -175,7 +215,8 @@ func (ps *providerStream) Finish() routing.LookupInfo {
 // exchange over Bitswap.
 func (n *Node) Retrieve(ctx context.Context, root cid.Cid) (data []byte, res RetrieveResult, err error) {
 	res = RetrieveResult{Cid: root}
-	start := time.Now()
+	src := n.cfg.Time
+	start := src.Stamp()
 	ctx, trsp := n.tel.StartTrace(ctx, "retrieve",
 		telemetry.A("cid", root.String()), telemetry.A("router", n.router.Name()))
 	defer func() {
@@ -187,7 +228,7 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) (data []byte, res Ret
 
 	// Already local? Serve without network interaction.
 	if data, err := merkledag.Assemble(n.store, root); err == nil {
-		res.Total = n.cfg.Base.SimSince(start)
+		res.Total = src.Since(start)
 		res.Bytes = len(data)
 		trsp.Annotate("local", "true")
 		return data, res, nil
@@ -215,12 +256,12 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) (data []byte, res Ret
 		res.StreamCandidates = len(ps.Candidates())
 	}
 	if err != nil {
-		res.Total = n.cfg.Base.SimSince(start)
+		res.Total = src.Since(start)
 		finish()
 		return nil, res, err
 	}
 	res.Provider = provider.ID
-	res.FirstProvider = n.cfg.Base.SimSince(start)
+	res.FirstProvider = src.Since(start)
 
 	// Peer discovery + peer routing (§3.2 steps iii–iv): resolve the
 	// first provider's addresses and connect to it, as one trace phase.
@@ -237,7 +278,7 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) (data []byte, res Ret
 			info, walk, err := n.dht.FindPeer(fpctx, provider.ID)
 			res.PeerWalk = walk.Duration
 			if err != nil {
-				res.Total = n.cfg.Base.SimSince(start)
+				res.Total = src.Since(start)
 				fpsp.End()
 				finish()
 				return nil, res, fmt.Errorf("%w: provider %s unresolvable: %v", ErrNotFound, provider.ID.Short(), err)
@@ -250,7 +291,7 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) (data []byte, res Ret
 	// Peer routing: connect to the provider.
 	_, dialDur, err := n.sw.Connect(fpctx, provider.ID, provider.Addrs)
 	if err != nil {
-		res.Total = n.cfg.Base.SimSince(start)
+		res.Total = src.Since(start)
 		fpsp.End()
 		finish()
 		return nil, res, fmt.Errorf("%w: cannot connect to provider: %v", ErrNotFound, err)
@@ -264,7 +305,7 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) (data []byte, res Ret
 	// redundant handshake; a provider failing mid-session is replaced
 	// first from the stream's fail-over candidates (already paid for),
 	// then through the router.
-	fetchStart := time.Now()
+	fetchStart := src.Stamp()
 	fctx, fsp := telemetry.StartSpan(ctx, "fetch")
 	session := n.bswap.NewSession(fctx, provider).ForRoot(root)
 	if ps != nil {
@@ -273,14 +314,14 @@ func (n *Node) Retrieve(ctx context.Context, root cid.Cid) (data []byte, res Ret
 	if res.BitswapHit || res.RoutedSession {
 		session.Confirm()
 	}
-	data, err = merkledag.AssembleConcurrent(session, root, 8)
+	data, err = merkledag.AssembleConcurrentOn(fctx, src, session, root, 8)
 	ss := session.Stats()
 	res.WantHaves += ss.WantHaves
 	res.WantBlocks += ss.WantBlocks
 	res.LookupMsgs += ss.RoutingMsgs
 	res.SessionFailovers += ss.Failovers
-	res.Fetch = n.cfg.Base.SimSince(fetchStart)
-	res.Total = n.cfg.Base.SimSince(start)
+	res.Fetch = src.Since(fetchStart)
+	res.Total = src.Since(start)
 	fsp.Annotate("blocks", fmt.Sprint(ss.WantBlocks))
 	fsp.Annotate("failovers", fmt.Sprint(ss.Failovers))
 	fsp.End()
@@ -356,23 +397,15 @@ func (n *Node) discover(ctx context.Context, root cid.Cid, res *RetrieveResult) 
 		fctx = routing.WithSessionMiss(ctx, root)
 	}
 	ps := n.startProviderStream(fctx, root)
-	lookupStart := time.Now()
-	select {
-	case p := <-ps.first:
+	lookupStart := n.cfg.Time.Stamp()
+	p, ok := ps.awaitFirst(ctx)
+	res.ProviderWalk = n.cfg.Time.Since(lookupStart)
+	if ok {
 		// First provider in hand: Bitswap starts now, the stream keeps
 		// draining fail-over candidates in the background.
-		res.ProviderWalk = n.cfg.Base.SimSince(lookupStart)
 		return p, ps, nil
-	case <-ps.done:
-		res.ProviderWalk = n.cfg.Base.SimSince(lookupStart)
-		// A provider yielded right at stream end sits in the buffer.
-		select {
-		case p := <-ps.first:
-			return p, ps, nil
-		default:
-		}
-		return wire.PeerInfo{}, ps, wrapDiscoveryErr(ps.st.Err(), root)
 	}
+	return wire.PeerInfo{}, ps, wrapDiscoveryErr(ps.st.Err(), root)
 }
 
 // wrapDiscoveryErr maps an exhausted-lookup error to ErrNotFound.
@@ -391,6 +424,7 @@ func wrapDiscoveryErr(err error, root cid.Cid) error {
 // loses is cancelled and its RPCs are charged (the ask's here, the
 // stream's at Finish).
 func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *RetrieveResult) (wire.PeerInfo, *providerStream, error) {
+	src := n.cfg.Time
 	actx, acancel := context.WithCancel(ctx)
 	defer acancel()
 	type askOutcome struct {
@@ -399,12 +433,12 @@ func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *Retrieve
 		err  error
 	}
 	askCh := make(chan askOutcome, 1)
-	go func() {
-		info, ask, err := n.bswap.AskConnected(actx, root)
+	src.Go(actx, func(gctx context.Context) {
+		info, ask, err := n.bswap.AskConnected(gctx, root)
 		askCh <- askOutcome{info: info, ask: ask, err: err}
-	}()
+	})
 	ps := n.startProviderStream(ctx, root)
-	lookupStart := time.Now()
+	lookupStart := src.Stamp()
 
 	chargeAsk := func(o askOutcome) {
 		res.WantHaves += o.ask.WantHaves
@@ -414,12 +448,75 @@ func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *Retrieve
 	var firstErr error
 	askDone, streamDone := false, false
 	streamWin := func(p wire.PeerInfo) (wire.PeerInfo, *providerStream, error) {
-		res.ProviderWalk = n.cfg.Base.SimSince(lookupStart)
+		res.ProviderWalk = src.Since(lookupStart)
 		acancel()
 		if !askDone {
-			chargeAsk(<-askCh) // drain the cancelled ask and charge its RPCs
+			// Drain the cancelled ask and charge its RPCs. It deposits
+			// into the buffered channel unconditionally, so the drain
+			// runs detached from the just-fallen context.
+			if o, ok := simtime.Recv(simtime.Detach(ctx), src, askCh); ok {
+				chargeAsk(o)
+			}
 		}
 		return p, ps, nil
+	}
+	askWon := func(o askOutcome) (wire.PeerInfo, *providerStream, error) {
+		res.BitswapPhase = o.ask.Duration
+		res.BitswapHit = !o.ask.Routed
+		res.RoutedSession = o.ask.Routed
+		// The stream lost the race but keeps feeding fail-over
+		// candidates while the fetch runs; its RPCs are charged at
+		// Finish.
+		return o.info, ps, nil
+	}
+	if s := simtime.SchedulerOf(src); s != nil {
+		// Event-driven merge of the two racers: park until the ask
+		// outcome, the stream's first provider, or the stream's
+		// wind-down is available, then handle whatever arrived. Both
+		// racers observe ctx themselves, so the park runs detached.
+		streamClosed := func() bool {
+			select {
+			case <-ps.done:
+				return true
+			default:
+				return false
+			}
+		}
+		for !askDone || !streamDone {
+			if err := s.Await(simtime.Detach(ctx), func() bool {
+				return (!askDone && len(askCh) > 0) || len(ps.first) > 0 || (!streamDone && streamClosed())
+			}); err != nil {
+				break // scheduler shut down underneath us
+			}
+			select {
+			case p := <-ps.first:
+				return streamWin(p)
+			default:
+			}
+			if !askDone && len(askCh) > 0 {
+				o := <-askCh
+				askDone = true
+				chargeAsk(o)
+				if o.err == nil {
+					return askWon(o)
+				}
+				if firstErr == nil {
+					firstErr = o.err
+				}
+			}
+			if !streamDone && streamClosed() {
+				select {
+				case p := <-ps.first:
+					return streamWin(p)
+				default:
+				}
+				streamDone = true
+				if err := ps.st.Err(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return wire.PeerInfo{}, ps, wrapDiscoveryErr(firstErr, root)
 	}
 	doneCh := ps.done // nilled once drained: a closed channel is always ready
 	for !askDone || !streamDone {
@@ -428,13 +525,7 @@ func (n *Node) discoverParallel(ctx context.Context, root cid.Cid, res *Retrieve
 			askDone = true
 			chargeAsk(o)
 			if o.err == nil {
-				res.BitswapPhase = o.ask.Duration
-				res.BitswapHit = !o.ask.Routed
-				res.RoutedSession = o.ask.Routed
-				// The stream lost the race but keeps feeding fail-over
-				// candidates while the fetch runs; its RPCs are charged
-				// at Finish.
-				return o.info, ps, nil
+				return askWon(o)
 			}
 			if firstErr == nil {
 				firstErr = o.err

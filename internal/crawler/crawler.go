@@ -58,8 +58,10 @@ type Config struct {
 	// TCP dial timeout, below the websocket handshake timeout — the
 	// crawler gives up on those, as the nebula crawler does).
 	ConnectTimeout time.Duration
-	// Base compresses simulated time.
+	// Base compresses simulated time (legacy; folded into Time).
 	Base simtime.Base
+	// Time is the unified time surface; nil derives it from Base.
+	Time simtime.Source
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Base == (simtime.Base{}) {
 		c.Base = simtime.Realtime
+	}
+	if c.Time == nil {
+		c.Time = simtime.NewBaseSource(c.Base, nil)
 	}
 	return c
 }
@@ -91,17 +96,23 @@ func New(sw *swarm.Swarm, cfg Config) *Crawler {
 // breadth-first enumeration with bounded concurrency that terminates
 // when no undiscovered peers remain.
 func (c *Crawler) Crawl(ctx context.Context, bootstrap []wire.PeerInfo) *Report {
-	start := time.Now()
+	src := c.cfg.Time
+	start := src.Stamp()
 	// Crawl traffic — snapshot refreshes included — lands under the
 	// refresh budget category in the simulator's network-wide report.
 	ctx = transport.WithRPCCategory(ctx, transport.CatRefresh)
 	report := &Report{Observations: make(map[peer.ID]*Observation)}
 
-	var (
-		mu  sync.Mutex
-		wg  sync.WaitGroup
-		sem = make(chan struct{}, c.cfg.Workers)
-	)
+	var mu sync.Mutex
+	g := simtime.NewGroup(src)
+	// The worker bound is a prefilled token channel: acquiring is a
+	// receive (instrumented under the scheduler via Recv) and releasing
+	// a deposit into the freed capacity, which never blocks — the shape
+	// every leased goroutine needs for quiescence detection to be sound.
+	sem := make(chan struct{}, c.cfg.Workers)
+	for i := 0; i < c.cfg.Workers; i++ {
+		sem <- struct{}{}
+	}
 	var enqueue func(info wire.PeerInfo)
 	enqueue = func(info wire.PeerInfo) {
 		mu.Lock()
@@ -116,36 +127,33 @@ func (c *Crawler) Crawl(ctx context.Context, bootstrap []wire.PeerInfo) *Report 
 		report.Observations[info.ID] = &Observation{ID: info.ID, Addrs: info.Addrs}
 		mu.Unlock()
 
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
+		g.Go(ctx, func(gctx context.Context) {
+			if _, ok := simtime.Recv(gctx, src, sem); !ok {
 				return
 			}
-			c.visit(ctx, info, report, &mu, enqueue)
-		}()
+			defer func() { sem <- struct{}{} }()
+			c.visit(gctx, info, report, &mu, enqueue)
+		})
 	}
 
 	for _, b := range bootstrap {
 		enqueue(b)
 	}
-	wg.Wait()
-	report.Duration = c.cfg.Base.SimSince(start)
+	g.Wait(ctx)
+	report.Duration = src.Since(start)
 	return report
 }
 
 // visit dials one peer, enumerates its k-buckets, and feeds newly
 // discovered peers back into the crawl.
 func (c *Crawler) visit(ctx context.Context, info wire.PeerInfo, report *Report, mu *sync.Mutex, enqueue func(wire.PeerInfo)) {
-	dctx, cancel := c.cfg.Base.WithTimeout(ctx, c.cfg.ConnectTimeout)
+	src := c.cfg.Time
+	dctx, cancel := src.WithTimeout(ctx, c.cfg.ConnectTimeout)
 	defer cancel()
 
-	connStart := time.Now()
+	connStart := src.Stamp()
 	conn, _, err := c.sw.Connect(dctx, info.ID, info.Addrs)
-	connDur := c.cfg.Base.SimSince(connStart)
+	connDur := src.Since(connStart)
 
 	mu.Lock()
 	obs := report.Observations[info.ID]
@@ -155,9 +163,9 @@ func (c *Crawler) visit(ctx context.Context, info wire.PeerInfo, report *Report,
 		return
 	}
 
-	crawlStart := time.Now()
+	crawlStart := src.Stamp()
 	resp, err := conn.Request(dctx, wire.Message{Type: wire.TCrawl})
-	crawlDur := c.cfg.Base.SimSince(crawlStart)
+	crawlDur := src.Since(crawlStart)
 	// Free the connection immediately: a crawl touches every peer in
 	// the network and must not hold thousands of connections open.
 	c.sw.Disconnect(info.ID)

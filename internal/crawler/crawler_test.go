@@ -8,6 +8,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/peer"
 	"repro/internal/simnet"
+	"repro/internal/simtime"
 	"repro/internal/swarm"
 	"repro/internal/testnet"
 	"repro/internal/wire"
@@ -16,7 +17,7 @@ import (
 func buildCrawler(tn *testnet.Testnet, seed int64) *crawler.Crawler {
 	ident := peer.MustNewIdentity(rand.New(rand.NewSource(seed)))
 	ep := tn.Net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
-	sw := swarm.New(ident, ep, tn.Base)
+	sw := swarm.New(ident, ep, simtime.NewBaseSource(tn.Base, nil))
 	return crawler.New(sw, crawler.Config{Base: tn.Base, Workers: 64})
 }
 

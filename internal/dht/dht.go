@@ -38,8 +38,13 @@ type Config struct {
 	Alpha        int           // lookup concurrency (3)
 	QueryTimeout time.Duration // per-RPC budget during walks (10 s)
 	RecordTTL    time.Duration // provider/peer record expiry (24 h)
-	Base         simtime.Base  // time compression
+	Base         simtime.Base  // time compression (legacy; folded into Time)
 	Now          func() time.Time
+	// Time is the unified time surface: walks sleep, time out and
+	// measure through it. When nil it is derived from Base/Now, so
+	// legacy callers keep their real-scaled behaviour; scenario runs
+	// pass the event scheduler and the whole DHT becomes event-driven.
+	Time simtime.Source
 	// OmitProviderAddrs publishes provider records without our
 	// multiaddresses, forcing requestors through the second (peer
 	// discovery) walk. The §4.3 experiments enable it to model the
@@ -66,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.Time == nil {
+		c.Time = simtime.NewBaseSource(c.Base, c.Now)
 	}
 	return c
 }
@@ -124,6 +132,9 @@ func (d *DHT) Swarm() *swarm.Swarm { return d.sw }
 
 // Base returns the DHT's simulated-time base.
 func (d *DHT) Base() simtime.Base { return d.cfg.Base }
+
+// Time returns the DHT's unified time source.
+func (d *DHT) Time() simtime.Source { return d.cfg.Time }
 
 // Clock returns the DHT's wall clock (the movable simulated clock in
 // scenario runs).

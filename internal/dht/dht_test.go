@@ -47,7 +47,7 @@ func buildNet(t *testing.T, n int, classFn func(i int) simnet.Class) *testNet {
 			Dialable: true,
 			Class:    class,
 		})
-		sw := swarm.New(ident, ep, base)
+		sw := swarm.New(ident, ep, simtime.NewBaseSource(base, nil))
 		d := New(ident, sw, ModeServer, cfg)
 		ep.SetHandler(d.HandleMessage)
 		tn.nodes = append(tn.nodes, d)
@@ -300,7 +300,7 @@ func TestBootstrapPopulatesTable(t *testing.T) {
 	base := tn.net.Base()
 	ident := peer.MustNewIdentity(rand.New(rand.NewSource(4242)))
 	ep := tn.net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
-	sw := swarm.New(ident, ep, base)
+	sw := swarm.New(ident, ep, simtime.NewBaseSource(base, nil))
 	d := New(ident, sw, ModeServer, Config{Base: base})
 	ep.SetHandler(d.HandleMessage)
 
@@ -350,7 +350,7 @@ func TestRequesterLearnedByResponder(t *testing.T) {
 	tn := buildNet(t, 10, nil)
 	newcomer := peer.MustNewIdentity(rand.New(rand.NewSource(777)))
 	ep := tn.net.AddNode(newcomer.ID, simnet.NodeOpts{Region: "US", Dialable: true})
-	sw := swarm.New(newcomer, ep, tn.net.Base())
+	sw := swarm.New(newcomer, ep, simtime.NewBaseSource(tn.net.Base(), nil))
 	d := New(newcomer, sw, ModeServer, Config{Base: tn.net.Base()})
 	ep.SetHandler(d.HandleMessage)
 

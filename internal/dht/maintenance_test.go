@@ -9,6 +9,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/peer"
 	"repro/internal/simnet"
+	"repro/internal/simtime"
 	"repro/internal/swarm"
 	"repro/internal/wire"
 )
@@ -18,7 +19,7 @@ func TestRefreshPopulatesSparseTable(t *testing.T) {
 	// A newcomer knowing only two bootstrap peers.
 	ident := peer.MustNewIdentity(rand.New(rand.NewSource(31337)))
 	ep := tn.net.AddNode(ident.ID, simnet.NodeOpts{Region: geo.EuCentral1, Dialable: true})
-	sw := swarm.New(ident, ep, tn.net.Base())
+	sw := swarm.New(ident, ep, simtime.NewBaseSource(tn.net.Base(), nil))
 	d := New(ident, sw, ModeServer, Config{Base: tn.net.Base()})
 	ep.SetHandler(d.HandleMessage)
 	for _, b := range tn.nodes[:2] {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/kbucket"
 	"repro/internal/peer"
 	"repro/internal/record"
+	"repro/internal/simtime"
 	"repro/internal/wire"
 )
 
@@ -49,7 +50,8 @@ type ProvideResult struct {
 // RPCs (§3.1).
 func (d *DHT) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
 	var res ProvideResult
-	start := time.Now()
+	src := d.cfg.Time
+	start := src.Stamp()
 	key := c.Bytes()
 	target := kbucket.KeyForBytes(key)
 
@@ -73,17 +75,15 @@ func (d *DHT) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
 		Providers: []wire.PeerInfo{provInfo},
 	}
 
-	batchStart := time.Now()
+	batchStart := src.Stamp()
 	res.StoreTargets = closest
-	var wg sync.WaitGroup
+	g := simtime.NewGroup(src)
 	var mu sync.Mutex
 	for _, info := range closest {
 		info := info
-		wg.Add(1)
 		res.StoreAttempts++
-		go func() {
-			defer wg.Done()
-			rctx, cancel := d.cfg.Base.WithTimeout(ctx, storeRPCTimeout)
+		g.Go(ctx, func(gctx context.Context) {
+			rctx, cancel := src.WithTimeout(gctx, storeRPCTimeout)
 			defer cancel()
 			r := req
 			r.Peers = d.selfInfo()
@@ -94,11 +94,11 @@ func (d *DHT) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
 				res.AckedTargets = append(res.AckedTargets, info)
 				mu.Unlock()
 			}
-		}()
+		})
 	}
-	wg.Wait()
-	res.BatchDuration = d.cfg.Base.SimSince(batchStart)
-	res.TotalDuration = d.cfg.Base.SimSince(start)
+	g.Wait(ctx)
+	res.BatchDuration = src.Since(batchStart)
+	res.TotalDuration = src.Since(start)
 	if res.StoreOK == 0 {
 		return res, fmt.Errorf("dht: provide %s: all %d store RPCs failed", c, res.StoreAttempts)
 	}
@@ -187,7 +187,8 @@ func (d *DHT) FindPeer(ctx context.Context, id peer.ID) (wire.PeerInfo, WalkInfo
 // the same CID-to-PeerID procedure" (§3.1).
 func (d *DHT) PublishPeerRecord(ctx context.Context) (ProvideResult, error) {
 	var res ProvideResult
-	start := time.Now()
+	src := d.cfg.Time
+	start := src.Stamp()
 	key := []byte(d.ident.ID)
 	target := kbucket.KeyForBytes(key)
 	closest, winfo, err := d.WalkClosest(ctx, target, key)
@@ -198,16 +199,14 @@ func (d *DHT) PublishPeerRecord(ctx context.Context) (ProvideResult, error) {
 	}
 	rec := record.NewPeerRecord(d.ident, d.sw.Addrs(), d.nextSeq(), d.cfg.Now())
 
-	batchStart := time.Now()
-	var wg sync.WaitGroup
+	batchStart := src.Stamp()
+	g := simtime.NewGroup(src)
 	var mu sync.Mutex
 	for _, info := range closest {
 		info := info
-		wg.Add(1)
 		res.StoreAttempts++
-		go func() {
-			defer wg.Done()
-			rctx, cancel := d.cfg.Base.WithTimeout(ctx, storeRPCTimeout)
+		g.Go(ctx, func(gctx context.Context) {
+			rctx, cancel := src.WithTimeout(gctx, storeRPCTimeout)
 			defer cancel()
 			resp, err := d.sw.Request(rctx, info.ID, info.Addrs, wire.Message{
 				Type:    wire.TPutPeerRecord,
@@ -220,11 +219,11 @@ func (d *DHT) PublishPeerRecord(ctx context.Context) (ProvideResult, error) {
 				res.StoreOK++
 				mu.Unlock()
 			}
-		}()
+		})
 	}
-	wg.Wait()
-	res.BatchDuration = d.cfg.Base.SimSince(batchStart)
-	res.TotalDuration = d.cfg.Base.SimSince(start)
+	g.Wait(ctx)
+	res.BatchDuration = src.Since(batchStart)
+	res.TotalDuration = src.Since(start)
 	if res.StoreOK == 0 && res.StoreAttempts > 0 {
 		return res, fmt.Errorf("dht: peer record: all %d store RPCs failed", res.StoreAttempts)
 	}
@@ -239,15 +238,14 @@ func (d *DHT) PutIPNS(ctx context.Context, key []byte, data []byte) (int, error)
 	if err != nil {
 		return 0, err
 	}
-	var wg sync.WaitGroup
+	src := d.cfg.Time
+	g := simtime.NewGroup(src)
 	var mu sync.Mutex
 	ok := 0
 	for _, info := range closest {
 		info := info
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rctx, cancel := d.cfg.Base.WithTimeout(ctx, storeRPCTimeout)
+		g.Go(ctx, func(gctx context.Context) {
+			rctx, cancel := src.WithTimeout(gctx, storeRPCTimeout)
 			defer cancel()
 			resp, err := d.sw.Request(rctx, info.ID, info.Addrs, wire.Message{
 				Type:     wire.TPutIPNS,
@@ -260,9 +258,9 @@ func (d *DHT) PutIPNS(ctx context.Context, key []byte, data []byte) (int, error)
 				ok++
 				mu.Unlock()
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	g.Wait(ctx)
 	if ok == 0 {
 		return 0, fmt.Errorf("dht: put ipns: all stores failed")
 	}

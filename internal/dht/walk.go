@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/kbucket"
 	"repro/internal/peer"
+	"repro/internal/simtime"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -56,7 +57,8 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 	// The walk is one trace phase: query RPCs attach as events via the
 	// derived contexts, and every completed query adds a "hop" event.
 	ctx, wsp := telemetry.StartSpan(ctx, "dht-walk")
-	start := time.Now()
+	src := d.cfg.Time
+	start := src.Stamp()
 	cands := make(map[peer.ID]*candidate)
 
 	addCandidate := func(info wire.PeerInfo, depth int) {
@@ -123,7 +125,10 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 		return len(live) > 0
 	}
 
-	results := make(chan queryResult)
+	// Buffered to the query cap so responders never block: a query
+	// goroutine deposits its result and exits even when the coordinator
+	// has already moved on (early stop, convergence).
+	results := make(chan queryResult, maxWalkQueries)
 	walkCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -150,28 +155,24 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 			// loop keeps mutating candidates (addCandidate backfills
 			// Addrs on responses), and the query goroutine must not read
 			// the shared struct concurrently.
-			go func(pi wire.PeerInfo) {
-				qctx, qcancel := d.cfg.Base.WithTimeout(walkCtx, d.cfg.QueryTimeout)
+			pi := c.info
+			src.Go(walkCtx, func(gctx context.Context) {
+				qctx, qcancel := src.WithTimeout(gctx, d.cfg.QueryTimeout)
 				defer qcancel()
 				req := mkReq()
 				req.Peers = d.selfInfo()
 				resp, err := d.sw.Request(qctx, pi.ID, pi.Addrs, req)
-				select {
-				case results <- queryResult{id: pi.ID, resp: resp, err: err}:
-				case <-walkCtx.Done():
-				}
-			}(c.info)
+				results <- queryResult{id: pi.ID, resp: resp, err: err}
+			})
 		}
 	}
 
 	var final *wire.Message
 	launch()
 	for inflight > 0 {
-		var res queryResult
-		select {
-		case res = <-results:
-		case <-ctx.Done():
-			info.Duration = d.cfg.Base.SimSince(start)
+		res, ok := simtime.Recv(ctx, src, results)
+		if !ok {
+			info.Duration = src.Since(start)
 			info.Launched = launched
 			return d.closestSeen(cands, target), final, info
 		}
@@ -208,7 +209,7 @@ func (d *DHT) walk(ctx context.Context, target kbucket.Key, mkReq func() wire.Me
 		launch()
 	}
 	cancel()
-	info.Duration = d.cfg.Base.SimSince(start)
+	info.Duration = src.Since(start)
 	info.Launched = launched
 	return d.closestSeen(cands, target), final, info
 }

@@ -71,6 +71,17 @@ type RoutingConfig struct {
 	QueryTimeout   time.Duration
 	BitswapTimeout time.Duration
 
+	// EventDriven runs the comparison on the discrete-event scheduler:
+	// sleeps, RPC latencies, churn transitions and phase boundaries all
+	// become events on one priority queue and virtual time jumps
+	// between them, so paper-scale populations (20k+ peers) replay a
+	// full churn window in seconds of wall clock. Workers bounds
+	// concurrent event dispatch; 0 or 1 keeps deterministic lockstep
+	// (seeded runs replay bit-for-bit), larger values are the -race
+	// stress mode.
+	EventDriven bool
+	Workers     int
+
 	Scale float64 // time compression (default 0.001)
 	Seed  int64
 }
@@ -204,6 +215,15 @@ type RoutingResults struct {
 	// Metrics aggregates the vantage nodes' labeled metric registries
 	// network-wide (raw samples merged, so percentiles are exact).
 	Metrics telemetry.MetricsSnapshot
+
+	// SchedStalls / SchedEvents report the discrete-event scheduler in
+	// EventDriven runs: SchedEvents is how many queue events fired, and
+	// SchedStalls how often the dispatcher fell back to its real-time
+	// grace timer — non-zero means some wait on the workload path
+	// escaped instrumentation, which forfeits deterministic replay.
+	// Both are zero in sweep mode.
+	SchedStalls int64
+	SchedEvents int64
 }
 
 // routerPair is one router's publisher/getter vantage pair plus its
@@ -235,6 +255,8 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 		QueryTimeout:   cfg.QueryTimeout,
 		BitswapTimeout: cfg.BitswapTimeout,
 		Clock:          clock,
+		EventDriven:    cfg.EventDriven,
+		Workers:        cfg.Workers,
 		// The timeline is the only churn lever: behaviour classes stay
 		// near zero so stale entries come from real departures.
 		FracDead: 1e-9, FracSlow: 1e-9, FracWSBroken: 1e-9,
@@ -413,6 +435,10 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 
 	res.Phases = sc.Run(context.Background())
 	res.Budget = tn.Net.Budget()
+	if tn.Sched != nil {
+		res.SchedStalls = tn.Sched.Stalls()
+		res.SchedEvents = tn.Sched.Dispatched()
+	}
 	res.Traces = sc.Traces()
 	var regs []*telemetry.Registry
 	for _, p := range pairs {

@@ -232,10 +232,21 @@ func (s *ScenarioRunner) Schedule(name string, offset time.Duration, run func(ct
 	s.phases = append(s.phases, scheduledPhase{name: name, offset: offset, run: run})
 }
 
-// Run executes the schedule: for each phase it advances the clock to
-// the phase's tick, applies timeline liveness to the whole testnet,
-// samples router health, runs the workload, and records the RPC budget
-// the phase spent. It returns the collected time series.
+// Run executes the schedule and returns the collected time series.
+//
+// In sweep mode (a testnet built with Config.Clock alone) each phase
+// advances the clock to its tick and applies timeline liveness to the
+// whole population. In event-driven mode (Config.EventDriven — the
+// testnet carries a simtime.Scheduler) the runner becomes the
+// scheduler's root goroutine: phase boundaries are SleepUntil timer
+// events, per-peer churn transitions are chained events registered by
+// ScheduleTimeline, and indexer maintenance runs at each phase wake —
+// everything on the one priority queue, with virtual time jumping
+// between events. Both paths share runPhase, so the per-phase health,
+// workload and Budget rows stay semantically identical; event-driven
+// mode is what lets paper-scale (20k+ peer) populations replay a full
+// churn window in seconds of wall clock. A scheduler cannot be reused,
+// so an event-driven runner's Run can only be called once.
 func (s *ScenarioRunner) Run(ctx context.Context) []PhaseSample {
 	sort.SliceStable(s.phases, func(a, b int) bool {
 		return s.phases[a].offset < s.phases[b].offset
@@ -244,49 +255,77 @@ func (s *ScenarioRunner) Run(ctx context.Context) []PhaseSample {
 	// warm-up crawls) are not any phase's: drop them so the first
 	// phase's span columns cover only its own operations.
 	s.drainTraces()
+	if sched := s.TN.Sched; sched != nil {
+		until := s.Start
+		if n := len(s.phases); n > 0 {
+			until = s.Start.Add(s.phases[n-1].offset)
+		}
+		sched.Run(ctx, func(rctx context.Context) {
+			// One chained transition event per peer instead of a
+			// whole-population sweep per tick. Transitions at a phase's
+			// exact instant fire before the phase's timer wake, matching
+			// the sweep path's half-open churn intervals.
+			s.TN.ScheduleTimeline(s.TL, s.Start, until)
+			for _, ph := range s.phases {
+				now := s.Start.Add(ph.offset)
+				if sched.SleepUntil(rctx, now) != nil {
+					return
+				}
+				s.runPhase(rctx, ph, now, s.TL.OnlineCount(now))
+			}
+		})
+		return s.samples
+	}
 	for _, ph := range s.phases {
 		now := s.Start.Add(ph.offset)
 		s.Clock.Set(now)
 		online := s.TN.ApplyTimeline(s.TL, now)
-		before := s.TN.Net.Budget()
-		// Indexer background duties run between liveness and health
-		// sampling, so a replica repaired by gossip counts as covered at
-		// this tick and the gossip RPCs land in this phase's budget row.
-		s.maintainIndexers(ctx)
-
-		sample := PhaseSample{
-			Phase:         ph.name,
-			Offset:        ph.offset,
-			Online:        online,
-			SnapshotStale: s.SnapshotStaleness(),
-			IndexerHit:    s.IndexerHitRate(),
-			ShardHits:     s.ShardHitRates(),
-			ReplicaUp:     s.ReplicaAvailability(),
-		}
-		if ph.run != nil {
-			sample.PhaseOutcome = ph.run(ctx, PhaseInfo{
-				Now:           now,
-				Offset:        ph.offset,
-				Online:        online,
-				SnapshotStale: sample.SnapshotStale,
-				IndexerHit:    sample.IndexerHit,
-			})
-		}
-		phaseTraces := s.drainTraces()
-		s.traces = append(s.traces, phaseTraces...)
-		sample.TracedOps = len(phaseTraces)
-		sample.FirstHopShare = telemetry.FirstHopShare(phaseTraces)
-		if math.IsNaN(sample.FirstHopShare) {
-			// No traced retrieval carried a discover span this phase; a
-			// 0.00s p99 would read as a measurement, not an absence.
-			sample.DiscoverP99 = math.NaN()
-		} else {
-			sample.DiscoverP99 = telemetry.DiscoverP99(phaseTraces).Seconds()
-		}
-		sample.Budget = s.TN.Net.Budget().Sub(before)
-		s.samples = append(s.samples, sample)
+		s.runPhase(ctx, ph, now, online)
 	}
 	return s.samples
+}
+
+// runPhase executes one phase at its tick — indexer background duties,
+// the health sample, the workload, the trace drain and the budget row —
+// identically for the sweep and event-driven paths.
+func (s *ScenarioRunner) runPhase(ctx context.Context, ph scheduledPhase, now time.Time, online int) {
+	before := s.TN.Net.Budget()
+	// Indexer background duties run between liveness and health
+	// sampling, so a replica repaired by gossip counts as covered at
+	// this tick and the gossip RPCs land in this phase's budget row.
+	s.maintainIndexers(ctx)
+
+	sample := PhaseSample{
+		Phase:         ph.name,
+		Offset:        ph.offset,
+		Online:        online,
+		SnapshotStale: s.SnapshotStaleness(),
+		IndexerHit:    s.IndexerHitRate(),
+		ShardHits:     s.ShardHitRates(),
+		ReplicaUp:     s.ReplicaAvailability(),
+	}
+	if ph.run != nil {
+		sample.PhaseOutcome = ph.run(ctx, PhaseInfo{
+			Now:           now,
+			Offset:        ph.offset,
+			Online:        online,
+			SnapshotStale: sample.SnapshotStale,
+			IndexerHit:    sample.IndexerHit,
+		})
+	}
+	phaseTraces := s.drainTraces()
+	s.traces = append(s.traces, phaseTraces...)
+	sample.TracedOps = len(phaseTraces)
+	sample.FirstHopShare = telemetry.FirstHopShare(phaseTraces)
+	if math.IsNaN(sample.FirstHopShare) {
+		// No traced retrieval carried a discover span this phase; a
+		// 0.00s p99 would read as a measurement, not an absence.
+		sample.DiscoverP99 = math.NaN()
+	} else {
+		sample.DiscoverP99 = telemetry.DiscoverP99(phaseTraces).Seconds()
+	}
+	sample.Budget = s.TN.Net.Budget().Sub(before)
+	s.samples = append(s.samples, sample)
 }
 
 // maintainIndexers runs the indexer background duties at a tick: every

@@ -1,10 +1,11 @@
 package merkledag
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/cid"
+	"repro/internal/simtime"
 )
 
 // AssembleConcurrent reassembles the DAG rooted at root like Assemble,
@@ -12,18 +13,39 @@ import (
 // how Bitswap sessions overlap block requests in practice. Output
 // ordering is preserved; every block is verified against its CID.
 func AssembleConcurrent(f Fetcher, root cid.Cid, workers int) ([]byte, error) {
+	return AssembleConcurrentOn(context.Background(), nil, f, root, workers)
+}
+
+// AssembleConcurrentOn is AssembleConcurrent running its fetches on the
+// given time source: workers spawn through src.Go and both the
+// worker-slot waits and the sibling joins are instrumented, so a
+// discrete-event scheduler can advance virtual time while fetches park
+// inside simulated RPCs. ctx must be the caller's (it carries the
+// scheduler lease in event-driven runs); a nil src selects the
+// real-time adapter, reproducing the plain-goroutine behaviour.
+func AssembleConcurrentOn(ctx context.Context, src simtime.Source, f Fetcher, root cid.Cid, workers int) ([]byte, error) {
 	if workers <= 1 {
 		return Assemble(f, root)
 	}
+	if src == nil {
+		src = simtime.NewBaseSource(simtime.Realtime, nil)
+	}
 	// The semaphore bounds concurrent Get calls only; it is never held
 	// across the recursive descent, so ancestors waiting on descendants
-	// cannot starve them of slots.
+	// cannot starve them of slots. Slots are prefilled tokens: acquiring
+	// is a receive (instrumented under the scheduler) and releasing a
+	// deposit into the freed capacity, which never blocks.
 	sem := make(chan struct{}, workers)
-	var fetch func(c cid.Cid) ([]byte, error)
-	fetch = func(c cid.Cid) ([]byte, error) {
+	for i := 0; i < workers; i++ {
 		sem <- struct{}{}
+	}
+	var fetch func(ctx context.Context, c cid.Cid) ([]byte, error)
+	fetch = func(ctx context.Context, c cid.Cid) ([]byte, error) {
+		if _, ok := simtime.Recv(ctx, src, sem); !ok {
+			return nil, ctx.Err()
+		}
 		blk, err := f.Get(c)
-		<-sem
+		sem <- struct{}{}
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s: %v", ErrMissing, c, err)
 		}
@@ -39,16 +61,14 @@ func AssembleConcurrent(f Fetcher, root cid.Cid, workers int) ([]byte, error) {
 		}
 		parts := make([][]byte, len(n.Links))
 		errs := make([]error, len(n.Links))
-		var wg sync.WaitGroup
+		g := simtime.NewGroup(src)
 		for i, l := range n.Links {
 			i, l := i, l
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				parts[i], errs[i] = fetch(l.Cid)
-			}()
+			g.Go(ctx, func(gctx context.Context) {
+				parts[i], errs[i] = fetch(gctx, l.Cid)
+			})
 		}
-		wg.Wait()
+		g.Wait(ctx)
 		var out []byte
 		for i := range parts {
 			if errs[i] != nil {
@@ -58,5 +78,5 @@ func AssembleConcurrent(f Fetcher, root cid.Cid, workers int) ([]byte, error) {
 		}
 		return out, nil
 	}
-	return fetch(root)
+	return fetch(ctx, root)
 }

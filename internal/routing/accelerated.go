@@ -28,11 +28,13 @@ type AcceleratedConfig struct {
 	RPCTimeout time.Duration
 	// CrawlWorkers bounds the snapshot crawl's concurrency (default 64).
 	CrawlWorkers int
-	// Base compresses simulated time.
+	// Base compresses simulated time (legacy; folded into Time).
 	Base simtime.Base
 	// Now supplies the wall clock for the ack ledger (default time.Now;
 	// simulations pass their movable clock).
 	Now func() time.Time
+	// Time is the unified time surface; nil derives it from Base/Now.
+	Time simtime.Source
 }
 
 func (c AcceleratedConfig) withDefaults() AcceleratedConfig {
@@ -53,6 +55,9 @@ func (c AcceleratedConfig) withDefaults() AcceleratedConfig {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.Time == nil {
+		c.Time = simtime.NewBaseSource(c.Base, c.Now)
 	}
 	return c
 }
@@ -101,6 +106,7 @@ func (r *AcceleratedRouter) Refresh(ctx context.Context, bootstrap []wire.PeerIn
 	cr := crawler.New(r.sw, crawler.Config{
 		Workers:        r.cfg.CrawlWorkers,
 		Base:           r.cfg.Base,
+		Time:           r.cfg.Time,
 		ConnectTimeout: r.cfg.RPCTimeout,
 	})
 	rep := cr.Crawl(ctx, bootstrap)
@@ -130,29 +136,23 @@ func (r *AcceleratedRouter) Refresh(ctx context.Context, bootstrap []wire.PeerIn
 // cancelled. bootstrap supplies fresh seeds per round (the caller's
 // routing table contents, typically). The first crawl is delayed by a
 // per-peer deterministic jitter so a fleet of clients started together
-// does not thundering-herd the network on the same ticks.
+// does not thundering-herd the network on the same ticks. The loop is
+// a self-rearming timer on the router's time source: cancellable,
+// leak-free (the old time.After variant leaked a real timer per jitter
+// wait), and a single queue event per cycle under the event scheduler.
 func (r *AcceleratedRouter) StartRefresher(ctx context.Context, interval time.Duration, bootstrap func() []wire.PeerInfo) {
 	if interval <= 0 {
 		interval = time.Hour
 	}
-	go func() {
-		jitter := simtime.Jitter(string(r.sw.Local())+"#refresh", interval)
-		select {
-		case <-ctx.Done():
-			return
-		case <-time.After(r.cfg.Base.Real(jitter)):
+	jitter := simtime.Jitter(string(r.sw.Local())+"#refresh", interval)
+	var cycle func(context.Context)
+	cycle = func(cctx context.Context) {
+		r.Refresh(cctx, bootstrap())
+		if cctx.Err() == nil {
+			r.cfg.Time.AfterFunc(cctx, interval, cycle)
 		}
-		t := time.NewTicker(r.cfg.Base.Real(interval))
-		defer t.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-t.C:
-				r.Refresh(ctx, bootstrap())
-			}
-		}
-	}()
+	}
+	r.cfg.Time.AfterFunc(ctx, jitter+interval, cycle)
 }
 
 // SetSnapshot installs a snapshot directly — testnet builders use it to
@@ -229,7 +229,7 @@ func (r *AcceleratedRouter) closest(key []byte) []wire.PeerInfo {
 // the iterative walk.
 func (r *AcceleratedRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
 	var res ProvideResult
-	start := time.Now()
+	start := r.cfg.Time.Stamp()
 	key := c.Bytes()
 	closest := r.closest(key)
 	if len(closest) == 0 {
@@ -246,13 +246,13 @@ func (r *AcceleratedRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResu
 	}
 	var acked []wire.PeerInfo
 	res.StoreTargets = closest
-	res.StoreAttempts, acked = storeBatch(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, closest, req)
+	res.StoreAttempts, acked = storeBatch(ctx, r.sw, r.cfg.Time, r.cfg.RPCTimeout, closest, req)
 	res.StoreOK = len(acked)
 	res.AckedTargets = acked
 	for _, t := range acked {
 		r.ledger.Confirm(t, c.Key())
 	}
-	res.BatchDuration = r.cfg.Base.SimSince(start)
+	res.BatchDuration = r.cfg.Time.Since(start)
 	res.TotalDuration = res.BatchDuration
 	if res.StoreOK == 0 {
 		return provideFallback(ctx, r.fallback, c, res,
@@ -272,7 +272,7 @@ func (r *AcceleratedRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (Pr
 		}
 		return ProvideManyResult{CIDs: len(cids)}, fmt.Errorf("routing: accelerated provide batch of %d: empty snapshot", len(cids))
 	}
-	res, provided := provideManyGrouped(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, r.ledger, cids,
+	res, provided := provideManyGrouped(ctx, r.sw, r.cfg.Time, r.cfg.RPCTimeout, r.ledger, cids,
 		func(c cid.Cid) []wire.PeerInfo { return r.closest(c.Bytes()) })
 	return provideManyFallback(ctx, r.fallback, res, unprovided(cids, provided))
 }
@@ -307,7 +307,8 @@ func (r *AcceleratedRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerI
 		sp.Annotate("failed", strconv.Itoa(info.Failed))
 		sp.End()
 	}()
-	start := time.Now()
+	src := r.cfg.Time
+	start := src.Stamp()
 	key := c.Bytes()
 	closest := r.closest(key)
 
@@ -332,16 +333,22 @@ func (r *AcceleratedRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerI
 		wctx, cancel := context.WithCancel(ctx)
 		for _, pi := range wave {
 			pi := pi
-			go func() {
-				rctx, rcancel := r.cfg.Base.WithTimeout(wctx, r.cfg.RPCTimeout)
+			src.Go(wctx, func(gctx context.Context) {
+				rctx, rcancel := src.WithTimeout(gctx, r.cfg.RPCTimeout)
 				defer rcancel()
 				resp, err := r.sw.Request(rctx, pi.ID, pi.Addrs, wire.Message{Type: wire.TGetProviders, Key: key})
 				ch <- result{resp: resp, err: err}
-			}()
+			})
 		}
 		var winner *wire.Message
+		// Every wave member deposits exactly once (the channel is
+		// buffered to the wave), so the drain runs detached from ctx:
+		// cancelled members unwind fast and still get counted.
 		for i := 0; i < len(wave); i++ {
-			res := <-ch
+			res, ok := simtime.Recv(simtime.Detach(ctx), src, ch)
+			if !ok {
+				break
+			}
 			if res.err != nil || res.resp.Type == wire.TError {
 				info.Failed++
 				continue
@@ -356,12 +363,12 @@ func (r *AcceleratedRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerI
 		}
 		cancel()
 		if winner != nil {
-			info.Duration = r.cfg.Base.SimSince(start)
+			info.Duration = src.Since(start)
 			info.Depth = 1
 			return fillAddrs(r.sw, winner.Providers), info, nil
 		}
 	}
-	info.Duration = r.cfg.Base.SimSince(start)
+	info.Duration = src.Since(start)
 	if err := ctx.Err(); err != nil {
 		return nil, info, err
 	}

@@ -233,24 +233,22 @@ func planBatch(ledger *Ledger, cids []cid.Cid, targetsOf func(c cid.Cid) []wire.
 // ADD_PROVIDER RPC per target, recording acks in the ledger. It
 // returns the RPC/ack counts and the set of CID keys with at least one
 // acknowledged record.
-func runBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout time.Duration, ledger *Ledger, plan *batchPlan) (rpcs, acked int, provided map[string]bool) {
+func runBatch(ctx context.Context, sw *swarm.Swarm, src simtime.Source, timeout time.Duration, ledger *Ledger, plan *batchPlan) (rpcs, acked int, provided map[string]bool) {
 	provided = make(map[string]bool)
 	self := wire.PeerInfo{ID: sw.Local(), Addrs: sw.Addrs()}
-	var wg sync.WaitGroup
+	g := simtime.NewGroup(src)
 	var mu sync.Mutex
 	for _, bs := range plan.sends {
 		bs := bs
-		wg.Add(1)
 		rpcs++
-		go func() {
-			defer wg.Done()
+		g.Go(ctx, func(gctx context.Context) {
 			req := wire.Message{
 				Type:      wire.TAddProvider,
 				Key:       bs.keys[0],
 				Keys:      bs.keys[1:],
 				Providers: []wire.PeerInfo{self},
 			}
-			rctx, cancel := base.WithTimeout(ctx, timeout)
+			rctx, cancel := src.WithTimeout(gctx, timeout)
 			defer cancel()
 			resp, err := sw.Request(rctx, bs.target.ID, bs.target.Addrs, req)
 			if err != nil || resp.Type != wire.TAck {
@@ -263,9 +261,9 @@ func runBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout t
 				provided[k] = true
 			}
 			mu.Unlock()
-		}()
+		})
 	}
-	wg.Wait()
+	g.Wait(ctx)
 	return rpcs, acked, provided
 }
 
@@ -273,12 +271,12 @@ func runBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout t
 // against the ledger, run it, and fold ledger-fresh CIDs into the
 // provided count. targetsOf supplies each CID's target set (walk
 // result, snapshot neighbourhood, or indexer set).
-func provideManyGrouped(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout time.Duration, ledger *Ledger, cids []cid.Cid, targetsOf func(c cid.Cid) []wire.PeerInfo) (ProvideManyResult, map[string]bool) {
-	start := time.Now()
+func provideManyGrouped(ctx context.Context, sw *swarm.Swarm, src simtime.Source, timeout time.Duration, ledger *Ledger, cids []cid.Cid, targetsOf func(c cid.Cid) []wire.PeerInfo) (ProvideManyResult, map[string]bool) {
+	start := src.Stamp()
 	var res ProvideManyResult
 	res.CIDs = len(cids)
 	plan := planBatch(ledger, cids, targetsOf)
-	rpcs, acked, provided := runBatch(ctx, sw, base, timeout, ledger, plan)
+	rpcs, acked, provided := runBatch(ctx, sw, src, timeout, ledger, plan)
 	for k := range plan.fresh {
 		provided[k] = true
 	}
@@ -291,7 +289,7 @@ func provideManyGrouped(ctx context.Context, sw *swarm.Swarm, base simtime.Base,
 			res.Provided++
 		}
 	}
-	res.Duration = base.SimSince(start)
+	res.Duration = src.Since(start)
 	return res, provided
 }
 

@@ -30,7 +30,7 @@ type Indexer struct {
 	sw        *swarm.Swarm
 	providers *record.ProviderStore
 	now       func() time.Time
-	base      simtime.Base
+	src       simtime.Source
 	ttl       time.Duration
 	timeout   time.Duration
 	gossip    *Ledger // per-group-peer ack dedup for anti-entropy rounds
@@ -46,10 +46,12 @@ type IndexerConfig struct {
 	RecordTTL time.Duration
 	// RPCTimeout bounds one gossip RPC (default 10 s).
 	RPCTimeout time.Duration
-	// Base compresses simulated time.
+	// Base compresses simulated time (legacy; folded into Time).
 	Base simtime.Base
 	// Now supplies the clock for record expiry.
 	Now func() time.Time
+	// Time is the unified time surface; nil derives it from Base/Now.
+	Time simtime.Source
 }
 
 // NewIndexer assembles an indexer node over the endpoint and installs
@@ -67,16 +69,19 @@ func NewIndexer(ident peer.Identity, ep transport.Endpoint, cfg IndexerConfig) *
 	if cfg.RPCTimeout <= 0 {
 		cfg.RPCTimeout = 10 * time.Second
 	}
+	if cfg.Time == nil {
+		cfg.Time = simtime.NewBaseSource(cfg.Base, cfg.Now)
+	}
 	ix := &Indexer{
 		ident:     ident,
-		sw:        swarm.New(ident, ep, cfg.Base),
+		sw:        swarm.New(ident, ep, cfg.Time),
 		providers: record.NewProviderStore(cfg.RecordTTL, cfg.Now),
 		now:       cfg.Now,
-		base:      cfg.Base,
+		src:       cfg.Time,
 		ttl:       cfg.RecordTTL,
 		timeout:   cfg.RPCTimeout,
 		gossip:    NewAckLedger(cfg.Now),
-		tel:       telemetry.NewRecorder(cfg.Base, cfg.Now),
+		tel:       telemetry.NewRecorder(cfg.Time),
 	}
 	ep.SetHandler(ix.handle)
 	return ix
@@ -194,7 +199,7 @@ func (ix *Indexer) Gossip(ctx context.Context) GossipStats {
 			}
 			st.RPCs++
 			st.Records += end - off
-			rctx, cancel := ix.base.WithTimeout(ctx, ix.timeout)
+			rctx, cancel := ix.src.WithTimeout(ctx, ix.timeout)
 			resp, err := ix.sw.Request(rctx, target.ID, target.Addrs, wire.Message{Type: wire.TGossip, Records: entries[off:end]})
 			cancel()
 			if err != nil || resp.Type != wire.TAck {
@@ -302,11 +307,13 @@ func (ix *Indexer) handle(ctx context.Context, from peer.ID, req wire.Message) w
 type IndexerRouterConfig struct {
 	// RPCTimeout bounds one indexer RPC (default 10 s).
 	RPCTimeout time.Duration
-	// Base compresses simulated time.
+	// Base compresses simulated time (legacy; folded into Time).
 	Base simtime.Base
 	// Now supplies the wall clock for the ack ledger (default time.Now;
 	// simulations pass their movable clock).
 	Now func() time.Time
+	// Time is the unified time surface; nil derives it from Base/Now.
+	Time simtime.Source
 }
 
 func (c IndexerRouterConfig) withDefaults() IndexerRouterConfig {
@@ -318,6 +325,9 @@ func (c IndexerRouterConfig) withDefaults() IndexerRouterConfig {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.Time == nil {
+		c.Time = simtime.NewBaseSource(c.Base, c.Now)
 	}
 	return c
 }
@@ -415,7 +425,7 @@ func (r *IndexerRouter) targetsFor(c cid.Cid) []wire.PeerInfo {
 // accepts it, fall back to the DHT walk so the record is never lost.
 func (r *IndexerRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, error) {
 	var res ProvideResult
-	start := time.Now()
+	start := r.cfg.Time.Stamp()
 	targets := r.targetsFor(c)
 	if len(targets) == 0 {
 		if r.fallback != nil {
@@ -430,13 +440,13 @@ func (r *IndexerRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult, 
 	}
 	var acked []wire.PeerInfo
 	res.StoreTargets = targets
-	res.StoreAttempts, acked = storeBatch(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, targets, req)
+	res.StoreAttempts, acked = storeBatch(ctx, r.sw, r.cfg.Time, r.cfg.RPCTimeout, targets, req)
 	res.StoreOK = len(acked)
 	res.AckedTargets = acked
 	for _, t := range acked {
 		r.ledger.Confirm(t, c.Key())
 	}
-	res.BatchDuration = r.cfg.Base.SimSince(start)
+	res.BatchDuration = r.cfg.Time.Since(start)
 	res.TotalDuration = res.BatchDuration
 	if res.StoreOK == 0 {
 		return provideFallback(ctx, r.fallback, c, res,
@@ -457,7 +467,7 @@ func (r *IndexerRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (Provid
 		}
 		return ProvideManyResult{CIDs: len(cids)}, fmt.Errorf("routing: indexer provide batch of %d: no indexers configured", len(cids))
 	}
-	res, provided := provideManyGrouped(ctx, r.sw, r.cfg.Base, r.cfg.RPCTimeout, r.ledger, cids, r.targetsFor)
+	res, provided := provideManyGrouped(ctx, r.sw, r.cfg.Time, r.cfg.RPCTimeout, r.ledger, cids, r.targetsFor)
 	return provideManyFallback(ctx, r.fallback, res, unprovided(cids, provided))
 }
 
@@ -477,7 +487,7 @@ func (r *IndexerRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (Pro
 			return
 		}
 		var info LookupInfo
-		start := time.Now()
+		start := r.cfg.Time.Stamp()
 		key := c.Bytes()
 		seen := make(map[peer.ID]bool)
 		yielded := false
@@ -485,7 +495,7 @@ func (r *IndexerRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (Pro
 			if ctx.Err() != nil {
 				break
 			}
-			rctx, cancel := r.cfg.Base.WithTimeout(ctx, r.cfg.RPCTimeout)
+			rctx, cancel := r.cfg.Time.WithTimeout(ctx, r.cfg.RPCTimeout)
 			resp, err := r.sw.Request(rctx, ix.ID, ix.Addrs, wire.Message{Type: wire.TGetProviders, Key: key})
 			cancel()
 			if err != nil || resp.Type != wire.TProviders {
@@ -504,7 +514,7 @@ func (r *IndexerRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (Pro
 				break
 			}
 		}
-		info.Duration = r.cfg.Base.SimSince(start)
+		info.Duration = r.cfg.Time.Since(start)
 		if yielded {
 			st.set(info, nil)
 			return
@@ -541,13 +551,13 @@ func (r *IndexerRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerInfo,
 		sp.Annotate("failed", strconv.Itoa(info.Failed))
 		sp.End()
 	}()
-	start := time.Now()
+	start := r.cfg.Time.Stamp()
 	key := c.Bytes()
 	for _, ix := range r.targetsFor(c) {
 		if ctx.Err() != nil {
 			break
 		}
-		rctx, cancel := r.cfg.Base.WithTimeout(ctx, r.cfg.RPCTimeout)
+		rctx, cancel := r.cfg.Time.WithTimeout(ctx, r.cfg.RPCTimeout)
 		resp, err := r.sw.Request(rctx, ix.ID, ix.Addrs, wire.Message{Type: wire.TGetProviders, Key: key})
 		cancel()
 		if err != nil || resp.Type != wire.TProviders {
@@ -557,12 +567,12 @@ func (r *IndexerRouter) direct(ctx context.Context, c cid.Cid) ([]wire.PeerInfo,
 		}
 		info.Queried++
 		if len(resp.Providers) > 0 {
-			info.Duration = r.cfg.Base.SimSince(start)
+			info.Duration = r.cfg.Time.Since(start)
 			info.Depth = 1
 			return fillAddrs(r.sw, resp.Providers), info, nil
 		}
 	}
-	info.Duration = r.cfg.Base.SimSince(start)
+	info.Duration = r.cfg.Time.Since(start)
 	if err := ctx.Err(); err != nil {
 		return nil, info, err
 	}

@@ -83,7 +83,7 @@ func newShardedHarness(t *testing.T, shards, replicas int, ttl time.Duration) *s
 	newSwarm := func() *swarm.Swarm {
 		ident := peer.MustNewIdentity(rng)
 		ep := h.net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
-		return swarm.New(ident, ep, h.base)
+		return swarm.New(ident, ep, simtime.NewBaseSource(h.base, nil))
 	}
 	infoGroups := make([][]wire.PeerInfo, shards)
 	for s := 0; s < shards; s++ {
@@ -356,7 +356,7 @@ func TestShardedStreamMergesReplicas(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	ident := peer.MustNewIdentity(rng)
 	ep := h.net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
-	sw := swarm.New(ident, ep, h.base)
+	sw := swarm.New(ident, ep, simtime.NewBaseSource(h.base, nil))
 	get := h.router(sw, nil)
 
 	seq, st := get.FindProvidersStream(ctx, c)

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cid"
 	"repro/internal/peer"
+	"repro/internal/simtime"
 	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
@@ -20,12 +22,23 @@ import (
 // frames.
 type ParallelRouter struct {
 	members []Router
+	src     simtime.Source
 }
 
 // NewParallel builds a composite over the members; at least one is
 // required.
 func NewParallel(members ...Router) *ParallelRouter {
-	return &ParallelRouter{members: members}
+	return &ParallelRouter{members: members, src: simtime.NewBaseSource(simtime.Realtime, nil)}
+}
+
+// WithTime installs the composite's time source (the event scheduler in
+// scenario runs) and returns the router for chaining. The member races
+// spawn and join through it so virtual time cannot run ahead of a racer.
+func (r *ParallelRouter) WithTime(src simtime.Source) *ParallelRouter {
+	if src != nil {
+		r.src = src
+	}
+	return r
 }
 
 // Name implements Router, naming the members raced.
@@ -66,22 +79,31 @@ func (r *ParallelRouter) Provide(ctx context.Context, c cid.Cid) (ProvideResult,
 		// closed by the racers themselves — cancelled losers included.
 		mctx, sp := telemetry.StartSpan(pctx, "race:"+m.Name())
 		m := m
-		go func() {
+		r.src.Go(mctx, func(gctx context.Context) {
 			defer sp.End()
-			res, err := m.Provide(mctx, c)
+			res, err := m.Provide(gctx, c)
 			ch <- outcome{res: res, err: err}
-		}()
+		})
 	}
+	// Every racer deposits exactly once into the buffered channel, so
+	// the collect loop drains detached from ctx — cancelled losers
+	// unwind promptly and still get their RPCs charged.
 	var firstErr error
 	loserMsgs := 0
 	for i := 0; i < len(r.members); i++ {
-		o := <-ch
+		o, ok := simtime.Recv(simtime.Detach(ctx), r.src, ch)
+		if !ok {
+			break
+		}
 		if o.err == nil {
 			cancel()
 			// Drain the cancelled losers (they return promptly once the
 			// context falls) and charge the RPCs they managed to launch.
 			for j := i + 1; j < len(r.members); j++ {
-				lo := <-ch
+				lo, ok := simtime.Recv(simtime.Detach(ctx), r.src, ch)
+				if !ok {
+					break
+				}
 				loserMsgs += ProvideMessages(lo.res)
 			}
 			o.res.Walk.Launched = LookupMessages(o.res.Walk) + loserMsgs
@@ -116,17 +138,20 @@ func (r *ParallelRouter) ProvideMany(ctx context.Context, cids []cid.Cid) (Provi
 	for _, m := range r.members {
 		mctx, sp := telemetry.StartSpan(ctx, "race:"+m.Name())
 		m := m
-		go func() {
+		r.src.Go(mctx, func(gctx context.Context) {
 			defer sp.End()
-			res, err := m.ProvideMany(mctx, cids)
+			res, err := m.ProvideMany(gctx, cids)
 			ch <- outcome{res: res, err: err}
-		}()
+		})
 	}
 	res := ProvideManyResult{CIDs: len(cids)}
 	var firstErr error
 	ok := false
 	for i := 0; i < len(r.members); i++ {
-		o := <-ch
+		o, got := simtime.Recv(simtime.Detach(ctx), r.src, ch)
+		if !got {
+			break
+		}
 		res = res.merge(o.res)
 		if o.res.Provided > res.Provided {
 			res.Provided = o.res.Provided
@@ -163,21 +188,28 @@ func (r *ParallelRouter) SessionPeers(ctx context.Context, c cid.Cid, n int) ([]
 	for _, m := range r.members {
 		mctx, sp := telemetry.StartSpan(pctx, "race:"+m.Name())
 		m := m
-		go func() {
+		r.src.Go(mctx, func(gctx context.Context) {
 			defer sp.End()
-			peers, msgs, err := m.SessionPeers(mctx, c, n)
+			peers, msgs, err := m.SessionPeers(gctx, c, n)
 			ch <- outcome{peers: peers, msgs: msgs, err: err}
-		}()
+		})
 	}
 	msgs := 0
 	for i := 0; i < len(r.members); i++ {
-		o := <-ch
+		o, ok := simtime.Recv(simtime.Detach(ctx), r.src, ch)
+		if !ok {
+			break
+		}
 		msgs += o.msgs
 		if o.err == nil && len(o.peers) > 0 {
 			cancel()
 			// Drain the cancelled losers and charge their RPCs.
 			for j := i + 1; j < len(r.members); j++ {
-				msgs += (<-ch).msgs
+				lo, ok := simtime.Recv(simtime.Detach(ctx), r.src, ch)
+				if !ok {
+					break
+				}
+				msgs += lo.msgs
 			}
 			return o.peers, msgs, nil
 		}
@@ -214,6 +246,10 @@ func (r *ParallelRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (Pr
 		}
 		pctx, cancel := context.WithCancel(ctx)
 		defer cancel()
+		if s := simtime.SchedulerOf(r.src); s != nil {
+			r.streamScheduled(pctx, cancel, s, c, yield, st)
+			return
+		}
 		batches := make(chan []wire.PeerInfo)
 		done := make(chan *StreamInfo, len(r.members))
 		for _, m := range r.members {
@@ -275,4 +311,105 @@ func (r *ParallelRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (Pr
 		st.set(agg, err)
 	}
 	return seq, st
+}
+
+// streamScheduled is FindProvidersStream's event-driven merge: member
+// streams deposit batches into a mutex-guarded queue — producers never
+// block, which keeps the scheduler's quiescence detection sound — and
+// the single consumer parks on the scheduler until a batch or a member
+// completion is available. Arrival order is the event order, so seeded
+// runs replay the same merge.
+func (r *ParallelRouter) streamScheduled(pctx context.Context, cancel context.CancelFunc, s *simtime.Scheduler, c cid.Cid, yield func([]wire.PeerInfo) bool, st *StreamInfo) {
+	var mu sync.Mutex
+	var pending [][]wire.PeerInfo
+	done := make(chan *StreamInfo, len(r.members))
+	for _, m := range r.members {
+		mctx, sp := telemetry.StartSpan(pctx, "race:"+m.Name())
+		m := m
+		r.src.Go(mctx, func(gctx context.Context) {
+			defer sp.End()
+			mseq, mst := m.FindProvidersStream(gctx, c)
+			mseq(func(batch []wire.PeerInfo) bool {
+				if gctx.Err() != nil {
+					return false
+				}
+				mu.Lock()
+				pending = append(pending, batch)
+				mu.Unlock()
+				return true
+			})
+			done <- mst
+		})
+	}
+	queued := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(pending)
+	}
+	pop := func() ([]wire.PeerInfo, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(pending) == 0 {
+			return nil, false
+		}
+		b := pending[0]
+		pending = pending[1:]
+		return b, true
+	}
+	seen := make(map[peer.ID]bool)
+	emitted, stopped := false, false
+	drain := func() {
+		for {
+			b, ok := pop()
+			if !ok {
+				return
+			}
+			b = dedupProviders(seen, b)
+			if len(b) == 0 || stopped {
+				continue
+			}
+			emitted = true
+			if !yield(b) {
+				stopped = true
+				cancel()
+			}
+		}
+	}
+	finished := 0
+	var agg LookupInfo
+	var maxDur time.Duration
+	var firstErr error
+	// The consumer must join every member (their infos carry the RPC
+	// accounting), so the wait runs detached from pctx: cancelled
+	// members unwind promptly and deposit into the buffered done channel.
+	dctx := simtime.Detach(pctx)
+	for finished < len(r.members) {
+		if err := s.Await(dctx, func() bool { return queued() > 0 || len(done) > 0 }); err != nil {
+			break // scheduler shut down underneath us
+		}
+		drain()
+		for len(done) > 0 {
+			mst := <-done
+			finished++
+			info := mst.Info()
+			if info.Duration > maxDur {
+				maxDur = info.Duration
+			}
+			agg = mergeLookup(agg, info)
+			if err := mst.Err(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	drain() // batches deposited between the last wake and the last join
+	// Members ran concurrently, so the combined duration is the slowest
+	// member's, not mergeLookup's sequential sum.
+	agg.Duration = maxDur
+	var err error
+	if !emitted {
+		if err = firstErr; err == nil {
+			err = ErrNoProviders
+		}
+	}
+	st.set(agg, err)
 }

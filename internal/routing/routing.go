@@ -366,16 +366,14 @@ func max(a, b int) int {
 // storeBatch pushes req to every target with concurrent fire-and-forget
 // RPCs — the §3.1 record-store fan-out the one-hop routers share — and
 // returns the targets that acknowledged.
-func storeBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout time.Duration, targets []wire.PeerInfo, req wire.Message) (attempts int, ackedTargets []wire.PeerInfo) {
-	var wg sync.WaitGroup
+func storeBatch(ctx context.Context, sw *swarm.Swarm, src simtime.Source, timeout time.Duration, targets []wire.PeerInfo, req wire.Message) (attempts int, ackedTargets []wire.PeerInfo) {
+	g := simtime.NewGroup(src)
 	var mu sync.Mutex
 	for _, info := range targets {
 		info := info
-		wg.Add(1)
 		attempts++
-		go func() {
-			defer wg.Done()
-			rctx, cancel := base.WithTimeout(ctx, timeout)
+		g.Go(ctx, func(gctx context.Context) {
+			rctx, cancel := src.WithTimeout(gctx, timeout)
 			defer cancel()
 			resp, err := sw.Request(rctx, info.ID, info.Addrs, req)
 			if err == nil && resp.Type == wire.TAck {
@@ -383,9 +381,9 @@ func storeBatch(ctx context.Context, sw *swarm.Swarm, base simtime.Base, timeout
 				ackedTargets = append(ackedTargets, info)
 				mu.Unlock()
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	g.Wait(ctx)
 	return attempts, ackedTargets
 }
 

@@ -186,7 +186,7 @@ func TestIndexerRoundTrip(t *testing.T) {
 	newSwarm := func() *swarm.Swarm {
 		ident := peer.MustNewIdentity(rng)
 		ep := net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
-		return swarm.New(ident, ep, base)
+		return swarm.New(ident, ep, simtime.NewBaseSource(base, nil))
 	}
 	ixIdent := peer.MustNewIdentity(rng)
 	ixEp := net.AddNode(ixIdent.ID, simnet.NodeOpts{Region: "US", Dialable: true})
@@ -336,7 +336,7 @@ func TestAcceleratedSurvivesStaleSnapshotUnderChurn(t *testing.T) {
 	// A third of the network departs after the snapshot was taken: both
 	// clients now operate on a stale view.
 	for i := 0; i < 50; i++ {
-		tn.SetOnline(i, false)
+		tn.SetOnline(tn.Nodes[i].ID(), false)
 	}
 
 	data := []byte("published against a stale snapshot")

@@ -33,7 +33,7 @@ func (r *rpcRouter) FindProvidersStream(ctx context.Context, c cid.Cid) (routing
 // asserts the cancelled loser's race span still closed (no leaked open
 // spans) with its in-flight RPC attributed to the parent trace.
 func TestParallelStreamClosesCancelledRacerSpans(t *testing.T) {
-	rec := telemetry.NewRecorder(simtime.Realtime, nil)
+	rec := telemetry.NewRecorder(simtime.NewBaseSource(simtime.Realtime, nil))
 	ctx, root := rec.StartTrace(context.Background(), "retrieve")
 	tr := telemetry.TraceFrom(ctx)
 	if tr == nil {
@@ -102,7 +102,7 @@ func TestParallelStreamClosesCancelledRacerSpans(t *testing.T) {
 // the loser is cancelled and its span must close before the call
 // returns.
 func TestParallelSessionPeersRaceSpansClose(t *testing.T) {
-	rec := telemetry.NewRecorder(simtime.Realtime, nil)
+	rec := telemetry.NewRecorder(simtime.NewBaseSource(simtime.Realtime, nil))
 	ctx, root := rec.StartTrace(context.Background(), "retrieve")
 	tr := telemetry.TraceFrom(ctx)
 
@@ -135,7 +135,7 @@ func TestParallelSessionPeersRaceSpansClose(t *testing.T) {
 // the fallback, and asserts the hand-off event and the fallback's work
 // all land on the same parent trace span.
 func TestStreamFallbackHandoffKeepsTrace(t *testing.T) {
-	rec := telemetry.NewRecorder(simtime.Realtime, nil)
+	rec := telemetry.NewRecorder(simtime.NewBaseSource(simtime.Realtime, nil))
 	ctx, root := rec.StartTrace(context.Background(), "retrieve")
 	tr := telemetry.TraceFrom(ctx)
 	dctx, dsp := telemetry.StartSpan(ctx, "discover")

@@ -48,8 +48,17 @@ const (
 
 // Config tunes the simulator.
 type Config struct {
+	// Time is the simulator's time source. Under a simtime.Scheduler
+	// every dial handshake and RPC becomes a scheduled delivery event —
+	// the requester parks on the queue and virtual time jumps to the
+	// delivery instant — and jitter is drawn from a deterministic hash
+	// instead of the shared rng, so seeded runs replay bit-for-bit
+	// regardless of goroutine interleaving. When nil it is derived from
+	// Base (legacy real-scaled sleeps).
+	Time simtime.Source
 	// Base compresses simulated time; simtime.New(0.002) runs 500x
-	// faster than real time.
+	// faster than real time. Superseded by Time, kept for callers that
+	// still think in scale factors.
 	Base simtime.Base
 	// Seed makes jitter and bandwidth assignment reproducible.
 	Seed int64
@@ -76,12 +85,19 @@ func (c Config) withDefaults() Config {
 	if c.MeanBandwidth <= 0 {
 		c.MeanBandwidth = 3 << 20
 	}
+	if c.Time == nil {
+		c.Time = simtime.NewBaseSource(c.Base, nil)
+	}
 	return c
 }
 
 // Network is a simulated network holding all attached endpoints.
 type Network struct {
 	cfg Config
+	// det selects hash-derived jitter over the shared rng: set when the
+	// time source is a discrete-event scheduler, where draw order must
+	// not depend on which goroutine reaches the rng first.
+	det bool
 
 	mu    sync.RWMutex
 	nodes map[peer.ID]*node
@@ -120,6 +136,7 @@ func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	return &Network{
 		cfg:        cfg,
+		det:        simtime.SchedulerOf(cfg.Time) != nil,
 		nodes:      make(map[peer.ID]*node),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		byCategory: make(map[transport.RPCCategory]int64),
@@ -128,6 +145,9 @@ func New(cfg Config) *Network {
 
 // Base returns the simulator's time base.
 func (n *Network) Base() simtime.Base { return n.cfg.Base }
+
+// Time returns the simulator's time source.
+func (n *Network) Time() simtime.Source { return n.cfg.Time }
 
 // NodeOpts configures one attached peer.
 type NodeOpts struct {
@@ -305,18 +325,52 @@ func (n *Network) countDial(failed bool) {
 	n.statsMu.Unlock()
 }
 
-// jitter returns a uniform random duration in [0, max).
-func (n *Network) jitter(max time.Duration) time.Duration {
+// jitter returns a jitter duration in [0, max) for one interaction
+// between a and b. Under the discrete-event scheduler the draw is a
+// hash of (seed, endpoints, kind, virtual instant): the value depends
+// only on who talks to whom and when in *simulated* time, never on
+// which goroutine reached a shared rng first, so seeded runs replay
+// bit-for-bit. On the legacy real-scaled path it is the shared rng.
+func (n *Network) jitter(a, b peer.ID, kind string, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	if n.det {
+		return hashDur(n.cfg.Seed, a, b, kind, n.cfg.Time.Now().UnixNano(), max)
+	}
 	n.rngMu.Lock()
 	defer n.rngMu.Unlock()
 	return time.Duration(n.rng.Int63n(int64(max)))
 }
 
 // slowDelay samples the processing delay of a Slow peer: 2–20 s.
-func (n *Network) slowDelay() time.Duration {
-	n.rngMu.Lock()
-	defer n.rngMu.Unlock()
-	return 2*time.Second + time.Duration(n.rng.Int63n(int64(18*time.Second)))
+func (n *Network) slowDelay(a, b peer.ID) time.Duration {
+	return 2*time.Second + n.jitter(a, b, "slow", 18*time.Second)
+}
+
+// hashDur derives a duration in [0, max) from an FNV-1a hash of the
+// interaction key.
+func hashDur(seed int64, a, b peer.ID, kind string, at int64, max time.Duration) time.Duration {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mixInt := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mixInt(uint64(seed))
+	mix(string(a))
+	mix(string(b))
+	mix(kind)
+	mixInt(uint64(at))
+	return time.Duration(h % uint64(max))
 }
 
 // endpoint implements transport.Endpoint on the simulator.
@@ -349,7 +403,7 @@ func (e *endpoint) Close() error {
 // channel negotiation, the paper's Dial + Negotiate) on success, the
 // class-specific timeout on failure.
 func (e *endpoint) Dial(ctx context.Context, target peer.ID, addrs []multiaddr.Multiaddr) (transport.Conn, error) {
-	base := e.net.cfg.Base
+	src := e.net.cfg.Time
 	e.net.mu.RLock()
 	remote := e.net.nodes[target]
 	e.net.mu.RUnlock()
@@ -363,7 +417,7 @@ func (e *endpoint) Dial(ctx context.Context, target peer.ID, addrs []multiaddr.M
 
 	if remote == nil {
 		e.net.countDial(true)
-		if err := base.Sleep(ctx, e.net.cfg.DialTimeout); err != nil {
+		if err := src.Sleep(ctx, e.net.cfg.DialTimeout); err != nil {
 			return nil, err
 		}
 		return nil, transport.ErrPeerUnreachable
@@ -379,21 +433,21 @@ func (e *endpoint) Dial(ctx context.Context, target peer.ID, addrs []multiaddr.M
 	switch {
 	case class == WSBroken:
 		e.net.countDial(true)
-		if err := base.Sleep(ctx, e.net.cfg.WSHandshakeTimeout); err != nil {
+		if err := src.Sleep(ctx, e.net.cfg.WSHandshakeTimeout); err != nil {
 			return nil, err
 		}
 		return nil, transport.ErrHandshakeTimeout
 	case !online, !dialable, class == DeadDial:
 		e.net.countDial(true)
-		if err := base.Sleep(ctx, e.net.cfg.DialTimeout); err != nil {
+		if err := src.Sleep(ctx, e.net.cfg.DialTimeout); err != nil {
 			return nil, err
 		}
 		return nil, transport.ErrDialTimeout
 	}
 
 	rtt := geo.RTT(e.node.region, remote.region)
-	handshake := 2*rtt + e.net.jitter(rtt/4+time.Millisecond)
-	if err := base.Sleep(ctx, handshake); err != nil {
+	handshake := 2*rtt + e.net.jitter(e.node.id, remote.id, "dial", rtt/4+time.Millisecond)
+	if err := src.Sleep(ctx, handshake); err != nil {
 		return nil, err
 	}
 	e.net.countDial(false)
@@ -438,7 +492,7 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 	if closed {
 		return wire.Message{}, transport.ErrClosed
 	}
-	base := c.net.cfg.Base
+	src := c.net.cfg.Time
 	cat := categorize(ctx, req.Type)
 	c.net.countRequest(cat)
 
@@ -448,7 +502,7 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 	if !online || handler == nil {
 		// The peer vanished mid-connection: the request hangs until the
 		// dial timeout.
-		if err := base.Sleep(ctx, c.net.cfg.DialTimeout); err != nil {
+		if err := src.Sleep(ctx, c.net.cfg.DialTimeout); err != nil {
 			telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), 0, err.Error())
 			return wire.Message{}, err
 		}
@@ -456,18 +510,20 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 		return wire.Message{}, transport.ErrPeerUnreachable
 	}
 
-	proc := c.net.jitter(5*time.Millisecond) + time.Millisecond
+	proc := c.net.jitter(c.local.id, c.remote.id, "proc", 5*time.Millisecond) + time.Millisecond
 	if class == Slow {
-		proc += c.net.slowDelay()
+		proc += c.net.slowDelay(c.local.id, c.remote.id)
 	}
 
 	resp := handler(ctx, c.local.id, req)
 
 	// One combined sleep covers the request leg, processing and the
-	// response leg with its bandwidth term; a single sleep keeps the
-	// scheduler-granularity error per RPC minimal.
+	// response leg with its bandwidth term. On the real-scaled path a
+	// single sleep keeps the scheduler-granularity error per RPC
+	// minimal; on the event-driven path it is one delivery event — the
+	// requester parks and virtual time jumps to the delivery instant.
 	transfer := time.Duration(float64(len(resp.BlockData)+256) / c.remote.bwBps * float64(time.Second))
-	if err := base.Sleep(ctx, c.rtt+proc+transfer); err != nil {
+	if err := src.Sleep(ctx, c.rtt+proc+transfer); err != nil {
 		telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), 0, err.Error())
 		return wire.Message{}, err
 	}

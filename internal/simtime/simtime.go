@@ -81,9 +81,15 @@ func (b Base) Sleep(ctx context.Context, sim time.Duration) error {
 	}
 }
 
-// After returns a channel firing after the scaled equivalent of sim.
-func (b Base) After(sim time.Duration) <-chan time.Time {
-	return time.After(b.Real(sim))
+// AfterFunc runs fn after the scaled equivalent of sim on its own
+// goroutine and returns the underlying timer so callers can Stop it.
+// It replaces the removed After: the channel variant leaked its real
+// timer whenever the caller abandoned the channel (a cancelled
+// republish loop parked a timer for the rest of the process), whereas
+// this handle is cancellable. Periodic loops should prefer
+// Source.AfterFunc, which also covers the discrete-event scheduler.
+func (b Base) AfterFunc(sim time.Duration, fn func()) *time.Timer {
+	return time.AfterFunc(b.Real(sim), fn)
 }
 
 // SimSince returns the simulated time elapsed since the real instant t0.

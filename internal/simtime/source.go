@@ -1,0 +1,270 @@
+package simtime
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Source is the single time surface the simulator and the real
+// binaries share: a simulated wall clock for record timestamps and TTL
+// math, a measurement pair (Stamp/Since), and the waiting primitives
+// (Sleep, timeouts, timers, spawns). Two implementations exist:
+//
+//   - BaseSource pairs the legacy real-scaled Base with an optional
+//     movable Clock — sleeps burn scaled real time, measurements
+//     convert elapsed real time back to simulated time. cmd/ipfs-node
+//     and the gateway run on BaseSource{B: Realtime}.
+//   - Scheduler (scheduler.go) is the discrete-event implementation:
+//     sleeps park on a priority queue and virtual time jumps between
+//     events, so a 24 h scenario over 20k peers replays in seconds.
+//
+// Callers that used to take both a Base and a *Clock take one Source.
+type Source interface {
+	// Now returns the current simulated wall-clock instant — the clock
+	// records, TTLs and churn timelines are expressed in.
+	Now() time.Time
+	// Stamp returns an opaque start instant for duration measurement;
+	// Since converts it to the simulated time elapsed. Under a
+	// Scheduler both live on the virtual clock; under BaseSource the
+	// stamp is real time and Since rescales it.
+	Stamp() time.Time
+	Since(t0 time.Time) time.Duration
+
+	// Sleep pauses the calling goroutine for the simulated duration d,
+	// or until ctx is done.
+	Sleep(ctx context.Context, d time.Duration) error
+	// WithTimeout derives a context cancelled after the simulated
+	// duration d. The returned CancelFunc must be called to release the
+	// timer (both implementations are leak-free under an abandoned
+	// deadline, unlike the removed Base.After).
+	WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc)
+	// AfterFunc arranges for fn to run after the simulated duration d,
+	// unless ctx is done first or the returned timer is stopped. fn
+	// runs on its own goroutine and may itself sleep and spawn.
+	AfterFunc(ctx context.Context, d time.Duration, fn func(context.Context)) *Timer
+	// Go runs fn on a new goroutine. Under a Scheduler the goroutine is
+	// registered with the dispatcher so virtual time cannot advance
+	// while it is runnable; every goroutine spawned on a simulated
+	// workload path must go through this (a plain `go` is invisible to
+	// the scheduler and lets virtual time run ahead of it).
+	Go(ctx context.Context, fn func(context.Context))
+}
+
+// Timer is a cancellable pending callback. Stop reports whether it was
+// cancelled before firing; stopping an already-fired or already-stopped
+// timer is a harmless no-op returning false.
+type Timer struct {
+	stop func() bool
+}
+
+// Stop cancels the timer if it has not fired yet.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	return t.stop()
+}
+
+// BaseSource adapts the legacy pair (real-scaled Base + optional
+// movable Clock) to the Source interface. The zero Base is promoted to
+// Realtime so `BaseSource{}` behaves like the old defaults.
+type BaseSource struct {
+	B Base
+	// Clock, when non-nil, supplies Now; otherwise the real wall clock
+	// does (the cmd binaries' real-time adapter).
+	Clock *Clock
+}
+
+// NewBaseSource builds a Source from the legacy (Base, now func) pair
+// most configs carried. A nil now falls back to the real wall clock.
+func NewBaseSource(b Base, now func() time.Time) Source {
+	if b == (Base{}) {
+		b = Realtime
+	}
+	if now == nil {
+		return BaseSource{B: b}
+	}
+	return fnSource{BaseSource{B: b}, now}
+}
+
+func (s BaseSource) base() Base {
+	if s.B == (Base{}) {
+		return Realtime
+	}
+	return s.B
+}
+
+func (s BaseSource) Now() time.Time {
+	if s.Clock != nil {
+		return s.Clock.Now()
+	}
+	return time.Now()
+}
+
+func (s BaseSource) Stamp() time.Time                 { return time.Now() }
+func (s BaseSource) Since(t0 time.Time) time.Duration { return s.base().SimSince(t0) }
+func (s BaseSource) Sleep(ctx context.Context, d time.Duration) error {
+	return s.base().Sleep(ctx, d)
+}
+
+func (s BaseSource) WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return s.base().WithTimeout(ctx, d)
+}
+
+func (s BaseSource) AfterFunc(ctx context.Context, d time.Duration, fn func(context.Context)) *Timer {
+	t := time.AfterFunc(s.base().Real(d), func() {
+		if ctx.Err() == nil {
+			fn(ctx)
+		}
+	})
+	return &Timer{stop: t.Stop}
+}
+
+func (s BaseSource) Go(ctx context.Context, fn func(context.Context)) { go fn(ctx) }
+
+// fnSource is BaseSource with an arbitrary now func (a *Clock method or
+// a test stub) instead of a Clock pointer.
+type fnSource struct {
+	BaseSource
+	now func() time.Time
+}
+
+func (s fnSource) Now() time.Time { return s.now() }
+
+// SchedulerOf returns the Scheduler behind a Source, or nil when the
+// source is real-scaled. Blocking sites use it to pick between the
+// instrumented wait (Await) and the plain channel select.
+func SchedulerOf(src Source) *Scheduler {
+	s, _ := src.(*Scheduler)
+	return s
+}
+
+// Recv receives one value from ch, honouring ctx. Under a Scheduler the
+// wait is instrumented (the dispatcher advances virtual time while the
+// receiver is parked); otherwise it is a plain select. ok is false when
+// ctx ended the wait.
+func Recv[T any](ctx context.Context, src Source, ch <-chan T) (v T, ok bool) {
+	if s := SchedulerOf(src); s != nil {
+		for {
+			if err := s.Await(ctx, func() bool { return len(ch) > 0 }); err != nil {
+				return v, false
+			}
+			select {
+			case v = <-ch:
+				return v, true
+			default:
+				// Another receiver drained it between wake and recv;
+				// park again.
+			}
+		}
+	}
+	select {
+	case v = <-ch:
+		return v, true
+	case <-ctx.Done():
+		return v, false
+	}
+}
+
+// AwaitClosed waits until ch (a close-only broadcast channel) is
+// closed, honouring ctx. Returns ctx.Err() if ctx ended the wait.
+func AwaitClosed(ctx context.Context, src Source, ch <-chan struct{}) error {
+	closed := func() bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+	if s := SchedulerOf(src); s != nil {
+		if err := s.Await(ctx, closed); err != nil {
+			return err
+		}
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Group is a WaitGroup whose Wait is instrumented under a Scheduler:
+// while the waiter is parked the dispatcher keeps advancing virtual
+// time, so fan-out/fan-in code (store fan-outs, crawl workers) can run
+// on the event queue. The zero value is NOT usable; use NewGroup.
+type Group struct {
+	src Source
+	n   atomic.Int64
+	wg  sync.WaitGroup
+}
+
+// NewGroup creates a Group over src.
+func NewGroup(src Source) *Group { return &Group{src: src} }
+
+// Go runs fn on a new tracked goroutine counted by the group.
+func (g *Group) Go(ctx context.Context, fn func(context.Context)) {
+	g.Add(1)
+	g.src.Go(ctx, func(ctx context.Context) {
+		defer g.Done()
+		fn(ctx)
+	})
+}
+
+// Add registers n pending goroutines (call before spawning, as with
+// sync.WaitGroup).
+func (g *Group) Add(n int) {
+	g.n.Add(int64(n))
+	g.wg.Add(n)
+}
+
+// Done marks one goroutine finished.
+func (g *Group) Done() {
+	g.n.Add(-1)
+	g.wg.Done()
+}
+
+// Idle reports whether no goroutines are pending — usable inside a
+// composite Scheduler.Await condition.
+func (g *Group) Idle() bool { return g.n.Load() == 0 }
+
+// Wait blocks until all registered goroutines finished. The context
+// only bounds the wait under a Scheduler; the real-time path matches
+// sync.WaitGroup semantics (the fan-outs it replaces always joined all
+// workers, whose RPCs carry their own timeouts).
+func (g *Group) Wait(ctx context.Context) {
+	if s := SchedulerOf(g.src); s != nil {
+		// Ignore ctx cancellation as a wake-up: the workers observe the
+		// same ctx and unwind promptly, and joining them keeps the
+		// counting invariants simple. The detached wrapper keeps the
+		// goroutine's lease marker while dropping cancellation.
+		for !g.Idle() {
+			if err := s.Await(detachedCtx{ctx}, g.Idle); err != nil {
+				return // scheduler shut down underneath us
+			}
+		}
+		return
+	}
+	g.wg.Wait()
+}
+
+// Detach returns a context keeping ctx's values — in particular the
+// scheduler lease marker — while dropping its deadline and
+// cancellation. Coordinators that must drain every worker outcome
+// regardless of cancellation (workers observe the same ctx and unwind
+// promptly, depositing into buffered channels) wait under a detached
+// context so the drain stays instrumented without racing the cancel.
+func Detach(ctx context.Context) context.Context { return detachedCtx{ctx} }
+
+// detachedCtx keeps a context's values (in particular the scheduler
+// lease marker) while dropping its deadline and cancellation.
+type detachedCtx struct{ parent context.Context }
+
+func (d detachedCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (d detachedCtx) Done() <-chan struct{}       { return nil }
+func (d detachedCtx) Err() error                  { return nil }
+func (d detachedCtx) Value(key any) any           { return d.parent.Value(key) }

@@ -86,7 +86,7 @@ func (s *Swarm) HandleRelay(ctx context.Context, from peer.ID, req wire.Message)
 	if err != nil {
 		return wire.ErrorMessage("relay: bad inner message: %v", err)
 	}
-	fctx, cancel := s.base.WithTimeout(ctx, 30*time.Second)
+	fctx, cancel := s.src.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
 	resp, err := s.Request(fctx, target, addrs, inner)
 	if err != nil {

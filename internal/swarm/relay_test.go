@@ -20,7 +20,7 @@ func relayNet(t *testing.T) (relay, natted, requester *Swarm, net *simnet.Networ
 	mk := func(seed int64, dialable bool) *Swarm {
 		ident := testIdentity(seed)
 		ep := net.AddNode(ident.ID, simnet.NodeOpts{Region: geo.EuCentral1, Dialable: dialable})
-		sw := New(ident, ep, net.Base())
+		sw := New(ident, ep, simtime.NewBaseSource(net.Base(), nil))
 		ep.SetHandler(func(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
 			switch req.Type {
 			case wire.TRelayReserve:

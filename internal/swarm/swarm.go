@@ -103,7 +103,7 @@ func (b *AddressBook) Len() int {
 type Swarm struct {
 	ident peer.Identity
 	ep    transport.Endpoint
-	base  simtime.Base
+	src   simtime.Source
 
 	mu    sync.Mutex
 	conns map[peer.ID]transport.Conn
@@ -113,16 +113,24 @@ type Swarm struct {
 	relay     *relayState
 }
 
-// New creates a swarm over the endpoint.
-func New(ident peer.Identity, ep transport.Endpoint, base simtime.Base) *Swarm {
+// New creates a swarm over the endpoint. src is the unified time
+// source dial measurement and RPC timeouts run on; nil selects the
+// real clock.
+func New(ident peer.Identity, ep transport.Endpoint, src simtime.Source) *Swarm {
+	if src == nil {
+		src = simtime.NewBaseSource(simtime.Realtime, nil)
+	}
 	return &Swarm{
 		ident: ident,
 		ep:    ep,
-		base:  base,
+		src:   src,
 		conns: make(map[peer.ID]transport.Conn),
 		book:  NewAddressBook(0),
 	}
 }
+
+// Time returns the swarm's time source.
+func (s *Swarm) Time() simtime.Source { return s.src }
 
 // Local returns the local peer ID.
 func (s *Swarm) Local() peer.ID { return s.ident.ID }
@@ -170,12 +178,12 @@ func (s *Swarm) Connect(ctx context.Context, id peer.ID, addrs []multiaddr.Multi
 			addrs = known
 		}
 	}
-	start := time.Now()
+	start := s.src.Stamp()
 	c, err := s.ep.Dial(ctx, id, addrs)
 	if err != nil {
-		return nil, s.base.SimSince(start), err
+		return nil, s.src.Since(start), err
 	}
-	dialDur := s.base.SimSince(start)
+	dialDur := s.src.Since(start)
 	s.book.Add(id, addrs)
 
 	s.mu.Lock()
@@ -302,7 +310,7 @@ func (s *Swarm) HandleDialBack(ctx context.Context, req wire.Message) wire.Messa
 	target := req.Peers[0]
 	// Use a fresh short-lived connection from a fresh path; reusing an
 	// existing conn or NAT mapping would defeat the reachability test.
-	dialCtx, cancel := s.base.WithTimeout(transport.WithFreshDial(ctx), 10*time.Second)
+	dialCtx, cancel := s.src.WithTimeout(transport.WithFreshDial(ctx), 10*time.Second)
 	defer cancel()
 	c, err := s.ep.Dial(dialCtx, target.ID, target.Addrs)
 	if err != nil {

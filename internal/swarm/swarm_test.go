@@ -24,7 +24,7 @@ func newPair(t *testing.T) (*Swarm, *Swarm, *simnet.Network) {
 	a, b := testIdentity(1), testIdentity(2)
 	ea := net.AddNode(a.ID, simnet.NodeOpts{Region: geo.EuCentral1, Dialable: true})
 	eb := net.AddNode(b.ID, simnet.NodeOpts{Region: geo.UsWest1, Dialable: true})
-	sa, sb := New(a, ea, net.Base()), New(b, eb, net.Base())
+	sa, sb := New(a, ea, simtime.NewBaseSource(net.Base(), nil)), New(b, eb, simtime.NewBaseSource(net.Base(), nil))
 	ea.SetHandler(func(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
 		if req.Type == wire.TDialBack {
 			return sa.HandleDialBack(ctx, req)
@@ -169,7 +169,7 @@ func TestAutoNATPublic(t *testing.T) {
 	net := simnet.New(simnet.Config{Base: simtime.New(0.001), Seed: 2})
 	self := testIdentity(100)
 	eSelf := net.AddNode(self.ID, simnet.NodeOpts{Region: geo.EuCentral1, Dialable: true})
-	sSelf := New(self, eSelf, net.Base())
+	sSelf := New(self, eSelf, simtime.NewBaseSource(net.Base(), nil))
 	eSelf.SetHandler(func(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
 		return wire.Message{Type: wire.TAck}
 	})
@@ -177,7 +177,7 @@ func TestAutoNATPublic(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		other := testIdentity(int64(200 + i))
 		eo := net.AddNode(other.ID, simnet.NodeOpts{Region: geo.UsWest1, Dialable: true})
-		so := New(other, eo, net.Base())
+		so := New(other, eo, simtime.NewBaseSource(net.Base(), nil))
 		eo.SetHandler(func(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
 			if req.Type == wire.TDialBack {
 				return so.HandleDialBack(ctx, req)
@@ -198,7 +198,7 @@ func TestAutoNATPrivate(t *testing.T) {
 	net := simnet.New(simnet.Config{Base: simtime.New(0.001), Seed: 3})
 	self := testIdentity(100)
 	eSelf := net.AddNode(self.ID, simnet.NodeOpts{Region: geo.EuCentral1, Dialable: false})
-	sSelf := New(self, eSelf, net.Base())
+	sSelf := New(self, eSelf, simtime.NewBaseSource(net.Base(), nil))
 	eSelf.SetHandler(func(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
 		return wire.Message{Type: wire.TAck}
 	})
@@ -206,7 +206,7 @@ func TestAutoNATPrivate(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		other := testIdentity(int64(300 + i))
 		eo := net.AddNode(other.ID, simnet.NodeOpts{Region: geo.UsWest1, Dialable: true})
-		so := New(other, eo, net.Base())
+		so := New(other, eo, simtime.NewBaseSource(net.Base(), nil))
 		eo.SetHandler(func(ctx context.Context, from peer.ID, req wire.Message) wire.Message {
 			if req.Type == wire.TDialBack {
 				return so.HandleDialBack(ctx, req)
@@ -226,7 +226,7 @@ func TestCheckNATNoPeers(t *testing.T) {
 	net := simnet.New(simnet.Config{Base: simtime.New(0.001), Seed: 4})
 	self := testIdentity(1)
 	eSelf := net.AddNode(self.ID, simnet.NodeOpts{Region: geo.EuCentral1, Dialable: true})
-	sSelf := New(self, eSelf, net.Base())
+	sSelf := New(self, eSelf, simtime.NewBaseSource(net.Base(), nil))
 	if got := sSelf.CheckNAT(context.Background(), 5); got != NATUnknown {
 		t.Errorf("CheckNAT with no peers = %v, want NATUnknown", got)
 	}

@@ -78,8 +78,8 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	s.Stop = s.tr.now()
-	s.Wall = s.tr.base.SimSince(s.wallStart)
+	s.Stop = s.tr.src.Now()
+	s.Wall = s.tr.src.Since(s.wallStart)
 	s.tr.open--
 }
 
@@ -105,7 +105,7 @@ func (s *Span) EventDur(name string, dur time.Duration, attrs ...Attr) {
 	}
 	s.tr.mu.Lock()
 	s.tr.seq++
-	s.Events = append(s.Events, Event{Seq: s.tr.seq, Name: name, At: s.tr.now(), Dur: dur, Attrs: attrs})
+	s.Events = append(s.Events, Event{Seq: s.tr.seq, Name: name, At: s.tr.src.Now(), Dur: dur, Attrs: attrs})
 	s.tr.mu.Unlock()
 }
 
@@ -115,8 +115,7 @@ type Trace struct {
 	ID int64  // per-recorder sequence
 
 	mu    sync.Mutex
-	base  simtime.Base
-	now   func() time.Time
+	src   simtime.Source
 	seq   int
 	spans []*Span
 	root  *Span
@@ -129,7 +128,7 @@ func (t *Trace) startSpan(parent *Span, name string, attrs ...Attr) *Span {
 	t.seq++
 	sp := &Span{
 		tr: t, ID: t.seq, Name: name,
-		Start: t.now(), wallStart: time.Now(), Attrs: attrs,
+		Start: t.src.Now(), wallStart: t.src.Stamp(), Attrs: attrs,
 	}
 	if parent != nil {
 		sp.Parent = parent.ID
@@ -391,20 +390,19 @@ const traceRingCap = 128
 // instants every time.
 type Recorder struct {
 	mu     sync.Mutex
-	base   simtime.Base
-	now    func() time.Time
+	src    simtime.Source
 	nextID int64
 	traces []*Trace
 	reg    *Registry
 }
 
-// NewRecorder builds a recorder over the node's time base and clock;
-// a nil clock falls back to the wall clock.
-func NewRecorder(base simtime.Base, now func() time.Time) *Recorder {
-	if now == nil {
-		now = time.Now
+// NewRecorder builds a recorder over the node's time source; nil falls
+// back to the real-time adapter (wall clock, unscaled durations).
+func NewRecorder(src simtime.Source) *Recorder {
+	if src == nil {
+		src = simtime.NewBaseSource(simtime.Realtime, nil)
 	}
-	return &Recorder{base: base, now: now, reg: NewRegistry()}
+	return &Recorder{src: src, reg: NewRegistry()}
 }
 
 // Registry returns the recorder's metrics registry.
@@ -429,7 +427,7 @@ func (r *Recorder) StartTrace(ctx context.Context, op string, attrs ...Attr) (co
 	}
 	r.mu.Lock()
 	r.nextID++
-	tr := &Trace{Op: op, ID: r.nextID, base: r.base, now: r.now}
+	tr := &Trace{Op: op, ID: r.nextID, src: r.src}
 	r.traces = append(r.traces, tr)
 	if len(r.traces) > traceRingCap {
 		r.traces = r.traces[1:]

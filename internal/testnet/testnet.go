@@ -70,6 +70,17 @@ type Config struct {
 	// record TTLs and timeline liveness agree on the current instant.
 	// Ignored when Now is set explicitly.
 	Clock *simtime.Clock
+	// EventDriven builds the network on a discrete-event scheduler over
+	// Clock (one is created at DefaultEpoch when nil): every sleep, RPC
+	// latency and maintenance loop becomes an event on one priority
+	// queue and virtual time jumps between events, so paper-scale
+	// populations replay a simulated day in seconds of wall clock.
+	EventDriven bool
+	// Workers bounds concurrent dispatch in EventDriven mode; 0 or 1
+	// selects deterministic lockstep (seeded runs replay bit-for-bit).
+	Workers int
+	// Time overrides the derived time source (tests).
+	Time simtime.Source
 }
 
 func (c Config) withDefaults() Config {
@@ -108,24 +119,41 @@ type Testnet struct {
 	Cfg     Config
 	Net     *simnet.Network
 	Base    simtime.Base
-	Clock   *simtime.Clock // non-nil when built with Config.Clock
-	Nodes   []*core.Node   // all server peers, index-aligned with Classes
-	Classes []simnet.Class // behaviour class per node
+	Clock   *simtime.Clock     // non-nil when built with Config.Clock or EventDriven
+	Time    simtime.Source     // the unified time surface every node shares
+	Sched   *simtime.Scheduler // non-nil in EventDriven mode (== Time)
+	Nodes   []*core.Node       // all server peers, index-aligned with Classes
+	Classes []simnet.Class     // behaviour class per node
 	Pop     *geo.Population
 }
 
 // Build constructs the network.
 func Build(cfg Config) *Testnet {
+	if cfg.EventDriven && cfg.Clock == nil {
+		cfg.Clock = simtime.NewClock(DefaultEpoch)
+	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	base := simtime.New(cfg.Scale)
-	net := simnet.New(simnet.Config{Base: base, Seed: cfg.Seed + 1})
+	src := cfg.Time
+	var sched *simtime.Scheduler
+	if src == nil {
+		if cfg.EventDriven {
+			sched = simtime.NewScheduler(cfg.Clock, simtime.SchedulerOpts{Workers: cfg.Workers})
+			src = sched
+		} else {
+			src = simtime.NewBaseSource(base, cfg.Now)
+		}
+	} else {
+		sched = simtime.SchedulerOf(src)
+	}
+	net := simnet.New(simnet.Config{Base: base, Seed: cfg.Seed + 1, Time: src})
 
 	popCfg := geo.DefaultPopulationConfig(cfg.N)
 	popCfg.Seed = cfg.Seed + 2
 	pop := geo.GeneratePopulation(popCfg)
 
-	tn := &Testnet{Cfg: cfg, Net: net, Base: base, Clock: cfg.Clock, Pop: pop}
+	tn := &Testnet{Cfg: cfg, Net: net, Base: base, Clock: cfg.Clock, Time: src, Sched: sched, Pop: pop}
 
 	infos := make([]wire.PeerInfo, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -158,6 +186,7 @@ func Build(cfg Config) *Testnet {
 			IndexerSet:        cfg.IndexerSet,
 			Base:              base,
 			Now:               cfg.Now,
+			Time:              src,
 		})
 		tn.Nodes = append(tn.Nodes, node)
 		tn.Classes = append(tn.Classes, class)
@@ -270,6 +299,7 @@ func (tn *Testnet) addVantage(region geo.Region, seed int64, kind routing.Kind, 
 		IndexerSet:        set,
 		Base:              tn.Base,
 		Now:               tn.Cfg.Now,
+		Time:              tn.Time,
 	})
 	// Seed with keyspace-spread contacts like a bootstrapped node.
 	for r := 0; r < tn.Cfg.NeighborLinks+tn.Cfg.RandomLinks; r++ {
@@ -299,6 +329,7 @@ func (tn *Testnet) AddIndexerTTL(region geo.Region, seed int64, ttl time.Duratio
 		RecordTTL: ttl,
 		Base:      tn.Base,
 		Now:       tn.Cfg.Now,
+		Time:      tn.Time,
 	})
 }
 
@@ -360,10 +391,13 @@ func (tn *Testnet) AddIndexerSet(seed int64, shards, replicas int, ttl time.Dura
 	return fleet
 }
 
-// SetOnline toggles node i's simulated liveness — the one-shot churn
-// lever; timeline-driven experiments use ApplyTimeline instead.
-func (tn *Testnet) SetOnline(i int, online bool) {
-	tn.Net.SetOnline(tn.Nodes[i].ID(), online)
+// SetOnline toggles a peer's simulated liveness — the one-shot churn
+// lever; timeline-driven experiments use ApplyTimeline (sweep mode) or
+// ScheduleTimeline (event-driven mode) instead. Addressing by PeerID
+// replaces the old index-based variant: vantages and indexers are not
+// in Nodes, so indices could not name every togglable peer.
+func (tn *Testnet) SetOnline(id peer.ID, online bool) {
+	tn.Net.SetOnline(id, online)
 }
 
 // ApplyTimeline sets every server node's simulated liveness from its
@@ -383,6 +417,41 @@ func (tn *Testnet) ApplyTimeline(tl *churn.Timeline, t time.Time) int {
 		if up {
 			online++
 		}
+	}
+	return online
+}
+
+// ScheduleTimeline is ApplyTimeline's event-driven form: it applies
+// every server node's liveness at instant from, then registers one
+// chained transition event per peer on the scheduler — each firing
+// flips the peer at its exact session boundary and re-arms for the
+// next, so churn costs one queue event per transition instead of a
+// full-population sweep per tick. Transitions are capped at until.
+// It returns how many server nodes are online at from, and falls back
+// to a plain ApplyTimeline when the testnet has no scheduler.
+func (tn *Testnet) ScheduleTimeline(tl *churn.Timeline, from, until time.Time) int {
+	online := tn.ApplyTimeline(tl, from)
+	if tn.Sched == nil {
+		return online
+	}
+	for i := range tn.Nodes {
+		if i >= len(tl.Peers) {
+			break
+		}
+		pt := &tl.Peers[i]
+		id := tn.Nodes[i].ID()
+		var arm func(t time.Time)
+		arm = func(t time.Time) {
+			next, ok := pt.NextTransition(t)
+			if !ok || next.After(until) {
+				return
+			}
+			tn.Sched.At(next, func() {
+				tn.Net.SetOnline(id, pt.OnlineAt(next))
+				arm(next)
+			})
+		}
+		arm(from)
 	}
 	return online
 }

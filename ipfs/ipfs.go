@@ -191,8 +191,8 @@ func (s *SimNetwork) NewGateway(region Region, cacheBytes int64, seed int64) *Ga
 func (s *SimNetwork) NewCrawler(seed int64) *Crawler {
 	ident := peer.MustNewIdentity(randFrom(seed))
 	ep := s.tn.Net.AddNode(ident.ID, simnet.NodeOpts{Region: "DE", Dialable: true})
-	sw := swarm.New(ident, ep, s.tn.Base)
-	return crawler.New(sw, crawler.Config{Base: s.tn.Base})
+	sw := swarm.New(ident, ep, s.tn.Time)
+	return crawler.New(sw, crawler.Config{Base: s.tn.Base, Time: s.tn.Time})
 }
 
 // Bootstrap returns bootstrap infos for joining this network.
