@@ -474,6 +474,33 @@ func BenchmarkScenario20kChurnEventDriven(b *testing.B) {
 	}
 }
 
+// BenchmarkLossDegradation replays the adversarial loss sweep (four
+// retrieval ticks raising the per-transit loss rate 0% -> 30%) on the
+// event-driven scheduler and reports the hit rate at the sweep's
+// endpoints, averaged across the four routers, plus the RPC budget's
+// drop/retry totals. loss30-hit-rate is the degradation headline
+// benchdiff gates (higher-is-better): a routing change that gets worse
+// at absorbing loss fails the gate even if the lossless numbers hold.
+func BenchmarkLossDegradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.LossSweepScenario(42)
+		var first, last, n float64
+		for _, rp := range res.Routers {
+			if len(rp.Ticks) == 0 {
+				continue
+			}
+			first += rp.Ticks[0].HitRate()
+			last += rp.Ticks[len(rp.Ticks)-1].HitRate()
+			n++
+		}
+		b.ReportMetric(first/n, "loss0-hit-rate")
+		b.ReportMetric(last/n, "loss30-hit-rate")
+		b.ReportMetric(float64(res.Budget.Dropped), "rpc-dropped-total")
+		b.ReportMetric(float64(res.Budget.Retried), "rpc-retried-total")
+		b.ReportMetric(float64(res.SchedStalls), "sched-stalls-loss")
+	}
+}
+
 // BenchmarkAcceleratedLookup measures one-hop lookups against a
 // converged snapshot (near-zero churn amplitude): the best case the
 // accelerated client buys. The reported metric comes from the same

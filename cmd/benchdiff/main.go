@@ -7,9 +7,11 @@
 //
 // Only metrics the simulator fully determines (RPC budgets, simulated
 // seconds) are gated — wall-clock ns/op is machine noise and ignored.
-// All gated metrics are lower-is-better; small seeded scheduling drift
-// is absorbed by the relative tolerance plus an absolute slack, so the
-// gate trips on real cost growth, not on walk-goroutine jitter.
+// Gated metrics are lower-is-better by default; entries marked Higher
+// (the loss-sweep hit rate) gate the opposite direction. Small seeded
+// scheduling drift is absorbed by the relative tolerance plus an
+// absolute slack, so the gate trips on real cost growth (or real
+// resilience loss), not on walk-goroutine jitter.
 package main
 
 import (
@@ -42,13 +44,22 @@ var headline = []gatedMetric{
 	// tripping the gate, while a slide back toward per-tick sweep costs
 	// (minutes at 20k peers) still fails it.
 	{Key: metricKey{"BenchmarkScenario20kChurnEventDriven", "scenario-wall-ms"}, Slack: 10_000},
+	// Degradation headline: the routers' averaged hit rate at the loss
+	// sweep's 30% endpoint is higher-is-better — a change that erodes
+	// loss resilience must trip the gate even when the lossless metrics
+	// hold. The run is seeded and event-driven, so the 0.1 slack only
+	// covers genuinely tiny baselines, not noise.
+	{Key: metricKey{"BenchmarkLossDegradation", "loss30-hit-rate"}, Higher: true, Slack: 0.1},
 }
 
 // gatedMetric is one headline entry; Slack, when non-zero, replaces
-// the global -abs slack for that metric.
+// the global -abs slack for that metric. Higher flips the gate
+// direction: the metric regresses by falling below the baseline
+// instead of rising above it.
 type gatedMetric struct {
-	Key   metricKey
-	Slack float64
+	Key    metricKey
+	Slack  float64
+	Higher bool
 }
 
 type metricKey struct {
@@ -143,12 +154,13 @@ type verdict struct {
 	Regression bool
 }
 
-// compare gates the headline metrics: a regression is a current value
-// above base*(1+tol) AND above base+abs — the double bound keeps tiny
-// absolute drifts on near-zero metrics from tripping the relative
-// check. A headline metric present in the baseline but missing from
-// the current run also fails (a silently-deleted metric must not
-// disable its own gate).
+// compare gates the headline metrics: for lower-is-better metrics a
+// regression is a current value above base*(1+tol) AND above base+abs;
+// Higher metrics mirror both bounds (below base*(1-tol) AND below
+// base-abs). The double bound keeps tiny absolute drifts on near-zero
+// metrics from tripping the relative check. A headline metric present
+// in the baseline but missing from the current run also fails (a
+// silently-deleted metric must not disable its own gate).
 func compare(base, cur map[metricKey]float64, tol, abs float64) (verdicts []verdict, ok bool) {
 	ok = true
 	for _, g := range headline {
@@ -163,10 +175,14 @@ func compare(base, cur map[metricKey]float64, tol, abs float64) (verdicts []verd
 		}
 		c, inCur := cur[k]
 		v := verdict{Key: k, Base: b, Cur: c}
+		regressed := c > b*(1+tol) && c > b+slack
+		if g.Higher {
+			regressed = c < b*(1-tol) && c < b-slack
+		}
 		if !inCur {
 			v.Missing = true
 			ok = false
-		} else if c > b*(1+tol) && c > b+slack {
+		} else if regressed {
 			v.Regression = true
 			ok = false
 		}

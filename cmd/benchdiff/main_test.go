@@ -157,6 +157,58 @@ func TestErrorWhenNoHeadlineMetricInBaseline(t *testing.T) {
 	}
 }
 
+// lossLine renders a BenchmarkLossDegradation result with the given
+// loss30-hit-rate, the gate's one higher-is-better headline metric.
+func lossLine(hit30 float64) string {
+	n := strconv.FormatFloat(hit30, 'f', -1, 64)
+	return strings.Join([]string{
+		"BenchmarkLossDegradation-8", "1", "31247604 ns/op",
+		"0.95 loss0-hit-rate", n, "loss30-hit-rate", "403 rpc-dropped-total",
+	}, " \\t ")
+}
+
+// TestGateFailsOnHitRateDrop: loss30-hit-rate gates the opposite
+// direction — a hit rate that falls beyond both bounds is the
+// regression, and one that rises never is.
+func TestGateFailsOnHitRateDrop(t *testing.T) {
+	base := writeBench(t, "base.json", benchEvent(lossLine(0.25)))
+	cur := writeBench(t, "cur.json", benchEvent(lossLine(0.05)))
+	var out strings.Builder
+	ok, err := run(base, cur, 0.35, 2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("gate passed a collapsed loss-sweep hit rate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkLossDegradation/loss30-hit-rate") {
+		t.Errorf("report does not name the dropped hit rate:\n%s", out.String())
+	}
+	// An improved hit rate would trip a lower-is-better bound; the
+	// Higher direction must wave it through.
+	cur2 := writeBench(t, "cur2.json", benchEvent(lossLine(0.60)))
+	out.Reset()
+	if ok, _ = run(base, cur2, 0.35, 2, &out); !ok {
+		t.Fatalf("gate failed an improved hit rate:\n%s", out.String())
+	}
+}
+
+// TestHitRateSlackAbsorbsSmallDip: a dip inside either bound (relative
+// tolerance or the 0.1 absolute slack) is seeded drift, not a
+// regression.
+func TestHitRateSlackAbsorbsSmallDip(t *testing.T) {
+	base := writeBench(t, "base.json", benchEvent(lossLine(0.25)))
+	cur := writeBench(t, "cur.json", benchEvent(lossLine(0.18)))
+	var out strings.Builder
+	ok, err := run(base, cur, 0.35, 2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("gate tripped on a dip inside the slack:\n%s", out.String())
+	}
+}
+
 // TestAbsoluteSlackOnTinyMetrics: near-zero metrics (4 republish RPCs
 // per cycle) may drift by a request or two without tripping the
 // relative bound.

@@ -8,15 +8,19 @@
 //	ipfs-experiments -run fig8
 //	ipfs-experiments -run ablations
 //	ipfs-experiments -run routing -network 300 -churn-amplitude 2 -window 12h
+//	ipfs-experiments -run routing -event-driven -loss-sweep 0,0.1,0.2,0.3 -window 8h
+//	ipfs-experiments -run routing -event-driven -partition-regions us-west-1,US -partition-at 3h -heal-at 5h
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/geo"
 )
 
 func main() {
@@ -31,6 +35,14 @@ func main() {
 		shards   = flag.Int("indexer-shards", 1, "indexer keyspace shards for the routing comparison (>1 with -indexer-replicas builds a gossiping fleet)")
 		reps     = flag.Int("indexer-replicas", 1, "replicas per indexer shard")
 		outage   = flag.Duration("indexer-outage-at", 0, "offset at which each shard's primary indexer goes offline for the rest of the window (0 = no outage)")
+		linkLoss = flag.Float64("link-loss", 0, "network-wide per-transit loss probability for the routing comparison (each lost transit costs the drop timeout)")
+		lossSwp  = flag.String("loss-sweep", "", "comma-separated loss rates (e.g. 0,0.1,0.2,0.3): one retrieval tick per entry, raising the loss rate to that entry just before the tick; overrides -ticks")
+		extraLat = flag.Duration("link-extra-latency", 0, "fixed extra latency every transit pays (Pumba-style delay injection)")
+		linkJit  = flag.Duration("link-jitter", 0, "per-transit jitter bound on top of -link-extra-latency (deterministic under -event-driven lockstep)")
+		partRegs = flag.String("partition-regions", "", "comma-separated region codes (e.g. us-west-1,US) cut off from the rest of the network at -partition-at")
+		partAt   = flag.Duration("partition-at", 0, "offset at which the -partition-regions split starts (0 = no partition)")
+		healAt   = flag.Duration("heal-at", 0, "offset at which the partition heals (0 = never)")
+		reachMix = flag.Bool("reachability-mix", false, "build the network with the population's sampled NAT status (Fig 7's mix: ~1/3 of peers online but refusing inbound dials)")
 		eventDrv = flag.Bool("event-driven", false, "run the routing comparison on the discrete-event scheduler: virtual time jumps between events, so paper-scale populations (-network 20000) replay a full churn window in seconds")
 		workers  = flag.Int("workers", 1, "concurrent event dispatch in -event-driven mode (1 = deterministic lockstep)")
 		network  = flag.Int("network", 600, "simulated network size for performance runs")
@@ -153,11 +165,34 @@ func main() {
 
 	if needRouting {
 		fmt.Fprintln(os.Stderr, "running content-routing comparison under the churn timeline...")
+		var sweep []float64
+		if *lossSwp != "" {
+			for _, s := range strings.Split(*lossSwp, ",") {
+				rate, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil || rate < 0 || rate > 1 {
+					fmt.Fprintf(os.Stderr, "-loss-sweep: %q is not a loss rate in [0, 1]\n", s)
+					os.Exit(2)
+				}
+				sweep = append(sweep, rate)
+			}
+		}
+		var partition []geo.Region
+		if *partRegs != "" {
+			for _, s := range strings.Split(*partRegs, ",") {
+				partition = append(partition, geo.Region(strings.TrimSpace(s)))
+			}
+		}
+		faulted := *linkLoss > 0 || len(sweep) > 0 || *extraLat > 0 || *linkJit > 0 ||
+			(*partAt > 0 && len(partition) > 0) || *reachMix
 		res := experiments.RunRoutingComparison(experiments.RoutingConfig{
 			NetworkSize: *network, Objects: *iters, ChurnAmplitude: *churn,
 			Window: *window, Ticks: *ticks,
 			IndexerShards: *shards, IndexerReplicas: *reps, IndexerOutageAt: *outage,
-			EventDriven: *eventDrv, Workers: *workers,
+			LinkLoss: *linkLoss, LossSweep: sweep,
+			LinkExtraLatency: *extraLat, LinkJitter: *linkJit,
+			PartitionRegions: partition, PartitionAt: *partAt, HealAt: *healAt,
+			ReachabilityMix: *reachMix,
+			EventDriven:     *eventDrv, Workers: *workers,
 			Scale: *scale, Seed: *seed,
 		})
 		if *eventDrv {
@@ -185,6 +220,10 @@ func main() {
 		fmt.Println()
 		fmt.Println(res.TimeSeries())
 		fmt.Println()
+		if faulted {
+			fmt.Println(res.DegradationTable())
+			fmt.Println()
+		}
 		fmt.Println(res.BudgetReport())
 		fmt.Println("== headline comparison ==")
 		fmt.Println(res.Summary())

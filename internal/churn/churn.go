@@ -177,6 +177,13 @@ type TimelineConfig struct {
 	// absences — and <1 is calmer. The churn-scenario experiments sweep
 	// it to stress stale-snapshot fallback paths.
 	Amplitude float64
+	// NATSessions gives undialable peers ordinary churned sessions
+	// instead of keeping them permanently absent: the peer is online and
+	// originates traffic, it just cannot accept inbound dials (Fig 7's
+	// NAT'd cohort). The simulator's transport enforces the
+	// unreachability; this flag only controls liveness. Off by default
+	// to preserve the legacy Fig 7b population model.
+	NATSessions bool
 }
 
 // GenerateTimeline builds timelines for the population: reliable peers
@@ -194,7 +201,7 @@ func GenerateTimeline(pop *geo.Population, cfg TimelineConfig) *Timeline {
 	for _, p := range pop.Peers {
 		pt := PeerTimeline{Index: p.Index, Region: p.Country}
 		switch {
-		case !p.Dialable:
+		case !p.Dialable && !cfg.NATSessions:
 			// Never reachable: no sessions (Fig 7b population).
 		case p.Reliable:
 			// >90 % uptime: one long session with a brief outage.

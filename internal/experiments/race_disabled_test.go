@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled is false in uninstrumented builds: seeded event-driven
+// runs replay bit-for-bit, so tests assert full-output equality and pin
+// complete fault-scenario time series as goldens.
+const raceEnabled = false

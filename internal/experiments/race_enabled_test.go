@@ -1,0 +1,12 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector instruments this build.
+// The race runtime perturbs goroutine wake order inside same-virtual-
+// instant event groups, which shifts walk fan-out — and with it the
+// virtual instants the deterministic loss-draw hash keys on — so
+// bit-for-bit replay and full-series fault goldens are contractual only
+// in uninstrumented builds. Tests gate their exact-equality assertions
+// on this, keeping the structural ones in both build modes.
+const raceEnabled = true

@@ -71,6 +71,28 @@ type RoutingConfig struct {
 	QueryTimeout   time.Duration
 	BitswapTimeout time.Duration
 
+	// LinkLoss installs a network-wide per-transit loss probability from
+	// the window start; LinkExtraLatency / LinkJitter tax every transit
+	// (the Pumba-style delay injection of the paper's adversarial
+	// conditions). LossSweep instead schedules one retrieval tick per
+	// entry, raising the loss rate to that entry one minute before the
+	// tick — the sustained packet-loss sweep scenario. A non-empty
+	// LossSweep overrides Ticks.
+	LinkLoss         float64
+	LossSweep        []float64
+	LinkExtraLatency time.Duration
+	LinkJitter       time.Duration
+	// PartitionRegions, with PartitionAt > 0, schedules a "partition"
+	// phase cutting the named regions off from the rest of the network
+	// at that offset; HealAt > 0 schedules the matching "heal" phase.
+	PartitionRegions []geo.Region
+	PartitionAt      time.Duration
+	HealAt           time.Duration
+	// ReachabilityMix builds the network with the population's sampled
+	// dialability (Fig 7's mix: ~1/3 of peers NAT'd, online but refusing
+	// inbound dials) instead of the default everyone-dialable servers.
+	ReachabilityMix bool
+
 	// EventDriven runs the comparison on the discrete-event scheduler:
 	// sleeps, RPC latencies, churn transitions and phase boundaries all
 	// become events on one priority queue and virtual time jumps
@@ -98,6 +120,11 @@ func (c RoutingConfig) withDefaults() RoutingConfig {
 	}
 	if c.Window <= 0 {
 		c.Window = 24 * time.Hour
+	}
+	if len(c.LossSweep) > 0 {
+		// One retrieval tick per sweep entry: tick i runs under loss
+		// rate LossSweep[i-1].
+		c.Ticks = len(c.LossSweep)
 	}
 	if c.Ticks <= 0 {
 		c.Ticks = 4
@@ -132,6 +159,17 @@ type RouterTick struct {
 	RoutedSessions int
 	SnapshotStale  float64 // accelerated snapshot staleness at the tick
 	IndexerHit     float64 // indexer record coverage at the tick
+	LossRate       float64 // link-loss probability in force at the tick
+	Partitioned    int     // regions the partition covered at the tick
+}
+
+// HitRate is the tick's retrieval success fraction (NaN before any
+// retrievals) — the degradation scenarios' headline metric.
+func (t RouterTick) HitRate() float64 {
+	if t.Retrievals == 0 {
+		return math.NaN()
+	}
+	return 1 - float64(t.Failures)/float64(t.Retrievals)
 }
 
 // RouterPerf aggregates one router implementation's measurements.
@@ -257,6 +295,15 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 		Clock:          clock,
 		EventDriven:    cfg.EventDriven,
 		Workers:        cfg.Workers,
+		// Fault injection: the initial loss/latency profile (the loss
+		// sweep raises LossRate later via scheduled phases) and the Fig 7
+		// reachability mix.
+		Faults: simnet.FaultProfile{
+			LossRate:     cfg.LinkLoss,
+			ExtraLatency: cfg.LinkExtraLatency,
+			Jitter:       cfg.LinkJitter,
+		},
+		ReachabilityMix: cfg.ReachabilityMix,
 		// The timeline is the only churn lever: behaviour classes stay
 		// near zero so stale entries come from real departures.
 		FracDead: 1e-9, FracSlow: 1e-9, FracWSBroken: 1e-9,
@@ -270,6 +317,9 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 		Window:    cfg.Window,
 		Amplitude: cfg.ChurnAmplitude,
 		Seed:      cfg.Seed + 13,
+		// NAT'd peers hold ordinary sessions under the reachability mix;
+		// the transport enforces their unreachability.
+		NATSessions: cfg.ReachabilityMix,
 	})
 	if sharded {
 		sc.ObserveIndexerFleet(fleet.Set, fleet.Nodes()...)
@@ -310,6 +360,39 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 			for _, group := range fleet.Groups {
 				tn.Net.SetOnline(group[0].ID(), false)
 			}
+			return PhaseOutcome{}
+		})
+	}
+
+	// The partition lever: the named regions are cut off from the rest
+	// of the network at PartitionAt and — when HealAt is scheduled —
+	// rejoined mid-window, so the ticks in between measure a split brain
+	// and the ticks after measure recovery.
+	if cfg.PartitionAt > 0 && len(cfg.PartitionRegions) > 0 {
+		sc.Schedule("partition", cfg.PartitionAt, func(context.Context, PhaseInfo) PhaseOutcome {
+			tn.Net.Partition(cfg.PartitionRegions...)
+			return PhaseOutcome{}
+		})
+		if cfg.HealAt > cfg.PartitionAt {
+			sc.Schedule("heal", cfg.HealAt, func(context.Context, PhaseInfo) PhaseOutcome {
+				tn.Net.Heal()
+				return PhaseOutcome{}
+			})
+		}
+	}
+
+	// The loss-sweep lever: one transition phase per sweep entry, a
+	// minute ahead of its retrieval tick, raising the network-wide loss
+	// rate while keeping the configured extra latency/jitter.
+	for i, rate := range cfg.LossSweep {
+		rate := rate
+		off := time.Duration(i+1)*cfg.Window/time.Duration(cfg.Ticks) - time.Minute
+		sc.Schedule(fmt.Sprintf("loss->%.0f%%", 100*rate), off, func(context.Context, PhaseInfo) PhaseOutcome {
+			tn.Net.SetFaults(simnet.FaultProfile{
+				LossRate:     rate,
+				ExtraLatency: cfg.LinkExtraLatency,
+				Jitter:       cfg.LinkJitter,
+			})
 			return PhaseOutcome{}
 		})
 	}
@@ -394,7 +477,8 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 			var out PhaseOutcome
 			live := tn.OnlineNodes()
 			for _, p := range pairs {
-				tick := RouterTick{Offset: off, SnapshotStale: info.SnapshotStale, IndexerHit: info.IndexerHit}
+				tick := RouterTick{Offset: off, SnapshotStale: info.SnapshotStale, IndexerHit: info.IndexerHit,
+					LossRate: info.LossRate, Partitioned: info.Partitioned}
 				for _, root := range p.roots {
 					testnet.FlushVantage(p.getter)
 					for k := 0; k < 2 && len(live) > 0; k++ {
@@ -498,12 +582,12 @@ func (r *RoutingResults) StableTimeSeries() string {
 func (r *RoutingResults) timeSeries(includeBudget bool) string {
 	head := fmt.Sprintf("Churn-scenario time series: %d peers, %d routers, window %s, amplitude %.1f\n",
 		r.Cfg.NetworkSize, len(r.Routers), r.Cfg.Window, r.Cfg.ChurnAmplitude)
-	cols := []string{"Phase", "At", "Online", "SnapStale", "IxHit", "ShardHit", "IxUp", "Ops", "Fail", "Routed"}
+	cols := []string{"Phase", "At", "Online", "SnapStale", "IxHit", "ShardHit", "IxUp", "Loss", "Part", "Ops", "Fail", "Routed"}
 	if includeBudget {
 		// The span-derived columns ride with the budget variant: they
 		// carry measured sim-time, which drifts with scheduling the same
 		// way exact RPC counts do, so the stable golden omits both.
-		cols = append(cols, "Disc99", "FirstHop", "RPCs")
+		cols = append(cols, "Disc99", "FirstHop", "RPCs", "drop")
 		for _, cat := range simnet.BudgetCategories {
 			cols = append(cols, string(cat))
 		}
@@ -513,9 +597,10 @@ func (r *RoutingResults) timeSeries(includeBudget bool) string {
 		row := []interface{}{ps.Phase, fmtOffset(ps.Offset), ps.Online,
 			fmtHealth(ps.SnapshotStale), fmtHealth(ps.IndexerHit),
 			fmtHealth(ps.ShardHitMean()), fmtHealth(ps.ReplicaUp),
+			fmtHealth(ps.LossRate), ps.Partitioned,
 			ps.Ops, ps.Failures, ps.Routed}
 		if includeBudget {
-			row = append(row, fmtSecs(ps.DiscoverP99), fmtHealth(ps.FirstHopShare), ps.Budget.Requests)
+			row = append(row, fmtSecs(ps.DiscoverP99), fmtHealth(ps.FirstHopShare), ps.Budget.Requests, ps.Budget.Dropped)
 			for _, cat := range simnet.BudgetCategories {
 				row = append(row, ps.Budget.Category(cat))
 			}

@@ -26,6 +26,11 @@ type ScenarioConfig struct {
 	Amplitude float64
 	// Seed drives timeline generation.
 	Seed int64
+	// NATSessions gives undialable peers ordinary churned sessions
+	// (online, originating traffic, refusing inbound dials) instead of
+	// keeping them permanently absent — the Fig 7 reachability-mix
+	// scenarios pair it with testnet.Config.ReachabilityMix.
+	NATSessions bool
 }
 
 // PhaseOutcome is what one workload phase reports back to the runner.
@@ -44,6 +49,11 @@ type PhaseInfo struct {
 	Online        int
 	SnapshotStale float64
 	IndexerHit    float64
+	// LossRate is the network-default link-loss probability in force
+	// when the phase starts; Partitioned is how many regions the current
+	// partition covers (0 = whole network).
+	LossRate    float64
+	Partitioned int
 }
 
 // PhaseSample is one row of the scenario time series: the network and
@@ -70,6 +80,13 @@ type PhaseSample struct {
 	// online — the availability lever indexer-outage scenarios pull
 	// (NaN when no indexers are observed).
 	ReplicaUp float64
+
+	// LossRate is the network-default link-loss probability after the
+	// phase ran (so a fault-transition phase's own row shows the state
+	// it installed); Partitioned is how many regions the partition
+	// covers then (0 = whole network).
+	LossRate    float64
+	Partitioned int
 
 	// DiscoverP99 is the 99th-percentile sim-accurate duration of the
 	// "discover" trace span across the retrievals traced in this phase,
@@ -153,9 +170,10 @@ func NewScenarioRunner(tn *testnet.Testnet, cfg ScenarioConfig) *ScenarioRunner 
 		// An hour of margin past the window: generated sessions clip at
 		// the timeline end, so sampling liveness exactly at the final
 		// tick would otherwise find an empty network.
-		Duration:  cfg.Window + time.Hour,
-		Seed:      cfg.Seed,
-		Amplitude: cfg.Amplitude,
+		Duration:    cfg.Window + time.Hour,
+		Seed:        cfg.Seed,
+		Amplitude:   cfg.Amplitude,
+		NATSessions: cfg.NATSessions,
 	})
 	return &ScenarioRunner{TN: tn, TL: tl, Clock: tn.Clock, Start: start}
 }
@@ -311,8 +329,15 @@ func (s *ScenarioRunner) runPhase(ctx context.Context, ph scheduledPhase, now ti
 			Online:        online,
 			SnapshotStale: sample.SnapshotStale,
 			IndexerHit:    sample.IndexerHit,
+			LossRate:      s.TN.Net.Faults().LossRate,
+			Partitioned:   len(s.TN.Net.PartitionedRegions()),
 		})
 	}
+	// Fault state is sampled after the workload so a fault-transition
+	// phase (loss->10%, partition, heal) reports the state it installed,
+	// and the following workload ticks inherit it unchanged.
+	sample.LossRate = s.TN.Net.Faults().LossRate
+	sample.Partitioned = len(s.TN.Net.PartitionedRegions())
 	phaseTraces := s.drainTraces()
 	s.traces = append(s.traces, phaseTraces...)
 	sample.TracedOps = len(phaseTraces)

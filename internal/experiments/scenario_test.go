@@ -279,13 +279,21 @@ func TestRoutingTimeSeriesFormatGolden(t *testing.T) {
 				// A tick during a one-replica-per-shard outage: shard 1 lost
 				// its primary's records, availability sits at half, and the
 				// surviving replicas' gossip shows in the budget breakdown.
+				// The link fault model is also engaged — 20% loss, a
+				// two-region partition — so the Loss/Part columns and the
+				// drop counter render real values.
 				Phase: "retrieve+6h", Offset: 6 * time.Hour, Online: 42,
 				SnapshotStale: 0.25, IndexerHit: 1,
 				ShardHits: []float64{1, 0.5}, ReplicaUp: 0.5,
+				LossRate: 0.2, Partitioned: 2,
 				DiscoverP99: 0.84, FirstHopShare: 0.75, TracedOps: 4,
 				Budget: simnet.Budget{Requests: 41, Dials: 24, DialFailures: 5,
 					ByCategory: map[transport.RPCCategory]int64{
 						transport.CatLookup: 11, transport.CatWant: 26, transport.CatGossip: 4,
+					},
+					Dropped: 7, Retried: 2,
+					DroppedByCategory: map[transport.RPCCategory]int64{
+						transport.CatLookup: 5, transport.CatWant: 2,
 					}},
 				PhaseOutcome: PhaseOutcome{Ops: 4, Failures: 1, Routed: 3},
 			},
@@ -307,6 +315,10 @@ func TestRoutingTimeSeriesFormatGolden(t *testing.T) {
 			ByCategory: map[transport.RPCCategory]int64{
 				transport.CatLookup: 101, transport.CatPublish: 140, transport.CatRepublish: 9,
 				transport.CatRefresh: 180, transport.CatWant: 26, transport.CatGossip: 4,
+			},
+			Dropped: 7, Retried: 2,
+			DroppedByCategory: map[transport.RPCCategory]int64{
+				transport.CatLookup: 5, transport.CatWant: 2,
 			}},
 	}
 	goldenCompare(t, "routing_timeseries_format.golden", res.TimeSeries()+"\n"+res.BudgetReport())

@@ -70,6 +70,18 @@ type Config struct {
 	// MeanBandwidth is the mean per-peer upload bandwidth in bytes per
 	// simulated second (default 3 MiB/s).
 	MeanBandwidth float64
+	// Faults is the initial network-wide link-fault profile (loss
+	// probability, extra latency, jitter). Adjustable mid-run via
+	// Network.SetFaults / SetLinkFaults / Partition.
+	Faults FaultProfile
+	// DropTimeout is how long a requester waits before concluding a
+	// message was lost to link faults — the simulated loss-detection /
+	// retransmission timeout (default 5 s, matching the dial timeout).
+	DropTimeout time.Duration
+	// Retries is the number of automatic retransmits after a detected
+	// drop before the request fails with ErrMessageDropped (default 0:
+	// the loss surfaces immediately, callers own their retry policy).
+	Retries int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MeanBandwidth <= 0 {
 		c.MeanBandwidth = 3 << 20
+	}
+	if c.DropTimeout <= 0 {
+		c.DropTimeout = 5 * time.Second
 	}
 	if c.Time == nil {
 		c.Time = simtime.NewBaseSource(c.Base, nil)
@@ -104,12 +119,23 @@ type Network struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// Fault state: the network default profile, per-link overrides and
+	// the current regional partition. Mutable mid-run (the scenario
+	// engine schedules transitions as simtime events).
+	faultMu    sync.RWMutex
+	faults     FaultProfile
+	linkFaults map[linkKey]FaultProfile
+	partition  map[geo.Region]bool
+
 	// Stats counters (atomic under mu for simplicity).
-	statsMu    sync.Mutex
-	requests   int64
-	dials      int64
-	failures   int64
-	byCategory map[transport.RPCCategory]int64
+	statsMu      sync.Mutex
+	requests     int64
+	dials        int64
+	failures     int64
+	dropped      int64
+	retried      int64
+	byCategory   map[transport.RPCCategory]int64
+	droppedByCat map[transport.RPCCategory]int64
 }
 
 type node struct {
@@ -135,11 +161,13 @@ type node struct {
 func New(cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	return &Network{
-		cfg:        cfg,
-		det:        simtime.SchedulerOf(cfg.Time) != nil,
-		nodes:      make(map[peer.ID]*node),
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		byCategory: make(map[transport.RPCCategory]int64),
+		cfg:          cfg,
+		det:          simtime.SchedulerOf(cfg.Time) != nil,
+		nodes:        make(map[peer.ID]*node),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		faults:       cfg.Faults,
+		byCategory:   make(map[transport.RPCCategory]int64),
+		droppedByCat: make(map[transport.RPCCategory]int64),
 	}
 }
 
@@ -241,23 +269,43 @@ type Budget struct {
 	Dials        int64
 	DialFailures int64
 	ByCategory   map[transport.RPCCategory]int64
+	// Dropped counts requests lost to link faults or partitions (each
+	// such request is also in Requests/ByCategory — the loss is a
+	// failure mode, not extra traffic). Retried counts the automatic
+	// retransmits the transport performed after detected drops.
+	Dropped           int64
+	Retried           int64
+	DroppedByCategory map[transport.RPCCategory]int64
 }
 
 // Category returns one category's request count.
 func (b Budget) Category(cat transport.RPCCategory) int64 { return b.ByCategory[cat] }
 
+// DroppedCategory returns one category's fault-dropped request count.
+func (b Budget) DroppedCategory(cat transport.RPCCategory) int64 {
+	return b.DroppedByCategory[cat]
+}
+
 // Sub returns the budget spent since prev — the per-phase delta a
 // scenario engine samples between workload phases.
 func (b Budget) Sub(prev Budget) Budget {
 	d := Budget{
-		Requests:     b.Requests - prev.Requests,
-		Dials:        b.Dials - prev.Dials,
-		DialFailures: b.DialFailures - prev.DialFailures,
-		ByCategory:   make(map[transport.RPCCategory]int64, len(b.ByCategory)),
+		Requests:          b.Requests - prev.Requests,
+		Dials:             b.Dials - prev.Dials,
+		DialFailures:      b.DialFailures - prev.DialFailures,
+		Dropped:           b.Dropped - prev.Dropped,
+		Retried:           b.Retried - prev.Retried,
+		ByCategory:        make(map[transport.RPCCategory]int64, len(b.ByCategory)),
+		DroppedByCategory: make(map[transport.RPCCategory]int64, len(b.DroppedByCategory)),
 	}
 	for cat, v := range b.ByCategory {
 		if delta := v - prev.ByCategory[cat]; delta != 0 {
 			d.ByCategory[cat] = delta
+		}
+	}
+	for cat, v := range b.DroppedByCategory {
+		if delta := v - prev.DroppedByCategory[cat]; delta != 0 {
+			d.DroppedByCategory[cat] = delta
 		}
 	}
 	return d
@@ -282,6 +330,26 @@ func (b Budget) String() string {
 		sb.WriteString("none")
 	}
 	fmt.Fprintf(&sb, "), %d dials (%d failed)", b.Dials, b.DialFailures)
+	// Fault counters render only when the run injected faults, so the
+	// clean-network report is unchanged.
+	if b.Dropped > 0 {
+		fmt.Fprintf(&sb, ", %d dropped (", b.Dropped)
+		first = true
+		for _, cat := range BudgetCategories {
+			if b.DroppedByCategory[cat] == 0 {
+				continue
+			}
+			if !first {
+				sb.WriteString(", ")
+			}
+			first = false
+			fmt.Fprintf(&sb, "%s %d", cat, b.DroppedByCategory[cat])
+		}
+		sb.WriteString(")")
+	}
+	if b.Retried > 0 {
+		fmt.Fprintf(&sb, ", %d retried", b.Retried)
+	}
 	return sb.String()
 }
 
@@ -290,13 +358,19 @@ func (n *Network) Budget() Budget {
 	n.statsMu.Lock()
 	defer n.statsMu.Unlock()
 	b := Budget{
-		Requests:     n.requests,
-		Dials:        n.dials,
-		DialFailures: n.failures,
-		ByCategory:   make(map[transport.RPCCategory]int64, len(n.byCategory)),
+		Requests:          n.requests,
+		Dials:             n.dials,
+		DialFailures:      n.failures,
+		Dropped:           n.dropped,
+		Retried:           n.retried,
+		ByCategory:        make(map[transport.RPCCategory]int64, len(n.byCategory)),
+		DroppedByCategory: make(map[transport.RPCCategory]int64, len(n.droppedByCat)),
 	}
 	for cat, v := range n.byCategory {
 		b.ByCategory[cat] = v
+	}
+	for cat, v := range n.droppedByCat {
+		b.DroppedByCategory[cat] = v
 	}
 	return b
 }
@@ -322,6 +396,19 @@ func (n *Network) countDial(failed bool) {
 	if failed {
 		n.failures++
 	}
+	n.statsMu.Unlock()
+}
+
+func (n *Network) countDropped(cat transport.RPCCategory) {
+	n.statsMu.Lock()
+	n.dropped++
+	n.droppedByCat[cat]++
+	n.statsMu.Unlock()
+}
+
+func (n *Network) countRetry() {
+	n.statsMu.Lock()
+	n.retried++
 	n.statsMu.Unlock()
 }
 
@@ -423,6 +510,16 @@ func (e *endpoint) Dial(ctx context.Context, target peer.ID, addrs []multiaddr.M
 		return nil, transport.ErrPeerUnreachable
 	}
 
+	// A regional partition cuts the link in both directions: the SYN is
+	// never answered and the dial burns its full timeout.
+	if e.net.partitioned(e.node.region, remote.region) {
+		e.net.countDial(true)
+		if err := src.Sleep(ctx, e.net.cfg.DialTimeout); err != nil {
+			return nil, err
+		}
+		return nil, transport.ErrPartitioned
+	}
+
 	remote.mu.RLock()
 	online, dialable, class := remote.online, remote.dialable, remote.class
 	if !dialable && remote.allowFrom[e.node.id] && !transport.IsFreshDial(ctx) {
@@ -447,6 +544,13 @@ func (e *endpoint) Dial(ctx context.Context, target peer.ID, addrs []multiaddr.M
 
 	rtt := geo.RTT(e.node.region, remote.region)
 	handshake := 2*rtt + e.net.jitter(e.node.id, remote.id, "dial", rtt/4+time.Millisecond)
+	// A faulty link taxes the handshake with its extra latency/jitter
+	// (twice: the handshake is two round trips). Loss draws do not apply
+	// to dials — the transport's own SYN retransmission absorbs them
+	// within the handshake budget.
+	if prof := e.net.linkProfile(e.node.region, remote.region); !prof.zero() {
+		handshake += 2 * e.net.faultDelay(e.node.id, remote.id, prof)
+	}
 	if err := src.Sleep(ctx, handshake); err != nil {
 		return nil, err
 	}
@@ -484,7 +588,12 @@ func (c *conn) Close() error {
 
 // Request performs one RPC: the request travels half an RTT, the remote
 // processes it (class-dependent), and the response travels back with a
-// bandwidth term proportional to its size.
+// bandwidth term proportional to its size. Link faults intervene per
+// transit: a partition eats the message outright, a lossy link drops
+// the request or response leg with the profile's probability (each
+// drop costs the caller one DropTimeout, optionally retransmitted
+// Config.Retries times), and extra latency/jitter taxes every
+// successful exchange.
 func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, error) {
 	c.mu.Lock()
 	closed := c.closed
@@ -496,12 +605,21 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 	cat := categorize(ctx, req.Type)
 	c.net.countRequest(cat)
 
+	// A partition between the two regions silently eats the message: no
+	// retransmit helps until it heals, so the loss surfaces immediately
+	// after one loss-detection wait.
+	if c.net.partitioned(c.local.region, c.remote.region) {
+		return wire.Message{}, c.drop(ctx, req, cat, 0, transport.ErrPartitioned)
+	}
+
 	c.remote.mu.RLock()
 	online, handler, class := c.remote.online, c.remote.handler, c.remote.class
 	c.remote.mu.RUnlock()
 	if !online || handler == nil {
 		// The peer vanished mid-connection: the request hangs until the
-		// dial timeout.
+		// dial timeout. Deliberately NOT a fault drop — the link worked,
+		// the peer is gone — so Budget.Dropped separates lossy links
+		// from dead peers.
 		if err := src.Sleep(ctx, c.net.cfg.DialTimeout); err != nil {
 			telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), 0, err.Error())
 			return wire.Message{}, err
@@ -510,25 +628,73 @@ func (c *conn) Request(ctx context.Context, req wire.Message) (wire.Message, err
 		return wire.Message{}, transport.ErrPeerUnreachable
 	}
 
-	proc := c.net.jitter(c.local.id, c.remote.id, "proc", 5*time.Millisecond) + time.Millisecond
-	if class == Slow {
-		proc += c.net.slowDelay(c.local.id, c.remote.id)
-	}
+	prof := c.net.linkProfile(c.local.region, c.remote.region)
+	for attempt := 0; ; attempt++ {
+		// Request leg: lost before the handler ever sees it.
+		if c.net.lossDraw(c.local.id, c.remote.id, "loss-req", prof.LossRate) {
+			if err := c.drop(ctx, req, cat, attempt, transport.ErrMessageDropped); err != transport.ErrMessageDropped {
+				return wire.Message{}, err // ctx cancelled mid-wait
+			}
+			if attempt < c.net.cfg.Retries {
+				c.net.countRetry()
+				continue
+			}
+			return wire.Message{}, transport.ErrMessageDropped
+		}
 
-	resp := handler(ctx, c.local.id, req)
+		proc := c.net.jitter(c.local.id, c.remote.id, "proc", 5*time.Millisecond) + time.Millisecond
+		if class == Slow {
+			proc += c.net.slowDelay(c.local.id, c.remote.id)
+		}
 
-	// One combined sleep covers the request leg, processing and the
-	// response leg with its bandwidth term. On the real-scaled path a
-	// single sleep keeps the scheduler-granularity error per RPC
-	// minimal; on the event-driven path it is one delivery event — the
-	// requester parks and virtual time jumps to the delivery instant.
-	transfer := time.Duration(float64(len(resp.BlockData)+256) / c.remote.bwBps * float64(time.Second))
-	if err := src.Sleep(ctx, c.rtt+proc+transfer); err != nil {
-		telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), 0, err.Error())
-		return wire.Message{}, err
+		resp := handler(ctx, c.local.id, req)
+
+		// Response leg: the handler ran but the reply is lost — a
+		// retransmit re-executes it (at-least-once, like real RPC
+		// retries over UDP-style transports).
+		if c.net.lossDraw(c.local.id, c.remote.id, "loss-resp", prof.LossRate) {
+			if err := c.drop(ctx, req, cat, attempt, transport.ErrMessageDropped); err != transport.ErrMessageDropped {
+				return wire.Message{}, err
+			}
+			if attempt < c.net.cfg.Retries {
+				c.net.countRetry()
+				continue
+			}
+			return wire.Message{}, transport.ErrMessageDropped
+		}
+
+		// One combined sleep covers the request leg, processing and the
+		// response leg with its bandwidth term. On the real-scaled path a
+		// single sleep keeps the scheduler-granularity error per RPC
+		// minimal; on the event-driven path it is one delivery event — the
+		// requester parks and virtual time jumps to the delivery instant.
+		transfer := time.Duration(float64(len(resp.BlockData)+256) / c.remote.bwBps * float64(time.Second))
+		latency := c.rtt + proc + transfer + c.net.faultDelay(c.local.id, c.remote.id, prof)
+		if err := src.Sleep(ctx, latency); err != nil {
+			telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), 0, err.Error())
+			return wire.Message{}, err
+		}
+		// The simulated latency is exact: the RTT, the processing delay,
+		// the bandwidth term and the link's fault tax the single sleep
+		// just charged.
+		telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), latency, "")
+		return resp, nil
 	}
-	// The simulated latency is exact: the RTT, the processing delay and
-	// the bandwidth term the single sleep just charged.
-	telemetry.RPC(ctx, req.Type.String(), string(cat), c.remote.id.String(), c.rtt+proc+transfer, "")
-	return resp, nil
+}
+
+// drop charges one lost transit: it bumps the dropped budget counters,
+// burns the loss-detection timeout in simulated time, records a
+// telemetry "rpc-drop" event attributed to the request's category and
+// attempt, and returns cause (or the context error if the caller gave
+// up mid-wait — the drop is still counted: the message was lost either
+// way).
+func (c *conn) drop(ctx context.Context, req wire.Message, cat transport.RPCCategory, attempt int, cause error) error {
+	c.net.countDropped(cat)
+	wait := c.net.cfg.DropTimeout
+	if err := c.net.cfg.Time.Sleep(ctx, wait); err != nil {
+		telemetry.RPCDrop(ctx, req.Type.String(), string(cat), c.remote.id.String(), 0, attempt, err.Error())
+		return err
+	}
+	telemetry.RPCDrop(ctx, req.Type.String(), string(cat), c.remote.id.String(), wait, attempt, cause.Error())
+	return cause
 }

@@ -380,6 +380,22 @@ func RPC(ctx context.Context, msgType, category, peer string, latency time.Durat
 	sp.EventDur("rpc", latency, attrs...)
 }
 
+// RPCDrop records a transport request lost to link faults or a regional
+// partition as a distinct "rpc-drop" event on the context's current
+// span: message type, budget category, remote peer, how long the caller
+// waited before detecting the loss, and which transmit attempt was lost
+// (0 = the first send, higher = an automatic retransmit). No-op when
+// the context carries no trace.
+func RPCDrop(ctx context.Context, msgType, category, peer string, wait time.Duration, attempt int, errStr string) {
+	sp := SpanFrom(ctx)
+	if sp == nil {
+		return
+	}
+	sp.EventDur("rpc-drop", wait,
+		A("type", msgType), A("cat", category), A("peer", peer),
+		A("attempt", fmt.Sprintf("%d", attempt)), A("err", errStr))
+}
+
 // traceRingCap bounds the per-recorder trace history.
 const traceRingCap = 128
 

@@ -81,6 +81,17 @@ type Config struct {
 	Workers int
 	// Time overrides the derived time source (tests).
 	Time simtime.Source
+
+	// Faults is the initial link-fault profile installed on the
+	// simulator (loss probability, extra latency, jitter). Scenario
+	// engines adjust it mid-run via Net.SetFaults / Partition / Heal.
+	Faults simnet.FaultProfile
+	// ReachabilityMix attaches server peers with their population's
+	// sampled dialability (Fig 7's mix: roughly a third of peers are
+	// NAT'd and accept no inbound dials) instead of the default
+	// everyone-dialable network. Pair with churn.TimelineConfig's
+	// NATSessions so those peers still hold ordinary online sessions.
+	ReachabilityMix bool
 }
 
 func (c Config) withDefaults() Config {
@@ -147,7 +158,7 @@ func Build(cfg Config) *Testnet {
 	} else {
 		sched = simtime.SchedulerOf(src)
 	}
-	net := simnet.New(simnet.Config{Base: base, Seed: cfg.Seed + 1, Time: src})
+	net := simnet.New(simnet.Config{Base: base, Seed: cfg.Seed + 1, Time: src, Faults: cfg.Faults})
 
 	popCfg := geo.DefaultPopulationConfig(cfg.N)
 	popCfg.Seed = cfg.Seed + 2
@@ -167,9 +178,12 @@ func Build(cfg Config) *Testnet {
 		case x < cfg.FracDead+cfg.FracSlow+cfg.FracWSBroken:
 			class = simnet.WSBroken
 		}
+		// By default every server is dialable and reachability is
+		// expressed through the behaviour class; ReachabilityMix instead
+		// honours the population's sampled NAT status (Fig 7's mix).
 		ep := net.AddNode(ident.ID, simnet.NodeOpts{
 			Region:   pop.Peers[i].Country,
-			Dialable: true, // reachability is expressed through the class
+			Dialable: !cfg.ReachabilityMix || pop.Peers[i].Dialable,
 			Class:    class,
 		})
 		node := core.New(ident, ep, core.Config{

@@ -139,4 +139,14 @@ var (
 	ErrHandshakeTimeout = errors.New("transport: handshake timed out")
 	ErrIdentityMismatch = errors.New("transport: remote identity mismatch")
 	ErrClosed           = errors.New("transport: closed")
+	// ErrMessageDropped reports a request lost to link faults (the
+	// simulator's loss model): the caller waited out its loss-detection
+	// timeout and no response arrived. Distinct from ErrPeerUnreachable —
+	// the remote is alive, the link ate the message — so budget and
+	// telemetry attribution can separate lossy links from dead peers.
+	ErrMessageDropped = errors.New("transport: message dropped")
+	// ErrPartitioned reports traffic that crossed a scheduled regional
+	// partition: nothing is delivered in either direction until the
+	// partition heals.
+	ErrPartitioned = errors.New("transport: link partitioned")
 )
