@@ -559,6 +559,73 @@ func BenchmarkDagAssemble(b *testing.B) {
 	}
 }
 
+// BenchmarkPackStoreServe loads the pack blockstore with a million
+// small blocks — the regime the gateway serves from (§5: many tiny
+// objects, random access) — and measures put throughput and random-Get
+// latency. A scaled-down FSStore run rides along for comparison: one
+// file per block cannot hold a million blocks in CI, which is exactly
+// the gap the pack engine closes.
+func BenchmarkPackStoreServe(b *testing.B) {
+	const (
+		packBlocks = 1_000_000
+		fsBlocks   = 20_000
+		blockSize  = 256
+		getOps     = 50_000
+	)
+	fill := func(s block.Store, n int) ([]cid.Cid, float64) {
+		cids := make([]cid.Cid, n)
+		buf := make([]byte, blockSize)
+		start := time.Now()
+		for j := range cids {
+			buf[0], buf[1], buf[2], buf[3] = byte(j), byte(j>>8), byte(j>>16), byte(j>>24)
+			blk := block.New(multicodec.Raw, buf)
+			if err := s.Put(blk); err != nil {
+				b.Fatal(err)
+			}
+			cids[j] = blk.Cid()
+		}
+		mbps := float64(n*blockSize) / time.Since(start).Seconds() / 1e6
+		return cids, mbps
+	}
+	randomGets := func(s block.Store, cids []cid.Cid) *stats.Sample {
+		rng := rand.New(rand.NewSource(42))
+		sample := stats.NewSample()
+		for k := 0; k < getOps; k++ {
+			c := cids[rng.Intn(len(cids))]
+			start := time.Now()
+			if _, err := s.Get(c); err != nil {
+				b.Fatal(err)
+			}
+			sample.Add(float64(time.Since(start).Microseconds()))
+		}
+		return sample
+	}
+	for i := 0; i < b.N; i++ {
+		ps, err := block.NewPackStore(b.TempDir(), block.PackConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cids, putMbps := fill(ps, packBlocks)
+		if err := ps.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		sample := randomGets(ps, cids)
+		b.ReportMetric(putMbps, "pack-put-mbps")
+		b.ReportMetric(sample.Percentile(50), "pack-get-p50-us")
+		b.ReportMetric(sample.Percentile(99), "pack-get-p99-us")
+		ps.Close()
+
+		fs, err := block.NewFSStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fsCids, fsMbps := fill(fs, fsBlocks)
+		fsSample := randomGets(fs, fsCids)
+		b.ReportMetric(fsMbps, "fs-put-mbps")
+		b.ReportMetric(fsSample.Percentile(99), "fs-get-p99-us")
+	}
+}
+
 // BenchmarkKBucketNearest measures closest-peer selection over a full
 // routing table.
 func BenchmarkKBucketNearest(b *testing.B) {

@@ -209,6 +209,53 @@ func TestHitRateSlackAbsorbsSmallDip(t *testing.T) {
 	}
 }
 
+// packLine renders a BenchmarkPackStoreServe result with the given
+// random-Get p99 and put throughput — the two pack-engine headline
+// metrics, gating opposite directions.
+func packLine(p99us, putMbps float64) string {
+	n := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	return strings.Join([]string{
+		"BenchmarkPackStoreServe-8", "1", "7355811461 ns/op",
+		n(p99us), "pack-get-p99-us", "2.1 pack-get-p50-us",
+		n(putMbps), "pack-put-mbps", "48 fs-get-p99-us",
+	}, " \\t ")
+}
+
+// TestGateFailsOnPackRegression: the pack gates trip in their own
+// directions — a p99 blowup (reads degraded to scans) and a collapsed
+// put throughput (fsync on the hot path) each fail independently.
+func TestGateFailsOnPackRegression(t *testing.T) {
+	base := writeBench(t, "base.json", benchEvent(packLine(10, 60)))
+	// p99 x100: way past both the relative bound and the 200 µs slack.
+	cur := writeBench(t, "cur.json", benchEvent(packLine(1000, 60)))
+	var out strings.Builder
+	ok, err := run(base, cur, 0.35, 2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("gate passed a pack read-latency blowup:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkPackStoreServe/pack-get-p99-us") {
+		t.Errorf("report does not name the regressed p99:\n%s", out.String())
+	}
+	// Throughput dropping to a trickle trips the higher-is-better gate.
+	cur2 := writeBench(t, "cur2.json", benchEvent(packLine(10, 3)))
+	out.Reset()
+	if ok, _ = run(base, cur2, 0.35, 2, &out); ok {
+		t.Fatalf("gate passed a put-throughput collapse:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkPackStoreServe/pack-put-mbps") {
+		t.Errorf("report does not name the collapsed throughput:\n%s", out.String())
+	}
+	// CI-runner spread inside the slacks passes in both directions.
+	cur3 := writeBench(t, "cur3.json", benchEvent(packLine(150, 45)))
+	out.Reset()
+	if ok, _ = run(base, cur3, 0.35, 2, &out); !ok {
+		t.Fatalf("gate tripped on runner noise inside the slacks:\n%s", out.String())
+	}
+}
+
 // TestAbsoluteSlackOnTinyMetrics: near-zero metrics (4 republish RPCs
 // per cycle) may drift by a request or two without tripping the
 // relative bound.

@@ -35,10 +35,16 @@ func main() {
 		bootstrap = flag.String("bootstrap", "", "comma-separated bootstrap multiaddrs")
 		cacheMB   = flag.Int64("cache-mb", 256, "nginx-style LRU cache size in MiB")
 		pins      = flag.String("pin", "", "comma-separated files to pin into the node store")
+		storeKind = flag.String("blockstore", "mem", "blockstore backend: mem | fs | pack")
+		storeDir  = flag.String("blockstore-dir", "", "directory for the fs/pack blockstores")
 	)
 	flag.Parse()
 
-	node, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Listen: *listen, Seed: *seed, Region: "US"})
+	store, err := ipfs.NewBlockStore(*storeKind, *storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	node, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Listen: *listen, Seed: *seed, Region: "US", Store: store})
 	if err != nil {
 		fatal(err)
 	}

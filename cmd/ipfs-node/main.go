@@ -41,6 +41,8 @@ func main() {
 		client    = flag.Bool("client", false, "join as a DHT client (unreachable peers)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "operation timeout")
 		debugHTTP = flag.String("debug-http", "", "daemon-mode introspection listen address (/healthz, /debug/metrics, /debug/trace/last)")
+		storeKind = flag.String("blockstore", "mem", "blockstore backend: mem | fs | pack")
+		storeDir  = flag.String("blockstore-dir", "", "directory for the fs/pack blockstores")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -49,7 +51,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	node, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Listen: *listen, Seed: *seed, Client: *client, Region: "US"})
+	store, err := ipfs.NewBlockStore(*storeKind, *storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	node, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Listen: *listen, Seed: *seed, Client: *client, Region: "US", Store: store})
 	if err != nil {
 		fatal(err)
 	}

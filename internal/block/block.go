@@ -62,6 +62,32 @@ type Store interface {
 	Len() int
 }
 
+// Pinner is the optional pinning surface of a Store. Pinned blocks
+// refuse Delete and survive Clear — the "persistently available"
+// gateway content of §3.4. MemStore and PackStore implement it;
+// callers that only hold a Store obtain it via core.Node.Pinner, which
+// degrades to a no-op for stores without pin support.
+type Pinner interface {
+	Pin(c cid.Cid)
+	Unpin(c cid.Cid)
+	Pinned(c cid.Cid) bool
+}
+
+// Clearer is the optional bulk-reset surface of a Store, used by
+// experiment harnesses to drop unpinned content between iterations.
+type Clearer interface {
+	Clear()
+}
+
+// Interface checks.
+var (
+	_ Store   = (*MemStore)(nil)
+	_ Pinner  = (*MemStore)(nil)
+	_ Clearer = (*MemStore)(nil)
+	_ Store   = (*FSStore)(nil)
+	_ Store   = (*LRUStore)(nil)
+)
+
 // MemStore is a thread-safe in-memory blockstore with optional pinning.
 // Pinned blocks survive GC and represent the "IPFS node store" content
 // manually uploaded to gateways (§3.4).

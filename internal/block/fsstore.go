@@ -5,7 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/cid"
 	"repro/internal/multibase"
@@ -15,16 +15,30 @@ import (
 // uses: blocks live in two-character shard directories keyed by the
 // tail of the base32 CID, one file per block. It verifies on Put and
 // on Get, so on-disk corruption is detected by self-certification.
+//
+// The store is lock-free: Put writes to a uniquely named temp file and
+// renames it into place, so readers only ever observe a whole block
+// file, and the filesystem itself orders concurrent same-CID renames
+// (all of which carry identical bytes — the CID certifies them).
 type FSStore struct {
-	mu   sync.RWMutex
 	root string
+	tmpN atomic.Uint64 // unique temp-file suffixes for concurrent Puts
 }
 
-// NewFSStore opens (creating if needed) a store rooted at dir.
+// NewFSStore opens (creating if needed) a store rooted at dir and
+// sweeps any *.tmp files a crashed writer left behind.
 func NewFSStore(dir string) (*FSStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("block: fsstore: %w", err)
 	}
+	// Leftover temp files are half-written blocks from a crash between
+	// write and rename; they are invisible to Get and safe to drop.
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.Contains(filepath.Base(path), ".tmp") {
+			os.Remove(path)
+		}
+		return nil
+	})
 	return &FSStore{root: dir}, nil
 }
 
@@ -44,13 +58,13 @@ func (s *FSStore) Put(b Block) error {
 		return ErrHashMismatch
 	}
 	dir, file := s.shardPath(b.Cid())
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("block: fsstore: %w", err)
 	}
-	// Write-then-rename for atomicity against concurrent readers.
-	tmp := file + ".tmp"
+	// Write-then-rename for atomicity against concurrent readers; the
+	// counter suffix keeps concurrent Puts of the same CID from
+	// clobbering each other's temp file mid-write.
+	tmp := fmt.Sprintf("%s.tmp%d", file, s.tmpN.Add(1))
 	if err := os.WriteFile(tmp, b.Data(), 0o644); err != nil {
 		return fmt.Errorf("block: fsstore: %w", err)
 	}
@@ -61,9 +75,7 @@ func (s *FSStore) Put(b Block) error {
 // corruption surfaces as an error rather than bad data.
 func (s *FSStore) Get(c cid.Cid) (Block, error) {
 	_, file := s.shardPath(c)
-	s.mu.RLock()
 	data, err := os.ReadFile(file)
-	s.mu.RUnlock()
 	if err != nil {
 		if os.IsNotExist(err) {
 			return Block{}, ErrNotFound
@@ -80,8 +92,6 @@ func (s *FSStore) Get(c cid.Cid) (Block, error) {
 // Has implements Store.
 func (s *FSStore) Has(c cid.Cid) bool {
 	_, file := s.shardPath(c)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	_, err := os.Stat(file)
 	return err == nil
 }
@@ -89,15 +99,11 @@ func (s *FSStore) Has(c cid.Cid) bool {
 // Delete implements Store.
 func (s *FSStore) Delete(c cid.Cid) {
 	_, file := s.shardPath(c)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	os.Remove(file)
 }
 
 // Len implements Store by walking the shard directories.
 func (s *FSStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
 	filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
 		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".data") {

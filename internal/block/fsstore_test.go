@@ -103,6 +103,75 @@ func TestFSStoreRejectsBadBlock(t *testing.T) {
 	}
 }
 
+// TestFSStoreSweepsTmpFilesOnOpen: a crash between write and rename
+// leaves a .tmp file; reopening the store must remove it.
+func TestFSStoreSweepsTmpFilesOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(multicodec.Raw, []byte("kept"))
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	shardDir, file := s.shardPath(b.Cid())
+	stray := filepath.Join(shardDir, filepath.Base(file)+".tmp3")
+	if err := os.WriteFile(stray, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFSStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Errorf("stray tmp file survived reopen: %v", err)
+	}
+	if !s.Has(b.Cid()) {
+		t.Error("real block removed by the tmp sweep")
+	}
+}
+
+// TestFSStoreConcurrentAccess: with no global lock, concurrent Put
+// (including same-CID races), Get and Delete must stay safe — run
+// under -race in CI.
+func TestFSStoreConcurrentAccess(t *testing.T) {
+	s := newFSStore(t)
+	const workers = 8
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				// Shared key space: every worker touches block i%10.
+				b := New(multicodec.Raw, []byte{byte(i % 10)})
+				if err := s.Put(b); err != nil {
+					done <- err
+					return
+				}
+				if got, err := s.Get(b.Cid()); err == nil && !bytes.Equal(got.Data(), b.Data()) {
+					done <- ErrHashMismatch
+					return
+				}
+				if w == 0 && i%7 == 0 {
+					s.Delete(b.Cid())
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No temp files may remain after the dust settles.
+	filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.Contains(filepath.Base(path), ".tmp") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+}
+
 func TestFSStoreSharding(t *testing.T) {
 	dir := t.TempDir()
 	s, err := NewFSStore(dir)

@@ -1,0 +1,768 @@
+package block
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/telemetry"
+)
+
+// PackStore is a pack-engine blockstore in the bitcask/auklet style:
+// blocks append sequentially to large volume files under per-record
+// headers, an in-memory index maps cid -> (volume, offset, len), and
+// Delete only writes a tombstone — background compaction rewrites
+// volumes whose dead-byte ratio crosses a threshold. Compared to the
+// file-per-block FSStore this turns a million small blocks into a
+// handful of large files: one pread per Get, no inode churn, and put
+// durability amortized by group fsync on a flush interval.
+//
+// On-disk record layout (big-endian), identical for volumes and the
+// records compaction rewrites:
+//
+//	magic   uint32  0x504b424c ("PKBL")
+//	kind    byte    1 = put, 2 = tombstone
+//	cidLen  uint16
+//	dataLen uint32  0 for tombstones
+//	crc     uint32  CRC-32C over cid || data
+//	cid     []byte
+//	data    []byte
+//
+// The index is rebuilt by replaying volume headers in id order on open;
+// a torn tail record (crash mid-append) fails its length or checksum
+// check and the active volume is truncated back to the last whole
+// record.
+type PackStore struct {
+	cfg PackConfig
+	dir string
+	reg atomic.Pointer[telemetry.Registry]
+
+	// mu guards the index, the volumes map and the pin set. Readers
+	// hold it (shared) across the pread, so the compactor — which takes
+	// it exclusively before dropping a volume from the map — can never
+	// close a file under an in-flight read.
+	mu       sync.RWMutex
+	index    map[string]packLoc
+	volumes  map[int]*packVolume
+	pins     map[string]struct{}
+	activeID int
+
+	// wmu serializes appends, rotation and the index mutations that
+	// follow an append. Lock order: wmu before mu, always.
+	wmu    sync.Mutex
+	active *packVolume
+	dirty  bool
+
+	cmu sync.Mutex // one compaction at a time
+
+	stop      chan struct{}
+	kick      chan struct{}
+	bg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// PackConfig tunes a PackStore; zero values select the defaults.
+type PackConfig struct {
+	// VolumeSizeCap rotates to a fresh volume file once the active one
+	// would exceed this many bytes (default 256 MiB).
+	VolumeSizeCap int64
+	// FlushInterval is the group-commit period: appended records are
+	// fsynced together at this cadence instead of per Put (default
+	// 100 ms). A crash can lose at most the last interval's puts; the
+	// torn-tail scan makes that loss clean rather than corrupting.
+	FlushInterval time.Duration
+	// CompactThreshold is the dead-byte ratio at which a sealed volume
+	// becomes a compaction candidate (default 0.5).
+	CompactThreshold float64
+	// DisableBackground skips the flush/compaction goroutine; tests
+	// drive Flush and CompactNow directly for determinism.
+	DisableBackground bool
+}
+
+func (c PackConfig) withDefaults() PackConfig {
+	if c.VolumeSizeCap <= 0 {
+		c.VolumeSizeCap = 256 << 20
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 100 * time.Millisecond
+	}
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = 0.5
+	}
+	return c
+}
+
+const (
+	packMagic     = 0x504b424c // "PKBL"
+	packHeaderLen = 15
+	recPut        = byte(1)
+	recTombstone  = byte(2)
+
+	// Scan sanity bounds: a header whose lengths exceed these is a torn
+	// or corrupt tail, not a record.
+	packMaxCidLen  = 4096
+	packMaxDataLen = 1 << 30
+)
+
+var packCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// packLoc locates one live block: volume id, payload offset, payload
+// length. The cid length is recoverable from the index key (the key is
+// the cid's raw bytes), so record sizes need not be stored.
+type packLoc struct {
+	vol int
+	off int64
+	n   int32
+}
+
+type packVolume struct {
+	id   int
+	path string
+	f    *os.File
+	size atomic.Int64 // accounted bytes; append offset for the active volume
+	dead atomic.Int64 // bytes of overwritten/deleted records + tombstones
+	// tombs remembers which keys this volume tombstones, so compaction
+	// can re-write a still-needed tombstone before dropping the file.
+	tombs map[string]struct{}
+	// stale remembers which keys have a dead put record in this volume
+	// (overwritten, deleted, or a compaction copy that lost a race). A
+	// tombstone is only worth carrying while some other volume holds a
+	// stale put for its key — otherwise a reopen has nothing to
+	// resurrect and the tombstone can be dropped, which is what lets
+	// compaction terminate instead of shuttling tombstones between
+	// volumes forever.
+	stale map[string]struct{}
+}
+
+// Interface checks.
+var (
+	_ Store  = (*PackStore)(nil)
+	_ Pinner = (*PackStore)(nil)
+)
+
+// NewPackStore opens (creating if needed) a pack store rooted at dir,
+// rebuilding the index from the volume files found there.
+func NewPackStore(dir string, cfg PackConfig) (*PackStore, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("block: packstore: %w", err)
+	}
+	s := &PackStore{
+		cfg:     cfg,
+		dir:     dir,
+		index:   make(map[string]packLoc),
+		volumes: make(map[int]*packVolume),
+		pins:    make(map[string]struct{}),
+		stop:    make(chan struct{}),
+		kick:    make(chan struct{}, 1),
+	}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	if !cfg.DisableBackground {
+		s.bg.Add(1)
+		go s.background()
+	}
+	return s, nil
+}
+
+func packVolumePath(dir string, id int) string {
+	return filepath.Join(dir, fmt.Sprintf("pack-%06d.vol", id))
+}
+
+func (s *PackStore) openVolume(id int) (*packVolume, error) {
+	path := packVolumePath(s.dir, id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("block: packstore: %w", err)
+	}
+	return &packVolume{
+		id:    id,
+		path:  path,
+		f:     f,
+		tombs: make(map[string]struct{}),
+		stale: make(map[string]struct{}),
+	}, nil
+}
+
+// open replays every volume in id order. The highest-numbered volume
+// becomes the active one and is truncated past its last whole record;
+// garbage tails in sealed volumes are only counted as dead bytes.
+func (s *PackStore) open() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "pack-*.vol"))
+	if err != nil {
+		return fmt.Errorf("block: packstore: %w", err)
+	}
+	var ids []int
+	for _, p := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(p), "pack-%06d.vol", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for i, id := range ids {
+		v, err := s.openVolume(id)
+		if err != nil {
+			return err
+		}
+		s.volumes[id] = v
+		valid := s.scanVolume(v)
+		st, err := v.f.Stat()
+		if err != nil {
+			return fmt.Errorf("block: packstore: %w", err)
+		}
+		if i == len(ids)-1 {
+			if st.Size() > valid {
+				if err := v.f.Truncate(valid); err != nil {
+					return fmt.Errorf("block: packstore: %w", err)
+				}
+			}
+			s.active, s.activeID = v, id
+		} else if st.Size() > valid {
+			v.size.Store(st.Size())
+			v.dead.Add(st.Size() - valid)
+		}
+	}
+	if s.active == nil {
+		v, err := s.openVolume(0)
+		if err != nil {
+			return err
+		}
+		s.volumes[0] = v
+		s.active, s.activeID = v, 0
+	}
+	return nil
+}
+
+// scanVolume replays v's records into the index, stopping at the first
+// record that fails a header sanity check or its checksum, and returns
+// the length of the valid prefix.
+func (s *PackStore) scanVolume(v *packVolume) int64 {
+	var off int64
+	hdr := make([]byte, packHeaderLen)
+	for {
+		if _, err := v.f.ReadAt(hdr, off); err != nil {
+			break
+		}
+		magic := binary.BigEndian.Uint32(hdr[0:4])
+		kind := hdr[4]
+		cidLen := int(binary.BigEndian.Uint16(hdr[5:7]))
+		dataLen := int(binary.BigEndian.Uint32(hdr[7:11]))
+		sum := binary.BigEndian.Uint32(hdr[11:15])
+		if magic != packMagic || (kind != recPut && kind != recTombstone) ||
+			cidLen == 0 || cidLen > packMaxCidLen || dataLen > packMaxDataLen ||
+			(kind == recTombstone && dataLen != 0) {
+			break
+		}
+		payload := make([]byte, cidLen+dataLen)
+		if _, err := v.f.ReadAt(payload, off+packHeaderLen); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, packCRC) != sum {
+			break
+		}
+		c, err := cid.FromBytes(payload[:cidLen])
+		if err != nil {
+			break
+		}
+		key := c.Key()
+		recLen := int64(packHeaderLen + cidLen + dataLen)
+		switch kind {
+		case recPut:
+			if old, ok := s.index[key]; ok {
+				ov := s.volumes[old.vol]
+				ov.dead.Add(packRecLen(key, old.n))
+				ov.stale[key] = struct{}{}
+			}
+			s.index[key] = packLoc{vol: v.id, off: off + packHeaderLen + int64(cidLen), n: int32(dataLen)}
+			delete(v.tombs, key) // a re-put supersedes this volume's tombstone
+		case recTombstone:
+			if old, ok := s.index[key]; ok {
+				ov := s.volumes[old.vol]
+				ov.dead.Add(packRecLen(key, old.n))
+				ov.stale[key] = struct{}{}
+				delete(s.index, key)
+			}
+			v.dead.Add(recLen) // the tombstone itself is dead weight
+			v.tombs[key] = struct{}{}
+		}
+		off += recLen
+	}
+	v.size.Store(off)
+	return off
+}
+
+// packRecLen is the on-disk size of a record whose index key (= cid
+// bytes) is key and whose payload is dataLen bytes.
+func packRecLen(key string, dataLen int32) int64 {
+	return int64(packHeaderLen + len(key) + int(dataLen))
+}
+
+func encodeRecord(kind byte, cidB, data []byte) []byte {
+	buf := make([]byte, packHeaderLen+len(cidB)+len(data))
+	binary.BigEndian.PutUint32(buf[0:4], packMagic)
+	buf[4] = kind
+	binary.BigEndian.PutUint16(buf[5:7], uint16(len(cidB)))
+	binary.BigEndian.PutUint32(buf[7:11], uint32(len(data)))
+	copy(buf[packHeaderLen:], cidB)
+	copy(buf[packHeaderLen+len(cidB):], data)
+	binary.BigEndian.PutUint32(buf[11:15], crc32.Checksum(buf[packHeaderLen:], packCRC))
+	return buf
+}
+
+// appendLocked appends rec to the active volume, rotating first when
+// it would overflow the size cap. Caller holds wmu.
+func (s *PackStore) appendLocked(rec []byte) (*packVolume, int64, error) {
+	v := s.active
+	if sz := v.size.Load(); sz > 0 && sz+int64(len(rec)) > s.cfg.VolumeSizeCap {
+		nv, err := s.rotateLocked()
+		if err != nil {
+			return nil, 0, err
+		}
+		v = nv
+	}
+	off := v.size.Load()
+	if _, err := v.f.WriteAt(rec, off); err != nil {
+		return nil, 0, fmt.Errorf("block: packstore: %w", err)
+	}
+	v.size.Add(int64(len(rec)))
+	s.dirty = true
+	return v, off, nil
+}
+
+// rotateLocked seals the active volume (fsyncing it durably) and opens
+// the next one. Caller holds wmu.
+func (s *PackStore) rotateLocked() (*packVolume, error) {
+	if err := s.active.f.Sync(); err != nil {
+		return nil, fmt.Errorf("block: packstore: %w", err)
+	}
+	s.dirty = false
+	v, err := s.openVolume(s.activeID + 1)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.volumes[v.id] = v
+	s.activeID = v.id
+	s.mu.Unlock()
+	s.active = v
+	return v, nil
+}
+
+// Put implements Store. Content addressing makes Put of an already
+// stored CID a no-op: the same CID certifies the same bytes.
+func (s *PackStore) Put(b Block) error {
+	if !b.cid.Defined() {
+		return fmt.Errorf("block: undefined CID")
+	}
+	if !b.cid.Verify(b.data) {
+		return ErrHashMismatch
+	}
+	key := b.cid.Key()
+	s.wmu.Lock()
+	s.mu.RLock()
+	_, exists := s.index[key]
+	s.mu.RUnlock()
+	if exists {
+		s.wmu.Unlock()
+		return nil
+	}
+	v, off, err := s.appendLocked(encodeRecord(recPut, b.cid.Bytes(), b.data))
+	if err != nil {
+		s.wmu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.index[key] = packLoc{vol: v.id, off: off + packHeaderLen + int64(len(key)), n: int32(len(b.data))}
+	s.mu.Unlock()
+	s.wmu.Unlock()
+	s.reg.Load().Counter("blockstore_puts", "store", "pack").Inc()
+	s.publishGauges()
+	return nil
+}
+
+// Get implements Store: one pread under the shared lock, then
+// self-certification so on-disk corruption surfaces as an error.
+func (s *PackStore) Get(c cid.Cid) (Block, error) {
+	start := time.Now()
+	s.mu.RLock()
+	loc, ok := s.index[c.Key()]
+	if !ok {
+		s.mu.RUnlock()
+		return Block{}, ErrNotFound
+	}
+	v := s.volumes[loc.vol]
+	if v == nil {
+		s.mu.RUnlock()
+		return Block{}, fmt.Errorf("block: packstore: %s: volume %d missing", c, loc.vol)
+	}
+	data := make([]byte, loc.n)
+	_, err := v.f.ReadAt(data, loc.off)
+	s.mu.RUnlock()
+	if err != nil {
+		return Block{}, fmt.Errorf("block: packstore: read %s: %w", c, err)
+	}
+	blk, err := NewWithCid(c, data)
+	if err != nil {
+		return Block{}, fmt.Errorf("block: packstore: %s corrupt on disk: %w", c, err)
+	}
+	reg := s.reg.Load()
+	reg.Counter("blockstore_gets", "store", "pack").Inc()
+	reg.Histogram("pack_read_seconds", 0.0005).ObserveDuration(time.Since(start))
+	return blk, nil
+}
+
+// Has implements Store.
+func (s *PackStore) Has(c cid.Cid) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[c.Key()]
+	return ok
+}
+
+// Delete implements Store. It appends a tombstone and drops the index
+// entry; the record's bytes are reclaimed later by compaction. Pinned
+// blocks are not deleted.
+func (s *PackStore) Delete(c cid.Cid) {
+	key := c.Key()
+	s.wmu.Lock()
+	s.mu.RLock()
+	_, ok := s.index[key]
+	_, pinned := s.pins[key]
+	s.mu.RUnlock()
+	if !ok || pinned {
+		s.wmu.Unlock()
+		return
+	}
+	v, _, err := s.appendLocked(encodeRecord(recTombstone, c.Bytes(), nil))
+	if err != nil {
+		// Keep the index entry: without a durable tombstone the block
+		// would resurrect on reopen anyway.
+		s.wmu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	// Re-read the loc: the compactor may have moved it since the check
+	// above (Put/Delete themselves serialize on wmu).
+	loc := s.index[key]
+	if ov := s.volumes[loc.vol]; ov != nil {
+		ov.dead.Add(packRecLen(key, loc.n))
+		ov.stale[key] = struct{}{}
+	}
+	delete(s.index, key)
+	v.dead.Add(packRecLen(key, 0))
+	v.tombs[key] = struct{}{}
+	s.mu.Unlock()
+	s.wmu.Unlock()
+	s.reg.Load().Counter("blockstore_deletes", "store", "pack").Inc()
+	s.publishGauges()
+	s.kickCompaction()
+}
+
+// Len implements Store.
+func (s *PackStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Pin marks a block as pinned; pinned blocks refuse Delete.
+func (s *PackStore) Pin(c cid.Cid) {
+	s.mu.Lock()
+	s.pins[c.Key()] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Unpin removes a pin.
+func (s *PackStore) Unpin(c cid.Cid) {
+	s.mu.Lock()
+	delete(s.pins, c.Key())
+	s.mu.Unlock()
+}
+
+// Pinned reports whether c is pinned.
+func (s *PackStore) Pinned(c cid.Cid) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.pins[c.Key()]
+	return ok
+}
+
+// Flush fsyncs unsynced appends on the active volume — the group
+// commit the background loop runs every FlushInterval.
+func (s *PackStore) Flush() error {
+	s.wmu.Lock()
+	f, dirty := s.active.f, s.dirty
+	s.dirty = false
+	s.wmu.Unlock()
+	if !dirty {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("block: packstore: %w", err)
+	}
+	return nil
+}
+
+func (s *PackStore) kickCompaction() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// tombstoneNeeded reports whether a tombstone for key must be carried
+// forward when its volume (exclude) is dropped: the key is not live and
+// some other volume still holds a stale put record a reopen would
+// otherwise replay. Caller holds mu (shared suffices).
+func (s *PackStore) tombstoneNeeded(key string, exclude int) bool {
+	if _, live := s.index[key]; live {
+		return false // a rewrite after the re-put record would kill it
+	}
+	for id, w := range s.volumes {
+		if id == exclude {
+			continue
+		}
+		if _, ok := w.stale[key]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// compactCandidate picks the sealed volume with the worst reclaimable
+// ratio at or past the threshold, or nil. Dead bytes belonging to
+// still-needed tombstones are not reclaimable — compaction would just
+// rewrite them into the active volume — so a volume of nothing but
+// needed tombstones is not a candidate; it becomes one when the stale
+// puts its tombstones mask are compacted away themselves.
+func (s *PackStore) compactCandidate() *packVolume {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *packVolume
+	var bestRatio float64
+	for id, v := range s.volumes {
+		if id == s.activeID {
+			continue // still being appended to
+		}
+		size := v.size.Load()
+		if size == 0 {
+			continue
+		}
+		reclaim := v.dead.Load()
+		for key := range v.tombs {
+			if s.tombstoneNeeded(key, v.id) {
+				reclaim -= packRecLen(key, 0)
+			}
+		}
+		if ratio := float64(reclaim) / float64(size); ratio >= s.cfg.CompactThreshold && ratio > bestRatio {
+			best, bestRatio = v, ratio
+		}
+	}
+	return best
+}
+
+// CompactNow synchronously compacts until no sealed volume crosses the
+// dead-ratio threshold. The background loop calls it when Delete kicks
+// it; tests call it directly for determinism.
+func (s *PackStore) CompactNow() error {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	for {
+		v := s.compactCandidate()
+		if v == nil {
+			return nil
+		}
+		if err := s.compactVolume(v); err != nil {
+			return err
+		}
+	}
+}
+
+// compactVolume moves v's live records to the active volume, rewrites
+// any of v's tombstones that still mask an older put, then removes the
+// volume file. Readers are never blocked for the duration: they hold
+// mu shared across their preads, and the file is closed only after the
+// index no longer references the volume.
+func (s *PackStore) compactVolume(v *packVolume) error {
+	type liveRec struct {
+		key string
+		loc packLoc
+	}
+	var live []liveRec
+	tombs := make([]string, 0, len(v.tombs))
+	s.mu.RLock()
+	for key, loc := range s.index {
+		if loc.vol == v.id {
+			live = append(live, liveRec{key, loc})
+		}
+	}
+	for key := range v.tombs {
+		tombs = append(tombs, key)
+	}
+	s.mu.RUnlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].loc.off < live[j].loc.off })
+	sort.Strings(tombs)
+
+	for _, r := range live {
+		s.mu.RLock()
+		loc, ok := s.index[r.key]
+		if !ok || loc != r.loc {
+			s.mu.RUnlock()
+			continue // deleted or already moved
+		}
+		data := make([]byte, loc.n)
+		_, err := v.f.ReadAt(data, loc.off)
+		s.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("block: packstore: compact %s: %w", v.path, err)
+		}
+		rec := encodeRecord(recPut, []byte(r.key), data)
+		s.wmu.Lock()
+		nv, off, err := s.appendLocked(rec)
+		if err != nil {
+			s.wmu.Unlock()
+			return err
+		}
+		s.mu.Lock()
+		if cur, ok := s.index[r.key]; ok && cur == r.loc {
+			s.index[r.key] = packLoc{vol: nv.id, off: off + packHeaderLen + int64(len(r.key)), n: loc.n}
+			v.dead.Add(packRecLen(r.key, loc.n))
+		} else {
+			// Deleted while we copied: the fresh copy is born dead, and
+			// it is a stale put the delete's tombstone must keep masking.
+			nv.dead.Add(int64(len(rec)))
+			nv.stale[r.key] = struct{}{}
+		}
+		s.mu.Unlock()
+		s.wmu.Unlock()
+	}
+
+	// A tombstone must outlive its volume while another volume still
+	// holds a stale put for its key — dropping it would let a reopen
+	// replay that put and resurrect deleted data. If the key is live
+	// again, or no stale put survives anywhere, the tombstone is
+	// dropped (a rewrite after a re-put record would kill the live
+	// block; an unmasked tombstone is pure dead weight). Checking under
+	// wmu keeps a concurrent re-put from interleaving between check and
+	// append.
+	for _, key := range tombs {
+		s.wmu.Lock()
+		s.mu.RLock()
+		needed := s.tombstoneNeeded(key, v.id)
+		s.mu.RUnlock()
+		if !needed {
+			s.wmu.Unlock()
+			continue
+		}
+		rec := encodeRecord(recTombstone, []byte(key), nil)
+		nv, _, err := s.appendLocked(rec)
+		if err != nil {
+			s.wmu.Unlock()
+			return err
+		}
+		s.mu.Lock()
+		nv.dead.Add(int64(len(rec)))
+		nv.tombs[key] = struct{}{}
+		s.mu.Unlock()
+		s.wmu.Unlock()
+	}
+
+	// The moved records must be durable before the only other copy of
+	// them disappears with the volume file.
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.volumes, v.id)
+	s.mu.Unlock()
+	v.f.Close()
+	rmErr := os.Remove(v.path)
+	s.reg.Load().Counter("pack_compactions", "store", "pack").Inc()
+	s.publishGauges()
+	if rmErr != nil {
+		return fmt.Errorf("block: packstore: %w", rmErr)
+	}
+	return nil
+}
+
+func (s *PackStore) background() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Flush()
+		case <-s.kick:
+			s.CompactNow()
+		}
+	}
+}
+
+// Close stops the background worker, flushes the active volume and
+// closes every volume file. The store must not be used after Close.
+func (s *PackStore) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.bg.Wait()
+		s.closeErr = s.Flush()
+		s.mu.Lock()
+		for _, v := range s.volumes {
+			v.f.Close()
+		}
+		s.mu.Unlock()
+	})
+	return s.closeErr
+}
+
+// SetMetrics points the store at a telemetry registry so /debug/metrics
+// shows storage health; core.Node wires this automatically. All
+// reporting is a no-op until set.
+func (s *PackStore) SetMetrics(reg *telemetry.Registry) {
+	s.reg.Store(reg)
+	s.publishGauges()
+}
+
+func (s *PackStore) publishGauges() {
+	reg := s.reg.Load()
+	if reg == nil {
+		return
+	}
+	live, dead, n := s.usage()
+	reg.Gauge("pack_live_bytes").Set(float64(live))
+	reg.Gauge("pack_dead_bytes").Set(float64(dead))
+	reg.Gauge("pack_volumes").Set(float64(n))
+}
+
+func (s *PackStore) usage() (live, dead int64, volumes int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, v := range s.volumes {
+		sz, dd := v.size.Load(), v.dead.Load()
+		live += sz - dd
+		dead += dd
+	}
+	return live, dead, len(s.volumes)
+}
+
+// LiveBytes returns the bytes of live (indexed) records across volumes.
+func (s *PackStore) LiveBytes() int64 { live, _, _ := s.usage(); return live }
+
+// DeadBytes returns the bytes awaiting compaction: overwritten or
+// deleted records, tombstones, and torn tails in sealed volumes.
+func (s *PackStore) DeadBytes() int64 { _, dead, _ := s.usage(); return dead }
+
+// VolumeCount returns the number of volume files.
+func (s *PackStore) VolumeCount() int { _, _, n := s.usage(); return n }

@@ -1,0 +1,551 @@
+package block
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/multicodec"
+	"repro/internal/telemetry"
+)
+
+func newPackStore(t *testing.T, dir string, cfg PackConfig) *PackStore {
+	t.Helper()
+	cfg.DisableBackground = true
+	s, err := NewPackStore(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func packBlock(i int) Block {
+	return New(multicodec.Raw, []byte(fmt.Sprintf("pack-block-%04d-%s", i, "xxxxxxxxxxxxxxxx")))
+}
+
+func volumeFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "pack-*.vol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestPackStoreReopenRebuildsIndex: the index is purely in-memory, so
+// everything must come back from the volume-header scan.
+func TestPackStoreReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{})
+	var blocks []Block
+	for i := 0; i < 50; i++ {
+		b := packBlock(i)
+		blocks = append(blocks, b)
+		if err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted := blocks[3]
+	s.Delete(deleted.Cid())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newPackStore(t, dir, PackConfig{})
+	if r.Len() != len(blocks)-1 {
+		t.Fatalf("Len after reopen = %d, want %d", r.Len(), len(blocks)-1)
+	}
+	if r.Has(deleted.Cid()) {
+		t.Fatal("tombstoned block resurrected on reopen")
+	}
+	for i, b := range blocks {
+		if i == 3 {
+			continue
+		}
+		got, err := r.Get(b.Cid())
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if string(got.Data()) != string(b.Data()) {
+			t.Fatalf("block %d data mismatch", i)
+		}
+	}
+}
+
+// TestPackStoreCrashRecoveryTornTail simulates a crash mid-append:
+// truncating the active volume inside the last record must lose only
+// that record, and the reopened store must keep appending cleanly.
+func TestPackStoreCrashRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{})
+	var blocks []Block
+	for i := 0; i < 20; i++ {
+		b := packBlock(i)
+		blocks = append(blocks, b)
+		if err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	vols := volumeFiles(t, dir)
+	if len(vols) != 1 {
+		t.Fatalf("volumes = %d, want 1", len(vols))
+	}
+	st, err := os.Stat(vols[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the middle of the final record: its header survives but
+	// the payload is short, which must read as a torn tail.
+	if err := os.Truncate(vols[0], st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newPackStore(t, dir, PackConfig{})
+	last := blocks[len(blocks)-1]
+	if r.Has(last.Cid()) {
+		t.Fatal("torn tail record survived the scan")
+	}
+	if r.Len() != len(blocks)-1 {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(blocks)-1)
+	}
+	for _, b := range blocks[:len(blocks)-1] {
+		if _, err := r.Get(b.Cid()); err != nil {
+			t.Fatalf("pre-tear block lost: %v", err)
+		}
+	}
+	// The truncated tail must not poison subsequent appends.
+	nb := packBlock(999)
+	if err := r.Put(nb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := newPackStore(t, dir, PackConfig{})
+	if _, err := r2.Get(nb.Cid()); err != nil {
+		t.Fatalf("post-recovery append lost: %v", err)
+	}
+	if _, err := r2.Get(last.Cid()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn record = %v, want ErrNotFound", err)
+	}
+}
+
+// TestPackStoreGarbageTailTolerated: random garbage appended to the
+// active volume (a torn header rather than a torn payload) is skipped.
+func TestPackStoreGarbageTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{})
+	b := packBlock(1)
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(volumeFiles(t, dir)[0], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("not a record header at all")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := newPackStore(t, dir, PackConfig{})
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if _, err := r.Get(b.Cid()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackStoreRotation: puts past the volume size cap must spill into
+// new volume files, all of them readable.
+func TestPackStoreRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{VolumeSizeCap: 512})
+	var blocks []Block
+	for i := 0; i < 40; i++ {
+		b := packBlock(i)
+		blocks = append(blocks, b)
+		if err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(volumeFiles(t, dir)); n < 3 {
+		t.Fatalf("volume files = %d, want >= 3 with a 512-byte cap", n)
+	}
+	for _, b := range blocks {
+		if _, err := s.Get(b.Cid()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPackStoreCompactionReclaims: deleting most blocks must make the
+// early volumes compactable; compaction keeps every live block
+// readable, reclaims the dead bytes and removes volume files.
+func TestPackStoreCompactionReclaims(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{VolumeSizeCap: 1024, CompactThreshold: 0.3})
+	var blocks []Block
+	for i := 0; i < 100; i++ {
+		b := packBlock(i)
+		blocks = append(blocks, b)
+		if err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	volsBefore := len(volumeFiles(t, dir))
+	// Delete three of every four blocks.
+	var live []Block
+	for i, b := range blocks {
+		if i%4 == 0 {
+			live = append(live, b)
+			continue
+		}
+		s.Delete(b.Cid())
+	}
+	deadBefore := s.DeadBytes()
+	if deadBefore == 0 {
+		t.Fatal("deletes recorded no dead bytes")
+	}
+	if err := s.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DeadBytes(); got >= deadBefore {
+		t.Fatalf("dead bytes not reclaimed: %d -> %d", deadBefore, got)
+	}
+	if volsAfter := len(volumeFiles(t, dir)); volsAfter >= volsBefore {
+		t.Fatalf("volume files not removed: %d -> %d", volsBefore, volsAfter)
+	}
+	if s.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(live))
+	}
+	for _, b := range live {
+		got, err := s.Get(b.Cid())
+		if err != nil {
+			t.Fatalf("live block lost by compaction: %v", err)
+		}
+		if string(got.Data()) != string(b.Data()) {
+			t.Fatal("live block corrupted by compaction")
+		}
+	}
+	// The compacted state must also survive a reopen (moved records and
+	// rewritten tombstones replay correctly).
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := newPackStore(t, dir, PackConfig{})
+	if r.Len() != len(live) {
+		t.Fatalf("Len after reopen = %d, want %d", r.Len(), len(live))
+	}
+	for _, b := range live {
+		if _, err := r.Get(b.Cid()); err != nil {
+			t.Fatalf("live block lost across reopen: %v", err)
+		}
+	}
+}
+
+// TestPackStoreCompactionPreservesTombstones: compacting the volume
+// that holds a tombstone while an older volume still holds the put
+// record must rewrite the tombstone — otherwise a reopen would replay
+// the stale put and resurrect deleted data.
+func TestPackStoreCompactionPreservesTombstones(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{VolumeSizeCap: 400, CompactThreshold: 0.9})
+	victim := packBlock(0)
+	if err := s.Put(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Fill volume 0 past the cap so the tombstone lands in a later one.
+	var fillers []Block
+	for i := 1; i < 30; i++ {
+		b := packBlock(i)
+		fillers = append(fillers, b)
+		if err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete(victim.Cid())
+	tombVol := s.activeID // the tombstone is in the current active volume
+	// Roll the active volume forward so the tombstone's volume seals.
+	for i := 30; i < 60; i++ {
+		if err := s.Put(packBlock(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.activeID == tombVol {
+		t.Fatalf("tombstone volume %d never sealed", tombVol)
+	}
+	// Make the tombstone's volume maximally dead so it compacts first,
+	// while volume 0 (holding victim's put record) stays below the 0.9
+	// threshold and survives.
+	for _, b := range fillers {
+		if loc, ok := s.index[b.cid.Key()]; ok && loc.vol == tombVol {
+			s.Delete(b.Cid())
+		}
+	}
+	if err := s.compactVolume(s.volumes[tombVol]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.volumes[0]; !ok {
+		t.Fatal("test premise broken: volume 0 was compacted away")
+	}
+	if s.Has(victim.Cid()) {
+		t.Fatal("victim live before reopen")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := newPackStore(t, dir, PackConfig{})
+	if r.Has(victim.Cid()) {
+		t.Fatal("deleted block resurrected: tombstone dropped by compaction")
+	}
+}
+
+// TestPackStoreDeleteThenReputSurvivesCompactionAndReopen: a re-put
+// key must drop its obsolete tombstone during compaction rather than
+// have the rewrite kill the live block.
+func TestPackStoreDeleteThenReputSurvivesCompactionAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{VolumeSizeCap: 400, CompactThreshold: 0.2})
+	b := packBlock(0)
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(b.Cid())
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	// Seal the volume holding put+tombstone+reput, then compact it.
+	for i := 1; i < 40; i++ {
+		if err := s.Put(packBlock(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(b.Cid()); err != nil {
+		t.Fatalf("re-put block lost after compaction: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := newPackStore(t, dir, PackConfig{})
+	if _, err := r.Get(b.Cid()); err != nil {
+		t.Fatalf("re-put block lost after reopen: %v", err)
+	}
+}
+
+// TestPackStorePinBlocksDelete mirrors MemStore's pin semantics.
+func TestPackStorePinBlocksDelete(t *testing.T) {
+	s := newPackStore(t, t.TempDir(), PackConfig{})
+	b := packBlock(0)
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(b.Cid())
+	if !s.Pinned(b.Cid()) {
+		t.Fatal("Pinned = false after Pin")
+	}
+	s.Delete(b.Cid())
+	if !s.Has(b.Cid()) {
+		t.Fatal("pinned block deleted")
+	}
+	s.Unpin(b.Cid())
+	s.Delete(b.Cid())
+	if s.Has(b.Cid()) {
+		t.Fatal("unpinned block survived Delete")
+	}
+}
+
+// TestPackStoreDetectsCorruption: flipping payload bytes on disk must
+// surface as an error from Get (self-certification), not bad data.
+func TestPackStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{})
+	b := packBlock(0)
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the payload (the tail of the only record).
+	vol := volumeFiles(t, dir)[0]
+	raw, err := os.ReadFile(vol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(vol, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(b.Cid()); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on corrupt record = %v, want corruption error", err)
+	}
+}
+
+// TestPackStoreMetrics: a wired registry sees put/get counters, the
+// read-latency histogram and the live/dead gauges.
+func TestPackStoreMetrics(t *testing.T) {
+	s := newPackStore(t, t.TempDir(), PackConfig{})
+	reg := telemetry.NewRegistry()
+	s.SetMetrics(reg)
+	b := packBlock(0)
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(b.Cid()); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete(packBlock(1).Cid()) // miss: no counter, no panic
+	snap := reg.Snapshot()
+	if snap.Counters["blockstore_puts{store=pack}"] != 1 {
+		t.Errorf("puts counter = %v", snap.Counters["blockstore_puts{store=pack}"])
+	}
+	if snap.Counters["blockstore_gets{store=pack}"] != 1 {
+		t.Errorf("gets counter = %v", snap.Counters["blockstore_gets{store=pack}"])
+	}
+	if snap.Latencies["pack_read_seconds"].Count != 1 {
+		t.Errorf("read histogram count = %d", snap.Latencies["pack_read_seconds"].Count)
+	}
+	if snap.Gauges["pack_live_bytes"] <= 0 {
+		t.Errorf("live bytes gauge = %v", snap.Gauges["pack_live_bytes"])
+	}
+	if snap.Gauges["pack_volumes"] != 1 {
+		t.Errorf("volumes gauge = %v", snap.Gauges["pack_volumes"])
+	}
+}
+
+// TestPackStoreConcurrentStress hammers Put/Get/Delete from many
+// goroutines while a compactor loops, under small volumes so rotation
+// and compaction happen constantly. Run with -race in CI; the
+// invariant checked throughout is that a Get never returns wrong data
+// and the final index matches a sequential replay.
+func TestPackStoreConcurrentStress(t *testing.T) {
+	dir := t.TempDir()
+	s := newPackStore(t, dir, PackConfig{VolumeSizeCap: 2048, CompactThreshold: 0.3})
+	const workers = 4
+	const perWorker = 300
+	var wg sync.WaitGroup
+	stopCompact := make(chan struct{})
+	compactDone := make(chan struct{})
+	go func() {
+		defer close(compactDone)
+		for {
+			select {
+			case <-stopCompact:
+				return
+			default:
+				if err := s.CompactNow(); err != nil {
+					t.Errorf("compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				// Overlapping key space across workers: concurrent
+				// same-CID puts and deletes are part of the test.
+				b := packBlock(rng.Intn(100))
+				switch rng.Intn(4) {
+				case 0, 1:
+					if err := s.Put(b); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 2:
+					got, err := s.Get(b.Cid())
+					if err == nil && string(got.Data()) != string(b.Data()) {
+						t.Error("get returned wrong data")
+						return
+					}
+					if err != nil && !errors.Is(err, ErrNotFound) {
+						t.Errorf("get: %v", err)
+						return
+					}
+				case 3:
+					s.Delete(b.Cid())
+				}
+			}
+		}(w)
+	}
+	// Stop the compactor only after the workers are done.
+	wg.Wait()
+	close(stopCompact)
+	<-compactDone
+
+	// Whatever survived must read back correctly and survive a reopen.
+	liveBefore := s.Len()
+	for i := 0; i < 100; i++ {
+		b := packBlock(i)
+		got, err := s.Get(b.Cid())
+		if err == nil && string(got.Data()) != string(b.Data()) {
+			t.Fatal("corrupt block after stress")
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := newPackStore(t, dir, PackConfig{})
+	if r.Len() != liveBefore {
+		t.Fatalf("reopen Len = %d, want %d", r.Len(), liveBefore)
+	}
+}
+
+// TestPackStoreBackgroundLoop exercises the non-test path: the flush
+// ticker and the Delete-kicked compaction goroutine.
+func TestPackStoreBackgroundLoop(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewPackStore(dir, PackConfig{
+		VolumeSizeCap:    1024,
+		FlushInterval:    time.Millisecond,
+		CompactThreshold: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []Block
+	for i := 0; i < 60; i++ {
+		b := packBlock(i)
+		blocks = append(blocks, b)
+		if err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range blocks[:45] {
+		s.Delete(b.Cid())
+	}
+	// Close waits for the worker, flushes and settles everything.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := newPackStore(t, dir, PackConfig{})
+	if r.Len() != 15 {
+		t.Fatalf("Len = %d, want 15", r.Len())
+	}
+	for _, b := range blocks[45:] {
+		if _, err := r.Get(b.Cid()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -59,6 +59,12 @@ type Config struct {
 	// DHT walk (default), the accelerated one-hop client, the delegated
 	// indexer client, or the parallel composite racing all of them.
 	Routing routing.Kind
+	// Store is the blockstore backing Bitswap serving, the gateway read
+	// path and content import. Nil selects an in-memory MemStore. A
+	// store implementing SetMetrics(*telemetry.Registry) is wired into
+	// the node's registry; one implementing io.Closer is closed with
+	// the node.
+	Store block.Store
 	// Indexers are the delegated-routing indexer nodes the indexer and
 	// parallel routers publish to and query.
 	Indexers []wire.PeerInfo
@@ -101,7 +107,8 @@ type Node struct {
 	sw      *swarm.Swarm
 	dht     *dht.DHT
 	bswap   *bitswap.Bitswap
-	store   *block.MemStore
+	store   block.Store
+	pin     block.Pinner
 	builder *merkledag.Builder
 	repub   republisher
 
@@ -117,7 +124,10 @@ type Node struct {
 func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	sw := swarm.New(ident, ep, cfg.Time)
-	store := block.NewMemStore()
+	store := cfg.Store
+	if store == nil {
+		store = block.NewMemStore()
+	}
 	d := dht.New(ident, sw, cfg.Mode, dht.Config{
 		K:                 cfg.K,
 		Alpha:             cfg.Alpha,
@@ -143,6 +153,16 @@ func New(ident peer.Identity, ep transport.Endpoint, cfg Config) *Node {
 		store:   store,
 		builder: merkledag.NewBuilder(store, cfg.ChunkSize, cfg.Fanout),
 		tel:     telemetry.NewRecorder(cfg.Time),
+	}
+	if p, ok := store.(block.Pinner); ok {
+		n.pin = p
+	} else {
+		n.pin = noopPinner{}
+	}
+	if m, ok := store.(interface {
+		SetMetrics(*telemetry.Registry)
+	}); ok {
+		m.SetMetrics(n.tel.Registry())
 	}
 	n.router = n.buildRouter()
 	// Bitswap session peer selection and the want-broadcast policy go
@@ -301,10 +321,39 @@ func (n *Node) Swarm() *swarm.Swarm { return n.sw }
 func (n *Node) Bitswap() *bitswap.Bitswap { return n.bswap }
 
 // Store exposes the local blockstore.
-func (n *Node) Store() *block.MemStore { return n.store }
+func (n *Node) Store() block.Store { return n.store }
 
-// Close shuts the node down.
-func (n *Node) Close() error { return n.sw.Close() }
+// Pinner exposes the store's pinning surface; for stores without pin
+// support it is a no-op whose Pinned always reports false.
+func (n *Node) Pinner() block.Pinner { return n.pin }
+
+// ClearStore drops unpinned blocks on stores that support bulk reset
+// (the experiment harnesses' between-iteration reset); otherwise it is
+// a no-op.
+func (n *Node) ClearStore() {
+	if c, ok := n.store.(block.Clearer); ok {
+		c.Clear()
+	}
+}
+
+// noopPinner backs Pinner for stores without pin support.
+type noopPinner struct{}
+
+func (noopPinner) Pin(cid.Cid)         {}
+func (noopPinner) Unpin(cid.Cid)       {}
+func (noopPinner) Pinned(cid.Cid) bool { return false }
+
+// Close shuts the node down, closing the blockstore when it holds
+// resources (PackStore's background flusher and volume files).
+func (n *Node) Close() error {
+	err := n.sw.Close()
+	if c, ok := n.store.(interface{ Close() error }); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // Add imports content into the local node: chunk, build the Merkle DAG,
 // allocate the root CID (Figure 3 step 1). Nothing leaves the machine.

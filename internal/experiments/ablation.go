@@ -97,7 +97,7 @@ func RunReplicationSweep(cfg AblationConfig, ks []int, churnFraction float64) []
 				survived++
 			}
 			cancel()
-			get.Store().Clear()
+			get.ClearStore()
 		}
 		point := ReplicationPoint{K: k}
 		if pubDur.Len() > 0 {
@@ -224,7 +224,7 @@ func RunClientServerSplit(cfg AblationConfig) []ClientServerPoint {
 			if _, rres, err := get.Retrieve(ctx, res.Cid); err == nil {
 				retrS.AddDuration(rres.Total)
 			}
-			get.Store().Clear()
+			get.ClearStore()
 		}
 		pt := ClientServerPoint{SplitEnabled: split}
 		if pubS.Len() > 0 {

@@ -243,7 +243,7 @@ func TestAcceleratedFallbackCarriesUnreachableSnapshot(t *testing.T) {
 	if !rres.RoutedSession {
 		t.Fatal("control retrieval with a fresh snapshot did not route its session")
 	}
-	get.Store().Clear()
+	get.ClearStore()
 
 	var nat []wire.PeerInfo
 	for _, node := range tn.Nodes {

@@ -163,7 +163,7 @@ func RunPerformance(cfg PerfConfig) *PerfResults {
 				gr.StretchNoBitswap.Add(rres.StretchWithoutBitswap())
 				// Drop the fetched blocks so the next iteration's
 				// retrieval is never satisfied locally.
-				getter.Store().Clear()
+				getter.ClearStore()
 			}
 		}
 	}

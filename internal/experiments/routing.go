@@ -493,7 +493,7 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 						p.rp.Failures++
 						tick.Failures++
 						out.Failures++
-						p.getter.Store().Clear()
+						p.getter.ClearStore()
 						continue
 					}
 					p.rp.RetrLatency.AddDuration(rres.Total)
@@ -509,7 +509,7 @@ func RunRoutingComparison(cfg RoutingConfig) *RoutingResults {
 						out.Routed++
 					}
 					p.rp.Failovers += rres.SessionFailovers
-					p.getter.Store().Clear()
+					p.getter.ClearStore()
 				}
 				p.rp.Ticks = append(p.rp.Ticks, tick)
 			}

@@ -109,7 +109,7 @@ func (g *Gateway) Pin(data []byte) (cid.Cid, error) {
 	if err != nil {
 		return cid.Cid{}, err
 	}
-	g.node.Store().Pin(root)
+	g.node.Pinner().Pin(root)
 	return root, nil
 }
 

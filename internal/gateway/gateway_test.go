@@ -187,7 +187,7 @@ func TestServeHTTPWithPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node.Store().Pin(root)
+	node.Pinner().Pin(root)
 	srv := httptest.NewServer(g)
 	defer srv.Close()
 

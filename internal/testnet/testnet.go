@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/dht"
@@ -275,23 +276,29 @@ func (tn *Testnet) OnlineNodes() []*core.Node {
 // AddVantage attaches an instrumented measurement node in the given
 // region (one of the §4.3 AWS VMs) with a seeded routing table.
 func (tn *Testnet) AddVantage(region geo.Region, seed int64) *core.Node {
-	return tn.addVantage(region, seed, tn.Cfg.Routing, tn.Cfg.Indexers, tn.Cfg.IndexerSet)
+	return tn.addVantage(region, seed, tn.Cfg.Routing, tn.Cfg.Indexers, tn.Cfg.IndexerSet, nil)
+}
+
+// AddVantageStore attaches a vantage node backed by a specific block
+// store (e.g. a PackStore) instead of the default in-memory store.
+func (tn *Testnet) AddVantageStore(region geo.Region, seed int64, store block.Store) *core.Node {
+	return tn.addVantage(region, seed, tn.Cfg.Routing, tn.Cfg.Indexers, tn.Cfg.IndexerSet, store)
 }
 
 // AddVantageRouting attaches a vantage node using a specific content
 // router — the routing-comparison experiment puts vantages with
 // different routers on the same network.
 func (tn *Testnet) AddVantageRouting(region geo.Region, seed int64, kind routing.Kind, indexers []wire.PeerInfo) *core.Node {
-	return tn.addVantage(region, seed, kind, indexers, nil)
+	return tn.addVantage(region, seed, kind, indexers, nil, nil)
 }
 
 // AddVantageSharded attaches a vantage node whose indexer router
 // routes through a sharded indexer topology (from AddIndexerSet).
 func (tn *Testnet) AddVantageSharded(region geo.Region, seed int64, kind routing.Kind, set *routing.IndexerSet) *core.Node {
-	return tn.addVantage(region, seed, kind, set.All(), set)
+	return tn.addVantage(region, seed, kind, set.All(), set, nil)
 }
 
-func (tn *Testnet) addVantage(region geo.Region, seed int64, kind routing.Kind, indexers []wire.PeerInfo, set *routing.IndexerSet) *core.Node {
+func (tn *Testnet) addVantage(region geo.Region, seed int64, kind routing.Kind, indexers []wire.PeerInfo, set *routing.IndexerSet, store block.Store) *core.Node {
 	rng := rand.New(rand.NewSource(seed))
 	ident := peer.MustNewIdentity(rng)
 	ep := tn.Net.AddNode(ident.ID, simnet.NodeOpts{
@@ -311,6 +318,7 @@ func (tn *Testnet) addVantage(region geo.Region, seed int64, kind routing.Kind, 
 		Routing:           kind,
 		Indexers:          indexers,
 		IndexerSet:        set,
+		Store:             store,
 		Base:              tn.Base,
 		Now:               tn.Cfg.Now,
 		Time:              tn.Time,

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/cid"
 	"repro/internal/core"
 	"repro/internal/crawler"
@@ -81,6 +82,16 @@ type (
 	IndexerFleet = testnet.IndexerFleet
 	// AcceleratedRouter is the one-hop full-routing-table client.
 	AcceleratedRouter = routing.AcceleratedRouter
+	// BlockStore is the blockstore seam every node serves Bitswap and
+	// the gateway from (see internal/block).
+	BlockStore = block.Store
+	// BlockPinner is the optional pinning surface of a BlockStore.
+	BlockPinner = block.Pinner
+	// PackStore is the pack-engine blockstore: append-only volumes, an
+	// in-memory CID index, and background compaction.
+	PackStore = block.PackStore
+	// PackConfig tunes a PackStore.
+	PackConfig = block.PackConfig
 )
 
 // Router kinds selectable via core.Config.Routing.
@@ -218,6 +229,31 @@ type TCPNodeConfig struct {
 	Region Region
 	// Client joins as a DHT client instead of a server.
 	Client bool
+	// Store is the node's blockstore; nil selects an in-memory store.
+	// Build persistent ones with NewBlockStore.
+	Store BlockStore
+}
+
+// NewBlockStore builds a blockstore by kind: "mem" (or "") is the
+// in-memory store, "fs" the file-per-block flatfs store, "pack" the
+// pack-engine store. dir is required for the persistent kinds.
+func NewBlockStore(kind, dir string) (BlockStore, error) {
+	switch kind {
+	case "", "mem":
+		return block.NewMemStore(), nil
+	case "fs":
+		if dir == "" {
+			return nil, fmt.Errorf("ipfs: blockstore kind %q needs a directory", kind)
+		}
+		return block.NewFSStore(dir)
+	case "pack":
+		if dir == "" {
+			return nil, fmt.Errorf("ipfs: blockstore kind %q needs a directory", kind)
+		}
+		return block.NewPackStore(dir, block.PackConfig{})
+	default:
+		return nil, fmt.Errorf("ipfs: unknown blockstore kind %q (want mem, fs or pack)", kind)
+	}
 }
 
 // NewTCPNode starts a node on a real TCP listener — the cmd/ipfs-node
@@ -241,7 +277,7 @@ func NewTCPNode(cfg TCPNodeConfig) (*Node, error) {
 	if cfg.Client {
 		mode = dht.ModeClient
 	}
-	return core.New(ident, ep, core.Config{Mode: mode, Region: cfg.Region}), nil
+	return core.New(ident, ep, core.Config{Mode: mode, Region: cfg.Region, Store: cfg.Store}), nil
 }
 
 // NewTCPGateway builds an HTTP gateway over a TCP node.
