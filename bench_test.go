@@ -501,6 +501,35 @@ func BenchmarkLossDegradation(b *testing.B) {
 	}
 }
 
+// BenchmarkGatewayFleetFlashCrowd replays the viral-CID flash crowd
+// (one CID at 100x the steady request rate) through the gateway fleet
+// — consistent-hash placement, shared cache tier, admission control —
+// on the event-driven scheduler, with the origin host on a pack-engine
+// blockstore. Three headline metrics are benchdiff-gated:
+// fleet-p99-ttfb-ms is the steady phase's p99 time-to-first-byte (the
+// steady phase exercises the full retrieval cascade; the viral phase's
+// p99 is cache-dominated and would gate nothing), fleet-cache-hit-rate
+// is the whole-run fleet hit rate (higher-is-better), and
+// fleet-origin-rpc-amp is the viral phase's origin-RPC rate as a
+// multiple of steady — the sub-linear amplification the fleet exists
+// to deliver.
+func BenchmarkGatewayFleetFlashCrowd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFleetScenario(experiments.FleetScenarioConfig{
+			OriginDir: b.TempDir(),
+		})
+		if res.SchedStalls != 0 {
+			b.Fatalf("scheduler stalled %d times; run untrustworthy", res.SchedStalls)
+		}
+		steady := res.Phases[0]
+		b.ReportMetric(steady.TTFB.Percentile(99)*1000, "fleet-p99-ttfb-ms")
+		b.ReportMetric(res.Stats.CacheHitRate(), "fleet-cache-hit-rate")
+		b.ReportMetric(res.OriginRPCAmp, "fleet-origin-rpc-amp")
+		b.ReportMetric(res.RequestAmp, "fleet-request-amp")
+		b.ReportMetric(float64(res.Stats.Shed), "fleet-shed-total")
+	}
+}
+
 // BenchmarkAcceleratedLookup measures one-hop lookups against a
 // converged snapshot (near-zero churn amplitude): the best case the
 // accelerated client buys. The reported metric comes from the same

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		run = flag.String("run", "all", "experiment id: all, table1, table2, table3, table4, table5, fig4a, fig4b, fig5, fig6, fig7a, fig7b, fig7c, fig7d, fig8, fig9, fig10, fig11, ablations, routing")
+		run = flag.String("run", "all", "experiment id: all, table1, table2, table3, table4, table5, fig4a, fig4b, fig5, fig6, fig7a, fig7b, fig7c, fig7d, fig8, fig9, fig10, fig11, ablations, routing, gwfleet")
 		// Deliberately not named -churn: that flag used to mean
 		// "offline fraction", and a stale invocation must fail loudly
 		// rather than silently select a different churn intensity.
@@ -52,6 +52,9 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		points   = flag.Int("points", 20, "CDF points per series")
 		traceOut = flag.String("trace-out", "", "write the routing comparison's retrieval trace spans as JSONL to this file")
+		fleetGWs = flag.Int("fleet-gateways", 4, "gateway instances in the flash-crowd fleet scenario")
+		fleetMul = flag.Float64("fleet-multiplier", 100, "viral CID's arrival-rate multiple of the steady rate in the flash-crowd scenario")
+		fleetDir = flag.String("fleet-origin-dir", "", "back the flash-crowd origin host with a pack-engine blockstore rooted here (empty = in-memory)")
 	)
 	flag.Parse()
 
@@ -76,8 +79,9 @@ func main() {
 	needGateway := want("table5", "fig4b", "fig6", "fig11")
 	needAblations := want("ablations")
 	needRouting := want("routing")
+	needFleet := want("gwfleet")
 
-	if !needPerf && !needDeploy && !needGateway && !needAblations && !needRouting {
+	if !needPerf && !needDeploy && !needGateway && !needAblations && !needRouting && !needFleet {
 		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", *run)
 		flag.Usage()
 		os.Exit(2)
@@ -232,6 +236,19 @@ func main() {
 		fmt.Println(" Routed column is how many retrievals took that path. The time series")
 		fmt.Println(" tracks the same run per phase: timeline liveness, snapshot staleness,")
 		fmt.Println(" indexer record coverage, and the RPC budget spent by category.)")
+	}
+
+	if needFleet {
+		fmt.Fprintln(os.Stderr, "running viral-CID flash crowd against the gateway fleet...")
+		res := experiments.RunFleetScenario(experiments.FleetScenarioConfig{
+			Gateways:   *fleetGWs,
+			Multiplier: *fleetMul,
+			OriginDir:  *fleetDir,
+			Workers:    *workers,
+			Seed:       *seed,
+		})
+		fmt.Fprintf(os.Stderr, "event-driven run: %d events dispatched, %d stalls\n", res.SchedEvents, res.SchedStalls)
+		fmt.Println(res.Report())
 	}
 
 	if needAblations {

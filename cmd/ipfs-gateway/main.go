@@ -2,11 +2,18 @@
 // node: GET /ipfs/{CID} serves content from the nginx-style cache, the
 // local pinned store, or the P2P network.
 //
+// With -fleet N (N > 1) it instead serves through a gateway fleet:
+// N local nodes behind one HTTP listener, requests placed on a
+// consistent-hash ring by CID, a fleet-shared object cache between the
+// per-instance caches and the P2P origin, and per-instance admission
+// control that sheds overload with 503 + Retry-After.
+//
 // Usage:
 //
 //	ipfs-gateway -http 127.0.0.1:8080 \
 //	    -bootstrap /ip4/127.0.0.1/tcp/4001/p2p/<peerID> \
 //	    -pin ./website.html
+//	ipfs-gateway -fleet 4 -fleet-shared-mb 512 -fleet-max-inflight 64
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 )
 
 import (
+	"repro/internal/gwfleet"
 	"repro/internal/telemetry"
 	"repro/ipfs"
 )
@@ -33,10 +41,18 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:0", "P2P TCP listen address")
 		seed      = flag.Int64("seed", 0, "identity seed (0 = random)")
 		bootstrap = flag.String("bootstrap", "", "comma-separated bootstrap multiaddrs")
-		cacheMB   = flag.Int64("cache-mb", 256, "nginx-style LRU cache size in MiB")
+		cacheMB   = flag.Int64("cache-mb", 256, "nginx-style LRU cache size in MiB (per instance in fleet mode)")
 		pins      = flag.String("pin", "", "comma-separated files to pin into the node store")
 		storeKind = flag.String("blockstore", "mem", "blockstore backend: mem | fs | pack")
 		storeDir  = flag.String("blockstore-dir", "", "directory for the fs/pack blockstores")
+
+		fleetN      = flag.Int("fleet", 1, "gateway fleet size; >1 serves through consistent-hash placement, a shared cache tier and load shedding")
+		sharedMB    = flag.Int64("fleet-shared-mb", 256, "fleet-shared object cache size in MiB")
+		maxInflight = flag.Int("fleet-max-inflight", 32, "per-instance inflight bound before requests queue")
+		queueHigh   = flag.Int("fleet-queue-high", 16, "queue depth at which an instance latches into shedding (503 + Retry-After)")
+		queueLow    = flag.Int("fleet-queue-low", 4, "queue depth at which a shedding instance resumes admission")
+		negTTL      = flag.Duration("fleet-negative-ttl", time.Minute, "how long a known-missing CID is answered 404 without re-asking the origin")
+		retryAfter  = flag.Duration("fleet-retry-after", time.Second, "Retry-After hint attached to shed responses")
 	)
 	flag.Parse()
 
@@ -52,28 +68,69 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
+	var boot []ipfs.PeerInfo
 	if *bootstrap != "" {
-		var infos []ipfs.PeerInfo
 		for _, s := range strings.Split(*bootstrap, ",") {
 			info, err := ipfs.ParsePeerInfo(strings.TrimSpace(s))
 			if err != nil {
 				fatal(err)
 			}
-			infos = append(infos, info)
+			boot = append(boot, info)
 		}
-		if err := node.Bootstrap(ctx, infos); err != nil {
+		if err := node.Bootstrap(ctx, boot); err != nil {
 			fmt.Fprintf(os.Stderr, "bootstrap: %v (continuing)\n", err)
 		}
 	}
 
-	gw := ipfs.NewTCPGateway(node, *cacheMB<<20)
+	// The HTTP face: a single gateway, or a fleet of them behind the
+	// consistent-hash ring.
+	var content http.Handler
+	var pin func(data []byte) (fmt.Stringer, error)
+	if *fleetN > 1 {
+		nodes := []*ipfs.Node{node}
+		for i := 1; i < *fleetN; i++ {
+			var s int64
+			if *seed != 0 {
+				s = *seed + int64(i)
+			}
+			n, err := ipfs.NewTCPNode(ipfs.TCPNodeConfig{Seed: s, Region: "US"})
+			if err != nil {
+				fatal(err)
+			}
+			defer n.Close()
+			// Every instance joins the cluster through the primary node
+			// (plus any external bootstrap peers).
+			if err := n.Bootstrap(ctx, append([]ipfs.PeerInfo{node.Info()}, boot...)); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet instance %d bootstrap: %v (continuing)\n", i, err)
+			}
+			nodes = append(nodes, n)
+		}
+		fleet := gwfleet.New(nodes, gwfleet.Config{
+			LocalCacheBytes:  *cacheMB << 20,
+			SharedCacheBytes: *sharedMB << 20,
+			NegativeTTL:      *negTTL,
+			MaxInflight:      *maxInflight,
+			QueueHigh:        *queueHigh,
+			QueueLow:         *queueLow,
+			RetryAfter:       *retryAfter,
+			Registry:         node.Telemetry().Registry(),
+		})
+		content = fleet
+		pin = func(data []byte) (fmt.Stringer, error) { return fleet.Gateway(0).Pin(data) }
+		fmt.Printf("fleet of %d gateway instances, shared cache %d MiB\n", fleet.Size(), *sharedMB)
+	} else {
+		gw := ipfs.NewTCPGateway(node, *cacheMB<<20)
+		content = gw
+		pin = func(data []byte) (fmt.Stringer, error) { return gw.Pin(data) }
+	}
+
 	if *pins != "" {
 		for _, f := range strings.Split(*pins, ",") {
 			data, err := os.ReadFile(strings.TrimSpace(f))
 			if err != nil {
 				fatal(err)
 			}
-			c, err := gw.Pin(data)
+			c, err := pin(data)
 			if err != nil {
 				fatal(err)
 			}
@@ -89,7 +146,7 @@ func main() {
 	fmt.Printf("introspection on http://%s/debug/metrics and /debug/trace/last\n", *httpAddr)
 
 	mux := http.NewServeMux()
-	mux.Handle("/", gw)
+	mux.Handle("/", content)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})

@@ -1,6 +1,16 @@
 // Package block provides content-addressed blocks and blockstores. A
 // block is an immutable (CID, bytes) pair; stores verify on insertion so
 // everything read back is self-certified (§2.1).
+//
+// Four Store implementations cover the deployment spectrum:
+//
+//   - MemStore: unbounded in-memory map, the simulator default.
+//   - LRUStore: bounded in-memory store with least-recently-used
+//     eviction — the edge-cache tier of a gateway fleet.
+//   - FSStore (fsstore.go): file-per-block flatfs layout.
+//   - PackStore (packstore.go): the pack-engine store — append-only
+//     pack volumes, an in-memory CID index rebuilt from volume scans,
+//     and background compaction reclaiming deleted space.
 package block
 
 import (

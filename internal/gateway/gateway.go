@@ -31,6 +31,7 @@ const (
 	TierNginx     Tier = iota // default nginx web cache (latency ~0)
 	TierNodeStore             // gateway's local IPFS node store (pinned content)
 	TierNetwork               // full P2P retrieval
+	TierShared                // fleet-shared cache tier (internal/gwfleet)
 )
 
 // String names the tier as Table 5 does.
@@ -42,6 +43,8 @@ func (t Tier) String() string {
 		return "IPFS node store"
 	case TierNetwork:
 		return "Non Cached"
+	case TierShared:
+		return "fleet shared cache"
 	}
 	return "unknown"
 }
@@ -83,7 +86,7 @@ type LogEntry struct {
 // Gateway bridges HTTP to a core node.
 type Gateway struct {
 	node  *core.Node
-	base  simtime.Base
+	src   simtime.Source
 	cache *objectCache
 
 	mu  sync.Mutex
@@ -91,12 +94,21 @@ type Gateway struct {
 }
 
 // New creates a gateway in front of node with an nginx cache bounded to
-// cacheBytes.
+// cacheBytes. The legacy Base is wrapped into a real-scaled Source;
+// simulated deployments should prefer NewWithSource with the testnet's
+// unified time surface so request timestamps and latencies stay on the
+// simulated clock.
 func New(node *core.Node, cacheBytes int64, base simtime.Base) *Gateway {
-	if base == (simtime.Base{}) {
-		base = simtime.Realtime
+	return NewWithSource(node, cacheBytes, simtime.NewBaseSource(base, nil))
+}
+
+// NewWithSource creates a gateway whose timestamps and measurements run
+// on the given time source (the event scheduler in fleet scenarios).
+func NewWithSource(node *core.Node, cacheBytes int64, src simtime.Source) *Gateway {
+	if src == nil {
+		src = simtime.BaseSource{}
 	}
-	return &Gateway{node: node, base: base, cache: newObjectCache(cacheBytes)}
+	return &Gateway{node: node, src: src, cache: newObjectCache(cacheBytes)}
 }
 
 // Node returns the backing node (the "DHT server" half of the bridge).
@@ -118,43 +130,79 @@ func cacheKey(req Request) string { return req.Cid.Key() + "\x00" + req.Path }
 
 // Fetch serves one request through the tier cascade.
 func (g *Gateway) Fetch(ctx context.Context, req Request) Response {
-	var resp Response
+	resp, _ := g.FetchData(ctx, req)
+	return resp
+}
 
+// FetchData serves one request through the tier cascade and also
+// returns the assembled bytes, so fleet-level caches can deposit the
+// response without racing the per-instance cache's eviction.
+func (g *Gateway) FetchData(ctx context.Context, req Request) (Response, []byte) {
+	if resp, data, ok := g.FetchLocal(req); ok {
+		return resp, data
+	}
+	return g.fetchNetwork(ctx, req)
+}
+
+// FetchLocal tries only the instance-local tiers — the nginx web cache
+// and the node store — reporting ok=false on a miss instead of falling
+// through to the network. Fleet instances use it so the shared cache
+// tier slots between the local tiers and the P2P origin.
+func (g *Gateway) FetchLocal(req Request) (Response, []byte, bool) {
 	// Tier 1: nginx web cache. Hits have a retrieval delay of 0 (§6.3).
 	if data, ok := g.cache.get(cacheKey(req)); ok {
-		resp = Response{Tier: TierNginx, Latency: 0, Bytes: len(data)}
+		resp := Response{Tier: TierNginx, Latency: 0, Bytes: len(data)}
 		g.append(req, resp)
-		return resp
+		return resp, data, true
 	}
 
 	// Tier 2: the gateway's own IPFS node store (pinned content),
 	// "resulting consistently in a delay below 24 ms".
 	if data, err := g.assembleLocal(req); err == nil {
-		resp = Response{Tier: TierNodeStore, Latency: NodeStoreLatency, Bytes: len(data)}
+		resp := Response{Tier: TierNodeStore, Latency: NodeStoreLatency, Bytes: len(data)}
 		g.cache.put(cacheKey(req), data)
 		g.append(req, resp)
-		return resp
+		return resp, data, true
 	}
+	return Response{}, nil, false
+}
 
+// fetchNetwork is the final tier of the cascade.
+func (g *Gateway) fetchNetwork(ctx context.Context, req Request) (Response, []byte) {
+	var resp Response
 	// Tier 3: full P2P retrieval through the co-located node. The root
 	// DAG is fetched, then the path (if any) resolved locally.
 	_, rres, err := g.node.Retrieve(ctx, req.Cid)
 	if err != nil {
 		resp = Response{Tier: TierNetwork, Latency: rres.Total, Err: err}
 		g.append(req, resp)
-		return resp
+		return resp, nil
 	}
 	data, err := g.assembleLocal(req)
 	if err != nil {
 		resp = Response{Tier: TierNetwork, Latency: rres.Total, Err: err}
 		g.append(req, resp)
-		return resp
+		return resp, nil
 	}
 	resp = Response{Tier: TierNetwork, Latency: rres.Total, Bytes: len(data)}
 	g.cache.put(cacheKey(req), data)
 	g.append(req, resp)
+	return resp, data
+}
+
+// Inject deposits an externally fetched response into the gateway's
+// nginx cache and logs it under the given tier — how a fleet's shared
+// cache tier warms the owning instance without a duplicate retrieval.
+func (g *Gateway) Inject(req Request, tier Tier, latency time.Duration, data []byte) Response {
+	g.cache.put(cacheKey(req), data)
+	resp := Response{Tier: tier, Latency: latency, Bytes: len(data)}
+	g.append(req, resp)
 	return resp
 }
+
+// CacheKey exposes the (root, path) cache key so fleet-shared caches
+// index exactly as the per-instance cache does.
+func CacheKey(req Request) string { return cacheKey(req) }
 
 // assembleLocal serves a request from the node store alone: the raw
 // DAG for path-less requests, or the file beneath the UnixFS path.
@@ -211,17 +259,16 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	req := Request{
 		Cid:      c,
 		Path:     subPath,
-		Time:     time.Now(),
+		Time:     g.src.Now(),
 		Referrer: r.Referer(),
 		UserID:   r.RemoteAddr + "|" + r.UserAgent(),
 	}
-	resp := g.Fetch(r.Context(), req)
+	resp, data := g.FetchData(r.Context(), req)
 	if resp.Err != nil {
 		http.Error(w, fmt.Sprintf("not found: %v", resp.Err), http.StatusNotFound)
 		return
 	}
-	data, ok := g.cache.get(cacheKey(req))
-	if !ok {
+	if data == nil {
 		// Large objects may already have been evicted; refetch locally.
 		if data, err = g.assembleLocal(req); err != nil {
 			http.Error(w, "cache race", http.StatusInternalServerError)

@@ -1,0 +1,241 @@
+package gwfleet
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// SharedCache is the fleet-wide cache tier every gateway instance
+// consults between its own nginx cache and the P2P origin. It holds
+// three maps with distinct jobs:
+//
+//   - objects: a byte-bounded LRU over assembled responses, so a fetch
+//     paid by one instance serves the whole fleet;
+//   - providers: provider records learned by past retrievals, with a
+//     TTL, so repeat retrievals skip the routing lookup entirely (the
+//     lookup half of origin RPC amplification);
+//   - negative: CIDs the origin definitively failed to resolve, with a
+//     TTL, so a flood of requests for missing content costs the fleet
+//     exactly one origin lookup per TTL window. A publish for the CID
+//     invalidates the entry immediately (Invalidate).
+//
+// All methods are safe for concurrent use; expiry is judged against the
+// simulated clock so event-driven scenarios age entries correctly.
+type SharedCache struct {
+	src simtime.Source
+
+	objects *byteLRU
+
+	mu        sync.Mutex
+	negative  map[string]time.Time // CID key -> expiry
+	providers map[string]provEntry // CID key -> providers + expiry
+
+	negTTL  time.Duration
+	provTTL time.Duration
+
+	objHits, objMisses *telemetry.Counter
+	negHits            *telemetry.Counter
+	provHits           *telemetry.Counter
+}
+
+type provEntry struct {
+	infos  []wire.PeerInfo
+	expiry time.Time
+}
+
+// NewSharedCache builds the shared tier. Zero TTLs select the defaults
+// (negative 1 min, providers 10 min); reg may be nil for an unmetered
+// cache.
+func NewSharedCache(capacityBytes int64, negTTL, provTTL time.Duration, src simtime.Source, reg *telemetry.Registry) *SharedCache {
+	if src == nil {
+		src = simtime.BaseSource{}
+	}
+	if negTTL <= 0 {
+		negTTL = time.Minute
+	}
+	if provTTL <= 0 {
+		provTTL = 10 * time.Minute
+	}
+	return &SharedCache{
+		src:       src,
+		objects:   newByteLRU(capacityBytes),
+		negative:  make(map[string]time.Time),
+		providers: make(map[string]provEntry),
+		negTTL:    negTTL,
+		provTTL:   provTTL,
+		objHits:   reg.Counter("gwfleet_shared_object", "result", "hit"),
+		objMisses: reg.Counter("gwfleet_shared_object", "result", "miss"),
+		negHits:   reg.Counter("gwfleet_negative_hits"),
+		provHits:  reg.Counter("gwfleet_provider_hits"),
+	}
+}
+
+// GetObject returns the cached assembled response for key, if any.
+func (c *SharedCache) GetObject(key string) ([]byte, bool) {
+	data, ok := c.objects.get(key)
+	if ok {
+		c.objHits.Inc()
+	} else {
+		c.objMisses.Inc()
+	}
+	return data, ok
+}
+
+// PutObject caches an assembled response.
+func (c *SharedCache) PutObject(key string, data []byte) { c.objects.put(key, data) }
+
+// ObjectBytes returns the current object-cache occupancy.
+func (c *SharedCache) ObjectBytes() int64 { return c.objects.usedBytes() }
+
+// KnownMissing reports whether c is inside a negative-cache window:
+// the origin failed to resolve it recently and no publish has
+// invalidated the entry since.
+func (c *SharedCache) KnownMissing(root cid.Cid) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp, ok := c.negative[root.Key()]
+	if !ok {
+		return false
+	}
+	if c.src.Now().After(exp) {
+		delete(c.negative, root.Key())
+		return false
+	}
+	c.negHits.Inc()
+	return true
+}
+
+// NoteMissing records a definitive origin miss for root, opening a
+// negative-cache window of the configured TTL.
+func (c *SharedCache) NoteMissing(root cid.Cid) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	c.negative[root.Key()] = c.src.Now().Add(c.negTTL)
+}
+
+// Invalidate drops the negative entry for root — called when the fleet
+// learns the content now exists (a publish or a pin), so availability
+// is not delayed by a stale window.
+func (c *SharedCache) Invalidate(root cid.Cid) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.negative, root.Key())
+}
+
+// Providers returns unexpired cached provider records for root.
+func (c *SharedCache) Providers(root cid.Cid) []wire.PeerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.providers[root.Key()]
+	if !ok {
+		return nil
+	}
+	if c.src.Now().After(e.expiry) {
+		delete(c.providers, root.Key())
+		return nil
+	}
+	c.provHits.Inc()
+	return e.infos
+}
+
+// PutProviders caches provider records learned from a lookup or a
+// successful retrieval.
+func (c *SharedCache) PutProviders(root cid.Cid, infos []wire.PeerInfo) {
+	if len(infos) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	c.providers[root.Key()] = provEntry{
+		infos:  append([]wire.PeerInfo(nil), infos...),
+		expiry: c.src.Now().Add(c.provTTL),
+	}
+}
+
+// sweepLocked drops expired negative/provider entries once the maps
+// grow past a bound, keeping memory proportional to the live set.
+func (c *SharedCache) sweepLocked() {
+	const sweepAt = 4096
+	if len(c.negative)+len(c.providers) < sweepAt {
+		return
+	}
+	now := c.src.Now()
+	for k, exp := range c.negative {
+		if now.After(exp) {
+			delete(c.negative, k)
+		}
+	}
+	for k, e := range c.providers {
+		if now.After(e.expiry) {
+			delete(c.providers, k)
+		}
+	}
+}
+
+// byteLRU is a byte-bounded LRU over opaque values, the same shape as
+// the gateway's per-instance nginx cache but shared fleet-wide.
+type byteLRU struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	order   *list.List // front = most recently used; values are string keys
+	entries map[string]*lruVal
+}
+
+type lruVal struct {
+	data []byte
+	elem *list.Element
+}
+
+func newByteLRU(capBytes int64) *byteLRU {
+	return &byteLRU{cap: capBytes, order: list.New(), entries: make(map[string]*lruVal)}
+}
+
+func (c *byteLRU) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(e.elem)
+	return e.data, true
+}
+
+func (c *byteLRU) put(key string, data []byte) {
+	if int64(len(data)) > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	for c.used+int64(len(data)) > c.cap {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		k := oldest.Value.(string)
+		c.used -= int64(len(c.entries[k].data))
+		delete(c.entries, k)
+		c.order.Remove(oldest)
+	}
+	c.entries[key] = &lruVal{data: data, elem: c.order.PushFront(key)}
+	c.used += int64(len(data))
+}
+
+func (c *byteLRU) usedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

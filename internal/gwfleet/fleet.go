@@ -1,0 +1,483 @@
+// Package gwfleet scales the single HTTP gateway of §3.4 to a fleet:
+// consistent-hash request placement over N gateway instances (Ring), a
+// fleet-shared cache tier between the per-instance nginx caches and
+// the P2P origin (SharedCache: assembled objects, provider records,
+// and negative entries for known-missing CIDs), and admission control
+// that sheds excess load with 503 + Retry-After instead of letting a
+// flash crowd melt the origin. All fleet metrics report through the
+// internal/telemetry registry; the viral-CID scenario in
+// internal/experiments measures the fleet against the paper's Table 5
+// gateway tiers at 100x steady-state load.
+package gwfleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// SharedCacheLatency models the intra-fleet hop to the shared cache
+// tier: one LAN round trip, far below the node-store tier's 8 ms.
+const SharedCacheLatency = 2 * time.Millisecond
+
+// ErrKnownMissing marks a request answered from the negative cache:
+// the origin definitively failed for this CID inside the current TTL
+// window, so the fleet fails fast without another origin lookup.
+var ErrKnownMissing = errors.New("gwfleet: CID known missing (negative cache)")
+
+// ErrShed marks a request rejected by admission control.
+var ErrShed = errors.New("gwfleet: shed (fleet over capacity)")
+
+// Config tunes a Fleet.
+type Config struct {
+	// VNodes is the virtual-node count per instance on the placement
+	// ring (default DefaultVNodes).
+	VNodes int
+	// Spill is how many ring successors a request may overflow to when
+	// the owning instance is shedding (default 1; 0 disables spill).
+	Spill int
+	// LocalCacheBytes bounds each instance's nginx cache (default 64 MiB).
+	LocalCacheBytes int64
+	// SharedCacheBytes bounds the fleet-shared object cache (default 256 MiB).
+	SharedCacheBytes int64
+	// NegativeTTL bounds how long a known-missing CID is refused without
+	// consulting the origin (default 1 min).
+	NegativeTTL time.Duration
+	// ProviderTTL bounds the shared provider-record cache (default 10 min).
+	ProviderTTL time.Duration
+	// MaxInflight is the per-instance concurrent-request bound; requests
+	// beyond it count as queued (default 32).
+	MaxInflight int
+	// QueueHigh and QueueLow are the queue-depth watermarks: shedding
+	// starts when an instance's queue depth reaches QueueHigh and stops
+	// once it drains to QueueLow (defaults 16 / 4).
+	QueueHigh, QueueLow int
+	// RetryAfter is the advisory client backoff attached to shed
+	// responses (default 1 s).
+	RetryAfter time.Duration
+	// Time is the unified time surface (the event scheduler in
+	// simulated scenarios). Nil selects real time.
+	Time simtime.Source
+	// Registry receives the fleet metrics; nil leaves them unmetered.
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Spill == 0 {
+		c.Spill = 1
+	}
+	if c.Spill < 0 {
+		c.Spill = 0
+	}
+	if c.LocalCacheBytes <= 0 {
+		c.LocalCacheBytes = 64 << 20
+	}
+	if c.SharedCacheBytes <= 0 {
+		c.SharedCacheBytes = 256 << 20
+	}
+	if c.NegativeTTL <= 0 {
+		c.NegativeTTL = time.Minute
+	}
+	if c.ProviderTTL <= 0 {
+		c.ProviderTTL = 10 * time.Minute
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 32
+	}
+	if c.QueueHigh <= 0 {
+		c.QueueHigh = 16
+	}
+	if c.QueueLow <= 0 {
+		c.QueueLow = 4
+	}
+	if c.QueueLow >= c.QueueHigh {
+		c.QueueLow = c.QueueHigh / 2
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Time == nil {
+		c.Time = simtime.BaseSource{}
+	}
+	return c
+}
+
+// Response is the fleet-level serving outcome: the underlying gateway
+// response plus which instance served, whether the request spilled past
+// a shedding owner, and the shed verdict.
+type Response struct {
+	gateway.Response
+	// GW is the instance that served (or, when Shed, the owner that
+	// rejected last).
+	GW int
+	// SharedHit marks a response served from the fleet-shared object
+	// cache.
+	SharedHit bool
+	// NegativeHit marks a fail-fast from the negative cache (Err is
+	// ErrKnownMissing).
+	NegativeHit bool
+	// Spilled marks a response served by a ring successor because the
+	// owner was shedding.
+	Spilled bool
+	// Shed marks a rejected request: every candidate instance was over
+	// its watermarks. HTTP callers get 503 with Retry-After.
+	Shed bool
+	// RetryAfter is the advisory backoff attached when Shed.
+	RetryAfter time.Duration
+	// Data is the assembled object for successful responses.
+	Data []byte
+}
+
+// instance is one gateway plus its admission-control state.
+type instance struct {
+	gw       *gateway.Gateway
+	node     *core.Node
+	inflight atomic.Int64
+	shedding atomic.Bool
+
+	requests *telemetry.Counter
+	shed     *telemetry.Counter
+}
+
+// Fleet is a consistent-hash gateway fleet over N instances sharing
+// one cache tier.
+type Fleet struct {
+	cfg    Config
+	src    simtime.Source
+	ring   *Ring
+	insts  []*instance
+	shared *SharedCache
+
+	tierHits map[gateway.Tier]*telemetry.Counter
+	negCtr   *telemetry.Counter
+	spillCtr *telemetry.Counter
+	shedCtr  *telemetry.Counter
+	ttfbHist *telemetry.Hist
+
+	// deterministic scenario-facing tallies (the registry mirrors them)
+	nReq, nShed, nSpill, nNeg     atomic.Int64
+	nLocal, nShared, nStore, nNet atomic.Int64
+	nNetFail                      atomic.Int64
+
+	ttfbMu sync.Mutex
+	ttfb   *stats.Sample
+}
+
+// New builds a fleet over the given gateway nodes: each node gets a
+// gateway instance with its own nginx cache, its content router is
+// wrapped with the fleet's shared provider cache, and the placement
+// ring spans all instances.
+func New(nodes []*core.Node, cfg Config) *Fleet {
+	if len(nodes) == 0 {
+		panic("gwfleet: fleet over zero nodes")
+	}
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	shared := NewSharedCache(cfg.SharedCacheBytes, cfg.NegativeTTL, cfg.ProviderTTL, cfg.Time, reg)
+	f := &Fleet{
+		cfg:    cfg,
+		src:    cfg.Time,
+		ring:   NewRing(len(nodes), cfg.VNodes),
+		shared: shared,
+		tierHits: map[gateway.Tier]*telemetry.Counter{
+			gateway.TierNginx:     reg.Counter("gwfleet_served", "tier", "nginx"),
+			gateway.TierNodeStore: reg.Counter("gwfleet_served", "tier", "nodestore"),
+			gateway.TierShared:    reg.Counter("gwfleet_served", "tier", "shared"),
+			gateway.TierNetwork:   reg.Counter("gwfleet_served", "tier", "origin"),
+		},
+		negCtr:   reg.Counter("gwfleet_served", "tier", "negative"),
+		spillCtr: reg.Counter("gwfleet_spills"),
+		shedCtr:  reg.Counter("gwfleet_shed_total"),
+		ttfbHist: reg.Histogram("gwfleet_ttfb_seconds", 0.25),
+		ttfb:     stats.NewSample(),
+	}
+	reg.Gauge("gwfleet_gateways").Set(float64(len(nodes)))
+	for i, n := range nodes {
+		n.SetRouter(NewCachingRouter(n.Router(), shared))
+		f.insts = append(f.insts, &instance{
+			gw:       gateway.NewWithSource(n, cfg.LocalCacheBytes, cfg.Time),
+			node:     n,
+			requests: reg.Counter("gwfleet_requests", "gw", fmt.Sprint(i)),
+			shed:     reg.Counter("gwfleet_shed", "gw", fmt.Sprint(i)),
+		})
+	}
+	return f
+}
+
+// Size returns the instance count.
+func (f *Fleet) Size() int { return len(f.insts) }
+
+// Ring exposes the placement ring.
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// Shared exposes the fleet cache tier.
+func (f *Fleet) Shared() *SharedCache { return f.shared }
+
+// Gateway returns instance i's gateway (its access log feeds the Table
+// 5 style summaries).
+func (f *Fleet) Gateway(i int) *gateway.Gateway { return f.insts[i].gw }
+
+// Node returns instance i's backing node.
+func (f *Fleet) Node(i int) *core.Node { return f.insts[i].node }
+
+// InvalidateNegative drops any negative-cache window for root — wired
+// to publish events so fresh content is immediately retrievable.
+func (f *Fleet) InvalidateNegative(root cid.Cid) { f.shared.Invalidate(root) }
+
+// Fetch serves one request: the CID's ring owner first, spilling to up
+// to Config.Spill ring successors while the owner sheds, rejecting with
+// Shed when every candidate is over its watermarks.
+func (f *Fleet) Fetch(ctx context.Context, req gateway.Request) Response {
+	f.nReq.Add(1)
+	key := gateway.CacheKey(req)
+	candidates := f.ring.Successors(key, 1+f.cfg.Spill)
+	for hop, gwIdx := range candidates {
+		inst := f.insts[gwIdx]
+		release, ok := f.admit(inst)
+		if !ok {
+			inst.shed.Inc()
+			continue
+		}
+		resp := f.serve(ctx, inst, gwIdx, req, key)
+		release()
+		resp.Spilled = hop > 0
+		if resp.Spilled {
+			f.nSpill.Add(1)
+			f.spillCtr.Inc()
+		}
+		f.record(resp)
+		return resp
+	}
+	f.nShed.Add(1)
+	f.shedCtr.Inc()
+	resp := Response{
+		Response:   gateway.Response{Err: ErrShed},
+		GW:         candidates[0],
+		Shed:       true,
+		RetryAfter: f.cfg.RetryAfter,
+	}
+	return resp
+}
+
+// admit applies the per-instance admission control: requests beyond
+// MaxInflight count as queue depth; depth >= QueueHigh turns shedding
+// on, and it stays on (hysteresis) until depth drains to QueueLow.
+func (f *Fleet) admit(inst *instance) (release func(), ok bool) {
+	n := inst.inflight.Add(1)
+	queued := n - int64(f.cfg.MaxInflight)
+	switch {
+	case queued >= int64(f.cfg.QueueHigh):
+		inst.shedding.Store(true)
+	case queued <= int64(f.cfg.QueueLow):
+		inst.shedding.Store(false)
+	}
+	if queued > 0 && inst.shedding.Load() {
+		inst.inflight.Add(-1)
+		return nil, false
+	}
+	return func() { inst.inflight.Add(-1) }, true
+}
+
+// serve runs the tier cascade on one admitted instance: local nginx +
+// node store, then the fleet-shared object cache, then the negative
+// cache, then the P2P origin (filling the shared tiers on the way
+// back).
+func (f *Fleet) serve(ctx context.Context, inst *instance, gwIdx int, req gateway.Request, key string) Response {
+	inst.requests.Inc()
+
+	if resp, data, ok := inst.gw.FetchLocal(req); ok {
+		// The cache tiers' modelled latencies (0 nginx, 8 ms node store)
+		// are slept, not just reported, so fleet TTFB measured on the
+		// simulated clock matches the tier model and cache hits hold
+		// their admission slot for their true duration.
+		f.src.Sleep(ctx, resp.Latency)
+		return Response{Response: resp, GW: gwIdx, Data: data}
+	}
+
+	if data, ok := f.shared.GetObject(key); ok {
+		f.src.Sleep(ctx, SharedCacheLatency)
+		resp := inst.gw.Inject(req, gateway.TierShared, SharedCacheLatency, data)
+		return Response{Response: resp, GW: gwIdx, SharedHit: true, Data: data}
+	}
+
+	if f.shared.KnownMissing(req.Cid) {
+		f.nNeg.Add(1)
+		f.negCtr.Inc()
+		return Response{
+			Response:    gateway.Response{Tier: gateway.TierNetwork, Err: ErrKnownMissing},
+			GW:          gwIdx,
+			NegativeHit: true,
+		}
+	}
+
+	resp, data := inst.gw.FetchData(ctx, req)
+	if resp.Err != nil {
+		// Only a root-level origin failure is a definitive miss worth a
+		// negative window; a bad sub-path under a resolvable root is the
+		// client's problem, not the content's absence.
+		if req.Path == "" {
+			f.shared.NoteMissing(req.Cid)
+		}
+		return Response{Response: resp, GW: gwIdx}
+	}
+	f.shared.PutObject(key, data)
+	return Response{Response: resp, GW: gwIdx, Data: data}
+}
+
+// record tallies a served (non-shed) response.
+func (f *Fleet) record(resp Response) {
+	if resp.NegativeHit {
+		return // tallied at serve time under its own tier
+	}
+	switch {
+	case resp.SharedHit:
+		f.nShared.Add(1)
+	case resp.Tier == gateway.TierNginx:
+		f.nLocal.Add(1)
+	case resp.Tier == gateway.TierNodeStore:
+		f.nStore.Add(1)
+	case resp.Tier == gateway.TierNetwork && resp.Err == nil:
+		f.nNet.Add(1)
+	default:
+		f.nNetFail.Add(1)
+	}
+	if ctr := f.tierHits[effectiveTier(resp)]; ctr != nil && resp.Err == nil {
+		ctr.Inc()
+	}
+	if resp.Err == nil {
+		f.ttfbHist.ObserveDuration(resp.Latency)
+		f.ttfbMu.Lock()
+		f.ttfb.AddDuration(resp.Latency)
+		f.ttfbMu.Unlock()
+	}
+}
+
+func effectiveTier(resp Response) gateway.Tier {
+	if resp.SharedHit {
+		return gateway.TierShared
+	}
+	return resp.Tier
+}
+
+// Stats is a point-in-time tally of fleet behaviour.
+type Stats struct {
+	Requests     int64 // all Fetch calls
+	Shed         int64 // rejected by admission control
+	Spilled      int64 // served by a ring successor
+	LocalHits    int64 // per-instance nginx hits
+	SharedHits   int64 // fleet shared-cache hits
+	NodeStore    int64 // pinned node-store hits
+	OriginFetch  int64 // successful P2P retrievals
+	OriginFail   int64 // failed P2P retrievals
+	NegativeHits int64 // fail-fasts from the negative cache
+}
+
+// Sub returns the tally delta since prev — scenario phases bracket
+// their workload with Stats calls to report per-phase behaviour.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Requests:     s.Requests - prev.Requests,
+		Shed:         s.Shed - prev.Shed,
+		Spilled:      s.Spilled - prev.Spilled,
+		LocalHits:    s.LocalHits - prev.LocalHits,
+		SharedHits:   s.SharedHits - prev.SharedHits,
+		NodeStore:    s.NodeStore - prev.NodeStore,
+		OriginFetch:  s.OriginFetch - prev.OriginFetch,
+		OriginFail:   s.OriginFail - prev.OriginFail,
+		NegativeHits: s.NegativeHits - prev.NegativeHits,
+	}
+}
+
+// Served counts requests answered with content.
+func (s Stats) Served() int64 { return s.LocalHits + s.SharedHits + s.NodeStore + s.OriginFetch }
+
+// CacheHitRate is the fraction of content-answered requests that never
+// touched the P2P origin — the fleet-level Table 5 "cached" share.
+func (s Stats) CacheHitRate() float64 {
+	served := s.Served()
+	if served == 0 {
+		return 0
+	}
+	return float64(served-s.OriginFetch) / float64(served)
+}
+
+// Stats returns the current tallies.
+func (f *Fleet) Stats() Stats {
+	return Stats{
+		Requests:     f.nReq.Load(),
+		Shed:         f.nShed.Load(),
+		Spilled:      f.nSpill.Load(),
+		LocalHits:    f.nLocal.Load(),
+		SharedHits:   f.nShared.Load(),
+		NodeStore:    f.nStore.Load(),
+		OriginFetch:  f.nNet.Load(),
+		OriginFail:   f.nNetFail.Load(),
+		NegativeHits: f.nNeg.Load(),
+	}
+}
+
+// TTFBPercentile returns the given percentile of serving latency
+// across all successful responses, in seconds.
+func (f *Fleet) TTFBPercentile(p float64) float64 {
+	f.ttfbMu.Lock()
+	defer f.ttfbMu.Unlock()
+	return f.ttfb.Percentile(p)
+}
+
+// ServeHTTP implements the fleet's public HTTP face — the same
+// GET /ipfs/{CID}[/path] surface as a single gateway, with shed
+// requests answered 503 + Retry-After.
+func (f *Fleet) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	full := strings.TrimPrefix(r.URL.Path, "/ipfs/")
+	if full == r.URL.Path || full == "" {
+		http.Error(w, "usage: GET /ipfs/{CID}[/path]", http.StatusBadRequest)
+		return
+	}
+	cidPart, subPath := full, ""
+	if i := strings.IndexByte(full, '/'); i >= 0 {
+		cidPart, subPath = full[:i], strings.Trim(full[i+1:], "/")
+	}
+	c, err := cid.Parse(cidPart)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid CID: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp := f.Fetch(r.Context(), gateway.Request{
+		Cid:      c,
+		Path:     subPath,
+		Time:     f.src.Now(),
+		Referrer: r.Referer(),
+		UserID:   r.RemoteAddr + "|" + r.UserAgent(),
+	})
+	switch {
+	case resp.Shed:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(resp.RetryAfter.Seconds()+0.5)))
+		http.Error(w, "fleet over capacity, retry later", http.StatusServiceUnavailable)
+	case resp.Err != nil:
+		http.Error(w, fmt.Sprintf("not found: %v", resp.Err), http.StatusNotFound)
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Ipfs-Gateway-Tier", effectiveTier(resp).String())
+		w.Header().Set("X-Ipfs-Fleet-Gw", fmt.Sprint(resp.GW))
+		w.Write(resp.Data)
+	}
+}

@@ -1,0 +1,191 @@
+package gwfleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cid"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+func TestRingPlacement(t *testing.T) {
+	const nodes, keys = 8, 20000
+	r := NewRing(nodes, 0)
+
+	counts := make([]int, nodes)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		n := r.Place(key)
+		if n < 0 || n >= nodes {
+			t.Fatalf("Place(%q) = %d, out of range", key, n)
+		}
+		if again := r.Place(key); again != n {
+			t.Fatalf("Place(%q) not deterministic: %d then %d", key, n, again)
+		}
+		counts[n]++
+	}
+	// 128 virtual nodes keep the split far from degenerate: every node
+	// should own a meaningful share of a uniform keyspace.
+	for n, c := range counts {
+		if share := float64(c) / keys; share < 0.05 {
+			t.Errorf("node %d owns %.1f%% of keys; ring is badly unbalanced", n, 100*share)
+		}
+	}
+
+	c := cid.SumV0([]byte("some content"))
+	if r.PlaceCid(c) != r.Place(c.Key()) {
+		t.Error("PlaceCid disagrees with Place on the CID key")
+	}
+
+	succ := r.Successors("spill-key", 3)
+	if len(succ) != 3 {
+		t.Fatalf("Successors returned %d nodes, want 3", len(succ))
+	}
+	if succ[0] != r.Place("spill-key") {
+		t.Error("Successors[0] is not the owner")
+	}
+	seen := map[int]bool{}
+	for _, n := range succ {
+		if seen[n] {
+			t.Errorf("Successors returned node %d twice", n)
+		}
+		seen[n] = true
+	}
+	if got := NewRing(2, 16).Successors("k", 5); len(got) != 2 {
+		t.Errorf("Successors capped at ring size: got %d nodes from a 2-ring, want 2", len(got))
+	}
+}
+
+func TestAdmissionHysteresis(t *testing.T) {
+	f := &Fleet{cfg: Config{MaxInflight: 2, QueueHigh: 3, QueueLow: 1}.withDefaults()}
+	inst := &instance{}
+
+	// Fill to MaxInflight + QueueHigh - 1: everything admitted.
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		release, ok := f.admit(inst)
+		if !ok {
+			t.Fatalf("request %d rejected below the high watermark", i)
+		}
+		releases = append(releases, release)
+	}
+	// Queue depth reaches QueueHigh: shedding latches.
+	if _, ok := f.admit(inst); ok {
+		t.Fatal("request admitted at the high watermark; want shed")
+	}
+	// Hysteresis: one release leaves the queue between the watermarks,
+	// so the instance keeps shedding.
+	releases[0]()
+	if _, ok := f.admit(inst); ok {
+		t.Fatal("request admitted while still above the low watermark; want shed")
+	}
+	// Drain to QueueLow: shedding clears and admission resumes.
+	releases[1]()
+	if _, ok := f.admit(inst); !ok {
+		t.Fatal("request rejected after draining to the low watermark")
+	}
+}
+
+func TestSharedCacheTTLs(t *testing.T) {
+	clock := simtime.NewClock(time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC))
+	src := simtime.NewBaseSource(simtime.Base{}, clock.Now)
+	c := NewSharedCache(1<<20, time.Minute, 10*time.Minute, src, nil)
+	root := cid.SumV0([]byte("missing"))
+
+	if c.KnownMissing(root) {
+		t.Fatal("fresh cache reports the CID missing")
+	}
+	c.NoteMissing(root)
+	if !c.KnownMissing(root) {
+		t.Fatal("NoteMissing did not open a negative window")
+	}
+	clock.Advance(59 * time.Second)
+	if !c.KnownMissing(root) {
+		t.Fatal("negative window closed before its TTL")
+	}
+	clock.Advance(2 * time.Second)
+	if c.KnownMissing(root) {
+		t.Fatal("negative window survived past its TTL")
+	}
+
+	// A publish invalidates the window immediately, not at TTL expiry.
+	c.NoteMissing(root)
+	c.Invalidate(root)
+	if c.KnownMissing(root) {
+		t.Fatal("Invalidate did not close the negative window")
+	}
+
+	// Provider records expire on their own, longer TTL.
+	infos := []wire.PeerInfo{{}}
+	c.PutProviders(root, infos)
+	if got := c.Providers(root); len(got) != 1 {
+		t.Fatalf("Providers = %d records, want 1", len(got))
+	}
+	clock.Advance(10*time.Minute + time.Second)
+	if got := c.Providers(root); got != nil {
+		t.Fatalf("provider record survived past its TTL: %v", got)
+	}
+}
+
+func TestByteLRUEviction(t *testing.T) {
+	lru := newByteLRU(1000)
+	lru.put("a", make([]byte, 400))
+	lru.put("b", make([]byte, 400))
+	if _, ok := lru.get("a"); !ok { // refresh a: b becomes the eviction victim
+		t.Fatal("a missing before capacity pressure")
+	}
+	lru.put("c", make([]byte, 400))
+	if _, ok := lru.get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := lru.get("a"); !ok {
+		t.Error("a evicted despite being recently used")
+	}
+	if used := lru.usedBytes(); used > 1000 {
+		t.Errorf("used %d bytes, capacity 1000", used)
+	}
+	// Oversized objects are refused outright, not cached.
+	lru.put("huge", make([]byte, 2000))
+	if _, ok := lru.get("huge"); ok {
+		t.Error("object larger than the whole cache was admitted")
+	}
+}
+
+// TestServeHTTPShed drives the HTTP face of admission control: with
+// every candidate instance saturated, the fleet answers 503 with a
+// Retry-After hint instead of queueing without bound.
+func TestServeHTTPShed(t *testing.T) {
+	cfg := Config{MaxInflight: 1, QueueHigh: 1, RetryAfter: 2 * time.Second}.withDefaults()
+	f := &Fleet{
+		cfg:    cfg,
+		src:    cfg.Time,
+		ring:   NewRing(2, 16),
+		insts:  []*instance{{}, {}},
+		shared: NewSharedCache(1<<20, 0, 0, cfg.Time, nil),
+		ttfb:   stats.NewSample(),
+	}
+	// Saturate both instances past the high watermark and latch them.
+	for _, inst := range f.insts {
+		inst.inflight.Store(int64(cfg.MaxInflight + cfg.QueueHigh))
+		inst.shedding.Store(true)
+	}
+
+	c := cid.SumV0([]byte("hot content"))
+	rec := httptest.NewRecorder()
+	f.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/ipfs/"+c.String(), nil))
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusServiceUnavailable)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want %q", got, "2")
+	}
+	if st := f.Stats(); st.Shed != 1 || st.Requests != 1 {
+		t.Errorf("stats = %+v, want 1 request / 1 shed", st)
+	}
+}

@@ -3,6 +3,16 @@
 // timeouts and modeled latencies are expressed in simulated time; a
 // Base with Scale < 1 shrinks them for execution and measurement
 // results are converted back with Sim.
+//
+// Source (source.go) is the unified time API everything above the
+// transport programs against: wall-clock reads for timestamps and TTL
+// math, Stamp/Since measurement, and the waiting primitives (Sleep,
+// WithTimeout, AfterFunc, tracked Go spawns). BaseSource implements it
+// over real scaled time; Scheduler (scheduler.go) implements it as a
+// discrete-event engine where sleeps park on a priority queue and
+// virtual time jumps between events — paper-scale populations replay
+// hours of simulated time in seconds, deterministically at Workers=1.
+// Code written against Source runs unchanged on either.
 package simtime
 
 import (

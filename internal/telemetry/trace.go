@@ -13,6 +13,12 @@
 // sim-accurate via simtime.Base but depend on goroutine scheduling;
 // they appear only in the human renders and the derived statistics
 // (DiscoverP99), never in the stable renders.
+//
+// The whole surface is nil-safe: methods on a nil *Registry return nil
+// metrics, and methods on nil *Counter/*Gauge/*Histogram no-op, so
+// instrumented code never guards on whether telemetry is wired. The
+// debug endpoints (debug.go) expose the registry at /debug/metrics and
+// the most recent trace tree at /debug/trace/last.
 package telemetry
 
 import (

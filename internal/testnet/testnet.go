@@ -330,6 +330,25 @@ func (tn *Testnet) addVantage(region geo.Region, seed int64, kind routing.Kind, 
 	return node
 }
 
+// AddGatewayFleet attaches n gateway vantage nodes spread round-robin
+// across the AWS regions (the fleet points of presence). stores, when
+// non-nil, supplies each instance's block store — typically a bounded
+// block.LRUStore per edge instance, so the fleet's shared cache tier
+// sits between small edges and the origin; nil keeps the default
+// in-memory store. The builder consumes seeds seed..seed+n-1.
+func (tn *Testnet) AddGatewayFleet(n int, seed int64, stores func(i int) block.Store) []*core.Node {
+	nodes := make([]*core.Node, n)
+	for i := range nodes {
+		region := geo.AWSRegions[i%len(geo.AWSRegions)]
+		var store block.Store
+		if stores != nil {
+			store = stores(i)
+		}
+		nodes[i] = tn.AddVantageStore(region, seed+int64(i), store)
+	}
+	return nodes
+}
+
 // AddIndexer attaches a delegated-routing indexer node to the network
 // and returns it; pass its Info to indexer-routed nodes.
 func (tn *Testnet) AddIndexer(region geo.Region, seed int64) *routing.Indexer {
